@@ -1,0 +1,70 @@
+// Section VII experiment: modify Flat optimized to statically divide the
+// real-space grids into four sub-groups, one per CPU-core of a node —
+// each rank then partitions its grids only node-deep, exactly like
+// Hybrid multiple. The paper found its performance *identical* to Hybrid
+// multiple and concluded that the partition granularity is the sole
+// reason for the Hybrid-multiple vs Flat-optimized gap.
+//
+// (The sub-group variant is not usable in a real GPAW run: GPAW requires
+// every MPI process to own the same subset of every grid.)
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace gpawfd;
+  using namespace gpawfd::bench;
+  using sched::Approach;
+  using sched::JobConfig;
+  using sched::Optimizations;
+
+  const auto m = bgsim::MachineConfig::bluegene_p();
+  JobConfig job;
+  job.grid_shape = Vec3::cube(192);
+  job.ngrids = 2816;
+
+  banner("Section VII ablation: flat optimized with static sub-groups",
+         "Kristensen et al., IPDPS'09, section VII",
+         "sub-group variant performance-identical to Hybrid multiple; "
+         "both clearly faster than plain Flat optimized");
+
+  std::cout << "GPAW-compatible (same-subset requirement): "
+            << "Flat optimized: "
+            << (sched::satisfies_same_subset_requirement(
+                    Approach::kFlatOptimized)
+                    ? "yes"
+                    : "no")
+            << ", sub-groups: "
+            << (sched::satisfies_same_subset_requirement(
+                    Approach::kFlatOptimizedSubgroups)
+                    ? "yes"
+                    : "no")
+            << "\n\n";
+
+  Table t({"cores", "Flat optimized [s]", "Flat opt + sub-groups [s]",
+           "Hybrid multiple [s]", "subgroups/hybrid"});
+  for (int cores : {2048, 8192, 16384}) {
+    const int batch = core::best_batch_size(Approach::kHybridMultiple, job,
+                                            Optimizations::all_on(1), cores,
+                                            4, m);
+    const auto flat = core::simulate_scaled(
+        Approach::kFlatOptimized, job, Optimizations::all_on(batch), cores,
+        4, m);
+    const auto sub = core::simulate_scaled(
+        Approach::kFlatOptimizedSubgroups, job, Optimizations::all_on(batch),
+        cores, 4, m);
+    const auto hyb = core::simulate_scaled(
+        Approach::kHybridMultiple, job, Optimizations::all_on(batch), cores,
+        4, m);
+    t.add_row({std::to_string(cores), fmt_fixed(flat.seconds, 4),
+               fmt_fixed(sub.seconds, 4), fmt_fixed(hyb.seconds, 4),
+               fmt_fixed(sub.seconds / hyb.seconds, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper-vs-measured: the paper reports identical "
+               "performance for the sub-group variant and Hybrid\n"
+               "multiple (ratio 1.000); the measured ratio isolates the "
+               "partition granularity as the cause of\nthe gap.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/figures.hpp"
+
+namespace gpawfd::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Paper reference: " << paper_ref << "\n"
+            << "Expected shape:  " << expectation << "\n"
+            << "==============================================================\n";
+}
+
+/// The four approaches of section VI in presentation order.
+struct ApproachSpec {
+  const char* name;
+  sched::Approach approach;
+  bool uses_optimizations;  // false: always Optimizations::original()
+};
+
+inline constexpr ApproachSpec kApproaches[] = {
+    {"Flat original", sched::Approach::kFlatOriginal, false},
+    {"Flat optimized", sched::Approach::kFlatOptimized, true},
+    {"Hybrid multiple", sched::Approach::kHybridMultiple, true},
+    {"Hybrid master-only", sched::Approach::kHybridMasterOnly, true},
+};
+
+inline sched::Optimizations opts_for(const ApproachSpec& spec, int batch) {
+  return spec.uses_optimizations ? sched::Optimizations::all_on(batch)
+                                 : sched::Optimizations::original();
+}
+
+}  // namespace gpawfd::bench

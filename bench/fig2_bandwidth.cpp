@@ -1,0 +1,76 @@
+// Figure 2 + Table I: point-to-point bandwidth between two neighbouring
+// Blue Gene/P nodes as a function of message size.
+//
+// Paper: half of the asymptotic bandwidth at ~10^3 bytes; full bandwidth
+// (~370-390 MB/s out of the raw 425 MB/s link) needs >= 10^5 bytes.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "bgsim/fabric.hpp"
+#include "bgsim/torus.hpp"
+
+namespace gpawfd {
+namespace {
+
+void print_table1(const bgsim::MachineConfig& m) {
+  Table t({"Table I", "value"});
+  t.add_row({"Node CPU", "Four PowerPC 450 cores"});
+  t.add_row({"CPU frequency", fmt_fixed(m.cpu_hz / 1e6, 0) + " MHz"});
+  t.add_row({"Main memory", fmt_bytes(static_cast<double>(m.main_memory_bytes))});
+  t.add_row({"Main memory bandwidth", fmt_fixed(m.mem_bandwidth / 1e9, 1) + " GB/s"});
+  t.add_row({"Peak performance", fmt_fixed(m.peak_flops_per_node / 1e9, 1) + " Gflops/node"});
+  t.add_row({"Torus bandwidth",
+             "6 x 2 x " + fmt_fixed(m.link_bandwidth / 1e6, 0) +
+                 " MB/s = " + fmt_fixed(12 * m.link_bandwidth / 1e9, 1) + " GB/s"});
+  t.print(std::cout);
+}
+
+/// One round of the paper's experiment: a single message between two
+/// neighbouring nodes; bandwidth = size / transfer time.
+double measure_bandwidth(const bgsim::MachineConfig& m, std::int64_t bytes) {
+  bgsim::EventLoop loop;
+  bgsim::TorusNetwork net(loop, m, {8, 8, 8});
+  const bgsim::SimTime done =
+      net.submit(net.node_at({0, 0, 0}), net.node_at({1, 0, 0}), bytes);
+  return static_cast<double>(bytes) / bgsim::to_seconds(done);
+}
+
+}  // namespace
+}  // namespace gpawfd
+
+int main() {
+  using namespace gpawfd;
+  const auto m = bgsim::MachineConfig::bluegene_p();
+
+  bench::banner(
+      "Figure 2: message size vs point-to-point bandwidth",
+      "Kristensen et al., IPDPS'09, Fig. 2 and Table I",
+      "half bandwidth at ~1e3 B; asymptote ~370-390 MB/s above 1e5 B");
+  print_table1(m);
+  std::cout << '\n';
+
+  Table t({"message size [B]", "bandwidth [MB/s]", "fraction of peak"});
+  const double peak = m.effective_link_bandwidth();
+  double half_point = -1, knee_bw = -1;
+  for (int exp = 0; exp <= 7; ++exp) {
+    for (std::int64_t mul : {1, 2, 5}) {
+      const std::int64_t size =
+          mul * static_cast<std::int64_t>(std::pow(10.0, exp));
+      if (size > 10'000'000) break;
+      const double bw = measure_bandwidth(m, size);
+      t.add_row({std::to_string(size), fmt_fixed(bw / 1e6, 1),
+                 fmt_fixed(bw / peak, 3)});
+      if (half_point < 0 && bw >= 0.5 * peak) half_point = static_cast<double>(size);
+      if (size == 100'000) knee_bw = bw;
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper-vs-measured:\n"
+            << "  half-bandwidth message size: paper ~1e3 B, measured ~"
+            << half_point << " B\n"
+            << "  bandwidth at 1e5 B: paper ~370-390 MB/s, measured "
+            << fmt_bandwidth(knee_bw) << "\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 7 + the headline numbers: speedup graph starting at 1024
+// CPU-cores for a large job — 2816 real-space grids of 192^3, best batch
+// size per point. Every approach is normalized to Flat original at 1024
+// cores.
+//
+// Expected shape (paper): Hybrid multiple reaches ~16.5x at 16k cores
+// (12x against itself; 16x would be linear); Flat optimized close behind
+// (~10% slower at 16k); Hybrid master-only clearly below; Flat original
+// lowest. Headline: Hybrid multiple is 94% faster (1.94x) than Flat
+// original at 16384 cores — utilization 36% -> 70%.
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace gpawfd;
+  using namespace gpawfd::bench;
+  using sched::Approach;
+  using sched::JobConfig;
+  using sched::Optimizations;
+
+  const auto m = bgsim::MachineConfig::bluegene_p();
+  JobConfig job;
+  job.grid_shape = Vec3::cube(192);
+  job.ngrids = 2816;
+
+  banner("Figure 7: speedup from 1k cores, 2816 grids of 192^3, best batch",
+         "Kristensen et al., IPDPS'09, Fig. 7 + section VII/VIII headline",
+         "Hybrid multiple ~16.5x vs Flat original@1k at 16k cores; 1.94x "
+         "vs Flat original at 16k; ~10% over Flat optimized; util 36->70%");
+
+  const double seq = core::simulate_sequential_seconds(job, m);
+
+  struct Cell {
+    double seconds = 0;
+  };
+  const int cores_list[] = {1024, 2048, 4096, 8192, 16384};
+  std::map<std::pair<int, int>, double> seconds;  // (approach idx, cores)
+
+  Table t({"cores", "Flat original", "Flat optimized", "Hybrid multiple",
+           "Hybrid master-only"});
+  double t_fo_1k = 0;
+  for (int cores : cores_list) {
+    std::vector<double> secs;
+    for (const ApproachSpec& spec : kApproaches) {
+      int batch = 1;
+      if (spec.uses_optimizations) {
+        batch = core::best_batch_size(spec.approach, job,
+                                      Optimizations::all_on(1), cores, 4, m);
+      }
+      const auto r = core::simulate_scaled(spec.approach, job,
+                                           opts_for(spec, batch), cores, 4, m);
+      secs.push_back(r.seconds);
+    }
+    if (cores == 1024) t_fo_1k = secs[0];
+    std::vector<std::string> row{std::to_string(cores)};
+    for (std::size_t a = 0; a < 4; ++a) {
+      row.push_back(fmt_fixed(t_fo_1k / secs[a], 2));
+      seconds[{static_cast<int>(a), cores}] = secs[a];
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  const double fo_16k = seconds[{0, 16384}];
+  const double fopt_16k = seconds[{1, 16384}];
+  const double hm_16k = seconds[{2, 16384}];
+  const double hm_1k = seconds[{2, 1024}];
+
+  std::cout << "\nheadline numbers (paper -> measured):\n"
+            << "  Hybrid multiple speedup vs Flat original@1k at 16k cores: "
+               "paper ~16.5 -> "
+            << fmt_fixed(t_fo_1k / hm_16k, 1) << "\n"
+            << "  Hybrid multiple self speedup 1k->16k (linear 16): paper "
+               "~12 -> "
+            << fmt_fixed(hm_1k / hm_16k, 1) << "\n"
+            << "  Hybrid multiple vs Flat original at 16k: paper 1.94x -> "
+            << fmt_fixed(fo_16k / hm_16k, 2) << "x\n"
+            << "  Hybrid multiple vs Flat optimized at 16k: paper ~1.10x -> "
+            << fmt_fixed(fopt_16k / hm_16k, 2) << "x\n"
+            << "  CPU utilization Flat original at 16k: paper 36% -> "
+            << fmt_fixed(100 * seq / (16384 * fo_16k), 1) << "%\n"
+            << "  CPU utilization Hybrid multiple at 16k: paper 70% -> "
+            << fmt_fixed(100 * seq / (16384 * hm_16k), 1) << "%\n";
+  return 0;
+}

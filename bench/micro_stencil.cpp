@@ -1,0 +1,117 @@
+// Kernel microbenchmarks (google-benchmark): stencil throughput by
+// radius and element type, face codec throughput, local periodic fill.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "grid/array3d.hpp"
+#include "stencil/kernels.hpp"
+
+namespace {
+
+using gpawfd::Vec3;
+using gpawfd::grid::Array3D;
+
+template <typename T>
+Array3D<T> random_grid(Vec3 n, int ghost) {
+  Array3D<T> a(n, ghost);
+  gpawfd::Rng rng(7);
+  a.for_each_interior([&](Vec3, T& v) { v = static_cast<T>(rng.uniform(-1, 1)); });
+  gpawfd::grid::local_periodic_fill(a);
+  return a;
+}
+
+template <typename T>
+void BM_StencilApply(benchmark::State& state) {
+  const int radius = static_cast<int>(state.range(0));
+  const auto n = Vec3::cube(state.range(1));
+  Array3D<T> in = random_grid<T>(n, radius);
+  Array3D<T> out(n, radius);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(radius);
+  for (auto _ : state) {
+    gpawfd::stencil::apply(in, out, c);
+    benchmark::DoNotOptimize(out.interior());
+  }
+  state.SetItemsProcessed(state.iterations() * in.interior_points());
+  state.counters["Mpts/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * in.interior_points()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK_TEMPLATE(BM_StencilApply, double)
+    ->ArgsProduct({{1, 2, 3}, {32, 64, 96}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StencilApplyComplex(benchmark::State& state) {
+  using C = std::complex<double>;
+  const auto n = Vec3::cube(state.range(0));
+  Array3D<C> in(n, 2), out(n, 2);
+  gpawfd::Rng rng(9);
+  in.for_each_interior(
+      [&](Vec3, C& v) { v = C(rng.uniform(-1, 1), rng.uniform(-1, 1)); });
+  gpawfd::grid::local_periodic_fill(in);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(2);
+  for (auto _ : state) {
+    gpawfd::stencil::apply(in, out, c);
+    benchmark::DoNotOptimize(out.interior());
+  }
+  state.SetItemsProcessed(state.iterations() * in.interior_points());
+}
+BENCHMARK(BM_StencilApplyComplex)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_ReferenceKernel(benchmark::State& state) {
+  const auto n = Vec3::cube(state.range(0));
+  Array3D<double> in = random_grid<double>(n, 2);
+  Array3D<double> out(n, 2);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(2);
+  for (auto _ : state) {
+    gpawfd::stencil::apply_reference(in, out, c);
+    benchmark::DoNotOptimize(out.interior());
+  }
+  state.SetItemsProcessed(state.iterations() * in.interior_points());
+}
+BENCHMARK(BM_ReferenceKernel)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_FacePack(benchmark::State& state) {
+  const auto n = Vec3::cube(state.range(0));
+  Array3D<double> a = random_grid<double>(n, 2);
+  const int dim = static_cast<int>(state.range(1));
+  std::vector<double> buf(
+      static_cast<std::size_t>(gpawfd::grid::face_points(a, dim)));
+  for (auto _ : state) {
+    gpawfd::grid::pack_face(a, gpawfd::grid::Face{dim, 0},
+                            std::span<double>(buf.data(), buf.size()));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()) * 8);
+}
+BENCHMARK(BM_FacePack)->ArgsProduct({{64, 144}, {0, 1, 2}});
+
+void BM_LocalPeriodicFill(benchmark::State& state) {
+  const auto n = Vec3::cube(state.range(0));
+  Array3D<double> a = random_grid<double>(n, 2);
+  for (auto _ : state) {
+    gpawfd::grid::local_periodic_fill(a);
+    benchmark::DoNotOptimize(a.raw().data());
+  }
+}
+BENCHMARK(BM_LocalPeriodicFill)->Arg(64)->Arg(144)->Unit(benchmark::kMicrosecond);
+
+void BM_JacobiStep(benchmark::State& state) {
+  const auto n = Vec3::cube(state.range(0));
+  Array3D<double> u = random_grid<double>(n, 2);
+  Array3D<double> b = random_grid<double>(n, 2);
+  Array3D<double> out(n, 2);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(2);
+  for (auto _ : state) {
+    gpawfd::stencil::jacobi_step(u, b, out, c, 0.7);
+    benchmark::DoNotOptimize(out.interior());
+  }
+  state.SetItemsProcessed(state.iterations() * u.interior_points());
+}
+BENCHMARK(BM_JacobiStep)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Transport microbenchmarks (google-benchmark): in-process message
+// latency/bandwidth, non-blocking all-direction exchange, collectives,
+// and the simulator's event loop throughput.
+#include <benchmark/benchmark.h>
+
+#include "bgsim/event_loop.hpp"
+#include "bgsim/fabric.hpp"
+#include "bgsim/torus.hpp"
+#include "mp/thread_comm.hpp"
+
+namespace {
+
+using namespace gpawfd;
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  mp::ThreadWorld world(2);
+  for (auto _ : state) {
+    world.run([&](mp::ThreadComm& c) {
+      std::vector<std::byte> buf(bytes);
+      constexpr int kRounds = 64;
+      for (int i = 0; i < kRounds; ++i) {
+        if (c.rank() == 0) {
+          c.send(buf, 1, i);
+          c.recv(buf, 1, 1000 + i);
+        } else {
+          c.recv(buf, 0, i);
+          c.send(buf, 0, 1000 + i);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 128 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+void BM_AllDirectionExchange(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  mp::ThreadWorld world(ranks);
+  for (auto _ : state) {
+    world.run([&](mp::ThreadComm& c) {
+      std::vector<std::byte> out(1024), in(1024);
+      for (int round = 0; round < 8; ++round) {
+        std::vector<mp::Request> reqs;
+        for (int p = 0; p < c.size(); ++p) {
+          if (p == c.rank()) continue;
+          reqs.push_back(c.irecv(in, p, round));
+        }
+        for (int p = 0; p < c.size(); ++p) {
+          if (p == c.rank()) continue;
+          reqs.push_back(c.isend(out, p, round));
+        }
+        c.wait_all(reqs);
+      }
+    });
+  }
+}
+BENCHMARK(BM_AllDirectionExchange)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  mp::ThreadWorld world(ranks);
+  for (auto _ : state) {
+    world.run([&](mp::ThreadComm& c) {
+      std::vector<double> in(64, 1.0), out(64);
+      for (int i = 0; i < 16; ++i) c.allreduce_sum(in, out);
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SimEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    bgsim::EventLoop loop;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i)
+      loop.schedule_at(i, [] {});
+    loop.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimEventLoop)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
+void BM_SimTorusTransfers(benchmark::State& state) {
+  for (auto _ : state) {
+    bgsim::EventLoop loop;
+    bgsim::TorusNetwork net(loop, bgsim::MachineConfig::bluegene_p(),
+                            {8, 8, 8});
+    for (int i = 0; i < 4096; ++i)
+      net.submit(i % 512, (i * 37) % 512, 4096);
+    benchmark::DoNotOptimize(net.total_link_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SimTorusTransfers)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

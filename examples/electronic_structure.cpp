@@ -1,0 +1,78 @@
+// Mini electronic-structure calculation: the lowest eigenstates of a 3-D
+// harmonic well, computed with the Chebyshev-filtered eigensolver on top
+// of the distributed finite-difference Hamiltonian — the Kohn-Sham side
+// of GPAW's workload, with the paper's stencil operation applied to every
+// wave function in every iteration.
+//
+// Analytic spectrum of H = -1/2 del^2 + 1/2 w^2 r^2 (atomic units):
+// E = (n_x + n_y + n_z + 3/2) w, i.e. 3/2, then 5/2 three-fold.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpaw/eigensolver.hpp"
+#include "mp/thread_comm.hpp"
+
+int main() {
+  using namespace gpawfd;
+  using namespace gpawfd::gpaw;
+
+  const int n = 28;
+  const double L = 14.0;
+  const double h = L / n;
+  const double w = 1.0;
+  const int nbands = 4;
+
+  std::cout << "gpawfd electronic structure example: 3-D harmonic well\n"
+            << "  grid " << n << "^3, spacing " << h << ", omega " << w
+            << ", " << nbands << " bands, 8 ranks\n";
+
+  mp::ThreadWorld world(8);
+  world.run([&](mp::ThreadComm& comm) {
+    Domain d(comm, Vec3::cube(n), h);
+    auto v = d.make_field();
+    d.fill(v, [&](Vec3 p) {
+      auto x2 = [&](std::int64_t q) {
+        const double x = (static_cast<double>(q) - n / 2.0) * h;
+        return x * x;
+      };
+      return 0.5 * w * w * (x2(p.x) + x2(p.y) + x2(p.z));
+    });
+
+    Hamiltonian ham(d, std::move(v), nbands);
+    WaveFunctions wfs(d, nbands);
+    wfs.randomize(42);
+
+    EigensolverOptions opt;
+    opt.max_iterations = 200;
+    opt.tolerance = 1e-9;
+    const auto res = solve_lowest_eigenstates(ham, wfs, opt);
+
+    if (comm.rank() == 0) {
+      std::cout << "  converged in " << res.iterations
+                << " filtered subspace iterations\n\n"
+                << "  band   E (computed)   E (analytic)   error\n"
+                << "  ------------------------------------------\n";
+      const double analytic[] = {1.5 * w, 2.5 * w, 2.5 * w, 2.5 * w};
+      for (int b = 0; b < nbands; ++b) {
+        const double e = res.eigenvalues[static_cast<std::size_t>(b)];
+        std::cout << "  " << b << "      " << fmt_fixed(e, 6) << "      "
+                  << fmt_fixed(analytic[b], 6) << "      "
+                  << fmt_fixed(std::fabs(e - analytic[b]), 6) << "\n";
+      }
+      std::cout << "\n  (residual error is the grid discretization plus "
+                   "the finite box tail)\n";
+    }
+
+    // Sanity: orthonormality after the solve.
+    const DenseMatrix s = wfs.overlap();
+    if (comm.rank() == 0) {
+      double max_offdiag = 0;
+      for (int i = 0; i < nbands; ++i)
+        for (int j = 0; j < nbands; ++j)
+          if (i != j) max_offdiag = std::max(max_offdiag, std::fabs(s(i, j)));
+      std::cout << "  final band overlap max off-diagonal: " << max_offdiag
+                << "\n";
+    }
+  });
+  return 0;
+}

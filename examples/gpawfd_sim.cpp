@@ -1,0 +1,146 @@
+// gpawfd_sim: run any finite-difference experiment on the simulated Blue
+// Gene/P from the command line — approach, scale, workload, machine
+// overrides, phase breakdown, and an optional Chrome-trace timeline.
+//
+//   ./gpawfd_sim --approach=hybrid-multiple --cores=16384 --grids=2816
+//   ./gpawfd_sim --approach=flat-original --cores=1024 --trace=run.json
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/figures.hpp"
+
+namespace {
+
+gpawfd::sched::Approach parse_approach(const std::string& s) {
+  using gpawfd::sched::Approach;
+  if (s == "flat-original") return Approach::kFlatOriginal;
+  if (s == "flat-optimized") return Approach::kFlatOptimized;
+  if (s == "hybrid-multiple") return Approach::kHybridMultiple;
+  if (s == "hybrid-master-only") return Approach::kHybridMasterOnly;
+  if (s == "subgroups") return Approach::kFlatOptimizedSubgroups;
+  GPAWFD_CHECK_MSG(false, "unknown approach '" << s << "'");
+  return Approach::kFlatOriginal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpawfd;
+  using sched::JobConfig;
+  using sched::Optimizations;
+
+  CliParser cli;
+  cli.flag("approach", "hybrid-multiple",
+           "flat-original | flat-optimized | hybrid-multiple | "
+           "hybrid-master-only | subgroups")
+      .flag("cores", "4096", "total CPU cores (4 per node)")
+      .flag("grids", "1024", "number of real-space grids")
+      .flag("edge", "192", "grid edge length (grids are edge^3)")
+      .flag("batch", "0", "batch size; 0 = sweep for the best")
+      .flag("iterations", "1", "FD sweeps over the whole grid set")
+      .flag("no-double-buffering", "false", "disable double buffering")
+      .flag("no-ramp", "false", "disable the ramp-up batch")
+      .flag("no-mapping", "false", "disable torus-aware rank placement")
+      .flag("complex", "false", "complex-valued grids (16 B/point)")
+      .flag("link-bw", "425e6", "torus link bandwidth [B/s]")
+      .flag("core-flops", "425e6", "effective flop rate per core [flop/s]")
+      .flag("mpi-overhead-ns", "1300", "CPU cost per MPI call [ns]")
+      .flag("trace", "", "write a Chrome-tracing JSON timeline to this file")
+      .flag("csv", "false", "machine-readable one-line CSV output");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  const auto approach = parse_approach(cli.get("approach"));
+  JobConfig job;
+  job.grid_shape = Vec3::cube(cli.get_int("edge"));
+  job.ngrids = static_cast<int>(cli.get_int("grids"));
+  job.iterations = static_cast<int>(cli.get_int("iterations"));
+  job.elem_bytes = cli.get_bool("complex") ? 16 : 8;
+
+  bgsim::MachineConfig m = bgsim::MachineConfig::bluegene_p();
+  m.link_bandwidth = cli.get_double("link-bw");
+  m.core_flops = cli.get_double("core-flops");
+  m.mpi_call_overhead = cli.get_int("mpi-overhead-ns");
+
+  const int cores = static_cast<int>(cli.get_int("cores"));
+  int batch = static_cast<int>(cli.get_int("batch"));
+  const bool wants_opts = approach != sched::Approach::kFlatOriginal;
+  if (batch == 0 && wants_opts)
+    batch = core::best_batch_size(approach, job, Optimizations::all_on(1),
+                                  cores, 4, m);
+  if (batch == 0) batch = 1;
+
+  Optimizations opt = wants_opts ? Optimizations::all_on(batch)
+                                 : Optimizations::original();
+  if (cli.get_bool("no-double-buffering")) opt.double_buffering = false;
+  if (cli.get_bool("no-ramp")) opt.ramp_up = false;
+  if (cli.get_bool("no-mapping")) opt.topology_mapping = false;
+
+  // A trace needs a direct (unscaled) run and records every span, so
+  // keep traced jobs moderate.
+  core::SimResult r;
+  if (cli.is_set("trace")) {
+    GPAWFD_CHECK_MSG(static_cast<std::int64_t>(job.ngrids) * cores <=
+                         std::int64_t{64} << 20,
+                     "traced runs are direct simulations; use a smaller "
+                     "--grids x --cores product (<= 64M)");
+    bgsim::TraceLog log;
+    const auto plan = sched::RunPlan::make(approach, job, opt, cores, 4);
+    r = core::simulate(plan, m, &log);
+    std::ofstream os(cli.get("trace"));
+    GPAWFD_CHECK_MSG(os.good(), "cannot write " << cli.get("trace"));
+    log.write_chrome_json(os);
+    std::cout << "timeline with " << log.spans().size() << " spans -> "
+              << cli.get("trace") << "\n";
+  } else {
+    r = core::simulate_scaled(approach, job, opt, cores, 4, m);
+  }
+
+  const double seq = core::simulate_sequential_seconds(job, m);
+  if (cli.get_bool("csv")) {
+    std::cout << cli.get("approach") << ',' << cores << ',' << job.ngrids
+              << ',' << batch << ',' << r.seconds << ','
+              << seq / (cores * r.seconds) << ',' << r.bytes_sent_per_node
+              << ',' << r.messages_total << '\n';
+    return 0;
+  }
+
+  std::cout << "approach:        " << sched::to_string(approach) << "\n"
+            << "cores:           " << cores << " (" << cores / 4
+            << " nodes)\n"
+            << "job:             " << job.ngrids << " x "
+            << job.grid_shape << " grids, batch " << batch << "\n"
+            << "run time:        " << fmt_seconds(r.seconds) << "\n"
+            << "speedup:         " << fmt_fixed(seq / r.seconds, 1) << "x\n"
+            << "CPU utilization: "
+            << fmt_fixed(100 * seq / (cores * r.seconds), 1) << "%\n"
+            << "sent per node:   " << fmt_bytes(r.bytes_sent_per_node) << "\n"
+            << "messages:        " << r.messages_total << "\n\n";
+
+  Table t({"phase", "stream-seconds", "share of busy time"});
+  const double busy = r.phases.compute + r.phases.copy +
+                      r.phases.mpi_overhead + r.phases.wait +
+                      r.phases.barrier + r.phases.spawn;
+  auto row = [&](const char* name, double v) {
+    t.add_row({name, fmt_fixed(v, 4),
+               busy > 0 ? fmt_fixed(100 * v / busy, 1) + "%" : "-"});
+  };
+  row("compute", r.phases.compute);
+  row("pack/unpack copies", r.phases.copy);
+  row("MPI call overhead", r.phases.mpi_overhead);
+  row("waiting on network", r.phases.wait);
+  row("thread barriers", r.phases.barrier);
+  row("thread spawn", r.phases.spawn);
+  t.print(std::cout);
+  return 0;
+}

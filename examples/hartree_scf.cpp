@@ -1,0 +1,62 @@
+// Full mini-GPAW calculation: a self-consistent Hartree loop for two
+// interacting electrons in a harmonic trap. Every SCF iteration runs the
+// complete distributed pipeline — FD-stencil Hamiltonian on every band,
+// Chebyshev-filtered eigensolver, density mixing, and a multigrid
+// Poisson solve for the Hartree potential.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpaw/scf.hpp"
+#include "mp/thread_comm.hpp"
+
+int main() {
+  using namespace gpawfd;
+  using namespace gpawfd::gpaw;
+
+  const int n = 20;
+  const double L = 12.0;
+  const double h = L / n;
+  const double w = 1.0;
+
+  std::cout << "gpawfd Hartree SCF example: 2 electrons in a harmonic trap\n"
+            << "  grid " << n << "^3, spacing " << h << ", omega " << w
+            << ", 8 ranks\n";
+
+  mp::ThreadWorld world(8);
+  world.run([&](mp::ThreadComm& comm) {
+    Domain d(comm, Vec3::cube(n), h);
+    auto vext = d.make_field();
+    d.fill(vext, [&](Vec3 p) {
+      auto x2 = [&](std::int64_t q) {
+        const double x = (static_cast<double>(q) - n / 2.0) * h;
+        return x * x;
+      };
+      return 0.5 * w * w * (x2(p.x) + x2(p.y) + x2(p.z));
+    });
+
+    ScfOptions opt;
+    opt.density_tolerance = 1e-7;
+    opt.eigensolver.tolerance = 1e-9;
+    ScfLoop scf(d, std::move(vext), /*occupations=*/{2.0}, opt);
+
+    WaveFunctions wfs(d, 1);
+    wfs.randomize(2026);
+    const auto res = scf.run(wfs);
+
+    if (comm.rank() == 0) {
+      std::cout << "  SCF " << (res.converged ? "converged" : "DID NOT converge")
+                << " in " << res.iterations << " iterations (last density "
+                << "change " << res.density_change << ")\n\n"
+                << "  bare single-particle level (no interaction): "
+                << fmt_fixed(1.5 * w, 4) << "\n"
+                << "  self-consistent level (with Hartree repulsion): "
+                << fmt_fixed(res.eigenvalues[0], 4) << "\n"
+                << "  Hartree total energy (2 eps - E_H): "
+                << fmt_fixed(res.total_energy, 4) << "\n"
+                << "\n  The Hartree repulsion raises the level above 3/2 "
+                   "and the double-counting\n  correction pulls the total "
+                   "below 2 eps — the expected mean-field structure.\n";
+    }
+  });
+  return 0;
+}

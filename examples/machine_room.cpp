@@ -1,0 +1,57 @@
+// The machine room: run the paper's four programming approaches on the
+// simulated Blue Gene/P at a scale of your choosing and watch who wins.
+//
+//   ./machine_room [cores] [ngrids] [grid_edge]
+//
+// Defaults reproduce a mid-size slice of the paper's Fig. 6/7 regime.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpawfd;
+  using namespace gpawfd::bench;
+  using sched::JobConfig;
+  using sched::Optimizations;
+
+  const int cores = argc > 1 ? std::atoi(argv[1]) : 4096;
+  const int ngrids = argc > 2 ? std::atoi(argv[2]) : 1024;
+  const int edge = argc > 3 ? std::atoi(argv[3]) : 192;
+
+  const auto m = bgsim::MachineConfig::bluegene_p();
+  JobConfig job;
+  job.grid_shape = Vec3::cube(edge);
+  job.ngrids = ngrids;
+
+  std::cout << "Simulated Blue Gene/P, " << cores << " PowerPC 450 cores ("
+            << cores / m.cores_per_node << " nodes, "
+            << (cores / m.cores_per_node >= m.torus_min_nodes ? "torus"
+                                                              : "mesh")
+            << " partition)\n"
+            << "Job: " << ngrids << " real-space grids of " << edge << "^3 ("
+            << fmt_bytes(static_cast<double>(ngrids) *
+                         static_cast<double>(job.grid_shape.product()) * 8)
+            << " of wave-function data)\n\n";
+
+  const double seq = core::simulate_sequential_seconds(job, m);
+
+  Table t({"approach", "batch", "time", "speedup", "CPU util",
+           "sent/node", "messages"});
+  for (const ApproachSpec& spec : kApproaches) {
+    int batch = 1;
+    if (spec.uses_optimizations)
+      batch = core::best_batch_size(spec.approach, job,
+                                    Optimizations::all_on(1), cores, 4, m);
+    const auto r = core::simulate_scaled(spec.approach, job,
+                                         opts_for(spec, batch), cores, 4, m);
+    t.add_row({spec.name, std::to_string(batch), fmt_seconds(r.seconds),
+               fmt_fixed(seq / r.seconds, 0) + "x",
+               fmt_fixed(100 * seq / (cores * r.seconds), 1) + "%",
+               fmt_bytes(r.bytes_sent_per_node),
+               std::to_string(r.messages_total)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(sequential baseline: " << fmt_seconds(seq) << ")\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: apply the distributed 13-point finite-difference stencil
+// to a set of real-space grids with the hybrid-multiple approach, verify
+// the result against a sequential reference, and print what moved where.
+//
+// This is the paper's core operation end-to-end on your machine: 2 MPI
+// "ranks" (threads in-process) x 4 communicating worker threads each,
+// halos batched and double-buffered.
+#include <atomic>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "core/testing.hpp"
+#include "mp/thread_comm.hpp"
+
+int main() {
+  using namespace gpawfd;
+  using sched::Approach;
+  using sched::JobConfig;
+  using sched::Optimizations;
+
+  // The workload: 8 grids of 32^3, periodic boundaries, radius-2 stencil.
+  JobConfig job;
+  job.grid_shape = Vec3::cube(32);
+  job.ngrids = 8;
+  job.ghost = 2;
+
+  // Hybrid multiple on 8 "cores" = 2 ranks x 4 threads.
+  const auto plan = sched::RunPlan::make(Approach::kHybridMultiple, job,
+                                         Optimizations::all_on(2), 8, 4);
+  const auto coeffs = stencil::Coeffs::laplacian(2);
+
+  std::cout << "gpawfd quickstart\n"
+            << "  grids:      " << job.ngrids << " x " << job.grid_shape
+            << "\n"
+            << "  approach:   " << to_string(plan.approach()) << "\n"
+            << "  ranks:      " << plan.nranks() << " x "
+            << plan.threads_per_rank() << " threads\n"
+            << "  decomposed: " << plan.decomp().process_grid()
+            << " process grid, local box "
+            << plan.decomp().local_box({0, 0, 0}).shape() << "\n";
+
+  mp::ThreadWorld world(plan.nranks(), mp::ThreadMode::kMultiple);
+  std::atomic<std::int64_t> bytes{0};
+  std::atomic<int> mismatches{0};
+
+  world.run([&](mp::ThreadComm& comm) {
+    core::DistributedFd<double> engine(comm, plan, coeffs);
+    const grid::Box3 box = plan.decomp().local_box(engine.coords());
+
+    // Each rank fills its sub-grids from the global coordinates.
+    const auto n = static_cast<std::size_t>(job.ngrids);
+    std::vector<grid::Array3D<double>> in(n), out(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      in[g] = grid::Array3D<double>(box.shape(), job.ghost);
+      out[g] = grid::Array3D<double>(box.shape(), job.ghost);
+      core::testing::fill_local(in[g], box, static_cast<int>(g));
+    }
+
+    engine.apply_all(in, out);  // halo exchange + stencil, all approaches
+    bytes += comm.stats().bytes_sent.load();
+
+    // Verify against the sequential ground truth.
+    for (std::size_t g = 0; g < n; ++g) {
+      const auto expected = core::testing::sequential_reference<double>(
+          job.grid_shape, job.ghost, static_cast<int>(g), coeffs, true);
+      out[g].for_each_interior([&](Vec3 p, double& v) {
+        if (std::abs(v - expected.at(box.lo + p)) > 1e-12) ++mismatches;
+      });
+    }
+  });
+
+  std::cout << "  halo bytes: " << fmt_bytes(static_cast<double>(bytes.load()))
+            << " exchanged\n"
+            << "  verified:   "
+            << (mismatches.load() == 0 ? "all points match the sequential reference"
+                                       : "MISMATCH!")
+            << "\n";
+  return mismatches.load() == 0 ? 0 : 1;
+}

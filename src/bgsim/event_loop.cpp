@@ -1,0 +1,43 @@
+#include "bgsim/event_loop.hpp"
+
+namespace gpawfd::bgsim {
+
+namespace {
+thread_local EventLoop* g_current = nullptr;
+}
+
+EventLoop::EventLoop() : parent_(g_current) { g_current = this; }
+
+EventLoop::~EventLoop() { g_current = parent_; }
+
+EventLoop* EventLoop::current() { return g_current; }
+
+void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  GPAWFD_CHECK_MSG(t >= now_, "event scheduled in the past: " << t << " < "
+                                                              << now_);
+  queue_.push(Item{t, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::run() {
+  while (!queue_.empty() && !error_) {
+    // priority_queue::top is const; the copy here would be wasteful for
+    // millions of events, so move via const_cast (safe: we pop right
+    // after and never touch the moved-from function).
+    auto& top = const_cast<Item&>(queue_.top());
+    now_ = top.t;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    try {
+      fn();
+    } catch (...) {
+      record_exception(std::current_exception());
+    }
+  }
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace gpawfd::bgsim

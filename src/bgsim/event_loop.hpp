@@ -1,0 +1,74 @@
+// Discrete-event core. Single-threaded: events fire in (time, insertion)
+// order, so simulations are bit-reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "bgsim/sim_time.hpp"
+#include "common/check.hpp"
+
+namespace gpawfd::bgsim {
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, std::function<void()> fn);
+  void schedule_after(SimTime d, std::function<void()> fn) {
+    schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Run until the event queue drains. Rethrows the first exception that
+  /// escaped a coroutine or callback.
+  void run();
+
+  /// Awaitable: suspend the current coroutine for `d` virtual ns.
+  auto delay(SimTime d) {
+    struct Awaiter {
+      EventLoop* loop;
+      SimTime dur;
+      bool await_ready() const noexcept { return dur <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        loop->schedule_after(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  void record_exception(std::exception_ptr e) {
+    if (!error_) error_ = e;
+  }
+
+  /// Innermost live loop on this thread (used by coroutine promises to
+  /// report unhandled exceptions).
+  static EventLoop* current();
+
+ private:
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Item& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::exception_ptr error_;
+  EventLoop* parent_ = nullptr;  // loop shadowed by this one (tests nest)
+};
+
+}  // namespace gpawfd::bgsim

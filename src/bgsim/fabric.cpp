@@ -1,0 +1,58 @@
+#include "bgsim/fabric.hpp"
+
+namespace gpawfd::bgsim {
+
+Fabric::Fabric(EventLoop& loop, TorusNetwork& net,
+               std::vector<int> rank_to_node)
+    : loop_(&loop), net_(&net), rank_to_node_(std::move(rank_to_node)) {
+  GPAWFD_CHECK(!rank_to_node_.empty());
+  for (int n : rank_to_node_)
+    GPAWFD_CHECK(n >= 0 && n < net_->nodes());
+  rank_bytes_sent_.assign(rank_to_node_.size(), 0);
+  rank_messages_sent_.assign(rank_to_node_.size(), 0);
+}
+
+EventPtr Fabric::post_send(int src, int dst, int tag, std::int64_t bytes) {
+  GPAWFD_CHECK(src >= 0 && src < ranks());
+  GPAWFD_CHECK(dst >= 0 && dst < ranks());
+  rank_bytes_sent_[static_cast<std::size_t>(src)] += bytes;
+  rank_messages_sent_[static_cast<std::size_t>(src)] += 1;
+  total_bytes_sent_ += bytes;
+  total_messages_ += 1;
+
+  const SimTime delivered =
+      net_->submit(node_of_rank(src), node_of_rank(dst), bytes);
+  EventPtr send_done = make_event(*loop_);
+  const Key key{src, dst, tag};
+  loop_->schedule_at(delivered, [this, key, bytes, send_done] {
+    auto& recvs = waiting_recv_[key];
+    if (!recvs.empty()) {
+      recvs.front()->set();
+      recvs.pop_front();
+    } else {
+      arrived_[key].push_back(bytes);
+    }
+    send_done->set();
+  });
+  return send_done;
+}
+
+EventPtr Fabric::post_recv(int dst, int src, int tag, std::int64_t bytes) {
+  GPAWFD_CHECK(src >= 0 && src < ranks());
+  GPAWFD_CHECK(dst >= 0 && dst < ranks());
+  EventPtr recv_done = make_event(*loop_);
+  const Key key{src, dst, tag};
+  auto& arrivals = arrived_[key];
+  if (!arrivals.empty()) {
+    GPAWFD_CHECK_MSG(arrivals.front() <= bytes,
+                     "simulated receive smaller than matched message: "
+                         << bytes << " < " << arrivals.front());
+    arrivals.pop_front();
+    recv_done->set();
+  } else {
+    waiting_recv_[key].push_back(recv_done);
+  }
+  return recv_done;
+}
+
+}  // namespace gpawfd::bgsim

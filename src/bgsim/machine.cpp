@@ -1,0 +1,26 @@
+#include "bgsim/machine.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace gpawfd::bgsim {
+
+Vec3 torus_dims(std::int64_t nodes) {
+  GPAWFD_CHECK(nodes >= 1);
+  Vec3 best{1, 1, nodes};
+  auto surface = [](Vec3 v) { return v.x * v.y + v.y * v.z + v.x * v.z; };
+  for (Vec3 t : factor_triples(nodes)) {
+    // Canonicalize ascending so ties are deterministic.
+    Vec3 s = t;
+    if (s.x > s.y) std::swap(s.x, s.y);
+    if (s.y > s.z) std::swap(s.y, s.z);
+    if (s.x > s.y) std::swap(s.x, s.y);
+    if (s.max() < best.max() ||
+        (s.max() == best.max() && surface(s) < surface(best)))
+      best = s;
+  }
+  return best;
+}
+
+}  // namespace gpawfd::bgsim

@@ -1,0 +1,139 @@
+// Blue Gene/P machine model — Table I of the paper plus the software
+// cost constants the model needs. All tunables live here so the
+// calibration tests and ablation benchmarks can vary them explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "bgsim/sim_time.hpp"
+#include "common/vec3.hpp"
+
+namespace gpawfd::bgsim {
+
+struct MachineConfig {
+  // ---- Table I -----------------------------------------------------
+  int cores_per_node = 4;             // PowerPC 450 cores
+  double cpu_hz = 850e6;              // 850 MHz
+  double peak_flops_per_node = 13.6e9;
+  double mem_bandwidth = 13.6e9;      // bytes/s, shared by the node
+  std::int64_t main_memory_bytes = std::int64_t{2} << 30;  // 2 GB
+  double link_bandwidth = 425e6;      // bytes/s per torus link direction
+  // 6 links x 2 directions x 425 MB/s = 5.1 GB/s aggregate per node.
+
+  // ---- Torus network model ------------------------------------------
+  /// Fraction of raw link bandwidth a message stream achieves (packet
+  /// headers, alignment). Chosen so the Fig. 2 asymptote lands at the
+  /// paper's ~370-390 MB/s.
+  double packet_efficiency = 0.88;
+  /// Router traversal latency per hop.
+  SimTime hop_latency = 64;
+  /// DMA injection fixed cost (hardware side, overlaps with CPU).
+  SimTime injection_latency = 600;
+  /// Partitions smaller than this are wired as a mesh (no wrap links).
+  int torus_min_nodes = 512;
+  /// On-node "loopback" path for ranks sharing a node in virtual mode:
+  /// memory-to-memory copy bandwidth and latency.
+  double loopback_bandwidth = 6.8e9;  // read+write through 13.6 GB/s DRAM
+  SimTime loopback_latency = 500;
+
+  // ---- MPI (MPICH2) software model ----------------------------------
+  /// CPU time burned by one isend/irecv call in SINGLE thread mode.
+  SimTime mpi_call_overhead = 1300;
+  /// Extra CPU time per call in MULTIPLE mode (lock acquire/release,
+  /// thread-safe queue handoff); on top of this, concurrent calls from
+  /// one rank serialize on a lock. MPICH2's MULTIPLE mode on BGP was
+  /// known to be expensive — this is what batching amortizes for the
+  /// hybrid approaches.
+  SimTime mpi_multiple_overhead = 3'000;
+  /// CPU time to complete a wait once the request is already done.
+  SimTime mpi_wait_overhead = 250;
+  /// Collective (tree) network: latency and per-byte cost of a global
+  /// reduce/bcast; the global-interrupt barrier latency.
+  SimTime tree_latency = 5'000;
+  double tree_bandwidth = 300e6;
+  SimTime barrier_latency = 1'300;
+
+  // ---- Node compute model -------------------------------------------
+  /// Effective scalar flop rate of one core running the C stencil kernel
+  /// (no double-hummer SIMD: ~0.5 flops/cycle sustained).
+  double core_flops = 425e6;
+  /// Effective per-core bandwidth for pack/unpack memcpy work (an
+  /// 850 MHz in-order core copying strided face slabs).
+  double memcpy_bandwidth = 1.2e9;
+  /// Per-extra-active-core compute slowdown from shared L3 / memory
+  /// contention: t(active) = t(1) * (1 + slope * (active - 1)).
+  double smp_slowdown = 0.04;
+  /// Per-point memory traffic of the stencil (streaming read + write
+  /// with write-allocate), used for the roofline check.
+  double stencil_bytes_per_point = 24.0;
+  /// pthread fork/join barrier cost per use (850 MHz in-order cores,
+  /// wakeup through the shared L3). Hybrid master-only pays one pair per
+  /// grid-computation — the penalty "proportional to the number of
+  /// grids" of section VI.
+  SimTime thread_barrier_cost = 3'000;
+  /// One-time cost of spawning the worker threads of a rank.
+  SimTime thread_spawn_cost = 25'000;
+
+  /// The machine the paper ran on.
+  static MachineConfig bluegene_p() { return {}; }
+
+  /// Time for one core to compute `points` stencil points of
+  /// `flops_per_point` each: roofline max of flop time and memory time
+  /// (memory bandwidth shared fairly among `active_cores`).
+  SimTime stencil_compute_time(std::int64_t points,
+                               std::int64_t flops_per_point,
+                               int active_cores = 1) const {
+    const int active = active_cores > 0 ? active_cores : 1;
+    const double flop_t =
+        static_cast<double>(points * flops_per_point) / core_flops;
+    const double mem_bw_share = mem_bandwidth / static_cast<double>(active);
+    const double mem_t =
+        static_cast<double>(points) * stencil_bytes_per_point / mem_bw_share;
+    const double contention = 1.0 + smp_slowdown * (active - 1);
+    return from_seconds((flop_t > mem_t ? flop_t : mem_t) * contention);
+  }
+
+  /// Time for one core to pack/unpack `bytes` of face data.
+  SimTime copy_time(std::int64_t bytes) const {
+    return transfer_time(bytes, memcpy_bandwidth);
+  }
+
+  /// Achieved point-to-point stream bandwidth (the Fig. 2 asymptote).
+  double effective_link_bandwidth() const {
+    return link_bandwidth * packet_efficiency;
+  }
+
+  // ---- Collective (tree) network -------------------------------------
+  // BGP routes reductions/broadcasts over a dedicated tree network and
+  // barriers over a global-interrupt network; costs scale with tree
+  // depth, not with torus distance. GPAW's orthogonalization (overlap
+  // matrices via allreduce) rides on these.
+
+  /// Time of a tree allreduce of `bytes` over `nodes` nodes: up and down
+  /// the tree once each, pipelined payload.
+  SimTime allreduce_time(int nodes, std::int64_t bytes) const {
+    const int depth = tree_depth(nodes);
+    return 2 * depth * tree_latency + 2 * transfer_time(bytes, tree_bandwidth);
+  }
+
+  /// One-way tree broadcast.
+  SimTime bcast_time(int nodes, std::int64_t bytes) const {
+    const int depth = tree_depth(nodes);
+    return depth * tree_latency + transfer_time(bytes, tree_bandwidth);
+  }
+
+  /// Global-interrupt barrier: near-constant regardless of node count.
+  SimTime barrier_time(int /*nodes*/) const { return barrier_latency; }
+
+  static int tree_depth(int nodes) {
+    int depth = 0;
+    for (int n = 1; n < nodes; n *= 2) ++depth;
+    return depth < 1 ? 1 : depth;
+  }
+};
+
+/// Pick torus dimensions for `nodes`: the most cubic factorization
+/// (minimizes the longest dimension, then the total surface).
+Vec3 torus_dims(std::int64_t nodes);
+
+}  // namespace gpawfd::bgsim

@@ -1,0 +1,27 @@
+// Virtual time for the Blue Gene/P simulator. Integer nanoseconds:
+// deterministic ordering, no floating-point drift across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace gpawfd::bgsim {
+
+/// Virtual nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + 0.5);
+}
+constexpr SimTime from_us(double us) {
+  return static_cast<SimTime>(us * 1e3 + 0.5);
+}
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// Time to move `bytes` at `bytes_per_second`, rounded up to whole ns.
+constexpr SimTime transfer_time(std::int64_t bytes, double bytes_per_second) {
+  if (bytes <= 0) return 0;
+  const double ns = static_cast<double>(bytes) / bytes_per_second * 1e9;
+  return static_cast<SimTime>(ns) + 1;
+}
+
+}  // namespace gpawfd::bgsim

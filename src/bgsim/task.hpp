@@ -1,0 +1,194 @@
+// Coroutine primitives for simulated processes.
+//
+// Every simulated instruction stream — one per CPU core in use — is a
+// SimTask coroutine. Tasks start eagerly, run until their first co_await,
+// and are driven entirely by the EventLoop afterwards. Synchronization
+// uses Event (one-shot, multi-waiter) and CountdownLatch (join / barrier
+// building block).
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "bgsim/event_loop.hpp"
+
+namespace gpawfd::bgsim {
+
+/// Fire-and-forget coroutine. The frame self-destructs on completion;
+/// exceptions are reported to the innermost EventLoop and rethrown from
+/// EventLoop::run().
+class SimTask {
+ public:
+  struct promise_type {
+    SimTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {
+      EventLoop* loop = EventLoop::current();
+      GPAWFD_CHECK_MSG(loop != nullptr,
+                       "SimTask exception outside any EventLoop");
+      loop->record_exception(std::current_exception());
+    }
+  };
+};
+
+/// One-shot event: set() resumes every waiter (at the current virtual
+/// time, in wait order). Waiting on an already-set event does not
+/// suspend. Hold via shared_ptr when the waiter may outlive the setter.
+class Event {
+ public:
+  explicit Event(EventLoop& loop) : loop_(&loop) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_)
+      loop_->schedule_after(0, [h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const noexcept { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  EventLoop* loop_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+inline EventPtr make_event(EventLoop& loop) {
+  return std::make_shared<Event>(loop);
+}
+
+/// Await the completion of every event in `events`.
+inline SimTask wait_all_into(std::vector<EventPtr> events, EventPtr done) {
+  for (auto& e : events) co_await e->wait();
+  done->set();
+}
+
+/// Latch released when `count` arrivals have happened. Used to join
+/// simulated threads and to build the per-node thread barrier.
+class CountdownLatch {
+ public:
+  CountdownLatch(EventLoop& loop, int count)
+      : event_(loop), count_(count) {
+    GPAWFD_CHECK(count >= 0);
+    if (count_ == 0) event_.set();
+  }
+
+  void arrive() {
+    GPAWFD_CHECK_MSG(count_ > 0, "latch over-arrived");
+    if (--count_ == 0) event_.set();
+  }
+
+  auto wait() { return event_.wait(); }
+  bool released() const { return event_.is_set(); }
+
+ private:
+  Event event_;
+  int count_;
+};
+
+/// Cyclic barrier over `parties` simulated threads with a fixed
+/// synchronization cost: every arrival burns `cost_ns` of that thread's
+/// time and the last arrival releases everyone. This is the pthread
+/// barrier of the hybrid approaches — its per-use cost is exactly the
+/// "thread synchronization overhead" the paper discusses.
+class SimBarrier {
+ public:
+  SimBarrier(EventLoop& loop, int parties, SimTime cost_ns)
+      : loop_(&loop), parties_(parties), cost_(cost_ns) {
+    GPAWFD_CHECK(parties >= 1);
+  }
+
+  /// Awaitable: returns once all parties of this generation arrived.
+  auto arrive_and_wait() {
+    struct Awaiter {
+      SimBarrier* b;
+      bool release_now = false;
+      bool await_ready() noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        b->loop_->schedule_after(b->cost_, [this, h] {
+          if (++b->arrived_ == b->parties_) {
+            b->arrived_ = 0;
+            auto waiters = std::move(b->waiters_);
+            b->waiters_.clear();
+            for (auto w : waiters)
+              b->loop_->schedule_after(0, [w] { w.resume(); });
+            h.resume();
+          } else {
+            b->waiters_.push_back(h);
+          }
+        });
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  EventLoop* loop_;
+  int parties_;
+  int arrived_ = 0;
+  SimTime cost_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO mutex in virtual time — models the internal lock MPI MULTIPLE
+/// mode takes around every library call.
+class SimMutex {
+ public:
+  explicit SimMutex(EventLoop& loop) : loop_(&loop) {}
+
+  auto acquire() {
+    struct Awaiter {
+      SimMutex* m;
+      bool await_ready() noexcept {
+        if (!m->locked_) {
+          m->locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        m->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    GPAWFD_CHECK(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+    } else {
+      auto h = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      loop_->schedule_after(0, [h] { h.resume(); });
+    }
+  }
+
+ private:
+  EventLoop* loop_;
+  bool locked_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace gpawfd::bgsim

@@ -1,0 +1,92 @@
+#include "bgsim/torus.hpp"
+
+#include <limits>
+
+#include "common/math.hpp"
+
+namespace gpawfd::bgsim {
+
+TorusNetwork::TorusNetwork(EventLoop& loop, const MachineConfig& cfg,
+                           Vec3 dims)
+    : loop_(&loop),
+      cfg_(cfg),
+      dims_(dims),
+      torus_(dims.product() >= cfg.torus_min_nodes),
+      link_free_(static_cast<std::size_t>(dims.product()) * 6, 0),
+      loopback_free_(static_cast<std::size_t>(dims.product()), 0),
+      node_link_bytes_(static_cast<std::size_t>(dims.product()), 0) {
+  GPAWFD_CHECK(dims.min() >= 1);
+}
+
+Vec3 TorusNetwork::coords_of(int node) const {
+  GPAWFD_CHECK(node >= 0 && node < nodes());
+  return delinearize(node, dims_);
+}
+
+int TorusNetwork::node_at(Vec3 coords) const {
+  return static_cast<int>(linear_index(coords, dims_));
+}
+
+std::int64_t TorusNetwork::steps(int dim, std::int64_t from,
+                                 std::int64_t to) const {
+  const std::int64_t extent = dims_[dim];
+  std::int64_t direct = to - from;
+  if (!torus_) return direct;
+  // Torus: go the short way round; ties resolve to the positive
+  // direction (deterministic).
+  std::int64_t wrapped = direct > 0 ? direct - extent : direct + extent;
+  if (std::llabs(wrapped) < std::llabs(direct)) return wrapped;
+  return direct;
+}
+
+int TorusNetwork::hops(int src, int dst) const {
+  const Vec3 a = coords_of(src), b = coords_of(dst);
+  int h = 0;
+  for (int d = 0; d < 3; ++d)
+    h += static_cast<int>(std::llabs(steps(d, a[d], b[d])));
+  return h;
+}
+
+SimTime TorusNetwork::submit(int src, int dst, std::int64_t bytes) {
+  GPAWFD_CHECK(src >= 0 && src < nodes());
+  GPAWFD_CHECK(dst >= 0 && dst < nodes());
+  GPAWFD_CHECK(bytes >= 0);
+  const SimTime start = loop_->now();
+
+  if (src == dst) {
+    // Same node (virtual-mode ranks): memory-to-memory copy through the
+    // node's loopback channel.
+    SimTime& free = loopback_free_[static_cast<std::size_t>(src)];
+    const SimTime ser = transfer_time(bytes, cfg_.loopback_bandwidth);
+    const SimTime begin =
+        std::max(start + cfg_.loopback_latency, free);
+    free = begin + ser;
+    return begin + ser;
+  }
+
+  const SimTime ser = transfer_time(bytes, cfg_.effective_link_bandwidth());
+  SimTime head = start + cfg_.injection_latency;
+  Vec3 cur = coords_of(src);
+  const Vec3 goal = coords_of(dst);
+  for (int d = 0; d < 3; ++d) {
+    std::int64_t remaining = steps(d, cur[d], goal[d]);
+    const std::int64_t extent = dims_[d];
+    while (remaining != 0) {
+      const bool positive = remaining > 0;
+      const std::size_t link =
+          link_index(node_at(cur), d, positive);
+      // Head waits for the link, crosses it, and the body occupies the
+      // link for the serialization time behind it.
+      head = std::max(head, link_free_[link]) + cfg_.hop_latency;
+      link_free_[link] = head + ser;
+      cur[d] = (cur[d] + (positive ? 1 : -1) + extent) % extent;
+      remaining += positive ? -1 : 1;
+    }
+  }
+  GPAWFD_ASSERT(cur == goal);
+  total_link_bytes_ += bytes;
+  node_link_bytes_[static_cast<std::size_t>(src)] += bytes;
+  return head + ser;
+}
+
+}  // namespace gpawfd::bgsim

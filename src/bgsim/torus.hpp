@@ -1,0 +1,71 @@
+// The 3-D torus point-to-point network of Blue Gene/P.
+//
+// Model: dimension-ordered (x, then y, then z) wormhole routing. The
+// message head advances one hop per `hop_latency`, queuing behind earlier
+// messages on every link it crosses; the payload then streams at the
+// link's effective bandwidth, occupying each crossed link for the
+// serialization time. Partitions below `torus_min_nodes` have no
+// wrap-around links (mesh), so "periodic" neighbour traffic crosses the
+// whole dimension — one of the effects the paper's topology mapping
+// avoids.
+//
+// Ranks co-located on one node (virtual mode) communicate through the
+// node's memory instead: a per-node loopback channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgsim/event_loop.hpp"
+#include "bgsim/machine.hpp"
+
+namespace gpawfd::bgsim {
+
+class TorusNetwork {
+ public:
+  TorusNetwork(EventLoop& loop, const MachineConfig& cfg, Vec3 dims);
+
+  Vec3 dims() const { return dims_; }
+  int nodes() const { return static_cast<int>(dims_.product()); }
+  bool is_torus() const { return torus_; }
+
+  Vec3 coords_of(int node) const;
+  int node_at(Vec3 coords) const;
+
+  /// Hop count of the dimension-ordered route (0 for src == dst).
+  int hops(int src, int dst) const;
+
+  /// Book the transfer of `bytes` from `src` to `dst` starting now;
+  /// returns the absolute delivery time. Updates link occupancy, so
+  /// concurrent transfers sharing a link queue behind each other.
+  SimTime submit(int src, int dst, std::int64_t bytes);
+
+  /// Total bytes that crossed network links (excludes loopback).
+  std::int64_t total_link_bytes() const { return total_link_bytes_; }
+  /// Bytes injected into the network by `node` (excludes loopback).
+  std::int64_t node_link_bytes(int node) const {
+    return node_link_bytes_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  // Direction encoding: 2*dim + (0 = +, 1 = -).
+  std::size_t link_index(int node, int dim, bool positive) const {
+    return static_cast<std::size_t>(node) * 6 +
+           static_cast<std::size_t>(2 * dim) + (positive ? 0 : 1);
+  }
+
+  /// Signed steps to travel along `dim` from a to b (shortest direction
+  /// on a torus; direct on a mesh).
+  std::int64_t steps(int dim, std::int64_t from, std::int64_t to) const;
+
+  EventLoop* loop_;
+  MachineConfig cfg_;
+  Vec3 dims_;
+  bool torus_;
+  std::vector<SimTime> link_free_;      // per directed link
+  std::vector<SimTime> loopback_free_;  // per node
+  std::vector<std::int64_t> node_link_bytes_;
+  std::int64_t total_link_bytes_ = 0;
+};
+
+}  // namespace gpawfd::bgsim

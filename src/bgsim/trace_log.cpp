@@ -1,0 +1,46 @@
+#include "bgsim/trace_log.hpp"
+
+namespace gpawfd::bgsim {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kCopy:
+      return "copy";
+    case Phase::kMpiOverhead:
+      return "mpi";
+    case Phase::kWait:
+      return "wait";
+    case Phase::kBarrier:
+      return "barrier";
+    case Phase::kSpawn:
+      return "spawn";
+  }
+  return "?";
+}
+
+double TraceLog::total_seconds(Phase p) const {
+  SimTime total = 0;
+  for (const Span& s : spans_)
+    if (s.phase == p) total += s.end - s.begin;
+  return to_seconds(total);
+}
+
+void TraceLog::write_chrome_json(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Durations in microseconds, as chrome://tracing expects.
+    os << R"({"name":")" << to_string(s.phase)
+       << R"(","cat":"sim","ph":"X","ts":)"
+       << static_cast<double>(s.begin) / 1e3
+       << R"(,"dur":)" << static_cast<double>(s.end - s.begin) / 1e3
+       << R"(,"pid":0,"tid":)" << s.stream << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace gpawfd::bgsim

@@ -1,0 +1,54 @@
+// Span log for simulated executions. Collects (stream, phase, begin,
+// end) intervals in virtual time and exports them as a Chrome tracing
+// JSON (chrome://tracing / Perfetto), so a simulated 4096-core run can
+// be inspected visually: where each core computed, packed, posted MPI
+// calls, or sat waiting for the torus.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bgsim/sim_time.hpp"
+
+namespace gpawfd::bgsim {
+
+/// Phase categories of a simulated communication stream.
+enum class Phase : std::uint8_t {
+  kCompute,
+  kCopy,         // face pack/unpack memcpy work
+  kMpiOverhead,  // CPU cost of MPI calls (incl. MULTIPLE locking)
+  kWait,         // blocked on message completion
+  kBarrier,      // thread fork/join synchronization
+  kSpawn,        // one-time thread start-up
+};
+
+const char* to_string(Phase p);
+
+class TraceLog {
+ public:
+  struct Span {
+    std::int32_t stream;  // global stream id (rank * streams + thread)
+    Phase phase;
+    SimTime begin;
+    SimTime end;
+  };
+
+  void add(std::int32_t stream, Phase phase, SimTime begin, SimTime end) {
+    if (end > begin) spans_.push_back(Span{stream, phase, begin, end});
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Total virtual time per phase across all streams.
+  double total_seconds(Phase p) const;
+
+  /// Chrome tracing "trace event" JSON (complete events, microseconds).
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace gpawfd::bgsim

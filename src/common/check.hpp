@@ -1,0 +1,57 @@
+// Error handling primitives used across the library.
+//
+// GPAWFD_CHECK is always on (input validation / invariant enforcement on
+// public boundaries); GPAWFD_ASSERT compiles out in NDEBUG builds and is
+// used for internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpawfd {
+
+/// Exception type thrown by all library precondition / invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gpawfd
+
+#define GPAWFD_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::gpawfd::detail::fail("CHECK", #expr, __FILE__, __LINE__, {});   \
+  } while (0)
+
+#define GPAWFD_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::gpawfd::detail::fail("CHECK", #expr, __FILE__, __LINE__,        \
+                             os_.str());                                \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define GPAWFD_ASSERT(expr) ((void)0)
+#else
+#define GPAWFD_ASSERT(expr)                                             \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::gpawfd::detail::fail("ASSERT", #expr, __FILE__, __LINE__, {});  \
+  } while (0)
+#endif

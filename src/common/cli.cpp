@@ -1,0 +1,103 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace gpawfd {
+
+CliParser& CliParser::flag(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  GPAWFD_CHECK_MSG(!specs_.count(name), "duplicate flag --" << name);
+  specs_[name] = Spec{default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    GPAWFD_CHECK_MSG(arg.rfind("--", 0) == 0,
+                     "expected --flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const bool has_next = i + 1 < argc &&
+                            std::string(argv[i + 1]).rfind("--", 0) != 0;
+      if (has_next) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    GPAWFD_CHECK_MSG(specs_.count(name), "unknown flag --" << name);
+    values_[name] = value;
+  }
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Spec& s = specs_.at(name);
+    os << "  --" << name;
+    if (!s.default_value.empty()) os << " (default: " << s.default_value << ")";
+    os << "\n      " << s.help << "\n";
+  }
+  return os.str();
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  auto spec = specs_.find(name);
+  GPAWFD_CHECK_MSG(spec != specs_.end(), "undeclared flag --" << name);
+  return spec->second.default_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::int64_t out = 0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  GPAWFD_CHECK_MSG(ec == std::errc{} && p == v.data() + v.size(),
+                   "--" << name << " expects an integer, got '" << v << "'");
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    GPAWFD_CHECK(pos == v.size());
+    return out;
+  } catch (const std::exception&) {
+    GPAWFD_CHECK_MSG(false,
+                     "--" << name << " expects a number, got '" << v << "'");
+  }
+  return 0;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  GPAWFD_CHECK_MSG(false, "--" << name << " expects a boolean, got '" << v
+                               << "'");
+  return false;
+}
+
+bool CliParser::is_set(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+}  // namespace gpawfd

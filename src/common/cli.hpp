@@ -1,0 +1,46 @@
+// Minimal command-line flag parser for the example/driver binaries:
+// --name=value or --name value, plus boolean --flag. Unknown flags are
+// errors (typos should not silently run the wrong experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpawfd {
+
+class CliParser {
+ public:
+  /// Declare a flag with a default and a help line; returns *this for
+  /// chaining.
+  CliParser& flag(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv; throws Error on unknown or malformed flags. A lone
+  /// `--help` sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_; }
+  std::string usage(const std::string& program) const;
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  bool is_set(const std::string& name) const;  // explicitly on the command line
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace gpawfd

@@ -1,0 +1,32 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+
+namespace gpawfd {
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  GPAWFD_CHECK(n >= 1);
+  std::vector<std::int64_t> out;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+      if (d != n / d) out.push_back(n / d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Vec3> factor_triples(std::int64_t n) {
+  GPAWFD_CHECK(n >= 1);
+  std::vector<Vec3> out;
+  for (std::int64_t a : divisors(n)) {
+    const std::int64_t rest = n / a;
+    for (std::int64_t b : divisors(rest)) {
+      out.push_back({a, b, rest / b});
+    }
+  }
+  return out;
+}
+
+}  // namespace gpawfd

@@ -1,0 +1,37 @@
+// Small integer-math helpers shared by the decomposition and batching
+// logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/vec3.hpp"
+
+namespace gpawfd {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  GPAWFD_ASSERT(b > 0);
+  return (a + b - 1) / b;
+}
+
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+constexpr bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+constexpr int ilog2(std::int64_t v) {
+  GPAWFD_ASSERT(v > 0);
+  int l = 0;
+  while (v >>= 1) ++l;
+  return l;
+}
+
+/// All ordered factor triples (a, b, c) with a*b*c == n.
+std::vector<Vec3> factor_triples(std::int64_t n);
+
+/// Positive divisors of n in ascending order.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+}  // namespace gpawfd

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random numbers for tests, examples and workload
+// generators. SplitMix64: tiny, fast, reproducible across platforms
+// (unlike std::mt19937 distributions, whose output is implementation
+// defined for floating point).
+#pragma once
+
+#include <cstdint>
+
+namespace gpawfd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gpawfd

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace gpawfd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GPAWFD_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GPAWFD_CHECK_MSG(cells.size() == header_.size(),
+                   "row has " << cells.size() << " cells, header has "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  ";
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  for (std::size_t i = 0; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_seconds(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) return fmt_fixed(seconds, 2) + " s";
+  if (a >= 1e-3) return fmt_fixed(seconds * 1e3, 2) + " ms";
+  if (a >= 1e-6) return fmt_fixed(seconds * 1e6, 2) + " us";
+  return fmt_fixed(seconds * 1e9, 1) + " ns";
+}
+
+std::string fmt_bytes(double bytes) {
+  const double a = std::fabs(bytes);
+  if (a >= 1e9) return fmt_fixed(bytes / 1e9, 2) + " GB";
+  if (a >= 1e6) return fmt_fixed(bytes / 1e6, 2) + " MB";
+  if (a >= 1e3) return fmt_fixed(bytes / 1e3, 2) + " KB";
+  return fmt_fixed(bytes, 0) + " B";
+}
+
+std::string fmt_bandwidth(double bytes_per_second) {
+  return fmt_fixed(bytes_per_second / 1e6, 1) + " MB/s";
+}
+
+}  // namespace gpawfd

@@ -1,0 +1,39 @@
+// Fixed-width text table used by the benchmark harnesses to print the
+// rows/series that correspond to the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpawfd {
+
+/// A simple right-aligned text table with a header row. Cells are strings;
+/// numeric formatting is the caller's concern (see fmt_* helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column padding to `os`.
+  void print(std::ostream& os) const;
+  /// Render as CSV (no padding) to `os`.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// value with fixed decimals, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int decimals);
+/// engineering-style seconds: "9.13 ms", "4.2 s", "812 us".
+std::string fmt_seconds(double seconds);
+/// bytes with binary-ish scaling the paper uses: "1.2 MB", "512 KB".
+std::string fmt_bytes(double bytes);
+/// bandwidth "374.1 MB/s".
+std::string fmt_bandwidth(double bytes_per_second);
+
+}  // namespace gpawfd

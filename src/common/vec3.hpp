@@ -1,0 +1,92 @@
+// Small fixed 3-component integer vector used for grid shapes, process
+// grids, torus coordinates and offsets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace gpawfd {
+
+/// Integer 3-vector (x, y, z). Components are 64-bit so products of grid
+/// extents never overflow.
+struct Vec3 {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(std::int64_t x_, std::int64_t y_, std::int64_t z_)
+      : x(x_), y(y_), z(z_) {}
+  /// Cubic shape n × n × n.
+  static constexpr Vec3 cube(std::int64_t n) { return {n, n, n}; }
+
+  constexpr std::int64_t& operator[](int d) {
+    GPAWFD_ASSERT(d >= 0 && d < 3);
+    return d == 0 ? x : (d == 1 ? y : z);
+  }
+  constexpr std::int64_t operator[](int d) const {
+    GPAWFD_ASSERT(d >= 0 && d < 3);
+    return d == 0 ? x : (d == 1 ? y : z);
+  }
+
+  constexpr std::int64_t product() const { return x * y * z; }
+  constexpr std::int64_t min() const {
+    return std::min(x, std::min(y, z));
+  }
+  constexpr std::int64_t max() const {
+    return std::max(x, std::max(y, z));
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, std::int64_t s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr Vec3 operator*(std::int64_t s, Vec3 a) { return a * s; }
+  /// Component-wise product.
+  friend constexpr Vec3 operator*(Vec3 a, Vec3 b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+  }
+  /// Component-wise (truncating) division.
+  friend constexpr Vec3 operator/(Vec3 a, Vec3 b) {
+    return {a.x / b.x, a.y / b.y, a.z / b.z};
+  }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend constexpr bool operator!=(Vec3 a, Vec3 b) { return !(a == b); }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec3 v) {
+    return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+  }
+};
+
+/// True if every component of `a` is within [0, hi) component-wise.
+constexpr bool in_bounds(Vec3 a, Vec3 hi) {
+  return a.x >= 0 && a.y >= 0 && a.z >= 0 && a.x < hi.x && a.y < hi.y &&
+         a.z < hi.z;
+}
+
+/// Row-major linear index of point `p` in a box of shape `shape`.
+constexpr std::int64_t linear_index(Vec3 p, Vec3 shape) {
+  GPAWFD_ASSERT(in_bounds(p, shape));
+  return (p.x * shape.y + p.y) * shape.z + p.z;
+}
+
+/// Inverse of linear_index.
+constexpr Vec3 delinearize(std::int64_t i, Vec3 shape) {
+  GPAWFD_ASSERT(i >= 0 && i < shape.product());
+  const std::int64_t z = i % shape.z;
+  const std::int64_t y = (i / shape.z) % shape.y;
+  const std::int64_t x = i / (shape.z * shape.y);
+  return {x, y, z};
+}
+
+}  // namespace gpawfd

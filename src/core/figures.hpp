@@ -1,0 +1,43 @@
+// Drivers for the paper's figures: scaled simulation with affine
+// extrapolation over the grid count, and the per-point best-batch-size
+// search ("the best batch-size has been found for every number of
+// CPU-cores", Figs. 6 and 7).
+//
+// Why extrapolation is sound: every stream processes its grids as a
+// pipeline whose per-batch cost reaches a steady state after the first
+// couple of batches (ramp-up + filling the double buffer). Total time is
+// therefore affine in the number of grids: T(n) = a + b*n. Two simulated
+// points at moderate n recover (a, b) exactly; tests verify the affinity
+// on the simulator itself. Communication bytes/messages are exactly
+// linear in n.
+#pragma once
+
+#include "core/sim_executor.hpp"
+
+namespace gpawfd::core {
+
+struct ScaledSimOptions {
+  /// Run the full job directly when ngrids <= cap; otherwise simulate at
+  /// two sampled grid counts and extrapolate.
+  int grid_cap = 256;
+};
+
+/// Simulate `plan`'s job, extrapolating over ngrids when it exceeds the
+/// cap. Exact (direct simulation) below the cap.
+SimResult simulate_scaled(sched::Approach approach,
+                          const sched::JobConfig& job,
+                          const sched::Optimizations& opt, int total_cores,
+                          int cores_per_node,
+                          const bgsim::MachineConfig& machine,
+                          const ScaledSimOptions& sopt = {});
+
+/// Sweep batch sizes (powers of two up to `max_batch`, clamped to the
+/// per-stream grid count) and return the batch size with the smallest
+/// simulated run time.
+int best_batch_size(sched::Approach approach, const sched::JobConfig& job,
+                    sched::Optimizations opt, int total_cores,
+                    int cores_per_node, const bgsim::MachineConfig& machine,
+                    int max_batch = 128,
+                    const ScaledSimOptions& sopt = {});
+
+}  // namespace gpawfd::core

@@ -1,0 +1,570 @@
+#include "core/sim_executor.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bgsim/fabric.hpp"
+#include "bgsim/task.hpp"
+#include "bgsim/torus.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "grid/array3d.hpp"
+
+namespace gpawfd::core {
+
+using bgsim::CountdownLatch;
+using bgsim::EventLoop;
+using bgsim::EventPtr;
+using bgsim::Fabric;
+using bgsim::MachineConfig;
+using bgsim::Phase;
+using bgsim::TraceLog;
+using bgsim::SimMutex;
+using bgsim::SimTask;
+using bgsim::SimTime;
+using bgsim::TorusNetwork;
+using sched::Approach;
+using sched::RunPlan;
+
+std::int64_t stencil_flops_per_point(int radius) {
+  const std::int64_t terms = 1 + 6 * static_cast<std::int64_t>(radius);
+  return 2 * terms - 1;
+}
+
+namespace {
+
+/// Rank placement: which physical node hosts each rank, and the shape of
+/// the machine partition.
+struct Placement {
+  Vec3 node_dims;
+  std::vector<int> rank_to_node;
+};
+
+/// Factor triple `t` of `count` that divides `grid` component-wise,
+/// preferring the most cubic resulting node grid. Returns {0,0,0} when
+/// none exists.
+Vec3 find_core_split(Vec3 grid, int count) {
+  Vec3 best{0, 0, 0};
+  std::int64_t best_max = std::numeric_limits<std::int64_t>::max();
+  for (Vec3 t : factor_triples(count)) {
+    if (grid.x % t.x || grid.y % t.y || grid.z % t.z) continue;
+    const Vec3 nd = grid / t;
+    if (nd.max() < best_max) {
+      best_max = nd.max();
+      best = t;
+    }
+  }
+  return best;
+}
+
+Placement make_placement(const RunPlan& plan) {
+  const int nranks = plan.nranks();
+  const int nodes = std::max(
+      1, static_cast<int>(ceil_div(plan.total_cores(), plan.cores_per_node())));
+  const int rpn = static_cast<int>(ceil_div(nranks, nodes));
+  Placement p;
+  p.rank_to_node.resize(static_cast<std::size_t>(nranks));
+
+  const bool mapped = plan.opt().topology_mapping;
+  const auto& decomp = plan.decomp();
+
+  if (mapped && plan.approach() == Approach::kHybridMultiple) {
+    // One rank per node: the machine partition is wired to the process
+    // grid, every neighbour is one hop.
+    p.node_dims = decomp.process_grid();
+    for (int r = 0; r < nranks; ++r) p.rank_to_node[static_cast<std::size_t>(r)] = r;
+    return p;
+  }
+  if (mapped && plan.approach() == Approach::kHybridMasterOnly) {
+    p.node_dims = decomp.process_grid();
+    for (int r = 0; r < nranks; ++r) p.rank_to_node[static_cast<std::size_t>(r)] = r;
+    return p;
+  }
+  if (mapped && plan.approach() == Approach::kFlatOptimizedSubgroups) {
+    // Cells are nodes; the ranks of a cell share its node.
+    p.node_dims = decomp.process_grid();
+    const int rpc = nranks / static_cast<int>(decomp.ranks());
+    for (int r = 0; r < nranks; ++r)
+      p.rank_to_node[static_cast<std::size_t>(r)] = r / rpc;
+    return p;
+  }
+  if (mapped && nranks > nodes) {
+    // Flat virtual mode with reorder: fold `rpn` neighbouring ranks onto
+    // each node so rank-grid neighbours stay at most one hop apart.
+    const Vec3 split = find_core_split(decomp.process_grid(), rpn);
+    if (split != Vec3{0, 0, 0}) {
+      p.node_dims = decomp.process_grid() / split;
+      for (int r = 0; r < nranks; ++r) {
+        const Vec3 c = decomp.coords_of(r);
+        const Vec3 nc = c / split;
+        p.rank_to_node[static_cast<std::size_t>(r)] =
+            static_cast<int>(linear_index(nc, p.node_dims));
+      }
+      return p;
+    }
+    // No clean fold exists; fall through to linear packing.
+  }
+  if (mapped && nranks == nodes) {
+    p.node_dims = decomp.process_grid();
+    for (int r = 0; r < nranks; ++r) p.rank_to_node[static_cast<std::size_t>(r)] = r;
+    return p;
+  }
+
+  // Unmapped (or unfoldable): the machine keeps its own most-cubic shape
+  // and each group of rpn consecutive ranks lands on *some* node with no
+  // relation to the process grid's geometry (deterministic shuffle — the
+  // allocation order a scheduler without topology knowledge produces).
+  p.node_dims = bgsim::torus_dims(nodes);
+  std::vector<int> order(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) order[static_cast<std::size_t>(n)] = n;
+  Rng shuffle_rng(0x5EED5EEDULL);
+  for (int n = nodes - 1; n > 0; --n)
+    std::swap(order[static_cast<std::size_t>(n)],
+              order[shuffle_rng.next_below(static_cast<std::uint64_t>(n + 1))]);
+  for (int r = 0; r < nranks; ++r)
+    p.rank_to_node[static_cast<std::size_t>(r)] =
+        order[static_cast<std::size_t>(std::min(r / rpn, nodes - 1))];
+  return p;
+}
+
+/// Everything one stream coroutine needs, resolved once up front.
+struct StreamEnv {
+  int rank;
+  int stream;
+  Vec3 coords;
+  std::array<int, 6> neighbor;      // peer rank per face, -1 = none
+  std::array<std::int64_t, 6> face_bytes;  // per grid
+  std::int64_t points_per_grid;
+  std::int64_t flops_per_point;
+  std::vector<int> batches;
+  std::int64_t local_wrap_bytes = 0;  // per grid: single-process periodic dims
+  bool serialized;                  // flat-original pattern
+  bool multiple_mode;               // pays MULTIPLE lock per call
+  bool master_only;                 // split compute + barrier per batch
+  bool hybrid;                      // pays thread spawn cost
+  int compute_threads;              // threads sharing one batch (master-only)
+  int copy_sharers = 1;             // threads sharing pack/unpack copies
+  int active_cores;                 // per-node concurrency for roofline
+};
+
+class Simulation {
+ public:
+  Simulation(const RunPlan& plan, const MachineConfig& cfg,
+             TraceLog* trace)
+      : plan_(plan),
+        cfg_(cfg),
+        trace_(trace),
+        placement_(make_placement(plan)),
+        net_(loop_, cfg, placement_.node_dims),
+        fabric_(loop_, net_, placement_.rank_to_node),
+        done_(loop_, plan.nranks() * plan.comm_streams_per_rank()) {
+    locks_.reserve(static_cast<std::size_t>(plan.nranks()));
+    for (int r = 0; r < plan.nranks(); ++r)
+      locks_.push_back(std::make_unique<SimMutex>(loop_));
+  }
+
+  SimResult run() {
+    for (int r = 0; r < plan_.nranks(); ++r)
+      for (int s = 0; s < plan_.comm_streams_per_rank(); ++s)
+        stream_main(make_env(r, s));
+    loop_.run();
+    GPAWFD_CHECK_MSG(done_.released(), "simulation deadlocked");
+
+    SimResult res;
+    res.seconds = bgsim::to_seconds(loop_.now());
+    res.compute_core_seconds = bgsim::to_seconds(compute_ns_);
+    const double core_time =
+        res.seconds * static_cast<double>(plan_.total_cores());
+    res.utilization = core_time > 0 ? res.compute_core_seconds / core_time : 0;
+    res.bytes_sent_total = fabric_.total_bytes_sent();
+    res.messages_total = fabric_.total_messages();
+    res.bytes_sent_per_node =
+        static_cast<double>(res.bytes_sent_total) /
+        static_cast<double>(placement_.node_dims.product());
+    res.phases.compute = bgsim::to_seconds(phase_ns_[0]);
+    res.phases.copy = bgsim::to_seconds(phase_ns_[1]);
+    res.phases.mpi_overhead = bgsim::to_seconds(phase_ns_[2]);
+    res.phases.wait = bgsim::to_seconds(phase_ns_[3]);
+    res.phases.barrier = bgsim::to_seconds(phase_ns_[4]);
+    res.phases.spawn = bgsim::to_seconds(phase_ns_[5]);
+    return res;
+  }
+
+ private:
+  StreamEnv make_env(int rank, int stream) const {
+    StreamEnv e;
+    e.rank = rank;
+    e.stream = stream;
+    e.coords = plan_.coords_of_rank(rank);
+    const auto& d = plan_.decomp();
+    for (int f = 0; f < 6; ++f) {
+      const grid::Face face = grid::kFaces[f];
+      if (d.process_grid()[face.dim] <= 1) {
+        e.neighbor[static_cast<std::size_t>(f)] = -1;  // local wrap
+        e.face_bytes[static_cast<std::size_t>(f)] = 0;
+        continue;
+      }
+      const bool boundary =
+          face.side == 0 ? e.coords[face.dim] == 0
+                         : e.coords[face.dim] ==
+                               d.process_grid()[face.dim] - 1;
+      if (!plan_.job().periodic && boundary) {
+        e.neighbor[static_cast<std::size_t>(f)] = -1;
+        e.face_bytes[static_cast<std::size_t>(f)] = 0;
+        continue;
+      }
+      const Vec3 nc = d.neighbor(e.coords, face.dim, face.side);
+      int peer = static_cast<int>(d.rank_of(nc));
+      if (plan_.approach() == Approach::kFlatOptimizedSubgroups) {
+        const int rpc = plan_.nranks() / static_cast<int>(d.ranks());
+        peer = peer * rpc + rank % rpc;
+      }
+      e.neighbor[static_cast<std::size_t>(f)] = peer;
+      e.face_bytes[static_cast<std::size_t>(f)] =
+          plan_.face_bytes_per_grid(e.coords, face.dim);
+    }
+    e.points_per_grid = plan_.points_per_grid(e.coords);
+    e.flops_per_point = stencil_flops_per_point(plan_.job().ghost);
+    e.batches = plan_.batches_of_stream(rank, stream);
+    if (plan_.job().periodic) {
+      const Vec3 n = d.local_box(e.coords).shape();
+      for (int dim = 0; dim < 3; ++dim) {
+        if (d.process_grid()[dim] > 1) continue;
+        std::int64_t cross = 1;
+        for (int o = 0; o < 3; ++o)
+          if (o != dim) cross *= n[o];
+        e.local_wrap_bytes +=
+            2 * 2 * plan_.job().ghost * cross * plan_.job().elem_bytes;
+      }
+    }
+    e.serialized = !plan_.opt().nonblocking_tridim;
+    e.multiple_mode = plan_.approach() == Approach::kHybridMultiple;
+    e.master_only = plan_.approach() == Approach::kHybridMasterOnly;
+    e.hybrid = e.multiple_mode || e.master_only;
+    e.compute_threads = e.master_only ? plan_.threads_per_rank() : 1;
+    // Master-only parallelizes the face copies across the worker pool
+    // (they are compute, not MPI calls); everything else stays on the
+    // master thread.
+    e.copy_sharers = e.compute_threads;
+    e.active_cores = std::min(plan_.total_cores(), plan_.cores_per_node());
+    return e;
+  }
+
+  int stream_id(const StreamEnv& e) const {
+    return e.rank * plan_.comm_streams_per_rank() + e.stream;
+  }
+
+  /// Close a span that began at `begin` (ends now) and account it.
+  void record(const StreamEnv& e, Phase ph, SimTime begin) {
+    const SimTime end = loop_.now();
+    phase_ns_[static_cast<std::size_t>(ph)] += end - begin;
+    if (trace_) trace_->add(stream_id(e), ph, begin, end);
+  }
+
+  int tag(int stream, int slot, int face) const {
+    return stream * 64 + slot * 8 + face;
+  }
+  static int opposite(int face) { return face ^ 1; }
+
+  SimTask stream_main(StreamEnv e) {
+    if (e.hybrid) {
+      const SimTime t0 = loop_.now();
+      co_await loop_.delay(cfg_.thread_spawn_cost);
+      record(e, Phase::kSpawn, t0);
+    }
+
+    for (int it = 0; it < plan_.job().iterations; ++it) {
+      EventPtr fin = bgsim::make_event(loop_);
+      if (e.serialized) {
+        run_serialized_iteration(e, fin);
+      } else {
+        run_pipelined_iteration(e, fin);
+      }
+      co_await fin->wait();
+    }
+    done_.arrive();
+  }
+
+  struct BatchState {
+    std::vector<EventPtr> events;
+    int nreqs = 0;
+  };
+
+  /// Post the non-blocking exchange of one batch (mirrors
+  /// HaloExchanger::begin).
+  SimTask begin_batch(StreamEnv e, int batch_grids, int slot,
+                      std::shared_ptr<BatchState> st, EventPtr posted) {
+    // Post receives first.
+    for (int f = 0; f < 6; ++f) {
+      if (e.neighbor[static_cast<std::size_t>(f)] < 0) continue;
+      const SimTime tmpi = loop_.now();
+      if (e.multiple_mode) {
+        SimMutex& lock = *locks_[static_cast<std::size_t>(e.rank)];
+        co_await lock.acquire();
+        co_await loop_.delay(cfg_.mpi_call_overhead +
+                             cfg_.mpi_multiple_overhead);
+        lock.release();
+      } else {
+        co_await loop_.delay(cfg_.mpi_call_overhead);
+      }
+      record(e, Phase::kMpiOverhead, tmpi);
+      st->events.push_back(fabric_.post_recv(
+          e.rank, e.neighbor[static_cast<std::size_t>(f)],
+          tag(e.stream, slot, opposite(f)),
+          e.face_bytes[static_cast<std::size_t>(f)] * batch_grids));
+      ++st->nreqs;
+    }
+    // Pack and send.
+    for (int f = 0; f < 6; ++f) {
+      if (e.neighbor[static_cast<std::size_t>(f)] < 0) continue;
+      const std::int64_t bytes =
+          e.face_bytes[static_cast<std::size_t>(f)] * batch_grids;
+      const SimTime tcopy = loop_.now();
+      co_await loop_.delay(cfg_.copy_time(bytes) / e.copy_sharers);  // pack
+      record(e, Phase::kCopy, tcopy);
+      const SimTime tmpi = loop_.now();
+      if (e.multiple_mode) {
+        SimMutex& lock = *locks_[static_cast<std::size_t>(e.rank)];
+        co_await lock.acquire();
+        co_await loop_.delay(cfg_.mpi_call_overhead +
+                             cfg_.mpi_multiple_overhead);
+        lock.release();
+      } else {
+        co_await loop_.delay(cfg_.mpi_call_overhead);
+      }
+      record(e, Phase::kMpiOverhead, tmpi);
+      st->events.push_back(fabric_.post_send(
+          e.rank, e.neighbor[static_cast<std::size_t>(f)],
+          tag(e.stream, slot, f), bytes));
+      ++st->nreqs;
+    }
+    posted->set();
+  }
+
+  /// Wait for a batch and unpack (mirrors HaloExchanger::finish).
+  SimTask finish_batch(StreamEnv e, int batch_grids,
+                       std::shared_ptr<BatchState> st, EventPtr done) {
+    const SimTime twait = loop_.now();
+    for (auto& ev : st->events) co_await ev->wait();
+    record(e, Phase::kWait, twait);
+    const SimTime tmpi = loop_.now();
+    co_await loop_.delay(cfg_.mpi_wait_overhead * st->nreqs);
+    record(e, Phase::kMpiOverhead, tmpi);
+    // Unpack received faces + local periodic wraps.
+    std::int64_t copy_bytes = 0;
+    for (int f = 0; f < 6; ++f) {
+      if (e.neighbor[static_cast<std::size_t>(f)] >= 0)
+        copy_bytes += e.face_bytes[static_cast<std::size_t>(f)] * batch_grids;
+    }
+    copy_bytes += e.local_wrap_bytes * batch_grids;
+    const SimTime tcopy = loop_.now();
+    co_await loop_.delay(cfg_.copy_time(copy_bytes) / e.copy_sharers);
+    record(e, Phase::kCopy, tcopy);
+    done->set();
+  }
+
+  /// Batch compute: plain per-core time, or master-only's fork/join with
+  /// the work split across the node's threads.
+  SimTask compute_batch(StreamEnv e, int batch_grids, EventPtr done) {
+    const std::int64_t points = e.points_per_grid * batch_grids;
+    const SimTime full = cfg_.stencil_compute_time(
+        points, e.flops_per_point, e.active_cores);
+    if (e.master_only) {
+      // Every grid's computation is divided across the cores and joined
+      // before the next grid (the paper's per-grid synchronization),
+      // plus one fork/join pair for the batch's shared face copies.
+      const SimTime t0 = loop_.now();
+      co_await loop_.delay(full / e.compute_threads);
+      record(e, Phase::kCompute, t0);
+      const SimTime t1 = loop_.now();
+      co_await loop_.delay((2 * batch_grids + 2) * cfg_.thread_barrier_cost);
+      record(e, Phase::kBarrier, t1);
+    } else {
+      const SimTime t0 = loop_.now();
+      co_await loop_.delay(full);
+      record(e, Phase::kCompute, t0);
+    }
+    compute_ns_ += full;  // core-time is the same either way
+    done->set();
+  }
+
+  SimTask run_pipelined_iteration(StreamEnv e, EventPtr iter_done) {
+    // Same control flow as DistributedFd::run_stream.
+    const auto& batches = e.batches;
+    const std::size_t nb = batches.size();
+    if (nb == 0) {
+      iter_done->set();
+      co_return;
+    }
+    const bool pipelined = plan_.opt().double_buffering && nb > 1;
+
+    if (!pipelined) {
+      for (std::size_t k = 0; k < nb; ++k) {
+        auto st = std::make_shared<BatchState>();
+        EventPtr posted = bgsim::make_event(loop_);
+        begin_batch(e, batches[k], 0, st, posted);
+        co_await posted->wait();
+        EventPtr fin = bgsim::make_event(loop_);
+        finish_batch(e, batches[k], st, fin);
+        co_await fin->wait();
+        EventPtr comp = bgsim::make_event(loop_);
+        compute_batch(e, batches[k], comp);
+        co_await comp->wait();
+      }
+      iter_done->set();
+      co_return;
+    }
+
+    std::array<std::shared_ptr<BatchState>, 2> slots;
+    {
+      auto st = std::make_shared<BatchState>();
+      EventPtr posted = bgsim::make_event(loop_);
+      begin_batch(e, batches[0], 0, st, posted);
+      co_await posted->wait();
+      slots[0] = st;
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      const int slot = static_cast<int>(k % 2);
+      if (k + 1 < nb) {
+        auto st = std::make_shared<BatchState>();
+        EventPtr posted = bgsim::make_event(loop_);
+        begin_batch(e, batches[k + 1], 1 - slot, st, posted);
+        co_await posted->wait();
+        slots[static_cast<std::size_t>(1 - slot)] = st;
+      }
+      EventPtr fin = bgsim::make_event(loop_);
+      finish_batch(e, batches[k], slots[static_cast<std::size_t>(slot)], fin);
+      co_await fin->wait();
+      EventPtr comp = bgsim::make_event(loop_);
+      compute_batch(e, batches[k], comp);
+      co_await comp->wait();
+    }
+    iter_done->set();
+  }
+
+  SimTask run_serialized_iteration(StreamEnv e, EventPtr iter_done) {
+    // Original pattern: per grid, per dimension, blocking exchange; then
+    // compute the grid.
+    const int ngrids = [&] {
+      int n = 0;
+      for (int b : e.batches) n += b;
+      return n;
+    }();
+    for (int g = 0; g < ngrids; ++g) {
+      for (int d = 0; d < 3; ++d) {
+        std::vector<EventPtr> events;
+        int nreqs = 0;
+        for (int side = 0; side < 2; ++side) {
+          const int f = 2 * d + side;
+          if (e.neighbor[static_cast<std::size_t>(f)] < 0) continue;
+          const SimTime tmpi = loop_.now();
+          if (e.multiple_mode) {
+            SimMutex& lock = *locks_[static_cast<std::size_t>(e.rank)];
+            co_await lock.acquire();
+            co_await loop_.delay(cfg_.mpi_call_overhead +
+                                 cfg_.mpi_multiple_overhead);
+            lock.release();
+          } else {
+            co_await loop_.delay(cfg_.mpi_call_overhead);
+          }
+          record(e, Phase::kMpiOverhead, tmpi);
+          events.push_back(fabric_.post_recv(
+              e.rank, e.neighbor[static_cast<std::size_t>(f)],
+              tag(e.stream, 0, opposite(f)),
+              e.face_bytes[static_cast<std::size_t>(f)]));
+          ++nreqs;
+        }
+        for (int side = 0; side < 2; ++side) {
+          const int f = 2 * d + side;
+          if (e.neighbor[static_cast<std::size_t>(f)] < 0) continue;
+          const std::int64_t bytes = e.face_bytes[static_cast<std::size_t>(f)];
+          const SimTime tcopy = loop_.now();
+          co_await loop_.delay(cfg_.copy_time(bytes));
+          record(e, Phase::kCopy, tcopy);
+          const SimTime tmpi = loop_.now();
+          if (e.multiple_mode) {
+            SimMutex& lock = *locks_[static_cast<std::size_t>(e.rank)];
+            co_await lock.acquire();
+            co_await loop_.delay(cfg_.mpi_call_overhead +
+                                 cfg_.mpi_multiple_overhead);
+            lock.release();
+          } else {
+            co_await loop_.delay(cfg_.mpi_call_overhead);
+          }
+          record(e, Phase::kMpiOverhead, tmpi);
+          events.push_back(fabric_.post_send(
+              e.rank, e.neighbor[static_cast<std::size_t>(f)],
+              tag(e.stream, 0, f), bytes));
+          ++nreqs;
+        }
+        const SimTime twait = loop_.now();
+        for (auto& ev : events) co_await ev->wait();
+        record(e, Phase::kWait, twait);
+        const SimTime tmpi2 = loop_.now();
+        co_await loop_.delay(cfg_.mpi_wait_overhead * nreqs);
+        record(e, Phase::kMpiOverhead, tmpi2);
+        std::int64_t unpack = 0;
+        for (int side = 0; side < 2; ++side) {
+          const int f = 2 * d + side;
+          if (e.neighbor[static_cast<std::size_t>(f)] >= 0)
+            unpack += e.face_bytes[static_cast<std::size_t>(f)];
+        }
+        const SimTime tcopy2 = loop_.now();
+        co_await loop_.delay(cfg_.copy_time(unpack));
+        record(e, Phase::kCopy, tcopy2);
+      }
+      // Local wraps of single-process dimensions.
+      if (e.local_wrap_bytes > 0) {
+        const SimTime tcopy3 = loop_.now();
+        co_await loop_.delay(cfg_.copy_time(e.local_wrap_bytes));
+        record(e, Phase::kCopy, tcopy3);
+      }
+      EventPtr comp = bgsim::make_event(loop_);
+      compute_batch(e, 1, comp);
+      co_await comp->wait();
+    }
+    iter_done->set();
+  }
+
+  RunPlan plan_;
+  MachineConfig cfg_;
+  TraceLog* trace_;
+  Placement placement_;
+  EventLoop loop_;
+  TorusNetwork net_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<SimMutex>> locks_;
+  CountdownLatch done_;
+  SimTime compute_ns_ = 0;
+  std::array<SimTime, 6> phase_ns_{};
+};
+
+}  // namespace
+
+SimResult simulate(const RunPlan& plan, const MachineConfig& machine,
+                   TraceLog* trace) {
+  Simulation sim(plan, machine, trace);
+  return sim.run();
+}
+
+double simulate_sequential_seconds(const sched::JobConfig& job,
+                                   const MachineConfig& machine) {
+  const std::int64_t vol = job.grid_shape.product();
+  const std::int64_t flops = stencil_flops_per_point(job.ghost);
+  SimTime per_grid = machine.stencil_compute_time(vol, flops, 1);
+  if (job.periodic) {
+    // Local periodic wraps: pack+unpack both faces of every dimension.
+    std::int64_t bytes = 0;
+    for (int d = 0; d < 3; ++d) {
+      std::int64_t cross = 1;
+      for (int o = 0; o < 3; ++o)
+        if (o != d) cross *= job.grid_shape[o];
+      bytes += 2 * 2 * job.ghost * cross * job.elem_bytes;
+    }
+    per_grid += machine.copy_time(bytes);
+  }
+  return bgsim::to_seconds(per_grid * job.ngrids * job.iterations);
+}
+
+}  // namespace gpawfd::core

@@ -1,0 +1,63 @@
+// Simulated executor: runs a RunPlan on the Blue Gene/P machine model
+// (bgsim) in virtual time. Every communication stream of the functional
+// engine becomes a coroutine that pays the modelled CPU costs (MPI call
+// overheads, MULTIPLE-mode locking, face pack/unpack copies, stencil
+// compute time, thread barriers) and moves its halo messages through the
+// simulated torus. The communication pattern — who sends how many bytes
+// to whom, in which order, with how much overlap — is byte-for-byte the
+// pattern of the functional engine (cross-checked by tests), which is
+// what makes figure-scale runs at 16384 cores trustworthy.
+#pragma once
+
+#include "bgsim/machine.hpp"
+#include "bgsim/trace_log.hpp"
+#include "sched/plan.hpp"
+
+namespace gpawfd::core {
+
+/// Aggregate virtual time per activity, summed over all streams
+/// (elapsed stream time, so master-only's split compute counts once).
+struct PhaseBreakdown {
+  double compute = 0;
+  double copy = 0;
+  double mpi_overhead = 0;
+  double wait = 0;
+  double barrier = 0;
+  double spawn = 0;
+};
+
+/// What one simulated run reports — the quantities the paper's figures
+/// are built from.
+struct SimResult {
+  /// Wall-clock (virtual) seconds for the whole job.
+  double seconds = 0;
+  /// Sum over all cores of time spent in stencil computation.
+  double compute_core_seconds = 0;
+  /// compute_core_seconds / (total_cores * seconds) — the paper's
+  /// "CPU utilization" (36% -> 70% headline).
+  double utilization = 0;
+  /// MPI-level bytes injected, total and per node (Fig. 6 right axis
+  /// counts what a node's ranks send).
+  std::int64_t bytes_sent_total = 0;
+  double bytes_sent_per_node = 0;
+  std::int64_t messages_total = 0;
+  PhaseBreakdown phases;
+};
+
+/// Simulate `plan` on `machine`. Deterministic: same inputs, same result.
+/// Pass a TraceLog to capture a per-stream timeline (Chrome tracing
+/// export) of the run.
+SimResult simulate(const sched::RunPlan& plan,
+                   const bgsim::MachineConfig& machine,
+                   bgsim::TraceLog* trace = nullptr);
+
+/// One core, no communication: the sequential baseline of the speedup
+/// graphs.
+double simulate_sequential_seconds(const sched::JobConfig& job,
+                                   const bgsim::MachineConfig& machine);
+
+/// Flops per point of the radius-`ghost` axis-separable stencil
+/// (13-point for the paper's radius 2 -> 25 flops).
+std::int64_t stencil_flops_per_point(int radius);
+
+}  // namespace gpawfd::core

@@ -1,0 +1,66 @@
+// Deterministic workload construction and a sequential ground-truth
+// reference, shared by the engine tests, the property tests and the
+// examples. Grid values are a pure function of (grid id, global
+// coordinate), so every rank can fill its sub-grid independently and any
+// result can be checked point-wise against the sequential answer.
+#pragma once
+
+#include <complex>
+
+#include "grid/array3d.hpp"
+#include "grid/box.hpp"
+#include "grid/decomposition.hpp"
+#include "stencil/kernels.hpp"
+
+namespace gpawfd::core::testing {
+
+/// Deterministic pseudo-random value of grid `g` at global point `p`
+/// (SplitMix64 finalizer over the packed coordinates, mapped to [-1, 1]).
+inline double test_value(int g, Vec3 p) {
+  std::uint64_t z = static_cast<std::uint64_t>(g) * 0x9e3779b97f4a7c15ULL;
+  z ^= static_cast<std::uint64_t>(p.x) + 0x517cc1b727220a95ULL +
+       (z << 6) + (z >> 2);
+  z ^= static_cast<std::uint64_t>(p.y) + 0x2545f4914f6cdd1dULL +
+       (z << 6) + (z >> 2);
+  z ^= static_cast<std::uint64_t>(p.z) + 0x9e3779b97f4a7c15ULL +
+       (z << 6) + (z >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+
+template <typename T>
+T test_value_t(int g, Vec3 p) {
+  if constexpr (std::is_same_v<T, std::complex<double>>) {
+    return {test_value(g, p), test_value(g + 7919, p)};
+  } else {
+    return static_cast<T>(test_value(g, p));
+  }
+}
+
+/// Fill a rank-local array covering `box` with grid `g`'s global values.
+template <typename T>
+void fill_local(grid::Array3D<T>& a, const grid::Box3& box, int g) {
+  GPAWFD_CHECK(a.shape() == box.shape());
+  a.for_each_interior(
+      [&](Vec3 p, T& v) { v = test_value_t<T>(g, box.lo + p); });
+}
+
+/// Sequential ground truth: the stencil applied to the whole global grid
+/// `g` with periodic or zero boundaries.
+template <typename T>
+grid::Array3D<T> sequential_reference(Vec3 gshape, int ghost, int g,
+                                      const stencil::Coeffs& c,
+                                      bool periodic) {
+  grid::Array3D<T> in(gshape, ghost), out(gshape, ghost);
+  fill_local(in, grid::Box3{{0, 0, 0}, gshape}, g);
+  if (periodic)
+    grid::local_periodic_fill(in);
+  else
+    in.fill_ghosts(T{});
+  stencil::apply_reference(in, out, c);
+  return out;
+}
+
+}  // namespace gpawfd::core::testing

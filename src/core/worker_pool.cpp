@@ -1,0 +1,64 @@
+#include "core/worker_pool.hpp"
+
+namespace gpawfd::core {
+
+WorkerPool::WorkerPool(int nthreads) : nthreads_(nthreads) {
+  GPAWFD_CHECK(nthreads >= 1);
+  threads_.reserve(static_cast<std::size_t>(nthreads - 1));
+  for (int id = 1; id < nthreads; ++id)
+    threads_.emplace_back([this, id] { worker_loop(id); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  {
+    std::lock_guard lock(mu_);
+    GPAWFD_CHECK_MSG(job_ == nullptr, "WorkerPool::run is not reentrant");
+    job_ = &fn;
+    remaining_ = nthreads_;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  fn(0);  // the master participates
+
+  std::unique_lock lock(mu_);
+  if (--remaining_ == 0) {
+    job_ = nullptr;
+    cv_done_.notify_all();
+  } else {
+    const std::uint64_t gen = generation_;
+    cv_done_.wait(lock, [&] { return remaining_ == 0 || generation_ != gen; });
+    job_ = nullptr;
+  }
+}
+
+void WorkerPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace gpawfd::core

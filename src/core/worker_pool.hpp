@@ -1,0 +1,47 @@
+// A manually managed thread pool, mirroring the paper's choice to "handle
+// the threading manually in pthread". Used by the hybrid master-only
+// approach: the master enqueues one task per core, all threads (master
+// included) execute, and run() returns only when every task finished —
+// the per-batch thread synchronization whose cost the paper analyzes.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpawfd::core {
+
+class WorkerPool {
+ public:
+  /// `nthreads` total workers; the thread calling run() acts as worker 0,
+  /// so nthreads-1 threads are spawned.
+  explicit WorkerPool(int nthreads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return nthreads_; }
+
+  /// Execute fn(worker_id) on every worker (caller runs id 0) and return
+  /// when all are done — a fork/join barrier.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int id);
+
+  int nthreads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gpawfd::core

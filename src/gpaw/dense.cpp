@@ -1,0 +1,111 @@
+#include "gpaw/dense.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gpawfd::gpaw {
+
+DenseMatrix cholesky(const DenseMatrix& a) {
+  GPAWFD_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  DenseMatrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    GPAWFD_CHECK_MSG(d > 0.0, "matrix not positive definite at pivot " << j);
+    l(j, j) = std::sqrt(d);
+    for (int i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const DenseMatrix& l, std::vector<double> b) {
+  const int n = l.rows();
+  GPAWFD_CHECK(l.cols() == n && std::ssize(b) == n);
+  for (int i = 0; i < n; ++i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k) s -= l(i, k) * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = s / l(i, i);
+  }
+  return b;
+}
+
+DenseMatrix invert_lower(const DenseMatrix& l) {
+  const int n = l.rows();
+  GPAWFD_CHECK(l.cols() == n);
+  DenseMatrix inv(n, n);
+  for (int col = 0; col < n; ++col) {
+    std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+    e[static_cast<std::size_t>(col)] = 1.0;
+    const auto x = solve_lower(l, std::move(e));
+    for (int row = 0; row < n; ++row)
+      inv(row, col) = x[static_cast<std::size_t>(row)];
+  }
+  return inv;
+}
+
+EigenResult jacobi_eigensolver(DenseMatrix a, int max_sweeps, double tol) {
+  GPAWFD_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  auto off_norm = [&] {
+    double s = 0;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol; ++sweep) {
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // A <- J^T A J with the (p, q) rotation J.
+        for (int k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return a(x, x) < a(y, y); });
+  EigenResult res;
+  res.values.resize(static_cast<std::size_t>(n));
+  res.vectors = DenseMatrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    res.values[static_cast<std::size_t>(j)] =
+        a(order[static_cast<std::size_t>(j)], order[static_cast<std::size_t>(j)]);
+    for (int i = 0; i < n; ++i)
+      res.vectors(i, j) = v(i, order[static_cast<std::size_t>(j)]);
+  }
+  return res;
+}
+
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,94 @@
+// Small dense-matrix kernels used by the electronic-structure layer:
+// band-by-band overlap/Hamiltonian matrices are tiny (nbands x nbands),
+// so a straightforward self-contained implementation is appropriate —
+// Cholesky factorization, triangular solves, symmetric eigen-
+// decomposition (cyclic Jacobi) and matrix products.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpawfd::gpaw {
+
+/// Dense row-major n x n (or m x n) matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    GPAWFD_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static DenseMatrix identity(int n) {
+    DenseMatrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    GPAWFD_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  double operator()(int r, int c) const {
+    GPAWFD_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  DenseMatrix transposed() const {
+    DenseMatrix t(cols_, rows_);
+    for (int r = 0; r < rows_; ++r)
+      for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  friend DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b) {
+    GPAWFD_CHECK(a.cols_ == b.rows_);
+    DenseMatrix out(a.rows_, b.cols_);
+    for (int i = 0; i < a.rows_; ++i)
+      for (int k = 0; k < a.cols_; ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        for (int j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+      }
+    return out;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place lower Cholesky factor of a symmetric positive-definite
+/// matrix: returns L with A = L L^T. Throws on a non-SPD input.
+DenseMatrix cholesky(const DenseMatrix& a);
+
+/// Solve L x = b (forward substitution) for lower-triangular L.
+std::vector<double> solve_lower(const DenseMatrix& l,
+                                std::vector<double> b);
+
+/// Inverse of a lower-triangular matrix.
+DenseMatrix invert_lower(const DenseMatrix& l);
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi
+/// rotation method: A = V diag(w) V^T, eigenvalues ascending.
+struct EigenResult {
+  std::vector<double> values;
+  DenseMatrix vectors;  // column j is the eigenvector of values[j]
+};
+EigenResult jacobi_eigensolver(DenseMatrix a, int max_sweeps = 64,
+                               double tol = 1e-13);
+
+}  // namespace gpawfd::gpaw

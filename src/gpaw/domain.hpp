@@ -1,0 +1,110 @@
+// The distributed real-space domain of a mini-GPAW calculation: a global
+// uniform grid decomposed over the communicator exactly like GPAW
+// decomposes every real-space grid (same subset of every grid on every
+// rank), plus the distributed field algebra built on it.
+#pragma once
+
+#include <vector>
+
+#include "grid/array3d.hpp"
+#include "grid/decomposition.hpp"
+#include "mp/comm.hpp"
+
+namespace gpawfd::gpaw {
+
+class Domain {
+ public:
+  /// Decompose `gshape` (grid spacing `h`, ghost width `ghost`) over all
+  /// ranks of `comm`, minimizing the aggregated halo surface.
+  Domain(mp::Comm& comm, Vec3 gshape, double h, int ghost = 2,
+         bool periodic = true)
+      : comm_(&comm),
+        decomp_(grid::Decomposition::best(gshape, comm.size(), ghost)),
+        coords_(decomp_.coords_of(comm.rank())),
+        box_(decomp_.local_box(coords_)),
+        h_(h),
+        ghost_(ghost),
+        periodic_(periodic) {
+    GPAWFD_CHECK(h > 0);
+  }
+
+  mp::Comm& comm() const { return *comm_; }
+  const grid::Decomposition& decomp() const { return decomp_; }
+  Vec3 coords() const { return coords_; }
+  const grid::Box3& box() const { return box_; }
+  Vec3 global_shape() const { return decomp_.global_shape(); }
+  double spacing() const { return h_; }
+  int ghost() const { return ghost_; }
+  bool periodic() const { return periodic_; }
+  /// Volume element of one grid point.
+  double dv() const { return h_ * h_ * h_; }
+
+  /// A zero-initialized local field (this rank's part of one global grid).
+  grid::Array3D<double> make_field() const {
+    return grid::Array3D<double>(box_.shape(), ghost_);
+  }
+
+  /// Fill a field from a function of the *global* point coordinate
+  /// (in grid units).
+  template <typename F>
+  void fill(grid::Array3D<double>& f, F&& fn) const {
+    GPAWFD_CHECK(f.shape() == box_.shape());
+    f.for_each_interior(
+        [&](Vec3 p, double& v) { v = fn(box_.lo + p); });
+  }
+
+  // ---- Distributed field algebra --------------------------------------
+
+  /// Global inner product <a|b> = sum a*b*dv (one allreduce).
+  double dot(const grid::Array3D<double>& a,
+             const grid::Array3D<double>& b) const {
+    GPAWFD_CHECK(a.shape() == box_.shape() && b.shape() == box_.shape());
+    double local = 0;
+    a.for_each_interior(
+        [&](Vec3 p, const double& v) { local += v * b.at(p); });
+    return comm_->allreduce_sum(local) * dv();
+  }
+
+  double norm(const grid::Array3D<double>& a) const {
+    return std::sqrt(dot(a, a));
+  }
+
+  /// Global sum of a field (integral / dv).
+  double sum(const grid::Array3D<double>& a) const {
+    double local = 0;
+    a.for_each_interior([&](Vec3, const double& v) { local += v; });
+    return comm_->allreduce_sum(local);
+  }
+
+  /// Global mean value.
+  double mean(const grid::Array3D<double>& a) const {
+    return sum(a) / static_cast<double>(global_shape().product());
+  }
+
+  /// y += alpha * x (local, no communication).
+  static void axpy(double alpha, const grid::Array3D<double>& x,
+                   grid::Array3D<double>& y) {
+    GPAWFD_CHECK(x.shape() == y.shape());
+    y.for_each_interior(
+        [&](Vec3 p, double& v) { v += alpha * x.at(p); });
+  }
+
+  static void scale(grid::Array3D<double>& x, double s) {
+    x.for_each_interior([&](Vec3, double& v) { v *= s; });
+  }
+
+  void shift(grid::Array3D<double>& x, double c) const {
+    x.for_each_interior([&](Vec3, double& v) { v += c; });
+  }
+
+ private:
+  mp::Comm* comm_;
+  grid::Decomposition decomp_;
+  Vec3 coords_;
+  grid::Box3 box_;
+  double h_;
+  int ghost_;
+  bool periodic_;
+};
+
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,180 @@
+#include "gpaw/multigrid.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gpawfd::gpaw {
+
+MultigridPoissonSolver::Level::Level(grid::Decomposition d, Vec3 c,
+                                     double spacing, mp::Comm& comm,
+                                     int tag_base)
+    : decomp(std::move(d)),
+      coords(c),
+      box(decomp.local_box(c)),
+      h(spacing),
+      lap(stencil::Coeffs::laplacian_spacing(decomp.ghost(), spacing,
+                                             spacing, spacing)),
+      u(box.shape(), decomp.ghost()),
+      rhs(box.shape(), decomp.ghost()),
+      work(box.shape(), decomp.ghost()) {
+  halo = std::make_unique<core::HaloExchanger<double>>(
+      comm, decomp, coords, core::face_neighbors(decomp, coords),
+      /*periodic=*/true, tag_base);
+}
+
+MultigridPoissonSolver::MultigridPoissonSolver(const Domain& domain,
+                                               MultigridOptions opt)
+    : domain_(&domain), opt_(opt) {
+  GPAWFD_CHECK_MSG(domain.periodic(),
+                   "multigrid solver currently requires periodic boundaries");
+  const Vec3 pgrid = domain.decomp().process_grid();
+  Vec3 shape = domain.global_shape();
+  double h = domain.spacing();
+  int level = 0;
+  for (;;) {
+    grid::Decomposition d(shape, pgrid, domain.ghost());
+    levels_.push_back(std::make_unique<Level>(
+        std::move(d), domain.coords(), h, domain.comm(), level * 64));
+    // Coarsen while every extent stays aligned with the process grid and
+    // the local boxes stay big enough.
+    bool can_coarsen = true;
+    for (int dim = 0; dim < 3; ++dim) {
+      if (shape[dim] % (2 * pgrid[dim]) != 0) can_coarsen = false;
+      if (shape[dim] / (2 * pgrid[dim]) < opt_.min_local_extent)
+        can_coarsen = false;
+    }
+    if (!can_coarsen) break;
+    shape = shape / Vec3{2, 2, 2};
+    h *= 2.0;
+    ++level;
+  }
+}
+
+void MultigridPoissonSolver::exchange(Level& lvl, grid::Array3D<double>& f) {
+  grid::Array3D<double>* one[1] = {&f};
+  lvl.halo->begin(std::span<grid::Array3D<double>* const>(one, 1), 0);
+  lvl.halo->finish(std::span<grid::Array3D<double>* const>(one, 1), 0);
+}
+
+void MultigridPoissonSolver::smooth(Level& lvl, int sweeps) {
+  for (int s = 0; s < sweeps; ++s) {
+    exchange(lvl, lvl.u);
+    stencil::jacobi_step(lvl.u, lvl.rhs, lvl.work, lvl.lap, opt_.omega);
+    std::swap(lvl.u, lvl.work);
+  }
+}
+
+void MultigridPoissonSolver::residual(Level& lvl) {
+  exchange(lvl, lvl.u);
+  stencil::apply(lvl.u, lvl.work, lvl.lap);
+  const Vec3 n = lvl.box.shape();
+  for (std::int64_t x = 0; x < n.x; ++x)
+    for (std::int64_t y = 0; y < n.y; ++y)
+      for (std::int64_t z = 0; z < n.z; ++z)
+        lvl.work.at(x, y, z) = lvl.rhs.at(x, y, z) - lvl.work.at(x, y, z);
+}
+
+void MultigridPoissonSolver::restrict_to(Level& fine, Level& coarse) {
+  // Full weighting: 1-D weights (1/4, 1/2, 1/4) in each dimension.
+  exchange(fine, fine.work);
+  const Vec3 nc = coarse.box.shape();
+  for (std::int64_t X = 0; X < nc.x; ++X)
+    for (std::int64_t Y = 0; Y < nc.y; ++Y)
+      for (std::int64_t Z = 0; Z < nc.z; ++Z) {
+        double acc = 0;
+        for (int dx = -1; dx <= 1; ++dx)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dz = -1; dz <= 1; ++dz) {
+              const double w = (dx ? 0.25 : 0.5) * (dy ? 0.25 : 0.5) *
+                               (dz ? 0.25 : 0.5);
+              acc += w * fine.work.at(2 * X + dx, 2 * Y + dy, 2 * Z + dz);
+            }
+        coarse.rhs.at(X, Y, Z) = acc;
+      }
+  coarse.u.fill(0.0);
+}
+
+void MultigridPoissonSolver::prolong_add(Level& coarse, Level& fine) {
+  exchange(coarse, coarse.u);
+  const Vec3 nf = fine.box.shape();
+  for (std::int64_t x = 0; x < nf.x; ++x) {
+    const std::int64_t X = x / 2;
+    const bool ox = (x % 2) != 0;
+    for (std::int64_t y = 0; y < nf.y; ++y) {
+      const std::int64_t Y = y / 2;
+      const bool oy = (y % 2) != 0;
+      for (std::int64_t z = 0; z < nf.z; ++z) {
+        const std::int64_t Z = z / 2;
+        const bool oz = (z % 2) != 0;
+        double v = 0;
+        for (int dx = 0; dx <= (ox ? 1 : 0); ++dx)
+          for (int dy = 0; dy <= (oy ? 1 : 0); ++dy)
+            for (int dz = 0; dz <= (oz ? 1 : 0); ++dz)
+              v += coarse.u.at(X + dx, Y + dy, Z + dz);
+        v /= static_cast<double>((ox ? 2 : 1) * (oy ? 2 : 1) * (oz ? 2 : 1));
+        fine.u.at(x, y, z) += v;
+      }
+    }
+  }
+}
+
+double MultigridPoissonSolver::global_norm(const Level& /*lvl*/,
+                                           const grid::Array3D<double>& f) {
+  double local = 0;
+  f.for_each_interior([&](Vec3, const double& v) { local += v * v; });
+  return std::sqrt(domain_->comm().allreduce_sum(local));
+}
+
+void MultigridPoissonSolver::remove_mean(Level& lvl,
+                                         grid::Array3D<double>& f) {
+  double local = 0;
+  f.for_each_interior([&](Vec3, const double& v) { local += v; });
+  const double mean =
+      domain_->comm().allreduce_sum(local) /
+      static_cast<double>(lvl.decomp.global_shape().product());
+  f.for_each_interior([&](Vec3, double& v) { v -= mean; });
+}
+
+void MultigridPoissonSolver::vcycle(std::size_t l) {
+  Level& lvl = *levels_[l];
+  if (l + 1 == levels_.size()) {
+    smooth(lvl, opt_.coarse_sweeps);
+    return;
+  }
+  smooth(lvl, opt_.pre_smooth);
+  residual(lvl);
+  restrict_to(lvl, *levels_[l + 1]);
+  vcycle(l + 1);
+  prolong_add(*levels_[l + 1], lvl);
+  smooth(lvl, opt_.post_smooth);
+}
+
+MultigridResult MultigridPoissonSolver::solve(
+    grid::Array3D<double>& phi, const grid::Array3D<double>& rho) {
+  Level& top = *levels_[0];
+  GPAWFD_CHECK(phi.shape() == top.box.shape());
+  GPAWFD_CHECK(rho.shape() == top.box.shape());
+
+  top.rhs.for_each_interior([&](Vec3 p, double& v) {
+    v = -4.0 * std::numbers::pi * rho.at(p);
+  });
+  remove_mean(top, top.rhs);
+  const double bnorm = std::max(global_norm(top, top.rhs), 1e-300);
+  top.u.for_each_interior([&](Vec3 p, double& v) { v = phi.at(p); });
+
+  MultigridResult res;
+  for (res.cycles = 1; res.cycles <= opt_.max_cycles; ++res.cycles) {
+    vcycle(0);
+    remove_mean(top, top.u);
+    residual(top);
+    res.relative_residual = global_norm(top, top.work) / bnorm;
+    if (res.relative_residual < opt_.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  phi.for_each_interior([&](Vec3 p, double& v) { v = top.u.at(p); });
+  return res;
+}
+
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,156 @@
+// RMM-DIIS eigensolver — the residual-minimization scheme production
+// GPAW uses for the Kohn-Sham states. Per outer iteration:
+//
+//   1. Rayleigh-Ritz (orthonormalize + subspace diagonalization).
+//   2. Per band: residual R = H psi - lambda psi; precondition
+//      (a few damped Jacobi sweeps of the kinetic operator, GPAW-style);
+//      take the residual-minimizing step
+//         psi <- psi + alpha * K R,  alpha = -<R, dR> / <dR, dR>
+//      where dR is the residual change of a unit trial step.
+//
+// Compared to the Chebyshev filter (eigensolver.hpp) it needs fewer
+// H applications per iteration but more iterations; both are provided
+// because the paper's workload — FD stencils over thousands of grids —
+// is exactly what these solvers generate.
+#pragma once
+
+#include "gpaw/eigensolver.hpp"
+#include "gpaw/hamiltonian.hpp"
+#include "gpaw/wavefunctions.hpp"
+
+namespace gpawfd::gpaw {
+
+struct RmmDiisOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-8;     // max |eigenvalue change|
+  int precondition_sweeps = 2; // Jacobi sweeps on the kinetic operator
+  double precondition_shift = 0.5;
+  /// Chebyshev-filtered iterations to seed the subspace near the lowest
+  /// states before refining. Residual minimization converges to the
+  /// eigenvectors *nearest* its starting subspace, so — like production
+  /// GPAW, which seeds from an LCAO guess — it must not start from pure
+  /// noise.
+  int seed_iterations = 4;
+};
+
+struct RmmDiisResult {
+  std::vector<double> eigenvalues;
+  std::vector<double> residual_norms;
+  int iterations = 0;
+  bool converged = false;
+};
+
+namespace detail {
+
+/// GPAW-style kinetic preconditioner: approximately solve
+/// (T + shift) x = r with a few damped Jacobi sweeps, smoothing the
+/// high-frequency error the residual is dominated by. Communication-free
+/// (zero ghosts): a local smoother is exactly what a preconditioner may
+/// be.
+inline void precondition(const Domain& d, const stencil::Coeffs& kinetic,
+                         double shift, int sweeps,
+                         const grid::Array3D<double>& r,
+                         grid::Array3D<double>& x,
+                         grid::Array3D<double>& scratch) {
+  const double diag = kinetic.center + shift;
+  x.fill(0.0);
+  for (int s = 0; s < sweeps; ++s) {
+    x.fill_ghosts(0.0);
+    stencil::apply(x, scratch, kinetic);
+    x.for_each_interior([&](Vec3 p, double& v) {
+      const double resid = r.at(p) - (scratch.at(p) + shift * v);
+      v += 0.7 * resid / diag;
+    });
+  }
+  (void)d;
+}
+
+}  // namespace detail
+
+inline RmmDiisResult rmm_diis_solve(Hamiltonian& h, WaveFunctions& wfs,
+                                    RmmDiisOptions opt = {}) {
+  const Domain& d = wfs.domain();
+  const int n = wfs.nbands();
+
+  auto make_set = [&](int count) {
+    std::vector<grid::Array3D<double>> s(static_cast<std::size_t>(count));
+    for (auto& f : s) f = d.make_field();
+    return s;
+  };
+  auto hpsi = make_set(n);
+  grid::Array3D<double> pr = d.make_field();       // preconditioned residual
+  grid::Array3D<double> scratch = d.make_field();
+  auto trial = make_set(n);                        // K R per band
+  auto htrial = make_set(n);
+
+  RmmDiisResult res;
+  res.eigenvalues.assign(static_cast<std::size_t>(n), 1e300);
+  res.residual_norms.assign(static_cast<std::size_t>(n), 1e300);
+  wfs.cholesky_orthonormalize();
+
+  if (opt.seed_iterations > 0) {
+    EigensolverOptions seed;
+    seed.max_iterations = opt.seed_iterations;
+    seed.tolerance = 0;  // always run the full seeding budget
+    solve_lowest_eigenstates(h, wfs, seed);
+  }
+
+  for (res.iterations = 1; res.iterations <= opt.max_iterations;
+       ++res.iterations) {
+    // Rayleigh-Ritz.
+    h.apply(wfs.storage(), hpsi);
+    DenseMatrix hsub(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i; j < n; ++j) {
+        hsub(i, j) = d.dot(wfs.band(i), hpsi[static_cast<std::size_t>(j)]);
+        hsub(j, i) = hsub(i, j);
+      }
+    const EigenResult eig = jacobi_eigensolver(hsub);
+    wfs.rotate(eig.vectors);
+
+    double delta = 0;
+    for (int b = 0; b < n; ++b)
+      delta = std::max(delta,
+                       std::fabs(eig.values[static_cast<std::size_t>(b)] -
+                                 res.eigenvalues[static_cast<std::size_t>(b)]));
+    res.eigenvalues = eig.values;
+    if (delta < opt.tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    // Residual step per band. One batched H application computes the
+    // residual change of every band's trial direction.
+    h.apply(wfs.storage(), hpsi);
+    for (int b = 0; b < n; ++b) {
+      const double lambda = res.eigenvalues[static_cast<std::size_t>(b)];
+      // R = H psi - lambda psi (stored into hpsi in place).
+      auto& r = hpsi[static_cast<std::size_t>(b)];
+      const auto& psi = wfs.band(b);
+      r.for_each_interior(
+          [&](Vec3 p, double& v) { v -= lambda * psi.at(p); });
+      res.residual_norms[static_cast<std::size_t>(b)] = d.norm(r);
+      detail::precondition(d, h.kinetic_coeffs(), opt.precondition_shift,
+                           opt.precondition_sweeps, r, pr, scratch);
+      trial[static_cast<std::size_t>(b)]
+          .for_each_interior([&](Vec3 p, double& v) { v = pr.at(p); });
+    }
+    h.apply(trial, htrial);
+    for (int b = 0; b < n; ++b) {
+      const double lambda = res.eigenvalues[static_cast<std::size_t>(b)];
+      // dR = (H - lambda) K R; optimal step alpha = -<R,dR>/<dR,dR>.
+      auto& dr = htrial[static_cast<std::size_t>(b)];
+      const auto& kr = trial[static_cast<std::size_t>(b)];
+      dr.for_each_interior(
+          [&](Vec3 p, double& v) { v -= lambda * kr.at(p); });
+      const double num = d.dot(hpsi[static_cast<std::size_t>(b)], dr);
+      const double den = d.dot(dr, dr);
+      const double alpha = den > 1e-300 ? -num / den : 0.0;
+      Domain::axpy(alpha, kr, wfs.band(b));
+    }
+    wfs.cholesky_orthonormalize();
+  }
+  return res;
+}
+
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,120 @@
+// Self-consistent field loop (Hartree level): the full mini-GPAW
+// calculation. Iterates
+//
+//   H[rho] = T + V_ext + V_H[rho]   ->  lowest states (Chebyshev solver)
+//   rho'   = sum_b f_b |psi_b|^2    ->  linear mixing
+//   V_H    = Poisson(rho)           (multigrid)
+//
+// until the density stops changing. Exchange-correlation is omitted —
+// the paper's workload only needs the grid operations, and Hartree
+// theory exercises every one of them: the FD stencil on every band, the
+// Poisson solve on the density, distributed inner products and
+// orthonormalization.
+#pragma once
+
+#include "gpaw/eigensolver.hpp"
+#include "gpaw/multigrid.hpp"
+
+namespace gpawfd::gpaw {
+
+struct ScfOptions {
+  int max_scf_iterations = 50;
+  double density_tolerance = 1e-6;  // ||rho' - rho|| * dv
+  double mixing = 0.3;              // linear density mixing factor
+  EigensolverOptions eigensolver;
+  MultigridOptions poisson;
+};
+
+struct ScfResult {
+  std::vector<double> eigenvalues;
+  /// Band-structure energy sum_b f_b eps_b minus the Hartree double
+  /// counting 1/2 int VH rho — the Hartree total energy (no XC).
+  double total_energy = 0;
+  double density_change = 0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+class ScfLoop {
+ public:
+  /// `occupations[b]`: electrons in band b (e.g. 2.0 for a closed shell).
+  ScfLoop(const Domain& domain, grid::Array3D<double> external_potential,
+          std::vector<double> occupations, ScfOptions opt = {})
+      : domain_(&domain),
+        vext_(std::move(external_potential)),
+        occ_(std::move(occupations)),
+        opt_(opt),
+        poisson_(domain, opt.poisson) {
+    GPAWFD_CHECK(!occ_.empty());
+    GPAWFD_CHECK(vext_.shape() == domain.box().shape());
+  }
+
+  ScfResult run(WaveFunctions& wfs) {
+    const Domain& d = *domain_;
+    const int n = wfs.nbands();
+    GPAWFD_CHECK(std::ssize(occ_) == n);
+
+    grid::Array3D<double> rho = d.make_field();
+    grid::Array3D<double> rho_new = d.make_field();
+    grid::Array3D<double> vh = d.make_field();
+
+    ScfResult res;
+    for (res.iterations = 1; res.iterations <= opt_.max_scf_iterations;
+         ++res.iterations) {
+      // Effective potential and eigenstates.
+      grid::Array3D<double> veff = d.make_field();
+      veff.for_each_interior(
+          [&](Vec3 p, double& v) { v = vext_.at(p) + vh.at(p); });
+      Hamiltonian h(d, std::move(veff), n);
+      const auto eres = solve_lowest_eigenstates(h, wfs, opt_.eigensolver);
+      res.eigenvalues = eres.eigenvalues;
+
+      // New density.
+      rho_new.fill(0.0);
+      for (int b = 0; b < n; ++b) {
+        const double f = occ_[static_cast<std::size_t>(b)];
+        const auto& psi = wfs.band(b);
+        rho_new.for_each_interior(
+            [&](Vec3 p, double& v) { v += f * psi.at(p) * psi.at(p); });
+      }
+
+      // Convergence on the density change.
+      double local = 0;
+      rho_new.for_each_interior([&](Vec3 p, const double& v) {
+        const double diff = v - rho.at(p);
+        local += diff * diff;
+      });
+      res.density_change =
+          std::sqrt(d.comm().allreduce_sum(local) * d.dv());
+
+      // Mix and re-solve the Hartree potential.
+      rho.for_each_interior([&](Vec3 p, double& v) {
+        v = (1.0 - opt_.mixing) * v + opt_.mixing * rho_new.at(p);
+      });
+      const auto pres = poisson_.solve(vh, rho);
+      GPAWFD_CHECK_MSG(pres.converged, "Hartree Poisson solve stalled");
+
+      if (res.density_change < opt_.density_tolerance) {
+        res.converged = true;
+        break;
+      }
+    }
+
+    // Hartree total energy: sum f_b eps_b - 1/2 int VH rho.
+    double band_energy = 0;
+    for (int b = 0; b < n; ++b)
+      band_energy += occ_[static_cast<std::size_t>(b)] *
+                     res.eigenvalues[static_cast<std::size_t>(b)];
+    res.total_energy = band_energy - 0.5 * d.dot(vh, rho);
+    return res;
+  }
+
+ private:
+  const Domain* domain_;
+  grid::Array3D<double> vext_;
+  std::vector<double> occ_;
+  ScfOptions opt_;
+  MultigridPoissonSolver poisson_;
+};
+
+}  // namespace gpawfd::gpaw

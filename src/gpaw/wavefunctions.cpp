@@ -1,0 +1,95 @@
+#include "gpaw/wavefunctions.hpp"
+
+#include <cmath>
+
+namespace gpawfd::gpaw {
+
+namespace {
+double hash_value(std::uint64_t seed, int band, Vec3 p) {
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(band) * 0x9e3779b97f4a7c15ULL);
+  z ^= static_cast<std::uint64_t>(p.x) + (z << 6) + (z >> 2);
+  z ^= static_cast<std::uint64_t>(p.y) + (z << 6) + (z >> 2);
+  z ^= static_cast<std::uint64_t>(p.z) + (z << 6) + (z >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+}  // namespace
+
+void WaveFunctions::randomize(std::uint64_t seed) {
+  for (int b = 0; b < nbands(); ++b) {
+    domain_->fill(band(b),
+                  [&](Vec3 p) { return hash_value(seed, b, p); });
+  }
+}
+
+DenseMatrix WaveFunctions::overlap() const {
+  const int n = nbands();
+  // Local partial sums of the upper triangle, then one allreduce.
+  std::vector<double> partial(static_cast<std::size_t>(n * (n + 1) / 2), 0.0);
+  std::size_t k = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j, ++k) {
+      double s = 0;
+      const auto& a = band(i);
+      const auto& b = band(j);
+      a.for_each_interior(
+          [&](Vec3 p, const double& v) { s += v * b.at(p); });
+      partial[k] = s;
+    }
+  }
+  std::vector<double> global(partial.size());
+  domain_->comm().allreduce_sum(partial, global);
+
+  DenseMatrix s(n, n);
+  k = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j, ++k) {
+      s(i, j) = global[k] * domain_->dv();
+      s(j, i) = s(i, j);
+    }
+  return s;
+}
+
+void WaveFunctions::rotate(const DenseMatrix& u) {
+  const int n = nbands();
+  GPAWFD_CHECK(u.rows() == n && u.cols() == n);
+  // Rotate point-wise: for every grid point, new[j] = sum_i old[i]*u(i,j).
+  std::vector<double> old(static_cast<std::size_t>(n));
+  const Vec3 shape = domain_->box().shape();
+  for (std::int64_t x = 0; x < shape.x; ++x)
+    for (std::int64_t y = 0; y < shape.y; ++y)
+      for (std::int64_t z = 0; z < shape.z; ++z) {
+        for (int i = 0; i < n; ++i) old[static_cast<std::size_t>(i)] = band(i).at(x, y, z);
+        for (int j = 0; j < n; ++j) {
+          double acc = 0;
+          for (int i = 0; i < n; ++i)
+            acc += old[static_cast<std::size_t>(i)] * u(i, j);
+          band(j).at(x, y, z) = acc;
+        }
+      }
+}
+
+void WaveFunctions::gram_schmidt() {
+  const int n = nbands();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      const double proj = domain_->dot(band(j), band(i));
+      Domain::axpy(-proj, band(j), band(i));
+    }
+    const double nrm = domain_->norm(band(i));
+    GPAWFD_CHECK_MSG(nrm > 1e-14, "linearly dependent band " << i);
+    Domain::scale(band(i), 1.0 / nrm);
+  }
+}
+
+void WaveFunctions::cholesky_orthonormalize() {
+  const DenseMatrix s = overlap();
+  const DenseMatrix l = cholesky(s);
+  // psi <- psi * L^-T  makes the new overlap the identity.
+  const DenseMatrix linv = invert_lower(l);
+  rotate(linv.transposed());
+}
+
+}  // namespace gpawfd::gpaw

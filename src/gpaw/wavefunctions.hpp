@@ -1,0 +1,58 @@
+// Wave-function sets and their orthonormalization.
+//
+// GPAW keeps thousands of wave functions, all decomposed identically —
+// orthogonalization needs the same subset of *every* grid on every rank
+// (the constraint that rules out the sub-group partitioning of section
+// VII). Overlap matrices are assembled with one allreduce; rotations are
+// rank-local.
+#pragma once
+
+#include <vector>
+
+#include "gpaw/dense.hpp"
+#include "gpaw/domain.hpp"
+
+namespace gpawfd::gpaw {
+
+class WaveFunctions {
+ public:
+  WaveFunctions(const Domain& domain, int nbands)
+      : domain_(&domain), bands_(static_cast<std::size_t>(nbands)) {
+    GPAWFD_CHECK(nbands >= 1);
+    for (auto& b : bands_) b = domain.make_field();
+  }
+
+  int nbands() const { return static_cast<int>(bands_.size()); }
+  const Domain& domain() const { return *domain_; }
+  grid::Array3D<double>& band(int i) {
+    return bands_[static_cast<std::size_t>(i)];
+  }
+  const grid::Array3D<double>& band(int i) const {
+    return bands_[static_cast<std::size_t>(i)];
+  }
+  std::vector<grid::Array3D<double>>& storage() { return bands_; }
+
+  /// Deterministic pseudo-random initialization (consistent across any
+  /// decomposition: values depend on global coordinates only).
+  void randomize(std::uint64_t seed);
+
+  /// Overlap matrix S_ij = <psi_i | psi_j> (one allreduce of n^2/2 sums).
+  DenseMatrix overlap() const;
+
+  /// In-place rotation psi_j <- sum_i psi_i * u(i, j).
+  void rotate(const DenseMatrix& u);
+
+  /// Modified Gram-Schmidt orthonormalization (n^2 distributed dots).
+  void gram_schmidt();
+
+  /// Cholesky (Loewdin-style) orthonormalization: S = L L^T,
+  /// psi <- psi L^-T. One overlap allreduce + local rotation; this is
+  /// how GPAW actually orthonormalizes large band counts.
+  void cholesky_orthonormalize();
+
+ private:
+  const Domain* domain_;
+  std::vector<grid::Array3D<double>> bands_;
+};
+
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,189 @@
+// Ghost-extended 3-D array: the in-memory representation of one
+// (sub-)grid in GPAW. The interior has shape `n`; each face carries a
+// ghost (halo) layer of width `g` holding copies of the neighbouring
+// sub-grid's surface points (or boundary values).
+//
+// Interior points are addressed with indices in [0, n); ghost points with
+// indices in [-g, 0) and [n, n+g). Storage is row-major (x slowest, z
+// fastest, matching the paper's C implementation) and 64-byte aligned.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstring>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+#include "common/vec3.hpp"
+
+namespace gpawfd::grid {
+
+template <typename T>
+class Array3D {
+ public:
+  using value_type = T;
+
+  Array3D() = default;
+
+  /// Interior shape `n`, ghost width `g` (same on every face).
+  Array3D(Vec3 n, int g) : n_(n), g_(g) {
+    GPAWFD_CHECK(n.x >= 1 && n.y >= 1 && n.z >= 1);
+    GPAWFD_CHECK(g >= 0);
+    stor_ = n + Vec3::cube(2 * g);
+    data_.assign(static_cast<std::size_t>(stor_.product()), T{});
+  }
+
+  Vec3 shape() const { return n_; }
+  int ghost() const { return g_; }
+  /// Shape including ghost layers.
+  Vec3 storage_shape() const { return stor_; }
+  std::int64_t interior_points() const { return n_.product(); }
+
+  /// Interior- (and ghost-) indexed access; (0,0,0) is the first interior
+  /// point, negative indices address ghosts.
+  T& at(std::int64_t x, std::int64_t y, std::int64_t z) {
+    return data_[offset(x, y, z)];
+  }
+  const T& at(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    return data_[offset(x, y, z)];
+  }
+  T& at(Vec3 p) { return at(p.x, p.y, p.z); }
+  const T& at(Vec3 p) const { return at(p.x, p.y, p.z); }
+
+  /// Raw pointer to the first interior point (for kernels). Strides are
+  /// those of storage_shape().
+  T* interior() { return data_.data() + offset(0, 0, 0); }
+  const T* interior() const { return data_.data() + offset(0, 0, 0); }
+
+  std::int64_t stride_x() const { return stor_.y * stor_.z; }
+  std::int64_t stride_y() const { return stor_.z; }
+
+  std::span<T> raw() { return {data_.data(), data_.size()}; }
+  std::span<const T> raw() const { return {data_.data(), data_.size()}; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Overwrite every ghost point with `v` (e.g. 0 for a finite /
+  /// zero-boundary system).
+  void fill_ghosts(T v) {
+    for_each_storage([&](Vec3 p, T& cell) {
+      const Vec3 q = p - Vec3::cube(g_);
+      if (!in_bounds(q, n_)) cell = v;
+    });
+  }
+
+  /// Apply f(interior_index, value&) over interior points.
+  template <typename F>
+  void for_each_interior(F&& f) {
+    for (std::int64_t x = 0; x < n_.x; ++x)
+      for (std::int64_t y = 0; y < n_.y; ++y)
+        for (std::int64_t z = 0; z < n_.z; ++z) f(Vec3{x, y, z}, at(x, y, z));
+  }
+  template <typename F>
+  void for_each_interior(F&& f) const {
+    for (std::int64_t x = 0; x < n_.x; ++x)
+      for (std::int64_t y = 0; y < n_.y; ++y)
+        for (std::int64_t z = 0; z < n_.z; ++z) f(Vec3{x, y, z}, at(x, y, z));
+  }
+
+ private:
+  template <typename F>
+  void for_each_storage(F&& f) {
+    for (std::int64_t x = 0; x < stor_.x; ++x)
+      for (std::int64_t y = 0; y < stor_.y; ++y)
+        for (std::int64_t z = 0; z < stor_.z; ++z)
+          f(Vec3{x, y, z}, data_[(x * stor_.y + y) * stor_.z + z]);
+  }
+
+  std::int64_t offset(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    GPAWFD_ASSERT(x >= -g_ && x < n_.x + g_);
+    GPAWFD_ASSERT(y >= -g_ && y < n_.y + g_);
+    GPAWFD_ASSERT(z >= -g_ && z < n_.z + g_);
+    return ((x + g_) * stor_.y + (y + g_)) * stor_.z + (z + g_);
+  }
+
+  Vec3 n_;
+  Vec3 stor_;
+  int g_ = 0;
+  AlignedVector<T> data_;
+};
+
+/// Direction of a face: dimension 0..2, side 0 (low) or 1 (high).
+struct Face {
+  int dim;
+  int side;
+};
+
+/// The six faces in the fixed exchange order (x-, x+, y-, y+, z-, z+).
+inline constexpr Face kFaces[6] = {{0, 0}, {0, 1}, {1, 0},
+                                   {1, 1}, {2, 0}, {2, 1}};
+
+/// Number of points in one face slab (ghost-width thick cross-section).
+template <typename T>
+std::int64_t face_points(const Array3D<T>& a, int dim) {
+  const Vec3 n = a.shape();
+  std::int64_t cross = 1;
+  for (int d = 0; d < 3; ++d)
+    if (d != dim) cross *= n[d];
+  return cross * a.ghost();
+}
+
+// Face codecs. Halo exchange sends the *interior* slab adjacent to a face
+// to the neighbour on that side, which stores it into its ghost slab on
+// the opposite side. The 13-point stencil only reaches axis-aligned
+// neighbours, so edge/corner ghosts are never read and faces cover only
+// the interior cross-section.
+
+/// Copy the interior boundary slab at (dim, side) into `out`
+/// (size face_points). Layout: slab-major in the ghost direction.
+template <typename T>
+void pack_face(const Array3D<T>& a, Face f, std::span<T> out) {
+  const Vec3 n = a.shape();
+  const int g = a.ghost();
+  GPAWFD_CHECK(std::ssize(out) == face_points(a, f.dim));
+  std::int64_t k = 0;
+  Vec3 lo{0, 0, 0}, hi = n;
+  if (f.side == 0)
+    hi[f.dim] = g;
+  else
+    lo[f.dim] = n[f.dim] - g;
+  for (std::int64_t x = lo.x; x < hi.x; ++x)
+    for (std::int64_t y = lo.y; y < hi.y; ++y)
+      for (std::int64_t z = lo.z; z < hi.z; ++z) out[k++] = a.at(x, y, z);
+}
+
+/// Store a received slab into the ghost layer at (dim, side).
+template <typename T>
+void unpack_ghost(Array3D<T>& a, Face f, std::span<const T> in) {
+  const Vec3 n = a.shape();
+  const int g = a.ghost();
+  GPAWFD_CHECK(std::ssize(in) == face_points(a, f.dim));
+  std::int64_t k = 0;
+  Vec3 lo{0, 0, 0}, hi = n;
+  if (f.side == 0) {
+    lo[f.dim] = -g;
+    hi[f.dim] = 0;
+  } else {
+    lo[f.dim] = n[f.dim];
+    hi[f.dim] = n[f.dim] + g;
+  }
+  for (std::int64_t x = lo.x; x < hi.x; ++x)
+    for (std::int64_t y = lo.y; y < hi.y; ++y)
+      for (std::int64_t z = lo.z; z < hi.z; ++z) a.at(x, y, z) = in[k++];
+}
+
+/// Single-domain periodic boundary: copy the opposing interior slab into
+/// each ghost layer (what the distributed exchange degenerates to on one
+/// rank with periodic boundary conditions).
+template <typename T>
+void local_periodic_fill(Array3D<T>& a) {
+  AlignedVector<T> buf;
+  for (Face f : kFaces) {
+    buf.resize(static_cast<std::size_t>(face_points(a, f.dim)));
+    pack_face(a, Face{f.dim, 1 - f.side}, std::span<T>(buf.data(), buf.size()));
+    unpack_ghost(a, f, std::span<const T>(buf.data(), buf.size()));
+  }
+}
+
+}  // namespace gpawfd::grid

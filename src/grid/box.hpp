@@ -1,0 +1,40 @@
+// Axis-aligned integer boxes (half-open) describing sub-domains of a
+// global real-space grid.
+#pragma once
+
+#include "common/vec3.hpp"
+
+namespace gpawfd::grid {
+
+/// Half-open box [lo, hi) in global grid coordinates.
+struct Box3 {
+  Vec3 lo;
+  Vec3 hi;
+
+  constexpr Vec3 shape() const { return hi - lo; }
+  constexpr std::int64_t volume() const { return shape().product(); }
+  constexpr bool empty() const {
+    return hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z;
+  }
+  constexpr bool contains(Vec3 p) const {
+    return p.x >= lo.x && p.y >= lo.y && p.z >= lo.z && p.x < hi.x &&
+           p.y < hi.y && p.z < hi.z;
+  }
+
+  friend constexpr bool operator==(const Box3& a, const Box3& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  /// Intersection (may be empty).
+  friend constexpr Box3 intersect(const Box3& a, const Box3& b) {
+    Box3 r;
+    for (int d = 0; d < 3; ++d) {
+      r.lo[d] = std::max(a.lo[d], b.lo[d]);
+      r.hi[d] = std::min(a.hi[d], b.hi[d]);
+      if (r.hi[d] < r.lo[d]) r.hi[d] = r.lo[d];
+    }
+    return r;
+  }
+};
+
+}  // namespace gpawfd::grid

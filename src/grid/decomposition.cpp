@@ -1,0 +1,102 @@
+#include "grid/decomposition.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace gpawfd::grid {
+
+Decomposition::Decomposition(Vec3 gshape, Vec3 pgrid, int ghost)
+    : gshape_(gshape), pgrid_(pgrid), ghost_(ghost) {
+  GPAWFD_CHECK(gshape.min() >= 1);
+  GPAWFD_CHECK(pgrid.min() >= 1);
+  GPAWFD_CHECK(ghost >= 0);
+  for (int d = 0; d < 3; ++d)
+    GPAWFD_CHECK_MSG(gshape[d] / pgrid[d] >= std::max<std::int64_t>(1, ghost),
+                     "dimension " << d << ": local extent "
+                                  << gshape[d] / pgrid[d]
+                                  << " smaller than ghost width " << ghost);
+}
+
+Decomposition Decomposition::best(Vec3 gshape, std::int64_t ranks,
+                                  int ghost) {
+  GPAWFD_CHECK(ranks >= 1);
+  const std::int64_t kInvalid = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_cost = kInvalid;
+  Vec3 best_pg{0, 0, 0};
+  for (Vec3 pg : factor_triples(ranks)) {
+    bool ok = true;
+    for (int d = 0; d < 3; ++d)
+      if (gshape[d] / pg[d] < std::max<std::int64_t>(1, ghost)) ok = false;
+    if (!ok) continue;
+    const Decomposition cand(gshape, pg, ghost);
+    const std::int64_t cost = cand.aggregate_surface();
+    // Tie-break toward balanced process grids (smaller max extent).
+    if (cost < best_cost ||
+        (cost == best_cost && pg.max() < best_pg.max())) {
+      best_cost = cost;
+      best_pg = pg;
+    }
+  }
+  GPAWFD_CHECK_MSG(best_cost != kInvalid,
+                   "no factorization of " << ranks << " ranks fits grid "
+                                          << gshape << " with ghost "
+                                          << ghost);
+  return Decomposition(gshape, best_pg, ghost);
+}
+
+Vec3 Decomposition::coords_of(std::int64_t rank) const {
+  GPAWFD_CHECK(rank >= 0 && rank < ranks());
+  return delinearize(rank, pgrid_);
+}
+
+std::int64_t Decomposition::rank_of(Vec3 coords) const {
+  return linear_index(coords, pgrid_);
+}
+
+Box3 Decomposition::local_box(Vec3 coords) const {
+  GPAWFD_CHECK(in_bounds(coords, pgrid_));
+  Box3 b;
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t base = gshape_[d] / pgrid_[d];
+    const std::int64_t rem = gshape_[d] % pgrid_[d];
+    // First `rem` processes get one extra point.
+    const std::int64_t c = coords[d];
+    b.lo[d] = c * base + std::min(c, rem);
+    b.hi[d] = b.lo[d] + base + (c < rem ? 1 : 0);
+  }
+  return b;
+}
+
+Vec3 Decomposition::neighbor(Vec3 coords, int dim, int side) const {
+  Vec3 n = coords;
+  n[dim] += (side == 0 ? -1 : 1);
+  n[dim] = (n[dim] + pgrid_[dim]) % pgrid_[dim];
+  return n;
+}
+
+std::int64_t Decomposition::send_bytes(Vec3 coords,
+                                       std::int64_t elem_bytes) const {
+  const Vec3 n = local_box(coords).shape();
+  std::int64_t pts = 0;
+  for (int d = 0; d < 3; ++d) {
+    std::int64_t cross = 1;
+    for (int e = 0; e < 3; ++e)
+      if (e != d) cross *= n[e];
+    // Two faces per dimension, ghost-thick each; with one process in a
+    // dimension and periodic boundary the exchange degenerates to a local
+    // copy, which costs no network bytes.
+    if (pgrid_[d] > 1) pts += 2 * ghost_ * cross;
+  }
+  return pts * elem_bytes;
+}
+
+std::int64_t Decomposition::aggregate_surface() const {
+  std::int64_t total = 0;
+  for (std::int64_t r = 0; r < ranks(); ++r)
+    total += send_bytes(coords_of(r), 1);
+  return total;
+}
+
+}  // namespace gpawfd::grid

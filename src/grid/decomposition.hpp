@@ -1,0 +1,61 @@
+// Domain decomposition of the global real-space grid over MPI processes.
+//
+// GPAW divides *every* grid into the same quadrilaterals, one per MPI
+// process (every process owns the same subset of every grid — required by
+// e.g. wave-function orthogonalization). Absent a user-defined
+// decomposition it picks the process grid minimizing the aggregated
+// surface of the sub-grids, which minimizes halo-exchange volume.
+#pragma once
+
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "grid/box.hpp"
+
+namespace gpawfd::grid {
+
+/// A process grid (px, py, pz) together with the global grid it divides.
+class Decomposition {
+ public:
+  /// Explicit (user-defined) process grid.
+  Decomposition(Vec3 gshape, Vec3 pgrid, int ghost);
+
+  /// Pick the process grid for `ranks` processes that minimizes the
+  /// aggregated halo surface, subject to every local extent being at
+  /// least `ghost` points (a sub-grid must fully contain its neighbour's
+  /// ghost needs). Throws if no factorization satisfies the constraint.
+  static Decomposition best(Vec3 gshape, std::int64_t ranks, int ghost);
+
+  Vec3 global_shape() const { return gshape_; }
+  Vec3 process_grid() const { return pgrid_; }
+  int ghost() const { return ghost_; }
+  std::int64_t ranks() const { return pgrid_.product(); }
+
+  /// Cartesian coordinates of `rank` (row-major rank order before any
+  /// topology reorder).
+  Vec3 coords_of(std::int64_t rank) const;
+  std::int64_t rank_of(Vec3 coords) const;
+
+  /// Sub-domain owned by the process at `coords`. Remainder points are
+  /// spread over the leading processes in each dimension.
+  Box3 local_box(Vec3 coords) const;
+  Box3 local_box_of_rank(std::int64_t rank) const { return local_box(coords_of(rank)); }
+
+  /// Neighbour coordinates across face (dim, side) with periodic wrap.
+  Vec3 neighbor(Vec3 coords, int dim, int side) const;
+
+  /// Total halo points exchanged per grid per sweep, summed over all
+  /// processes and both directions (the quantity GPAW minimizes).
+  std::int64_t aggregate_surface() const;
+
+  /// Halo bytes one process at `coords` sends per grid per sweep
+  /// (6 faces, ghost-thick, element size `elem_bytes`).
+  std::int64_t send_bytes(Vec3 coords, std::int64_t elem_bytes) const;
+
+ private:
+  Vec3 gshape_;
+  Vec3 pgrid_;
+  int ghost_;
+};
+
+}  // namespace gpawfd::grid

@@ -1,0 +1,60 @@
+#include "mp/cart.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpawfd::mp {
+
+CartTopology CartTopology::identity(Vec3 dims, std::array<bool, 3> periodic) {
+  std::vector<int> map(static_cast<std::size_t>(dims.product()));
+  for (std::size_t i = 0; i < map.size(); ++i) map[i] = static_cast<int>(i);
+  return with_mapping(dims, periodic, std::move(map));
+}
+
+CartTopology CartTopology::with_mapping(Vec3 dims,
+                                        std::array<bool, 3> periodic,
+                                        std::vector<int> cart_to_rank) {
+  GPAWFD_CHECK(dims.min() >= 1);
+  GPAWFD_CHECK(std::ssize(cart_to_rank) == dims.product());
+  CartTopology t;
+  t.dims_ = dims;
+  t.periodic_ = periodic;
+  t.rank_to_cart_.assign(cart_to_rank.size(), -1);
+  for (std::size_t i = 0; i < cart_to_rank.size(); ++i) {
+    const int r = cart_to_rank[i];
+    GPAWFD_CHECK_MSG(r >= 0 && r < std::ssize(cart_to_rank),
+                     "mapping entry out of range: " << r);
+    GPAWFD_CHECK_MSG(t.rank_to_cart_[static_cast<std::size_t>(r)] == -1,
+                     "mapping is not a permutation (rank " << r
+                                                           << " repeated)");
+    t.rank_to_cart_[static_cast<std::size_t>(r)] = static_cast<int>(i);
+  }
+  t.cart_to_rank_ = std::move(cart_to_rank);
+  return t;
+}
+
+int CartTopology::rank_at(Vec3 coords) const {
+  GPAWFD_CHECK(in_bounds(coords, dims_));
+  return cart_to_rank_[static_cast<std::size_t>(linear_index(coords, dims_))];
+}
+
+Vec3 CartTopology::coords_of_rank(int rank) const {
+  GPAWFD_CHECK(rank >= 0 && rank < size());
+  return delinearize(rank_to_cart_[static_cast<std::size_t>(rank)], dims_);
+}
+
+int CartTopology::shifted_rank(int rank, int dim, int disp) const {
+  Vec3 c = coords_of_rank(rank);
+  const std::int64_t extent = dims_[dim];
+  std::int64_t v = c[dim] + disp;
+  if (periodic_[static_cast<std::size_t>(dim)]) {
+    v = ((v % extent) + extent) % extent;
+  } else if (v < 0 || v >= extent) {
+    return -1;  // MPI_PROC_NULL
+  }
+  c[dim] = v;
+  return rank_at(c);
+}
+
+}  // namespace gpawfd::mp

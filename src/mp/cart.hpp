@@ -1,0 +1,53 @@
+// Cartesian process topology — the library's MPI_Cart_create.
+//
+// BGP's MPI reorders ranks so that neighbouring processes of a 3-D
+// cartesian communicator land on neighbouring torus nodes; the paper uses
+// this in every experiment. The topology here is a pure mapping object:
+// a (px, py, pz) grid of processes, periodicity flags, and a permutation
+// cart-index -> communicator rank. The identity permutation models an
+// unmapped (naive) layout; the simulator installs a torus-matched
+// permutation (and the ablation benchmark compares the two).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace gpawfd::mp {
+
+class CartTopology {
+ public:
+  /// Identity placement: cart index == rank (the order processes happen
+  /// to be started in, i.e. no topology knowledge).
+  static CartTopology identity(Vec3 dims,
+                               std::array<bool, 3> periodic = {true, true,
+                                                               true});
+
+  /// Custom placement: `cart_to_rank[linear cart index] = rank`.
+  /// Must be a permutation of 0..dims.product()-1.
+  static CartTopology with_mapping(Vec3 dims, std::array<bool, 3> periodic,
+                                   std::vector<int> cart_to_rank);
+
+  Vec3 dims() const { return dims_; }
+  bool periodic(int dim) const { return periodic_[static_cast<std::size_t>(dim)]; }
+  int size() const { return static_cast<int>(cart_to_rank_.size()); }
+
+  int rank_at(Vec3 coords) const;
+  Vec3 coords_of_rank(int rank) const;
+
+  /// Rank displaced by `disp` along `dim` from `rank`'s position, with
+  /// periodic wrap; returns -1 when the displacement leaves a
+  /// non-periodic boundary (MPI_PROC_NULL).
+  int shifted_rank(int rank, int dim, int disp) const;
+
+ private:
+  CartTopology() = default;
+  Vec3 dims_;
+  std::array<bool, 3> periodic_{};
+  std::vector<int> cart_to_rank_;
+  std::vector<int> rank_to_cart_;  // inverse permutation
+};
+
+}  // namespace gpawfd::mp

@@ -1,0 +1,108 @@
+#include "mp/comm.hpp"
+
+#include <cstring>
+
+namespace gpawfd::mp {
+
+// Dissemination barrier: ceil(log2 p) rounds; rank r signals r+2^k and
+// waits for r-2^k each round. No payload.
+void Comm::barrier() {
+  const int p = size();
+  const int me = rank();
+  std::byte token{0};
+  for (int k = 1, round = 0; k < p; k <<= 1, ++round) {
+    const int dst = (me + k) % p;
+    const int src = (me - k + p) % p;
+    const int tag = kCollectiveTagBase + round;
+    Request s = isend({&token, 1}, dst, tag);
+    Request r = irecv({&token, 1}, src, tag);
+    wait(s);
+    wait(r);
+  }
+}
+
+// Binomial-tree broadcast rooted at `root` (canonical MPICH shape:
+// receive from the parent across the lowest set bit of the virtual rank,
+// then fan out over the remaining lower bits).
+void Comm::bcast(std::span<std::byte> buf, int root) {
+  const int p = size();
+  GPAWFD_CHECK(root >= 0 && root < p);
+  const int vrank = (rank() - root + p) % p;  // root maps to virtual 0
+  const int tag = kCollectiveTagBase + 64;
+
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % p;
+      recv(buf, parent, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    const int child_v = vrank + mask;
+    if (child_v < p) send(buf, (child_v + root) % p, tag);
+    mask >>= 1;
+  }
+}
+
+// Binomial-tree reduction to `root` (sum of doubles).
+void Comm::reduce_sum(std::span<const double> in, std::span<double> out,
+                      int root) {
+  const int p = size();
+  GPAWFD_CHECK(root >= 0 && root < p);
+  const int vrank = (rank() - root + p) % p;
+  const int tag = kCollectiveTagBase + 128;
+
+  std::vector<double> acc(in.begin(), in.end());
+  std::vector<double> incoming(in.size());
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (vrank & mask) {
+      const int parent = ((vrank & ~mask) + root) % p;
+      send(std::as_bytes(std::span<const double>(acc)), parent, tag);
+      break;
+    }
+    const int child_v = vrank | mask;
+    if (child_v < p) {
+      recv(std::as_writable_bytes(std::span<double>(incoming)),
+           (child_v + root) % p, tag);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += incoming[i];
+    }
+  }
+  if (rank() == root) {
+    GPAWFD_CHECK(out.size() == acc.size());
+    std::memcpy(out.data(), acc.data(), acc.size() * sizeof(double));
+  }
+}
+
+void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
+  GPAWFD_CHECK(in.size() == out.size());
+  reduce_sum(in, out, 0);
+  bcast(std::as_writable_bytes(out), 0);
+}
+
+// Ring allgather: p-1 steps, each rank forwards the block it received in
+// the previous step.
+void Comm::allgather(std::span<const std::byte> in, std::span<std::byte> out) {
+  const int p = size();
+  const int me = rank();
+  const std::size_t blk = in.size();
+  GPAWFD_CHECK(out.size() == blk * static_cast<std::size_t>(p));
+  std::memcpy(out.data() + blk * static_cast<std::size_t>(me), in.data(), blk);
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  const int tag = kCollectiveTagBase + 192;
+  for (int step = 0; step < p - 1; ++step) {
+    // Block that originated at (me - step) moves to the right neighbour.
+    const int send_owner = (me - step + p) % p;
+    const int recv_owner = (me - step - 1 + 2 * p) % p;
+    Request r = irecv(out.subspan(blk * static_cast<std::size_t>(recv_owner), blk),
+                      left, tag + step);
+    send(out.subspan(blk * static_cast<std::size_t>(send_owner), blk), right,
+         tag + step);
+    wait(r);
+  }
+}
+
+}  // namespace gpawfd::mp

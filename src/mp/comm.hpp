@@ -1,0 +1,114 @@
+// Message-passing interface of the library — the MPI-shaped API the
+// distributed finite-difference engine is written against.
+//
+// Two implementations exist:
+//   * mp::ThreadComm — ranks are host threads exchanging real bytes
+//     through in-process mailboxes (functional / correctness mode).
+//   * bgsim::SimComm — the same operations on the Blue Gene/P simulator
+//     advancing virtual time (performance mode; coroutine-based, so it
+//     exposes awaitable variants rather than this blocking interface).
+//
+// Thread modes mirror MPI-2: SINGLE promises only one thread of a rank
+// calls into the library (BGP's cheap mode), MULTIPLE allows any thread
+// at any time at the price of internal locking (what Hybrid multiple
+// needs, and what Hybrid master-only avoids).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpawfd::mp {
+
+enum class ThreadMode { kSingle, kMultiple };
+
+namespace detail {
+struct ReqState;
+}
+
+/// Handle to a pending non-blocking operation. Cheap to copy; completed
+/// requests are inert.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::ReqState> s) : state_(std::move(s)) {}
+  bool valid() const { return state_ != nullptr; }
+  detail::ReqState* state() const { return state_.get(); }
+
+ private:
+  std::shared_ptr<detail::ReqState> state_;
+};
+
+/// Abstract communicator over a fixed set of ranks.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Non-blocking buffered send: the payload is copied out before return,
+  /// so `buf` may be reused immediately (matches how the engine packs a
+  /// fresh face buffer per batch; BGP's DMA engine likewise progresses
+  /// the transfer without CPU involvement).
+  virtual Request isend(std::span<const std::byte> buf, int dst, int tag) = 0;
+
+  /// Non-blocking receive into `buf`, matched on (src, tag) in FIFO order.
+  virtual Request irecv(std::span<std::byte> buf, int src, int tag) = 0;
+
+  virtual void wait(Request& req) = 0;
+
+  void wait_all(std::span<Request> reqs) {
+    for (auto& r : reqs) wait(r);
+  }
+
+  void send(std::span<const std::byte> buf, int dst, int tag) {
+    Request r = isend(buf, dst, tag);
+    wait(r);
+  }
+  void recv(std::span<std::byte> buf, int src, int tag) {
+    Request r = irecv(buf, src, tag);
+    wait(r);
+  }
+
+  // ---- Collectives (generic tree/dissemination algorithms built on the
+  // point-to-point layer; the simulator overrides these with its model of
+  // BGP's dedicated collective and barrier networks). Collective calls
+  // must be made by every rank, with matching arguments, and use the
+  // reserved tag space below.
+
+  virtual void barrier();
+  virtual void bcast(std::span<std::byte> buf, int root);
+  virtual void reduce_sum(std::span<const double> in, std::span<double> out,
+                          int root);
+  virtual void allreduce_sum(std::span<const double> in,
+                             std::span<double> out);
+  double allreduce_sum(double v) {
+    double out = 0;
+    allreduce_sum({&v, 1}, {&out, 1});
+    return out;
+  }
+  /// Gathers `in` (same size on every rank) into `out` ordered by rank.
+  virtual void allgather(std::span<const std::byte> in,
+                         std::span<std::byte> out);
+
+ protected:
+  /// Tags >= kCollectiveTagBase are reserved for collectives.
+  static constexpr int kCollectiveTagBase = 1 << 28;
+};
+
+/// Typed convenience wrappers.
+template <typename T>
+std::span<const std::byte> as_bytes_of(std::span<const T> s) {
+  return std::as_bytes(s);
+}
+template <typename T>
+std::span<std::byte> as_writable_bytes_of(std::span<T> s) {
+  return std::as_writable_bytes(s);
+}
+
+}  // namespace gpawfd::mp

@@ -1,0 +1,143 @@
+#include "sched/plan.hpp"
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace gpawfd::sched {
+
+std::string to_string(Approach a) {
+  switch (a) {
+    case Approach::kFlatOriginal:
+      return "Flat original";
+    case Approach::kFlatOptimized:
+      return "Flat optimized";
+    case Approach::kHybridMultiple:
+      return "Hybrid multiple";
+    case Approach::kHybridMasterOnly:
+      return "Hybrid master-only";
+    case Approach::kFlatOptimizedSubgroups:
+      return "Flat optimized (sub-groups)";
+  }
+  return "?";
+}
+
+bool satisfies_same_subset_requirement(Approach a) {
+  return a != Approach::kFlatOptimizedSubgroups;
+}
+
+std::vector<int> make_batches(int grids, int batch_size, bool ramp_up) {
+  GPAWFD_CHECK(grids >= 0);
+  GPAWFD_CHECK(batch_size >= 1);
+  std::vector<int> out;
+  int remaining = grids;
+  // Ramp-up: halve the first batch so the first compute can start after
+  // only half a batch of un-overlappable exchange (section V). Applied
+  // whenever a full batch would otherwise be the opening message —
+  // including the grids == batch_size case, where it is the only source
+  // of overlap at all.
+  if (ramp_up && batch_size > 1 && remaining >= batch_size) {
+    const int first = batch_size / 2;
+    out.push_back(first);
+    remaining -= first;
+  }
+  while (remaining > 0) {
+    const int b = remaining < batch_size ? remaining : batch_size;
+    out.push_back(b);
+    remaining -= b;
+  }
+  return out;
+}
+
+RunPlan RunPlan::make(Approach approach, const JobConfig& job,
+                      const Optimizations& opt, int total_cores,
+                      int cores_per_node) {
+  GPAWFD_CHECK(total_cores >= 1);
+  GPAWFD_CHECK(cores_per_node >= 1);
+  GPAWFD_CHECK(job.ngrids >= 1);
+  GPAWFD_CHECK(job.iterations >= 1);
+  GPAWFD_CHECK(job.ghost >= 1);
+
+  const bool multi_node = total_cores > cores_per_node;
+  const bool hybrid = approach == Approach::kHybridMultiple ||
+                      approach == Approach::kHybridMasterOnly;
+  const bool subgroups = approach == Approach::kFlatOptimizedSubgroups;
+  if ((hybrid || subgroups) && multi_node) {
+    GPAWFD_CHECK_MSG(total_cores % cores_per_node == 0,
+                     "hybrid approaches need whole nodes, got "
+                         << total_cores << " cores");
+  }
+  const int nodes =
+      multi_node ? total_cores / cores_per_node : 1;
+
+  int nranks, threads, decomp_ranks;
+  if (hybrid) {
+    nranks = nodes;
+    threads = total_cores / nranks;
+    decomp_ranks = nranks;
+  } else if (subgroups) {
+    nranks = total_cores;
+    threads = 1;
+    // Each rank only partitions its sub-group's grids node-deep.
+    decomp_ranks = nodes;
+  } else {
+    nranks = total_cores;
+    threads = 1;
+    decomp_ranks = nranks;
+  }
+
+  auto decomp = grid::Decomposition::best(job.grid_shape, decomp_ranks,
+                                          job.ghost);
+  return RunPlan(approach, job, opt, total_cores, cores_per_node, nranks,
+                 threads, std::move(decomp));
+}
+
+std::vector<int> RunPlan::grids_of_stream(int rank, int stream) const {
+  GPAWFD_CHECK(rank >= 0 && rank < nranks_);
+  GPAWFD_CHECK(stream >= 0 && stream < comm_streams_per_rank());
+  std::vector<int> out;
+  if (approach_ == Approach::kHybridMultiple) {
+    // Whole grids distributed round-robin over the rank's threads.
+    for (int g = stream; g < job_.ngrids; g += threads_per_rank_)
+      out.push_back(g);
+  } else if (approach_ == Approach::kFlatOptimizedSubgroups) {
+    // Whole grids distributed round-robin over the node's ranks.
+    const int ranks_per_cell = nranks_ / decomp_.ranks();
+    const int sub = rank % ranks_per_cell;
+    for (int g = sub; g < job_.ngrids; g += ranks_per_cell) out.push_back(g);
+  } else {
+    out.resize(static_cast<std::size_t>(job_.ngrids));
+    for (int g = 0; g < job_.ngrids; ++g)
+      out[static_cast<std::size_t>(g)] = g;
+  }
+  return out;
+}
+
+std::vector<int> RunPlan::batches_of_stream(int rank, int stream) const {
+  const auto grids = grids_of_stream(rank, stream);
+  return make_batches(static_cast<int>(grids.size()), opt_.batch_size,
+                      opt_.ramp_up && opt_.double_buffering);
+}
+
+Vec3 RunPlan::coords_of_rank(int rank) const {
+  GPAWFD_CHECK(rank >= 0 && rank < nranks_);
+  if (approach_ == Approach::kFlatOptimizedSubgroups) {
+    // Several ranks (one per core of a node) share each decomposition cell.
+    const int ranks_per_cell = nranks_ / decomp_.ranks();
+    return decomp_.coords_of(rank / ranks_per_cell);
+  }
+  return decomp_.coords_of(rank);
+}
+
+std::int64_t RunPlan::face_bytes_per_grid(Vec3 coords, int dim) const {
+  const Vec3 n = decomp_.local_box(coords).shape();
+  std::int64_t cross = 1;
+  for (int d = 0; d < 3; ++d)
+    if (d != dim) cross *= n[d];
+  return cross * job_.ghost * job_.elem_bytes;
+}
+
+std::int64_t RunPlan::points_per_grid(Vec3 coords) const {
+  return decomp_.local_box(coords).volume();
+}
+
+}  // namespace gpawfd::sched

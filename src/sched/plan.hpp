@@ -1,0 +1,163 @@
+// Run planning shared by the functional (real data) and simulated
+// (virtual time) executors. Everything here is pure decision logic —
+// which processes exist, who owns which grids, how grids are chunked
+// into batches, how many bytes each face message carries — so that both
+// executors provably execute the same communication pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "grid/decomposition.hpp"
+
+namespace gpawfd::sched {
+
+/// The four programming approaches of the paper (section VI) plus the
+/// section VII ablation variant.
+enum class Approach {
+  /// Original GPAW: one rank per core (virtual mode), blocking
+  /// dimension-serialized exchange, no batching, no double buffering.
+  kFlatOriginal,
+  /// One rank per core plus all section V optimizations.
+  kFlatOptimized,
+  /// One rank per node, one communicating thread per core, grids
+  /// distributed whole across threads (MPI MULTIPLE).
+  kHybridMultiple,
+  /// One rank per node, only the master thread communicates (MPI
+  /// SINGLE); every grid's computation is split across the cores with a
+  /// thread barrier per batch.
+  kHybridMasterOnly,
+  /// Section VII experiment: flat optimized, but the grids are statically
+  /// divided into cores_per_node sub-groups so each rank partitions its
+  /// sub-group's grids only node-deep. Performance-identical to
+  /// kHybridMultiple; breaks GPAW's same-subset requirement.
+  kFlatOptimizedSubgroups,
+};
+
+std::string to_string(Approach a);
+
+/// Is this approach allowed in a real GPAW run? (The sub-group variant
+/// violates the every-rank-owns-the-same-subset-of-every-grid invariant
+/// that orthogonalization needs.)
+bool satisfies_same_subset_requirement(Approach a);
+
+/// The workload: how GPAW exercises the finite-difference operation.
+struct JobConfig {
+  Vec3 grid_shape = Vec3::cube(144);  // one real-space grid
+  int ngrids = 32;                    // wave functions in flight
+  int ghost = 2;                      // stencil radius (13-point: 2)
+  int elem_bytes = 8;                 // real grids; 16 for complex
+  int iterations = 1;                 // FD sweeps over every grid
+  bool periodic = true;
+};
+
+/// Section V optimizations, individually toggleable for the ablations.
+struct Optimizations {
+  /// Exchange all three dimensions concurrently (vs one at a time,
+  /// blocking, like the original).
+  bool nonblocking_tridim = true;
+  /// Pack `batch_size` grids' halos into each message.
+  int batch_size = 1;
+  /// Overlap batch k's computation with batch k+1's exchange.
+  bool double_buffering = true;
+  /// Halve the first batch so double buffering has work sooner.
+  bool ramp_up = true;
+  /// Map the process grid onto the torus (MPI_Cart_create reorder).
+  bool topology_mapping = true;
+
+  static Optimizations all_on(int batch) {
+    Optimizations o;
+    o.batch_size = batch;
+    return o;
+  }
+  static Optimizations original() {
+    return Optimizations{.nonblocking_tridim = false,
+                         .batch_size = 1,
+                         .double_buffering = false,
+                         .ramp_up = false,
+                         .topology_mapping = true};
+  }
+};
+
+/// Split `grids` items into batches of at most `batch_size`, optionally
+/// halving the first batch (the paper's ramp-up). Sizes sum to `grids`.
+std::vector<int> make_batches(int grids, int batch_size, bool ramp_up);
+
+/// A fully resolved run: machine slice + approach + workload.
+class RunPlan {
+ public:
+  static RunPlan make(Approach approach, const JobConfig& job,
+                      const Optimizations& opt, int total_cores,
+                      int cores_per_node = 4);
+
+  Approach approach() const { return approach_; }
+  const JobConfig& job() const { return job_; }
+  const Optimizations& opt() const { return opt_; }
+  int total_cores() const { return total_cores_; }
+  int cores_per_node() const { return cores_per_node_; }
+  int nodes() const { return total_cores_ / cores_per_node_; }
+
+  /// MPI ranks in the run.
+  int nranks() const { return nranks_; }
+  /// Threads per rank (1 for flat approaches).
+  int threads_per_rank() const { return threads_per_rank_; }
+  /// Independent communication streams per rank (one per thread for
+  /// hybrid multiple, otherwise one).
+  int comm_streams_per_rank() const {
+    return approach_ == Approach::kHybridMultiple ? threads_per_rank_ : 1;
+  }
+
+  /// How every real-space grid is domain-decomposed.
+  const grid::Decomposition& decomp() const { return decomp_; }
+
+  /// Grids whose halo exchange flows through a given comm stream of a
+  /// rank, in processing order. Streams are per-thread in hybrid
+  /// multiple (grid ids g with g % threads == stream) and per-sub-group
+  /// in the sub-group ablation; otherwise all grids.
+  std::vector<int> grids_of_stream(int rank, int stream) const;
+
+  /// Batch sizes for one stream (applies batching + ramp-up config).
+  std::vector<int> batches_of_stream(int rank, int stream) const;
+
+  /// Decomposition coordinates of a rank (cart coords, before any
+  /// physical reorder).
+  Vec3 coords_of_rank(int rank) const;
+
+  /// Face message payload in bytes for one grid, for the rank at
+  /// `coords`, along `dim` (both sides are symmetric).
+  std::int64_t face_bytes_per_grid(Vec3 coords, int dim) const;
+
+  /// Local interior points of one grid on a rank.
+  std::int64_t points_per_grid(Vec3 coords) const;
+
+  /// True when a dimension actually needs network exchange (more than
+  /// one process along it).
+  bool dim_needs_exchange(int dim) const {
+    return decomp_.process_grid()[dim] > 1;
+  }
+
+ private:
+  RunPlan(Approach approach, JobConfig job, Optimizations opt,
+          int total_cores, int cores_per_node, int nranks,
+          int threads_per_rank, grid::Decomposition decomp)
+      : approach_(approach),
+        job_(job),
+        opt_(opt),
+        total_cores_(total_cores),
+        cores_per_node_(cores_per_node),
+        nranks_(nranks),
+        threads_per_rank_(threads_per_rank),
+        decomp_(std::move(decomp)) {}
+
+  Approach approach_;
+  JobConfig job_;
+  Optimizations opt_;
+  int total_cores_;
+  int cores_per_node_;
+  int nranks_;
+  int threads_per_rank_;
+  grid::Decomposition decomp_;
+};
+
+}  // namespace gpawfd::sched

@@ -1,0 +1,87 @@
+// Finite-difference stencil coefficients.
+//
+// The paper's operator is the 13-point stencil: a linear combination of a
+// point, its two nearest neighbours in all six directions, and itself —
+// i.e. a radius-2 central-difference approximation applied independently
+// along each axis (A' = C1*A + C2*A[x-1] + ... + C13*A[z+2]).
+// The canonical instance in GPAW is the 4th-order Laplacian; we also
+// provide radius 1 (2nd order) and radius 3 (6th order) for the kernel
+// sweep benchmarks, plus fully custom coefficients.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/vec3.hpp"
+
+namespace gpawfd::stencil {
+
+inline constexpr int kMaxRadius = 3;
+
+/// Axis-separable symmetric stencil: result(p) = center*A(p) +
+/// sum_d sum_{k=1..radius} axis[d][k-1] * (A(p + k e_d) + A(p - k e_d)).
+struct Coeffs {
+  int radius = 2;
+  double center = 0.0;
+  // axis[d][k-1] is the coefficient of the k-th neighbour along axis d
+  // (same on both sides: central differences are symmetric).
+  std::array<std::array<double, kMaxRadius>, 3> axis{};
+
+  int points() const { return 1 + 6 * radius; }
+
+  /// Central-difference Laplacian with per-axis grid spacing `h` and
+  /// accuracy order 2*radius.
+  static Coeffs laplacian(int radius, Vec3 h_num = {1, 1, 1},
+                          double h_scale = 1.0);
+
+  /// Laplacian with real-valued spacings.
+  static Coeffs laplacian_spacing(int radius, double hx, double hy,
+                                  double hz);
+};
+
+/// Standard central second-derivative weights (unit spacing).
+/// Index 0 is the center weight, index k the weight of the ±k neighbour.
+inline std::array<double, kMaxRadius + 1> second_derivative_weights(
+    int radius) {
+  GPAWFD_CHECK(radius >= 1 && radius <= kMaxRadius);
+  switch (radius) {
+    case 1:
+      return {-2.0, 1.0, 0.0, 0.0};
+    case 2:
+      return {-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0, 0.0};
+    default:
+      return {-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0};
+  }
+}
+
+inline Coeffs Coeffs::laplacian_spacing(int radius, double hx, double hy,
+                                        double hz) {
+  GPAWFD_CHECK(hx > 0 && hy > 0 && hz > 0);
+  const auto w = second_derivative_weights(radius);
+  Coeffs c;
+  c.radius = radius;
+  const double inv2[3] = {1.0 / (hx * hx), 1.0 / (hy * hy),
+                          1.0 / (hz * hz)};
+  c.center = w[0] * (inv2[0] + inv2[1] + inv2[2]);
+  for (int d = 0; d < 3; ++d)
+    for (int k = 1; k <= radius; ++k) c.axis[d][k - 1] = w[k] * inv2[d];
+  return c;
+}
+
+inline Coeffs Coeffs::laplacian(int radius, Vec3 h_num, double h_scale) {
+  return laplacian_spacing(radius, static_cast<double>(h_num.x) * h_scale,
+                           static_cast<double>(h_num.y) * h_scale,
+                           static_cast<double>(h_num.z) * h_scale);
+}
+
+/// Flops per point for an axis-separable stencil of this radius:
+/// one multiply per coefficient application plus the adds combining them.
+/// (1 + 6r multiplies, 6r adds for the +k/-k pairs pre-added — we count
+/// the conventional 2 flops per stencil term minus one.)
+inline std::int64_t flops_per_point(const Coeffs& c) {
+  const std::int64_t terms = 1 + 6 * static_cast<std::int64_t>(c.radius);
+  return 2 * terms - 1;
+}
+
+}  // namespace gpawfd::stencil

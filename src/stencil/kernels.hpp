@@ -1,0 +1,132 @@
+// Stencil kernels: a reference implementation (used as ground truth in
+// tests) and an optimized pointer/stride kernel with a contiguous inner
+// z-loop (the shape of GPAW's C kernel). Both operate on ghost-extended
+// arrays whose ghosts have already been filled by the halo exchange (or
+// by local_periodic_fill / fill_ghosts).
+//
+// The input and output grids are always two separate arrays — GPAW
+// guarantees this, which is what makes the computation order irrelevant
+// and the operation embarrassingly parallel within a sub-grid.
+#pragma once
+
+#include <complex>
+
+#include "grid/array3d.hpp"
+#include "stencil/coeffs.hpp"
+
+namespace gpawfd::stencil {
+
+/// Ground-truth kernel: direct transcription of the paper's formula.
+template <typename T>
+void apply_reference(const grid::Array3D<T>& in, grid::Array3D<T>& out,
+                     const Coeffs& c) {
+  GPAWFD_CHECK(in.shape() == out.shape());
+  GPAWFD_CHECK(in.ghost() >= c.radius);
+  const Vec3 n = in.shape();
+  for (std::int64_t x = 0; x < n.x; ++x)
+    for (std::int64_t y = 0; y < n.y; ++y)
+      for (std::int64_t z = 0; z < n.z; ++z) {
+        T acc = static_cast<T>(c.center) * in.at(x, y, z);
+        for (int k = 1; k <= c.radius; ++k) {
+          acc += static_cast<T>(c.axis[0][k - 1]) *
+                 (in.at(x - k, y, z) + in.at(x + k, y, z));
+          acc += static_cast<T>(c.axis[1][k - 1]) *
+                 (in.at(x, y - k, z) + in.at(x, y + k, z));
+          acc += static_cast<T>(c.axis[2][k - 1]) *
+                 (in.at(x, y, z - k) + in.at(x, y, z + k));
+        }
+        out.at(x, y, z) = acc;
+      }
+}
+
+/// Optimized kernel over an x-slab [x_begin, x_end) of the interior.
+/// Splitting over x-slabs is how the hybrid master-only approach divides
+/// one grid across the four cores of a node.
+template <typename T>
+void apply_slab(const grid::Array3D<T>& in, grid::Array3D<T>& out,
+                const Coeffs& c, std::int64_t x_begin, std::int64_t x_end) {
+  GPAWFD_CHECK(in.shape() == out.shape());
+  GPAWFD_CHECK(in.ghost() >= c.radius);
+  GPAWFD_CHECK(in.storage_shape() == out.storage_shape());
+  GPAWFD_CHECK(0 <= x_begin && x_begin <= x_end && x_end <= in.shape().x);
+  const Vec3 n = in.shape();
+  const std::int64_t sx = in.stride_x();
+  const std::int64_t sy = in.stride_y();
+  const T* __restrict__ src = in.interior();
+  T* __restrict__ dst = out.interior();
+  const int r = c.radius;
+  for (std::int64_t x = x_begin; x < x_end; ++x) {
+    for (std::int64_t y = 0; y < n.y; ++y) {
+      const std::int64_t row = x * sx + y * sy;
+      const T* __restrict__ p = src + row;
+      T* __restrict__ q = dst + row;
+      switch (r) {
+        case 1:
+          for (std::int64_t z = 0; z < n.z; ++z) {
+            q[z] = static_cast<T>(c.center) * p[z] +
+                   static_cast<T>(c.axis[0][0]) * (p[z - sx] + p[z + sx]) +
+                   static_cast<T>(c.axis[1][0]) * (p[z - sy] + p[z + sy]) +
+                   static_cast<T>(c.axis[2][0]) * (p[z - 1] + p[z + 1]);
+          }
+          break;
+        case 2:
+          // The paper's 13-point stencil, fully unrolled.
+          for (std::int64_t z = 0; z < n.z; ++z) {
+            q[z] =
+                static_cast<T>(c.center) * p[z] +
+                static_cast<T>(c.axis[0][0]) * (p[z - sx] + p[z + sx]) +
+                static_cast<T>(c.axis[0][1]) *
+                    (p[z - 2 * sx] + p[z + 2 * sx]) +
+                static_cast<T>(c.axis[1][0]) * (p[z - sy] + p[z + sy]) +
+                static_cast<T>(c.axis[1][1]) *
+                    (p[z - 2 * sy] + p[z + 2 * sy]) +
+                static_cast<T>(c.axis[2][0]) * (p[z - 1] + p[z + 1]) +
+                static_cast<T>(c.axis[2][1]) * (p[z - 2] + p[z + 2]);
+          }
+          break;
+        default:
+          for (std::int64_t z = 0; z < n.z; ++z) {
+            T acc = static_cast<T>(c.center) * p[z];
+            for (int k = 1; k <= r; ++k) {
+              acc += static_cast<T>(c.axis[0][k - 1]) *
+                     (p[z - k * sx] + p[z + k * sx]);
+              acc += static_cast<T>(c.axis[1][k - 1]) *
+                     (p[z - k * sy] + p[z + k * sy]);
+              acc += static_cast<T>(c.axis[2][k - 1]) * (p[z - k] + p[z + k]);
+            }
+            q[z] = acc;
+          }
+      }
+    }
+  }
+}
+
+/// Optimized kernel over the full interior.
+template <typename T>
+void apply(const grid::Array3D<T>& in, grid::Array3D<T>& out,
+           const Coeffs& c) {
+  apply_slab(in, out, c, 0, in.shape().x);
+}
+
+/// One weighted-Jacobi relaxation step for  A u = b  where A is the
+/// stencil: u_out = u_in + omega * (b - A u_in) / (-center).
+/// Used by the Poisson solver; `u_in` must have filled ghosts.
+template <typename T>
+void jacobi_step(const grid::Array3D<T>& u_in, const grid::Array3D<T>& b,
+                 grid::Array3D<T>& u_out, const Coeffs& c, double omega) {
+  GPAWFD_CHECK(u_in.shape() == b.shape());
+  GPAWFD_CHECK(u_in.shape() == u_out.shape());
+  GPAWFD_CHECK(c.center != 0.0);
+  apply(u_in, u_out, c);  // u_out = A u_in
+  const Vec3 n = u_in.shape();
+  const double inv_diag = 1.0 / c.center;
+  for (std::int64_t x = 0; x < n.x; ++x)
+    for (std::int64_t y = 0; y < n.y; ++y)
+      for (std::int64_t z = 0; z < n.z; ++z) {
+        const T resid = b.at(x, y, z) - u_out.at(x, y, z);
+        u_out.at(x, y, z) =
+            u_in.at(x, y, z) + static_cast<T>(omega * inv_diag) * resid;
+      }
+}
+
+}  // namespace gpawfd::stencil

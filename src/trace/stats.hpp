@@ -1,0 +1,77 @@
+// Lightweight instrumentation: phase timers and communication counters.
+// Used by the functional engine (host wall-clock) and mirrored by the
+// simulator (virtual clock) so both report the same schema.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gpawfd::trace {
+
+/// Monotonic wall-clock seconds.
+inline double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates elapsed seconds per named phase. Thread-safe.
+class PhaseTimers {
+ public:
+  class Scoped {
+   public:
+    Scoped(PhaseTimers& t, std::string phase)
+        : timers_(t), phase_(std::move(phase)), start_(now_seconds()) {}
+    ~Scoped() { timers_.add(phase_, now_seconds() - start_); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    PhaseTimers& timers_;
+    std::string phase_;
+    double start_;
+  };
+
+  void add(const std::string& phase, double seconds) {
+    std::lock_guard lock(mu_);
+    acc_[phase] += seconds;
+  }
+  double get(const std::string& phase) const {
+    std::lock_guard lock(mu_);
+    auto it = acc_.find(phase);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+  std::map<std::string, double> snapshot() const {
+    std::lock_guard lock(mu_);
+    return acc_;
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    acc_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> acc_;
+};
+
+/// Communication accounting (per rank or per node, caller's choice).
+struct CommStats {
+  std::atomic<std::int64_t> bytes_sent{0};
+  std::atomic<std::int64_t> bytes_received{0};
+  std::atomic<std::int64_t> messages_sent{0};
+
+  void count_send(std::int64_t bytes) {
+    bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    messages_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_recv(std::int64_t bytes) {
+    bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace gpawfd::trace

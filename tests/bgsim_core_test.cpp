@@ -1,0 +1,223 @@
+// Event loop, coroutine tasks, events, latches, barriers, mutexes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgsim/event_loop.hpp"
+#include "bgsim/task.hpp"
+
+namespace gpawfd::bgsim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(from_us(2.5), 2'500);
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000'000), 1.5);
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+  // 1000 bytes at 1 GB/s = 1000 ns (+1 rounding guard).
+  EXPECT_EQ(transfer_time(1000, 1e9), 1001);
+}
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, TiesFireInInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, NestedSchedulingAdvancesTime) {
+  EventLoop loop;
+  SimTime inner_fired = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { inner_fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(inner_fired, 150);
+}
+
+TEST(EventLoop, PastSchedulingThrows) {
+  EventLoop loop;
+  loop.schedule_at(100, [&] {
+    EXPECT_THROW(loop.schedule_at(50, [] {}), gpawfd::Error);
+  });
+  loop.run();
+}
+
+TEST(EventLoop, CallbackExceptionPropagatesFromRun) {
+  EventLoop loop;
+  loop.schedule_at(1, [] { throw gpawfd::Error("boom"); });
+  EXPECT_THROW(loop.run(), gpawfd::Error);
+}
+
+SimTask delay_chain(EventLoop& loop, std::vector<SimTime>& stamps) {
+  co_await loop.delay(10);
+  stamps.push_back(loop.now());
+  co_await loop.delay(20);
+  stamps.push_back(loop.now());
+}
+
+TEST(SimTaskTest, DelaysAccumulate) {
+  EventLoop loop;
+  std::vector<SimTime> stamps;
+  delay_chain(loop, stamps);
+  loop.run();
+  EXPECT_EQ(stamps, (std::vector<SimTime>{10, 30}));
+}
+
+SimTask two_phase(EventLoop& loop, Event& ev, std::vector<int>& log, int id,
+                  SimTime work) {
+  co_await loop.delay(work);
+  log.push_back(id);
+  ev.set();
+}
+
+SimTask waiter_task(Event& ev, std::vector<int>& log, int id) {
+  co_await ev.wait();
+  log.push_back(id);
+}
+
+TEST(EventTest, WaitersResumeWhenSet) {
+  EventLoop loop;
+  Event ev(loop);
+  std::vector<int> log;
+  waiter_task(ev, log, 100);
+  waiter_task(ev, log, 200);
+  two_phase(loop, ev, log, 1, 50);
+  loop.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 100, 200}));
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(EventTest, WaitOnSetEventDoesNotSuspend) {
+  EventLoop loop;
+  Event ev(loop);
+  ev.set();
+  std::vector<int> log;
+  waiter_task(ev, log, 7);  // runs to completion synchronously
+  EXPECT_EQ(log, (std::vector<int>{7}));
+}
+
+SimTask arrive_later(EventLoop& loop, CountdownLatch& latch, SimTime t) {
+  co_await loop.delay(t);
+  latch.arrive();
+}
+
+SimTask await_latch(CountdownLatch& latch, EventLoop& loop, SimTime& when) {
+  co_await latch.wait();
+  when = loop.now();
+}
+
+TEST(CountdownLatchTest, ReleasesAfterAllArrivals) {
+  EventLoop loop;
+  CountdownLatch latch(loop, 3);
+  SimTime released = -1;
+  await_latch(latch, loop, released);
+  arrive_later(loop, latch, 10);
+  arrive_later(loop, latch, 99);
+  arrive_later(loop, latch, 50);
+  loop.run();
+  EXPECT_EQ(released, 99);  // the slowest arrival
+  EXPECT_TRUE(latch.released());
+}
+
+TEST(CountdownLatchTest, ZeroCountIsReleasedImmediately) {
+  EventLoop loop;
+  CountdownLatch latch(loop, 0);
+  EXPECT_TRUE(latch.released());
+}
+
+TEST(CountdownLatchTest, OverArrivalThrows) {
+  EventLoop loop;
+  CountdownLatch latch(loop, 1);
+  latch.arrive();
+  EXPECT_THROW(latch.arrive(), gpawfd::Error);
+}
+
+SimTask barrier_worker(EventLoop& loop, SimBarrier& b, SimTime work,
+                       std::vector<SimTime>& out) {
+  co_await loop.delay(work);
+  co_await b.arrive_and_wait();
+  out.push_back(loop.now());
+}
+
+TEST(SimBarrierTest, AllPartiesLeaveTogetherAfterSlowest) {
+  EventLoop loop;
+  const SimTime cost = 900;
+  SimBarrier b(loop, 3, cost);
+  std::vector<SimTime> out;
+  barrier_worker(loop, b, 100, out);
+  barrier_worker(loop, b, 5000, out);
+  barrier_worker(loop, b, 2000, out);
+  loop.run();
+  ASSERT_EQ(out.size(), 3u);
+  for (SimTime t : out) EXPECT_EQ(t, 5000 + cost);
+}
+
+TEST(SimBarrierTest, IsCyclic) {
+  EventLoop loop;
+  SimBarrier b(loop, 2, 10);
+  std::vector<SimTime> out;
+  auto worker = [](EventLoop& l, SimBarrier& bar, SimTime work,
+                   std::vector<SimTime>& o) -> SimTask {
+    for (int i = 0; i < 3; ++i) {
+      co_await l.delay(work);
+      co_await bar.arrive_and_wait();
+    }
+    o.push_back(l.now());
+  };
+  worker(loop, b, 10, out);
+  worker(loop, b, 30, out);
+  loop.run();
+  ASSERT_EQ(out.size(), 2u);
+  // Three rounds, each gated by the slower worker: 3 * (30 + 10 cost).
+  EXPECT_EQ(out[0], out[1]);
+  EXPECT_EQ(out[0], 3 * (30 + 10));
+}
+
+SimTask mutex_user(EventLoop& loop, SimMutex& m, SimTime hold,
+                   std::vector<std::pair<SimTime, SimTime>>& spans) {
+  co_await m.acquire();
+  const SimTime t0 = loop.now();
+  co_await loop.delay(hold);
+  spans.emplace_back(t0, loop.now());
+  m.release();
+}
+
+TEST(SimMutexTest, CriticalSectionsNeverOverlap) {
+  EventLoop loop;
+  SimMutex m(loop);
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (int i = 0; i < 4; ++i) mutex_user(loop, m, 100, spans);
+  loop.run();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_GE(spans[i].first, spans[i - 1].second);
+  EXPECT_EQ(spans.back().second, 400);  // fully serialized
+}
+
+SimTask failing_task(EventLoop& loop) {
+  co_await loop.delay(5);
+  throw gpawfd::Error("task exploded");
+}
+
+TEST(SimTaskTest, ExceptionSurfacesThroughRun) {
+  EventLoop loop;
+  failing_task(loop);
+  EXPECT_THROW(loop.run(), gpawfd::Error);
+}
+
+}  // namespace
+}  // namespace gpawfd::bgsim

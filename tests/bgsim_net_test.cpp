@@ -1,0 +1,251 @@
+// Torus network and message fabric model tests.
+#include <gtest/gtest.h>
+
+#include "bgsim/fabric.hpp"
+#include "bgsim/torus.hpp"
+
+namespace gpawfd::bgsim {
+namespace {
+
+MachineConfig cfg() { return MachineConfig::bluegene_p(); }
+
+TEST(TorusDims, MostCubicFactorization) {
+  EXPECT_EQ(torus_dims(1), (Vec3{1, 1, 1}));
+  EXPECT_EQ(torus_dims(8), (Vec3{2, 2, 2}));
+  EXPECT_EQ(torus_dims(512), (Vec3{8, 8, 8}));
+  EXPECT_EQ(torus_dims(4096), (Vec3{16, 16, 16}));
+  EXPECT_EQ(torus_dims(2048), (Vec3{8, 16, 16}));
+  EXPECT_EQ(torus_dims(12), (Vec3{2, 2, 3}));
+}
+
+TEST(TorusNetwork, MeshBelow512Torus512AndAbove) {
+  EventLoop loop;
+  TorusNetwork small(loop, cfg(), {8, 8, 4});    // 256 nodes
+  TorusNetwork large(loop, cfg(), {8, 8, 8});    // 512 nodes
+  EXPECT_FALSE(small.is_torus());
+  EXPECT_TRUE(large.is_torus());
+}
+
+TEST(TorusNetwork, HopCountsTorusWrap) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {8, 8, 8});  // torus
+  const int a = net.node_at({0, 0, 0});
+  EXPECT_EQ(net.hops(a, net.node_at({1, 0, 0})), 1);
+  EXPECT_EQ(net.hops(a, net.node_at({7, 0, 0})), 1);   // wraps
+  EXPECT_EQ(net.hops(a, net.node_at({4, 0, 0})), 4);   // farthest
+  EXPECT_EQ(net.hops(a, net.node_at({3, 2, 7})), 3 + 2 + 1);
+  EXPECT_EQ(net.hops(a, a), 0);
+}
+
+TEST(TorusNetwork, HopCountsMeshNoWrap) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {8, 4, 4});  // 128 nodes: mesh
+  const int a = net.node_at({0, 0, 0});
+  // "Periodic neighbour" is 7 hops away on a mesh.
+  EXPECT_EQ(net.hops(a, net.node_at({7, 0, 0})), 7);
+  EXPECT_EQ(net.hops(a, net.node_at({1, 0, 0})), 1);
+}
+
+TEST(TorusNetwork, SingleTransferTimeMatchesModel) {
+  EventLoop loop;
+  MachineConfig c = cfg();
+  TorusNetwork net(loop, c, {8, 8, 8});
+  const std::int64_t bytes = 1 << 20;
+  const SimTime done =
+      net.submit(net.node_at({0, 0, 0}), net.node_at({1, 0, 0}), bytes);
+  const SimTime expected = c.injection_latency + c.hop_latency +
+                           transfer_time(bytes, c.effective_link_bandwidth());
+  EXPECT_EQ(done, expected);
+  EXPECT_EQ(net.total_link_bytes(), bytes);
+}
+
+TEST(TorusNetwork, ContentionSerializesSharedLink) {
+  EventLoop loop;
+  MachineConfig c = cfg();
+  TorusNetwork net(loop, c, {8, 8, 8});
+  const int src = net.node_at({0, 0, 0});
+  const int dst = net.node_at({1, 0, 0});
+  const std::int64_t bytes = 1 << 20;
+  const SimTime t1 = net.submit(src, dst, bytes);
+  const SimTime t2 = net.submit(src, dst, bytes);
+  const SimTime ser = transfer_time(bytes, c.effective_link_bandwidth());
+  EXPECT_GE(t2, t1 + ser);  // second message queues behind the first
+}
+
+TEST(TorusNetwork, DisjointLinksDoNotContend) {
+  EventLoop loop;
+  MachineConfig c = cfg();
+  TorusNetwork net(loop, c, {8, 8, 8});
+  const int a = net.node_at({0, 0, 0});
+  const std::int64_t bytes = 1 << 20;
+  // Six directions out of one node are six distinct links.
+  const SimTime t1 = net.submit(a, net.node_at({1, 0, 0}), bytes);
+  const SimTime t2 = net.submit(a, net.node_at({7, 0, 0}), bytes);
+  const SimTime t3 = net.submit(a, net.node_at({0, 1, 0}), bytes);
+  const SimTime t4 = net.submit(a, net.node_at({0, 7, 0}), bytes);
+  const SimTime t5 = net.submit(a, net.node_at({0, 0, 1}), bytes);
+  const SimTime t6 = net.submit(a, net.node_at({0, 0, 7}), bytes);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t3);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t5);
+  EXPECT_EQ(t1, t6);
+}
+
+TEST(TorusNetwork, MultiHopAddsLatencyAndBooksEveryLink) {
+  EventLoop loop;
+  MachineConfig c = cfg();
+  TorusNetwork net(loop, c, {8, 8, 8});
+  const std::int64_t bytes = 4096;
+  const SimTime far =
+      net.submit(net.node_at({0, 0, 0}), net.node_at({4, 0, 0}), bytes);
+  EXPECT_EQ(far, c.injection_latency + 4 * c.hop_latency +
+                     transfer_time(bytes, c.effective_link_bandwidth()));
+  // A message using the first link of that route now queues.
+  const SimTime blocked =
+      net.submit(net.node_at({0, 0, 0}), net.node_at({1, 0, 0}), bytes);
+  EXPECT_GT(blocked, far - 3 * c.hop_latency);
+}
+
+TEST(TorusNetwork, LoopbackIsFastAndUsesNoLinks) {
+  EventLoop loop;
+  MachineConfig c = cfg();
+  TorusNetwork net(loop, c, {8, 8, 8});
+  const int n = net.node_at({3, 3, 3});
+  const std::int64_t bytes = 1 << 20;
+  const SimTime done = net.submit(n, n, bytes);
+  EXPECT_EQ(done, c.loopback_latency + transfer_time(bytes, c.loopback_bandwidth));
+  EXPECT_EQ(net.total_link_bytes(), 0);
+  EXPECT_EQ(net.node_link_bytes(n), 0);
+}
+
+TEST(TorusNetwork, MeshWrapTrafficIsSlowerThanTorus) {
+  // The same "periodic neighbour" exchange on a mesh pays the cross-
+  // machine route — the reason the paper needs >= 512-node partitions.
+  const std::int64_t bytes = 100'000;
+  EventLoop loop1;
+  TorusNetwork mesh(loop1, cfg(), {8, 4, 4});
+  const SimTime mesh_t =
+      mesh.submit(mesh.node_at({0, 0, 0}), mesh.node_at({7, 0, 0}), bytes);
+  EventLoop loop2;
+  TorusNetwork torus(loop2, cfg(), {8, 8, 8});
+  const SimTime torus_t = torus.submit(torus.node_at({0, 0, 0}),
+                                       torus.node_at({7, 0, 0}), bytes);
+  EXPECT_GT(mesh_t, torus_t);
+}
+
+// ---- Fabric ---------------------------------------------------------
+
+SimTask recv_then_stamp(EventLoop& loop, Fabric& f, int dst, int src, int tag,
+                        std::int64_t bytes, SimTime& when) {
+  EventPtr ev = f.post_recv(dst, src, tag, bytes);
+  co_await ev->wait();
+  when = loop.now();
+}
+
+TEST(Fabric, SendMatchesPostedRecv) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {2, 2, 2});
+  Fabric f(loop, net, {0, 1, 2, 3, 4, 5, 6, 7});
+  SimTime got = -1;
+  recv_then_stamp(loop, f, 1, 0, 42, 1024, got);
+  f.post_send(0, 1, 42, 1024);
+  loop.run();
+  EXPECT_GT(got, 0);
+  EXPECT_EQ(f.rank_bytes_sent(0), 1024);
+  EXPECT_EQ(f.rank_messages_sent(0), 1);
+  EXPECT_EQ(f.total_bytes_sent(), 1024);
+}
+
+TEST(Fabric, RecvAfterArrivalCompletesImmediately) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {2, 2, 2});
+  Fabric f(loop, net, {0, 1, 2, 3, 4, 5, 6, 7});
+  f.post_send(0, 1, 7, 512);
+  SimTime arrival_flushed = -1;
+  // Drain the delivery first.
+  loop.run();
+  EventPtr ev = f.post_recv(1, 0, 7, 512);
+  EXPECT_TRUE(ev->is_set());
+  (void)arrival_flushed;
+}
+
+TEST(Fabric, TagAndSourceMatchingSeparatesStreams) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {2, 2, 2});
+  Fabric f(loop, net, {0, 1, 2, 3, 4, 5, 6, 7});
+  SimTime got_a = -1, got_b = -1;
+  recv_then_stamp(loop, f, 2, 0, 1, 64, got_a);
+  recv_then_stamp(loop, f, 2, 1, 1, 64, got_b);
+  f.post_send(1, 2, 1, 64);
+  f.post_send(0, 2, 1, 64);
+  loop.run();
+  EXPECT_GT(got_a, 0);
+  EXPECT_GT(got_b, 0);
+}
+
+TEST(Fabric, TooSmallRecvThrowsAtMatch) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {2, 2, 2});
+  Fabric f(loop, net, {0, 1, 2, 3, 4, 5, 6, 7});
+  f.post_send(0, 1, 0, 4096);
+  loop.run();
+  EXPECT_THROW(f.post_recv(1, 0, 0, 16), gpawfd::Error);
+}
+
+TEST(Fabric, VirtualModePlacementSharesNodes) {
+  EventLoop loop;
+  TorusNetwork net(loop, cfg(), {2, 1, 1});
+  // 8 ranks on 2 nodes: ranks 0-3 on node 0 (virtual mode).
+  Fabric f(loop, net, {0, 0, 0, 0, 1, 1, 1, 1});
+  EXPECT_EQ(f.node_of_rank(3), 0);
+  EXPECT_EQ(f.node_of_rank(4), 1);
+  SimTime got = -1;
+  recv_then_stamp(loop, f, 1, 0, 0, 4096, got);
+  f.post_send(0, 1, 0, 4096);  // same node: loopback, no link bytes
+  loop.run();
+  EXPECT_GT(got, 0);
+  EXPECT_EQ(net.total_link_bytes(), 0);
+  EXPECT_EQ(f.rank_bytes_sent(0), 4096);  // MPI-level accounting still counts
+}
+
+// ---- Collective (tree) network model --------------------------------
+
+TEST(TreeNetwork, DepthGrowsLogarithmically) {
+  EXPECT_EQ(MachineConfig::tree_depth(1), 1);
+  EXPECT_EQ(MachineConfig::tree_depth(2), 1);
+  EXPECT_EQ(MachineConfig::tree_depth(512), 9);
+  EXPECT_EQ(MachineConfig::tree_depth(4096), 12);
+}
+
+TEST(TreeNetwork, AllreduceScalesWithDepthAndBytes) {
+  const MachineConfig c = cfg();
+  // Latency-dominated small reduction: grows with node count.
+  EXPECT_LT(c.allreduce_time(512, 8), c.allreduce_time(4096, 8));
+  // Bandwidth-dominated large reduction: grows with payload.
+  EXPECT_LT(c.allreduce_time(512, 1 << 10), c.allreduce_time(512, 1 << 20));
+  // An allreduce costs about two broadcasts' worth of tree traversal.
+  EXPECT_NEAR(static_cast<double>(c.allreduce_time(512, 4096)),
+              2.0 * static_cast<double>(c.bcast_time(512, 4096)), 2.0);
+}
+
+TEST(TreeNetwork, BarrierIsNodeCountIndependent) {
+  const MachineConfig c = cfg();
+  EXPECT_EQ(c.barrier_time(2), c.barrier_time(4096));
+  EXPECT_GT(c.barrier_time(2), 0);
+}
+
+TEST(TreeNetwork, CollectivesBeatTorusForGlobalOps) {
+  // The point of the dedicated tree: a small global reduction over 4096
+  // nodes is far cheaper than even a single cross-machine torus message.
+  const MachineConfig c = cfg();
+  EventLoop loop;
+  TorusNetwork net(loop, c, {16, 16, 16});
+  const SimTime across =
+      net.submit(net.node_at({0, 0, 0}), net.node_at({8, 8, 8}), 8);
+  // Allreduce visits every node yet stays within a small multiple.
+  EXPECT_LT(c.allreduce_time(4096, 8), 100 * across);
+}
+
+}  // namespace
+}  // namespace gpawfd::bgsim

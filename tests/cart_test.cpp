@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "mp/cart.hpp"
+
+namespace gpawfd::mp {
+namespace {
+
+TEST(CartTopology, IdentityRoundTrip) {
+  const auto t = CartTopology::identity({2, 3, 4});
+  EXPECT_EQ(t.size(), 24);
+  for (int r = 0; r < t.size(); ++r)
+    EXPECT_EQ(t.rank_at(t.coords_of_rank(r)), r);
+  EXPECT_EQ(t.coords_of_rank(0), (Vec3{0, 0, 0}));
+  EXPECT_EQ(t.rank_at({1, 2, 3}), 23);
+}
+
+TEST(CartTopology, PeriodicShiftWraps) {
+  const auto t = CartTopology::identity({2, 3, 4});
+  const int r0 = t.rank_at({0, 0, 0});
+  EXPECT_EQ(t.shifted_rank(r0, 0, -1), t.rank_at({1, 0, 0}));
+  EXPECT_EQ(t.shifted_rank(r0, 1, -1), t.rank_at({0, 2, 0}));
+  EXPECT_EQ(t.shifted_rank(r0, 2, 5), t.rank_at({0, 0, 1}));
+  EXPECT_EQ(t.shifted_rank(r0, 2, -8), t.rank_at({0, 0, 0}));
+}
+
+TEST(CartTopology, NonPeriodicEdgeIsProcNull) {
+  const auto t =
+      CartTopology::identity({2, 2, 2}, {false, true, false});
+  const int r0 = t.rank_at({0, 0, 0});
+  EXPECT_EQ(t.shifted_rank(r0, 0, -1), -1);
+  EXPECT_EQ(t.shifted_rank(r0, 1, -1), t.rank_at({0, 1, 0}));
+  EXPECT_EQ(t.shifted_rank(r0, 2, 2), -1);
+  EXPECT_EQ(t.shifted_rank(r0, 0, 1), t.rank_at({1, 0, 0}));
+}
+
+TEST(CartTopology, CustomMappingPermutes) {
+  // Reverse mapping: cart index i -> rank (n-1-i).
+  std::vector<int> map(8);
+  for (int i = 0; i < 8; ++i) map[static_cast<std::size_t>(i)] = 7 - i;
+  const auto t = CartTopology::with_mapping({2, 2, 2}, {true, true, true},
+                                            std::move(map));
+  EXPECT_EQ(t.rank_at({0, 0, 0}), 7);
+  EXPECT_EQ(t.coords_of_rank(7), (Vec3{0, 0, 0}));
+  EXPECT_EQ(t.rank_at({1, 1, 1}), 0);
+}
+
+TEST(CartTopology, ShiftIsInverseOfNegativeShift) {
+  const auto t = CartTopology::identity({3, 4, 5});
+  for (int r = 0; r < t.size(); ++r)
+    for (int d = 0; d < 3; ++d) {
+      const int fwd = t.shifted_rank(r, d, 1);
+      EXPECT_EQ(t.shifted_rank(fwd, d, -1), r);
+    }
+}
+
+TEST(CartTopology, EachRankHasSixNeighborsCoveringTorus) {
+  const auto t = CartTopology::identity({2, 2, 2});
+  for (int r = 0; r < t.size(); ++r) {
+    std::set<int> nbrs;
+    for (int d = 0; d < 3; ++d) {
+      nbrs.insert(t.shifted_rank(r, d, 1));
+      nbrs.insert(t.shifted_rank(r, d, -1));
+    }
+    // On a 2x2x2 torus, +1 and -1 coincide: exactly 3 distinct neighbours.
+    EXPECT_EQ(nbrs.size(), 3u);
+    EXPECT_EQ(nbrs.count(r), 0u);
+  }
+}
+
+TEST(CartTopology, BadMappingsThrow) {
+  EXPECT_THROW(CartTopology::with_mapping({2, 2, 2}, {true, true, true},
+                                          {0, 1, 2}),
+               gpawfd::Error);  // wrong size
+  EXPECT_THROW(CartTopology::with_mapping({2, 1, 1}, {true, true, true},
+                                          {0, 0}),
+               gpawfd::Error);  // not a permutation
+  EXPECT_THROW(CartTopology::with_mapping({2, 1, 1}, {true, true, true},
+                                          {0, 5}),
+               gpawfd::Error);  // out of range
+}
+
+}  // namespace
+}  // namespace gpawfd::mp

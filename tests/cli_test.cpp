@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+namespace gpawfd {
+namespace {
+
+CliParser make() {
+  CliParser p;
+  p.flag("cores", "4096", "core count")
+      .flag("name", "hybrid", "approach name")
+      .flag("ratio", "0.5", "a double")
+      .flag("verbose", "false", "a boolean");
+  return p;
+}
+
+void parse(CliParser& p, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  p.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser p = make();
+  parse(p, {});
+  EXPECT_EQ(p.get_int("cores"), 4096);
+  EXPECT_EQ(p.get("name"), "hybrid");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_FALSE(p.get_bool("verbose"));
+  EXPECT_FALSE(p.is_set("cores"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser p = make();
+  parse(p, {"--cores=128", "--name=flat", "--ratio=1.25"});
+  EXPECT_EQ(p.get_int("cores"), 128);
+  EXPECT_EQ(p.get("name"), "flat");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 1.25);
+  EXPECT_TRUE(p.is_set("cores"));
+}
+
+TEST(Cli, SpaceSyntaxAndBareBoolean) {
+  CliParser p = make();
+  parse(p, {"--cores", "64", "--verbose"});
+  EXPECT_EQ(p.get_int("cores"), 64);
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(Cli, ScientificNotationDouble) {
+  CliParser p = make();
+  parse(p, {"--ratio=4.25e8"});
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 4.25e8);
+}
+
+TEST(Cli, HelpFlag) {
+  CliParser p = make();
+  parse(p, {"--help"});
+  EXPECT_TRUE(p.help_requested());
+  const std::string u = p.usage("prog");
+  EXPECT_NE(u.find("--cores"), std::string::npos);
+  EXPECT_NE(u.find("core count"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser p = make();
+  EXPECT_THROW(parse(p, {"--bogus=1"}), Error);
+}
+
+TEST(Cli, MalformedValuesThrow) {
+  CliParser p = make();
+  parse(p, {"--cores=twelve", "--ratio=abc", "--verbose=maybe"});
+  EXPECT_THROW(p.get_int("cores"), Error);
+  EXPECT_THROW(p.get_double("ratio"), Error);
+  EXPECT_THROW(p.get_bool("verbose"), Error);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  CliParser p = make();
+  EXPECT_THROW(parse(p, {"positional"}), Error);
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  CliParser p;
+  p.flag("x", "1", "h");
+  EXPECT_THROW(p.flag("x", "2", "h"), Error);
+}
+
+TEST(Cli, BooleanSpellings) {
+  CliParser p = make();
+  parse(p, {"--verbose=on"});
+  EXPECT_TRUE(p.get_bool("verbose"));
+  CliParser q = make();
+  parse(q, {"--verbose=0"});
+  EXPECT_FALSE(q.get_bool("verbose"));
+}
+
+}  // namespace
+}  // namespace gpawfd

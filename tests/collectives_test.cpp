@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "mp/thread_comm.hpp"
+
+namespace gpawfd::mp {
+namespace {
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, BarrierSeparatesPhases) {
+  const int p = GetParam();
+  ThreadWorld world(p);
+  std::atomic<int> phase1_count{0};
+  std::atomic<bool> violated{false};
+  world.run([&](ThreadComm& c) {
+    phase1_count.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must have completed phase 1.
+    if (phase1_count.load() != c.size()) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CollectivesTest, BcastFromEveryRoot) {
+  const int p = GetParam();
+  ThreadWorld world(p);
+  world.run([&](ThreadComm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      std::vector<int> data(4, c.rank() == root ? root * 11 : -1);
+      c.bcast(std::as_writable_bytes(std::span<int>(data)), root);
+      for (int v : data) EXPECT_EQ(v, root * 11);
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ReduceSumToEveryRoot) {
+  const int p = GetParam();
+  ThreadWorld world(p);
+  world.run([&](ThreadComm& c) {
+    const int n = c.size();
+    for (int root = 0; root < n; ++root) {
+      std::vector<double> in{static_cast<double>(c.rank()),
+                             1.0};
+      std::vector<double> out(2, -999.0);
+      c.reduce_sum(in, out, root);
+      if (c.rank() == root) {
+        EXPECT_DOUBLE_EQ(out[0], n * (n - 1) / 2.0);
+        EXPECT_DOUBLE_EQ(out[1], n);
+      }
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceSumIdenticalEverywhere) {
+  const int p = GetParam();
+  ThreadWorld world(p);
+  world.run([&](ThreadComm& c) {
+    const double r = static_cast<double>(c.rank() + 1);
+    std::vector<double> in{r, r * r};
+    std::vector<double> out(2);
+    c.allreduce_sum(in, out);
+    const int n = c.size();
+    EXPECT_DOUBLE_EQ(out[0], n * (n + 1) / 2.0);
+    double sq = 0;
+    for (int i = 1; i <= n; ++i) sq += static_cast<double>(i) * i;
+    EXPECT_DOUBLE_EQ(out[1], sq);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), static_cast<double>(n));
+  });
+}
+
+TEST_P(CollectivesTest, AllgatherOrdersByRank) {
+  const int p = GetParam();
+  ThreadWorld world(p);
+  world.run([&](ThreadComm& c) {
+    std::vector<int> mine{c.rank(), c.rank() * 2};
+    std::vector<int> all(static_cast<std::size_t>(2 * c.size()));
+    c.allgather(std::as_bytes(std::span<const int>(mine)),
+                std::as_writable_bytes(std::span<int>(all)));
+    for (int r = 0; r < c.size(); ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], 2 * r);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Collectives, RepeatedBarriersDoNotDeadlock) {
+  ThreadWorld world(6);
+  world.run([](ThreadComm& c) {
+    for (int i = 0; i < 50; ++i) c.barrier();
+  });
+}
+
+TEST(Collectives, LargeBcastPayload) {
+  ThreadWorld world(4);
+  world.run([](ThreadComm& c) {
+    std::vector<double> data(1 << 16);
+    if (c.rank() == 2)
+      std::iota(data.begin(), data.end(), 0.0);
+    c.bcast(std::as_writable_bytes(std::span<double>(data)), 2);
+    EXPECT_DOUBLE_EQ(data.front(), 0.0);
+    EXPECT_DOUBLE_EQ(data.back(), static_cast<double>(data.size() - 1));
+  });
+}
+
+}  // namespace
+}  // namespace gpawfd::mp

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/vec3.hpp"
+
+namespace gpawfd {
+namespace {
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    GPAWFD_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { GPAWFD_CHECK(2 + 2 == 4); }
+
+TEST(Vec3Test, IndexingAndArithmetic) {
+  Vec3 v{1, 2, 3};
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ((v + Vec3{1, 1, 1}), (Vec3{2, 3, 4}));
+  EXPECT_EQ((v * 2), (Vec3{2, 4, 6}));
+  EXPECT_EQ((v * Vec3{2, 3, 4}), (Vec3{2, 6, 12}));
+  EXPECT_EQ(v.product(), 6);
+  EXPECT_EQ(Vec3::cube(5).product(), 125);
+  EXPECT_EQ(v.min(), 1);
+  EXPECT_EQ(v.max(), 3);
+}
+
+TEST(Vec3Test, LinearIndexRoundTrip) {
+  const Vec3 shape{3, 4, 5};
+  std::int64_t expect = 0;
+  for (std::int64_t x = 0; x < 3; ++x)
+    for (std::int64_t y = 0; y < 4; ++y)
+      for (std::int64_t z = 0; z < 5; ++z) {
+        const Vec3 p{x, y, z};
+        EXPECT_EQ(linear_index(p, shape), expect);
+        EXPECT_EQ(delinearize(expect, shape), p);
+        ++expect;
+      }
+}
+
+TEST(Vec3Test, InBounds) {
+  EXPECT_TRUE(in_bounds({0, 0, 0}, {1, 1, 1}));
+  EXPECT_FALSE(in_bounds({1, 0, 0}, {1, 1, 1}));
+  EXPECT_FALSE(in_bounds({-1, 0, 0}, {1, 1, 1}));
+}
+
+TEST(MathTest, CeilDivRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(8, 4), 8);
+}
+
+TEST(MathTest, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1023), 9);
+}
+
+TEST(MathTest, Divisors) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(16384).size(), 15u);  // 2^14 has 15 divisors
+}
+
+TEST(MathTest, FactorTriplesCoverAndMultiply) {
+  for (std::int64_t n : {1, 2, 12, 64, 100}) {
+    const auto triples = factor_triples(n);
+    EXPECT_FALSE(triples.empty());
+    for (Vec3 t : triples) EXPECT_EQ(t.product(), n) << t;
+    // (1,1,n) must be present.
+    EXPECT_NE(std::find(triples.begin(), triples.end(), Vec3{1, 1, n}),
+              triples.end());
+  }
+  // 12 = 2^2*3: number of ordered triples = product over primes of
+  // C(e+2,2) = C(4,2)*C(3,2) = 6*3 = 18.
+  EXPECT_EQ(factor_triples(12).size(), 18u);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(42), b(42), c(43);
+  bool all_equal_c = true;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(TableTest, PrintAndCsv) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("333"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,bb\n1,2\n333,4\n");
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_seconds(2.5), "2.50 s");
+  EXPECT_EQ(fmt_seconds(0.009), "9.00 ms");
+  EXPECT_EQ(fmt_seconds(2.5e-6), "2.50 us");
+  EXPECT_EQ(fmt_bytes(1.5e6), "1.50 MB");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bandwidth(374.1e6), "374.1 MB/s");
+}
+
+}  // namespace
+}  // namespace gpawfd

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "grid/decomposition.hpp"
+
+namespace gpawfd::grid {
+namespace {
+
+TEST(Decomposition, LocalBoxesTileTheGlobalGrid) {
+  const Vec3 g{10, 7, 5};
+  Decomposition d(g, {3, 2, 1}, 1);
+  std::int64_t total = 0;
+  for (std::int64_t r = 0; r < d.ranks(); ++r) {
+    const Box3 b = d.local_box_of_rank(r);
+    EXPECT_FALSE(b.empty());
+    total += b.volume();
+    // No overlap with any other rank.
+    for (std::int64_t q = 0; q < r; ++q)
+      EXPECT_TRUE(intersect(b, d.local_box_of_rank(q)).empty());
+  }
+  EXPECT_EQ(total, g.product());
+}
+
+TEST(Decomposition, RemainderSpreadOverLeadingRanks) {
+  // 10 points over 3 processes -> 4,3,3.
+  Decomposition d({10, 3, 3}, {3, 1, 1}, 1);
+  EXPECT_EQ(d.local_box({0, 0, 0}).shape().x, 4);
+  EXPECT_EQ(d.local_box({1, 0, 0}).shape().x, 3);
+  EXPECT_EQ(d.local_box({2, 0, 0}).shape().x, 3);
+  // Boxes are contiguous.
+  EXPECT_EQ(d.local_box({0, 0, 0}).hi.x, d.local_box({1, 0, 0}).lo.x);
+  EXPECT_EQ(d.local_box({1, 0, 0}).hi.x, d.local_box({2, 0, 0}).lo.x);
+}
+
+TEST(Decomposition, CoordsRankRoundTrip) {
+  Decomposition d({8, 8, 8}, {2, 2, 2}, 2);
+  for (std::int64_t r = 0; r < 8; ++r)
+    EXPECT_EQ(d.rank_of(d.coords_of(r)), r);
+}
+
+TEST(Decomposition, PeriodicNeighbors) {
+  Decomposition d({8, 8, 8}, {2, 4, 1}, 2);
+  EXPECT_EQ(d.neighbor({0, 0, 0}, 0, 0), (Vec3{1, 0, 0}));  // wraps
+  EXPECT_EQ(d.neighbor({0, 0, 0}, 0, 1), (Vec3{1, 0, 0}));
+  EXPECT_EQ(d.neighbor({0, 3, 0}, 1, 1), (Vec3{0, 0, 0}));  // wraps
+  EXPECT_EQ(d.neighbor({0, 2, 0}, 1, 0), (Vec3{0, 1, 0}));
+  EXPECT_EQ(d.neighbor({0, 0, 0}, 2, 1), (Vec3{0, 0, 0}));  // self (p=1)
+}
+
+TEST(Decomposition, BestMinimizesAggregateSurface) {
+  // For a cube and 8 ranks, 2x2x2 is optimal.
+  const auto d = Decomposition::best(Vec3::cube(64), 8, 2);
+  EXPECT_EQ(d.process_grid(), (Vec3{2, 2, 2}));
+  // For 4 ranks on a cube, a 1x2x2-style split beats 1x1x4.
+  const auto d4 = Decomposition::best(Vec3::cube(64), 4, 2);
+  const Vec3 pg = d4.process_grid();
+  std::int64_t ones = 0;
+  for (int i = 0; i < 3; ++i)
+    if (pg[i] == 1) ++ones;
+  EXPECT_EQ(ones, 1);
+  EXPECT_EQ(pg.product(), 4);
+}
+
+TEST(Decomposition, BestPrefersLongDimensionForAnisotropicGrid) {
+  // Grid much longer in x: splitting x costs the least surface.
+  const auto d = Decomposition::best({256, 16, 16}, 4, 2);
+  EXPECT_EQ(d.process_grid(), (Vec3{4, 1, 1}));
+}
+
+TEST(Decomposition, SurfaceCountsMatchHandComputation) {
+  // 64^3 grid, 2x2x2 processes, ghost 2: every rank sends 6 faces of
+  // 2*32*32 points.
+  Decomposition d(Vec3::cube(64), {2, 2, 2}, 2);
+  EXPECT_EQ(d.send_bytes({0, 0, 0}, 1), 6 * 2 * 32 * 32);
+  EXPECT_EQ(d.aggregate_surface(), 8 * 6 * 2 * 32 * 32);
+}
+
+TEST(Decomposition, SingleProcessDimensionCostsNoBytes) {
+  // p=1 in z: periodic wrap is a local copy, not network traffic.
+  // Local shape is (8, 8, 16); x and y faces are counted, z is not.
+  Decomposition d(Vec3::cube(16), {2, 2, 1}, 2);
+  const std::int64_t x_faces = 2 * 2 * (8 * 16);  // sides * ghost * cross
+  const std::int64_t y_faces = 2 * 2 * (8 * 16);
+  EXPECT_EQ(d.send_bytes({0, 0, 0}, 1), x_faces + y_faces);
+  EXPECT_EQ(d.send_bytes({0, 0, 0}, 8), 8 * (x_faces + y_faces));
+}
+
+TEST(Decomposition, TooManyRanksThrows) {
+  EXPECT_THROW(Decomposition::best(Vec3::cube(4), 1024, 2), gpawfd::Error);
+  EXPECT_THROW(Decomposition(Vec3::cube(4), {8, 1, 1}, 2), gpawfd::Error);
+}
+
+TEST(Decomposition, PaperScaleShapes) {
+  // The paper's Fig. 7 job: 192^3 over 4096 nodes (hybrid) and 16384
+  // virtual-mode ranks (flat). Both must decompose; flat cuts 4x finer.
+  const auto hybrid = Decomposition::best(Vec3::cube(192), 4096, 2);
+  const auto flat = Decomposition::best(Vec3::cube(192), 16384, 2);
+  EXPECT_EQ(hybrid.process_grid(), (Vec3{16, 16, 16}));
+  EXPECT_EQ(hybrid.local_box({0, 0, 0}).shape(), Vec3::cube(12));
+  EXPECT_EQ(flat.ranks(), 16384);
+  // The flat decomposition has more aggregate surface per grid.
+  EXPECT_GT(flat.aggregate_surface(), hybrid.aggregate_surface());
+}
+
+}  // namespace
+}  // namespace gpawfd::grid

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gpaw/dense.hpp"
+
+namespace gpawfd::gpaw {
+namespace {
+
+DenseMatrix random_spd(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b(i, j) = rng.uniform(-1, 1);
+  DenseMatrix a = b.transposed() * b;
+  for (int i = 0; i < n; ++i) a(i, i) += n;  // well conditioned
+  return a;
+}
+
+TEST(DenseMatrix, BasicOps) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 5;
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  const DenseMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t(2, 1), 5);
+  const DenseMatrix i3 = DenseMatrix::identity(3);
+  const DenseMatrix p = m * i3;
+  EXPECT_DOUBLE_EQ(p(1, 2), 5);
+}
+
+TEST(DenseMatrix, MultiplicationAgainstHandComputed) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const DenseMatrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Cholesky, ReconstructsInput) {
+  for (int n : {1, 2, 5, 12}) {
+    const DenseMatrix a = random_spd(n, static_cast<std::uint64_t>(n));
+    const DenseMatrix l = cholesky(a);
+    const DenseMatrix recon = l * l.transposed();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(recon(i, j), a(i, j), 1e-10) << n << " " << i << " " << j;
+    // Upper triangle of L is zero.
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), gpawfd::Error);
+}
+
+TEST(TriangularSolve, ForwardSubstitution) {
+  DenseMatrix l(2, 2);
+  l(0, 0) = 2; l(1, 0) = 1; l(1, 1) = 3;
+  const auto x = solve_lower(l, {4, 7});
+  EXPECT_DOUBLE_EQ(x[0], 2);
+  EXPECT_DOUBLE_EQ(x[1], 5.0 / 3.0);
+}
+
+TEST(TriangularSolve, InvertLowerGivesInverse) {
+  const DenseMatrix a = random_spd(6, 99);
+  const DenseMatrix l = cholesky(a);
+  const DenseMatrix li = invert_lower(l);
+  const DenseMatrix prod = l * li;
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(JacobiEigen, DiagonalMatrixIsItsOwnSpectrum) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3; a(1, 1) = -1; a(2, 2) = 2;
+  const EigenResult r = jacobi_eigensolver(a);
+  EXPECT_DOUBLE_EQ(r.values[0], -1);
+  EXPECT_DOUBLE_EQ(r.values[1], 2);
+  EXPECT_DOUBLE_EQ(r.values[2], 3);
+}
+
+TEST(JacobiEigen, TwoByTwoAnalytic) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;  // eigenvalues 1, 3
+  const EigenResult r = jacobi_eigensolver(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, ReconstructsRandomSymmetricMatrix) {
+  const int n = 10;
+  Rng rng(7);
+  DenseMatrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) a(i, j) = a(j, i) = rng.uniform(-2, 2);
+  const EigenResult r = jacobi_eigensolver(a);
+  // Ascending eigenvalues.
+  for (int i = 1; i < n; ++i) EXPECT_LE(r.values[static_cast<std::size_t>(i - 1)],
+                                        r.values[static_cast<std::size_t>(i)]);
+  // A v_j = w_j v_j and orthonormal vectors.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double av = 0;
+      for (int k = 0; k < n; ++k) av += a(i, k) * r.vectors(k, j);
+      EXPECT_NEAR(av, r.values[static_cast<std::size_t>(j)] * r.vectors(i, j),
+                  1e-9);
+    }
+    for (int j2 = 0; j2 < n; ++j2) {
+      double d = 0;
+      for (int k = 0; k < n; ++k) d += r.vectors(k, j) * r.vectors(k, j2);
+      EXPECT_NEAR(d, j == j2 ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpawfd::gpaw

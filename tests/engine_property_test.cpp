@@ -1,0 +1,164 @@
+// Property sweep: randomized grid shapes, rank counts, batch sizes and
+// approaches — the engine must always reproduce the sequential stencil,
+// and its communication volume must match the decomposition's prediction.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/testing.hpp"
+#include "mp/thread_comm.hpp"
+
+namespace gpawfd::core {
+namespace {
+
+using sched::Approach;
+using sched::JobConfig;
+using sched::Optimizations;
+using sched::RunPlan;
+
+struct Case {
+  Approach approach;
+  int total_cores;
+  int cores_per_node;
+  int batch;
+  bool double_buffering;
+  bool ramp;
+};
+
+class EngineProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EngineProperty, MatchesSequentialOnRandomShapes) {
+  const Case c = GetParam();
+  gpawfd::Rng rng(0xC0FFEE ^ (static_cast<std::uint64_t>(c.total_cores) << 8) ^
+          static_cast<std::uint64_t>(c.batch));
+  for (int trial = 0; trial < 3; ++trial) {
+    const Vec3 shape{8 + static_cast<std::int64_t>(rng.next_below(8)),
+                     8 + static_cast<std::int64_t>(rng.next_below(8)),
+                     8 + static_cast<std::int64_t>(rng.next_below(8))};
+    const int ngrids = 1 + static_cast<int>(rng.next_below(12));
+    const bool periodic = rng.next_below(4) != 0;
+
+    JobConfig j;
+    j.grid_shape = shape;
+    j.ngrids = ngrids;
+    j.ghost = 2;
+    j.periodic = periodic;
+    Optimizations o = Optimizations::all_on(c.batch);
+    o.double_buffering = c.double_buffering;
+    o.ramp_up = c.ramp;
+    const auto plan =
+        RunPlan::make(c.approach, j, o, c.total_cores, c.cores_per_node);
+    const auto coeffs = stencil::Coeffs::laplacian(2);
+
+    std::vector<grid::Array3D<double>> expected;
+    for (int g = 0; g < ngrids; ++g)
+      expected.push_back(testing::sequential_reference<double>(
+          shape, j.ghost, g, coeffs, periodic));
+
+    mp::ThreadWorld world(plan.nranks(), mp::ThreadMode::kMultiple);
+    world.run([&](mp::ThreadComm& comm) {
+      DistributedFd<double> engine(comm, plan, coeffs);
+      const grid::Box3 box = plan.decomp().local_box(engine.coords());
+      const auto n = static_cast<std::size_t>(ngrids);
+      std::vector<grid::Array3D<double>> in(n), out(n);
+      for (std::size_t g = 0; g < n; ++g) {
+        in[g] = grid::Array3D<double>(box.shape(), j.ghost);
+        out[g] = grid::Array3D<double>(box.shape(), j.ghost);
+        testing::fill_local(in[g], box, static_cast<int>(g));
+      }
+      engine.apply_all(in, out);
+
+      std::vector<bool> owned(n, false);
+      for (int s = 0; s < plan.comm_streams_per_rank(); ++s)
+        for (int g : plan.grids_of_stream(comm.rank(), s))
+          owned[static_cast<std::size_t>(g)] = true;
+      for (std::size_t g = 0; g < n; ++g) {
+        if (!owned[g]) continue;
+        out[g].for_each_interior([&](Vec3 p, double& v) {
+          ASSERT_NEAR(v, expected[g].at(box.lo + p), 1e-12)
+              << "trial " << trial << " shape " << shape << " grids "
+              << ngrids << " periodic " << periodic << " rank "
+              << comm.rank() << " grid " << g << " at " << p;
+        });
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperty,
+    ::testing::Values(
+        Case{Approach::kFlatOriginal, 4, 4, 1, false, false},
+        Case{Approach::kFlatOriginal, 8, 4, 1, false, false},
+        Case{Approach::kFlatOptimized, 4, 4, 1, true, false},
+        Case{Approach::kFlatOptimized, 8, 4, 2, true, true},
+        Case{Approach::kFlatOptimized, 8, 4, 4, false, false},
+        Case{Approach::kFlatOptimized, 12, 4, 3, true, true},
+        Case{Approach::kHybridMultiple, 8, 4, 1, true, false},
+        Case{Approach::kHybridMultiple, 8, 4, 2, true, true},
+        Case{Approach::kHybridMultiple, 16, 4, 2, true, true},
+        Case{Approach::kHybridMasterOnly, 8, 4, 2, true, true},
+        Case{Approach::kHybridMasterOnly, 16, 4, 4, false, false},
+        Case{Approach::kFlatOptimizedSubgroups, 8, 4, 2, true, true},
+        Case{Approach::kFlatOptimizedSubgroups, 16, 4, 2, true, false}));
+
+/// Communication accounting: total bytes sent by every rank must equal
+/// the decomposition's predicted halo volume (grids x faces), for every
+/// approach. This is the quantity the paper's Fig. 6 plots — and it is
+/// also what the simulator must reproduce exactly.
+class EngineCommVolume : public ::testing::TestWithParam<Approach> {};
+
+TEST_P(EngineCommVolume, MatchesDecompositionPrediction) {
+  const Approach a = GetParam();
+  JobConfig j;
+  j.grid_shape = {16, 12, 12};
+  j.ngrids = 8;
+  j.ghost = 2;
+  const Optimizations o = a == Approach::kFlatOriginal
+                              ? Optimizations::original()
+                              : Optimizations::all_on(2);
+  const auto plan = RunPlan::make(a, j, o, 8, 4);
+  const auto coeffs = stencil::Coeffs::laplacian(2);
+
+  mp::ThreadWorld world(plan.nranks(), mp::ThreadMode::kMultiple);
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(plan.nranks()));
+  world.run([&](mp::ThreadComm& comm) {
+    DistributedFd<double> engine(comm, plan, coeffs);
+    const grid::Box3 box = plan.decomp().local_box(engine.coords());
+    const auto n = static_cast<std::size_t>(j.ngrids);
+    std::vector<grid::Array3D<double>> in(n), out(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      in[g] = grid::Array3D<double>(box.shape(), j.ghost);
+      out[g] = grid::Array3D<double>(box.shape(), j.ghost);
+      testing::fill_local(in[g], box, static_cast<int>(g));
+    }
+    engine.apply_all(in, out);
+    sent[static_cast<std::size_t>(comm.rank())] =
+        comm.stats().bytes_sent.load();
+  });
+
+  for (int r = 0; r < plan.nranks(); ++r) {
+    // Grids flowing through this rank's streams:
+    std::int64_t grids = 0;
+    for (int s = 0; s < plan.comm_streams_per_rank(); ++s)
+      grids += std::ssize(plan.grids_of_stream(r, s));
+    const std::int64_t expected =
+        grids * plan.decomp().send_bytes(plan.coords_of_rank(r),
+                                         j.elem_bytes);
+    EXPECT_EQ(sent[static_cast<std::size_t>(r)], expected)
+        << to_string(a) << " rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApproaches, EngineCommVolume,
+                         ::testing::Values(
+                             Approach::kFlatOriginal,
+                             Approach::kFlatOptimized,
+                             Approach::kHybridMultiple,
+                             Approach::kHybridMasterOnly,
+                             Approach::kFlatOptimizedSubgroups));
+
+}  // namespace
+}  // namespace gpawfd::core

@@ -1,0 +1,159 @@
+// Figure-driver tests: extrapolation validity, batch search sanity, and
+// the calibration bands for the paper's headline numbers (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include "bgsim/torus.hpp"
+#include "core/figures.hpp"
+
+namespace gpawfd::core {
+namespace {
+
+using bgsim::MachineConfig;
+using sched::Approach;
+using sched::JobConfig;
+using sched::Optimizations;
+
+JobConfig paper_job(int ngrids) {
+  JobConfig j;
+  j.grid_shape = Vec3::cube(192);
+  j.ngrids = ngrids;
+  return j;
+}
+
+/// Run time must be affine in the grid count once past the pipeline
+/// ramp-up — the property the scaled driver relies on.
+TEST(ScaledSimulation, TimeIsAffineInGridCount) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const Optimizations o = Optimizations::all_on(8);
+  const int cores = 512;
+  auto t = [&](int n) {
+    const auto plan =
+        sched::RunPlan::make(Approach::kHybridMultiple, paper_job(n), o,
+                             cores, 4);
+    return simulate(plan, m).seconds;
+  };
+  const double t1 = t(128), t2 = t(256), t3 = t(384);
+  const double slope_a = t2 - t1, slope_b = t3 - t2;
+  EXPECT_NEAR(slope_b / slope_a, 1.0, 0.05);
+}
+
+TEST(ScaledSimulation, MatchesDirectBelowCap) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const Optimizations o = Optimizations::all_on(8);
+  const auto direct = simulate(
+      sched::RunPlan::make(Approach::kFlatOptimized, paper_job(64), o, 256, 4),
+      m);
+  const auto scaled = simulate_scaled(Approach::kFlatOptimized, paper_job(64),
+                                      o, 256, 4, m, {.grid_cap = 256});
+  EXPECT_EQ(direct.seconds, scaled.seconds);
+  EXPECT_EQ(direct.bytes_sent_total, scaled.bytes_sent_total);
+}
+
+TEST(ScaledSimulation, ExtrapolationCloseToDirect) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const Optimizations o = Optimizations::all_on(8);
+  // Direct at 512 grids vs extrapolated from <=256.
+  const auto direct = simulate(
+      sched::RunPlan::make(Approach::kHybridMultiple, paper_job(512), o, 512,
+                           4),
+      m);
+  const auto scaled =
+      simulate_scaled(Approach::kHybridMultiple, paper_job(512), o, 512, 4, m,
+                      {.grid_cap = 256});
+  EXPECT_NEAR(scaled.seconds / direct.seconds, 1.0, 0.03);
+  EXPECT_EQ(scaled.bytes_sent_total, direct.bytes_sent_total);
+}
+
+TEST(BestBatch, GrowsWithScaleAndStaysAdmissible) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const int small = best_batch_size(Approach::kHybridMultiple, paper_job(256),
+                                    Optimizations::all_on(1), 64, 4, m);
+  const int large = best_batch_size(Approach::kHybridMultiple, paper_job(256),
+                                    Optimizations::all_on(1), 4096, 4, m);
+  EXPECT_GE(small, 1);
+  EXPECT_LE(small, 64);  // per-stream grid count
+  EXPECT_GE(large, 4);   // tiny sub-grids need batch aggregation
+  EXPECT_GE(large, small);
+}
+
+/// Figure 2 calibration: the bandwidth curve's knee and asymptote.
+TEST(Calibration, Fig2KneeAndAsymptote) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  auto bandwidth = [&](std::int64_t bytes) {
+    bgsim::EventLoop loop;
+    bgsim::TorusNetwork net(loop, m, {8, 8, 8});
+    const auto done =
+        net.submit(net.node_at({0, 0, 0}), net.node_at({1, 0, 0}), bytes);
+    return static_cast<double>(bytes) / bgsim::to_seconds(done);
+  };
+  const double peak = bandwidth(10'000'000);
+  EXPECT_GT(peak, 340e6);  // paper asymptote ~370-390 MB/s
+  EXPECT_LT(peak, 400e6);
+  // Half bandwidth around 10^3 bytes (paper), i.e. in [200, 5000].
+  EXPECT_LT(bandwidth(200), 0.5 * peak);
+  EXPECT_GT(bandwidth(5000), 0.5 * peak);
+  // Monotone in message size.
+  double prev = 0;
+  for (std::int64_t s : {10, 100, 1000, 10000, 100000}) {
+    const double bw = bandwidth(s);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+/// The headline calibration at 16384 cores (section VII/VIII): bands
+/// around the paper's numbers, not exact matches.
+TEST(Calibration, HeadlineNumbersAt16kCores) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig job = paper_job(2816);
+  const double seq = simulate_sequential_seconds(job, m);
+
+  const auto fo = simulate_scaled(Approach::kFlatOriginal, job,
+                                  Optimizations::original(), 16384, 4, m);
+  const auto fopt = simulate_scaled(Approach::kFlatOptimized, job,
+                                    Optimizations::all_on(64), 16384, 4, m);
+  const auto hm = simulate_scaled(Approach::kHybridMultiple, job,
+                                  Optimizations::all_on(64), 16384, 4, m);
+  const auto fo1k = simulate_scaled(Approach::kFlatOriginal, job,
+                                    Optimizations::original(), 1024, 4, m);
+
+  // Paper: 1.94x at 16384 cores.
+  EXPECT_GT(fo.seconds / hm.seconds, 1.6);
+  EXPECT_LT(fo.seconds / hm.seconds, 2.3);
+  // Paper: hybrid ~10% faster than flat optimized.
+  EXPECT_GT(fopt.seconds / hm.seconds, 1.02);
+  EXPECT_LT(fopt.seconds / hm.seconds, 1.25);
+  // Paper: utilization 36% -> 70%.
+  const double util_fo = seq / (16384 * fo.seconds);
+  const double util_hm = seq / (16384 * hm.seconds);
+  EXPECT_GT(util_fo, 0.28);
+  EXPECT_LT(util_fo, 0.45);
+  EXPECT_GT(util_hm, 0.60);
+  EXPECT_LT(util_hm, 0.85);
+  // Paper: ~16.5x vs flat original at 1k.
+  EXPECT_GT(fo1k.seconds / hm.seconds, 14.0);
+  EXPECT_LT(fo1k.seconds / hm.seconds, 22.0);
+  // Fig. 6 right axis: flat sends ~1.67x the hybrid bytes per node.
+  EXPECT_NEAR(static_cast<double>(fo.bytes_sent_total) /
+                  static_cast<double>(hm.bytes_sent_total),
+              1.67, 0.25);
+}
+
+/// Mesh vs torus: a sub-512-node partition pays for its periodic wrap
+/// traffic (section V's requirement of >= 512 nodes for a torus).
+TEST(Calibration, MeshPartitionSlowerThanTorusPartition) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  // 256 nodes: mesh. Compare against an an otherwise-identical machine
+  // where the torus threshold is lowered so wrap links exist.
+  MachineConfig torus_anyway = m;
+  torus_anyway.torus_min_nodes = 1;
+  const JobConfig job = paper_job(256);
+  const auto plan = sched::RunPlan::make(Approach::kHybridMultiple, job,
+                                         Optimizations::all_on(8), 1024, 4);
+  const double mesh_t = simulate(plan, m).seconds;
+  const double torus_t = simulate(plan, torus_anyway).seconds;
+  EXPECT_GT(mesh_t, torus_t);
+}
+
+}  // namespace
+}  // namespace gpawfd::core

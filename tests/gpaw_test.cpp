@@ -1,0 +1,342 @@
+// Mini-GPAW integration tests: distributed field algebra, wave-function
+// orthonormalization, the Poisson solver and the eigensolver — each
+// validated against analytic results and against single-rank runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gpaw/eigensolver.hpp"
+#include "gpaw/poisson.hpp"
+#include "mp/thread_comm.hpp"
+
+namespace gpawfd::gpaw {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Domain, GeometryAndVolumeElement) {
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, {16, 16, 16}, 0.25);
+    EXPECT_EQ(d.global_shape(), Vec3::cube(16));
+    EXPECT_DOUBLE_EQ(d.dv(), 0.25 * 0.25 * 0.25);
+    EXPECT_EQ(d.decomp().ranks(), 4);
+    EXPECT_EQ(d.box().shape().product(), 16 * 16 * 16 / 4);
+  });
+}
+
+TEST(Domain, DotSumMeanAreDecompositionInvariant) {
+  // The same global field must give the same integrals on 1 and 8 ranks.
+  auto run = [](int ranks) {
+    double dot = 0, sum = 0, mean = 0;
+    mp::ThreadWorld world(ranks);
+    world.run([&](mp::ThreadComm& c) {
+      Domain d(c, {12, 12, 12}, 0.5);
+      auto f = d.make_field();
+      auto g = d.make_field();
+      d.fill(f, [](Vec3 p) { return std::sin(0.1 * static_cast<double>(p.x + 2 * p.y)); });
+      d.fill(g, [](Vec3 p) { return 0.3 + 0.01 * static_cast<double>(p.z); });
+      if (c.rank() == 0) {
+        dot = d.dot(f, g);
+        sum = d.sum(f);
+        mean = d.mean(g);
+      } else {
+        d.dot(f, g);  // collectives need every rank
+        d.sum(f);
+        d.mean(g);
+      }
+    });
+    return std::array<double, 3>{dot, sum, mean};
+  };
+  const auto a = run(1);
+  const auto b = run(8);
+  EXPECT_NEAR(a[0], b[0], 1e-10);
+  EXPECT_NEAR(a[1], b[1], 1e-10);
+  EXPECT_NEAR(a[2], b[2], 1e-10);
+}
+
+TEST(WaveFunctionsTest, OverlapIsSymmetricAndDecompositionInvariant) {
+  auto overlap_trace = [](int ranks) {
+    double trace = 0;
+    mp::ThreadWorld world(ranks);
+    world.run([&](mp::ThreadComm& c) {
+      Domain d(c, {12, 12, 12}, 0.4);
+      WaveFunctions wfs(d, 5);
+      wfs.randomize(2024);
+      const DenseMatrix s = wfs.overlap();
+      for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 5; ++j)
+          EXPECT_NEAR(s(i, j), s(j, i), 1e-14);
+      if (c.rank() == 0)
+        for (int i = 0; i < 5; ++i) trace += s(i, i);
+    });
+    return trace;
+  };
+  EXPECT_NEAR(overlap_trace(1), overlap_trace(6), 1e-10);
+}
+
+TEST(WaveFunctionsTest, GramSchmidtProducesOrthonormalSet) {
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, {12, 12, 12}, 0.4);
+    WaveFunctions wfs(d, 6);
+    wfs.randomize(11);
+    wfs.gram_schmidt();
+    const DenseMatrix s = wfs.overlap();
+    for (int i = 0; i < 6; ++i)
+      for (int j = 0; j < 6; ++j)
+        EXPECT_NEAR(s(i, j), i == j ? 1.0 : 0.0, 1e-12) << i << "," << j;
+  });
+}
+
+TEST(WaveFunctionsTest, CholeskyOrthonormalizeMatchesGramSchmidtSpan) {
+  mp::ThreadWorld world(2);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, {10, 10, 10}, 0.4);
+    WaveFunctions wfs(d, 4);
+    wfs.randomize(3);
+    wfs.cholesky_orthonormalize();
+    const DenseMatrix s = wfs.overlap();
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        EXPECT_NEAR(s(i, j), i == j ? 1.0 : 0.0, 1e-12);
+  });
+}
+
+TEST(WaveFunctionsTest, RotationPreservesOrthonormality) {
+  mp::ThreadWorld world(2);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, {10, 10, 10}, 0.4);
+    WaveFunctions wfs(d, 3);
+    wfs.randomize(5);
+    wfs.cholesky_orthonormalize();
+    // Rotate by a (proper) rotation in band space.
+    DenseMatrix u = DenseMatrix::identity(3);
+    const double a = 0.3;
+    u(0, 0) = std::cos(a); u(0, 1) = -std::sin(a);
+    u(1, 0) = std::sin(a); u(1, 1) = std::cos(a);
+    wfs.rotate(u);
+    const DenseMatrix s = wfs.overlap();
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        EXPECT_NEAR(s(i, j), i == j ? 1.0 : 0.0, 1e-12);
+  });
+}
+
+TEST(Poisson, RecoversManufacturedPeriodicSolution) {
+  mp::ThreadWorld world(8);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 16;
+    const double L = 1.0;
+    const double h = L / n;
+    Domain d(c, Vec3::cube(n), h);
+    // phi_exact = sin(2 pi x / L); rho = -Lap(phi)/(4 pi) (analytically
+    // (2pi/L)^2 sin(..) / (4 pi)). The discrete solver must reproduce
+    // phi up to the stencil's discretization error.
+    auto rho = d.make_field();
+    const double k = 2.0 * kPi / L;
+    d.fill(rho, [&](Vec3 p) {
+      return k * k * std::sin(k * static_cast<double>(p.x) * h) / (4.0 * kPi);
+    });
+    auto phi = d.make_field();
+    PoissonSolver::Options o;
+    o.tolerance = 1e-10;
+    PoissonSolver solver(d, o);
+    const auto res = solver.solve(phi, rho);
+    EXPECT_TRUE(res.converged) << res.relative_residual;
+
+    double max_err = 0;
+    phi.for_each_interior([&](Vec3 p, double& v) {
+      const double exact =
+          std::sin(k * static_cast<double>((d.box().lo + p).x) * h);
+      max_err = std::max(max_err, std::fabs(v - exact));
+    });
+    // 4th-order stencil at n=16: discretization error ~(kh)^4/30 ~ 6e-3.
+    EXPECT_LT(max_err, 2e-2);
+  });
+}
+
+TEST(Poisson, ResidualDecreasesMonotonically) {
+  mp::ThreadWorld world(1);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, Vec3::cube(8), 0.5);
+    auto rho = d.make_field();
+    d.fill(rho, [](Vec3 p) { return p.x == 2 && p.y == 2 && p.z == 2 ? 1.0 : 0.0; });
+    auto phi = d.make_field();
+    PoissonSolver::Options o;
+    o.max_iterations = 50;
+    o.tolerance = 0;  // run all iterations
+    PoissonSolver solver(d, o);
+    const auto r1 = solver.solve(phi, rho);
+    o.max_iterations = 200;
+    PoissonSolver solver2(d, o);
+    auto phi2 = d.make_field();
+    const auto r2 = solver2.solve(phi2, rho);
+    EXPECT_LT(r2.relative_residual, r1.relative_residual);
+  });
+}
+
+TEST(HamiltonianTest, PlaneWaveKineticEigenvalue) {
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 16;
+    const double h = 2.0 * kPi / n;  // box [0, 2 pi)
+    Domain d(c, Vec3::cube(n), h);
+    auto v0 = d.make_field();  // zero potential
+    Hamiltonian ham(d, std::move(v0), /*nbands=*/1);
+    std::vector<grid::Array3D<double>> psi(1), hpsi(1);
+    psi[0] = d.make_field();
+    hpsi[0] = d.make_field();
+    d.fill(psi[0], [&](Vec3 p) {
+      return std::sin(static_cast<double>(p.x) * h);
+    });
+    ham.apply(psi, hpsi);
+    // H sin(x) = 1/2 sin(x) up to the discrete symbol: compare against
+    // the stencil's own eigenvalue lambda = -1/2 * symbol(k=1).
+    const auto& kc = ham.kinetic_coeffs();
+    double lambda = kc.center;
+    for (int kk = 1; kk <= kc.radius; ++kk) {
+      lambda += 2.0 * kc.axis[0][kk - 1] * std::cos(kk * h);  // k_x = 1
+      lambda += 2.0 * kc.axis[1][kk - 1];                     // k_y = 0
+      lambda += 2.0 * kc.axis[2][kk - 1];                     // k_z = 0
+    }
+    hpsi[0].for_each_interior([&](Vec3 p, double& v) {
+      const double expected =
+          lambda * std::sin(static_cast<double>((d.box().lo + p).x) * h);
+      EXPECT_NEAR(v, expected, 1e-10);
+    });
+    EXPECT_NEAR(lambda, 0.5, 0.01);  // 4th-order accurate kinetic energy
+  });
+}
+
+TEST(HamiltonianTest, PotentialTermIsPointwise) {
+  mp::ThreadWorld world(2);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, Vec3::cube(8), 0.5);
+    auto v = d.make_field();
+    d.fill(v, [](Vec3 p) { return static_cast<double>(p.x); });
+    Hamiltonian ham(d, std::move(v), 1);
+    std::vector<grid::Array3D<double>> psi(1), hpsi(1);
+    psi[0] = d.make_field();
+    hpsi[0] = d.make_field();
+    psi[0].fill(1.0);  // constant: kinetic term vanishes (periodic)
+    ham.apply(psi, hpsi);
+    hpsi[0].for_each_interior([&](Vec3 p, double& val) {
+      EXPECT_NEAR(val, static_cast<double>((d.box().lo + p).x), 1e-10);
+    });
+  });
+}
+
+TEST(HamiltonianTest, SpectralUpperBoundDominatesRayleighQuotients) {
+  mp::ThreadWorld world(2);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, Vec3::cube(8), 0.5);
+    auto v = d.make_field();
+    d.fill(v, [](Vec3 p) { return 0.1 * static_cast<double>(p.x + p.y); });
+    Hamiltonian ham(d, std::move(v), 3);
+    const double bound = ham.spectral_upper_bound();
+    WaveFunctions wfs(d, 3);
+    wfs.randomize(17);
+    wfs.cholesky_orthonormalize();
+    std::vector<grid::Array3D<double>> hpsi(3);
+    for (auto& f : hpsi) f = d.make_field();
+    ham.apply(wfs.storage(), hpsi);
+    for (int b = 0; b < 3; ++b)
+      EXPECT_LT(d.dot(wfs.band(b), hpsi[static_cast<std::size_t>(b)]), bound);
+  });
+}
+
+TEST(Eigensolver, ParticleInPeriodicBoxMatchesDiscreteSpectrum) {
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 12;
+    const double L = 2.0 * kPi;
+    const double h = L / n;
+    Domain d(c, Vec3::cube(n), h);
+    auto v0 = d.make_field();
+    const int nbands = 4;
+    Hamiltonian ham(d, std::move(v0), nbands);
+    WaveFunctions wfs(d, nbands);
+    wfs.randomize(123);
+    EigensolverOptions o;
+    o.max_iterations = 200;
+    o.tolerance = 1e-11;
+    const auto res = solve_lowest_eigenstates(ham, wfs, o);
+    EXPECT_TRUE(res.converged);
+
+    // Discrete spectrum: lambda(k) = -1/2 sum_d symbol_d(k_d) with the
+    // stencil symbol; lowest values are k=(0,0,0) then the six k=1
+    // states (triply degenerate pairs): E0 = 0, E1..E3 = lambda1.
+    const auto& kc = ham.kinetic_coeffs();
+    auto sym1d = [&](int k) {
+      double s = kc.center / 3.0;
+      for (int kk = 1; kk <= kc.radius; ++kk)
+        s += 2.0 * kc.axis[0][kk - 1] *
+             std::cos(2.0 * kPi * kk * k / n);
+      return s;
+    };
+    const double e0 = 3 * sym1d(0);
+    const double e1 = 2 * sym1d(0) + sym1d(1);  // (1,0,0) and permutations
+    EXPECT_NEAR(res.eigenvalues[0], e0, 1e-8);
+    for (int b = 1; b < nbands; ++b)
+      EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(b)], e1, 1e-6)
+          << "band " << b;
+  });
+}
+
+TEST(Eigensolver, HarmonicWellGroundStateNearAnalytic) {
+  mp::ThreadWorld world(8);
+  world.run([](mp::ThreadComm& c) {
+    // 3-D harmonic oscillator V = 1/2 w^2 r^2, ground state E = 3/2 w.
+    const int n = 24;
+    const double L = 12.0;
+    const double h = L / n;
+    const double w = 1.0;
+    Domain d(c, Vec3::cube(n), h);
+    auto v = d.make_field();
+    d.fill(v, [&](Vec3 p) {
+      auto axis = [&](std::int64_t q) {
+        const double x = (static_cast<double>(q) - n / 2.0) * h;
+        return x * x;
+      };
+      return 0.5 * w * w * (axis(p.x) + axis(p.y) + axis(p.z));
+    });
+    Hamiltonian ham(d, std::move(v), 1);
+    WaveFunctions wfs(d, 1);
+    wfs.randomize(77);
+    EigensolverOptions o;
+    o.max_iterations = 200;
+    o.tolerance = 1e-10;
+    const auto res = solve_lowest_eigenstates(ham, wfs, o);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.eigenvalues[0], 1.5 * w, 0.02);
+  });
+}
+
+TEST(Eigensolver, DecompositionInvariantEigenvalues) {
+  auto ground_state = [](int ranks) {
+    double e = 0;
+    mp::ThreadWorld world(ranks);
+    world.run([&](mp::ThreadComm& c) {
+      Domain d(c, Vec3::cube(10), 0.6);
+      auto v = d.make_field();
+      d.fill(v, [](Vec3 p) {
+        return 0.05 * static_cast<double>((p.x - 5) * (p.x - 5));
+      });
+      Hamiltonian ham(d, std::move(v), 2);
+      WaveFunctions wfs(d, 2);
+      wfs.randomize(31);
+      EigensolverOptions o;
+      o.max_iterations = 200;
+      o.tolerance = 1e-11;
+      const auto res = solve_lowest_eigenstates(ham, wfs, o);
+      if (c.rank() == 0) e = res.eigenvalues[0];
+    });
+    return e;
+  };
+  EXPECT_NEAR(ground_state(1), ground_state(8), 1e-7);
+}
+
+}  // namespace
+}  // namespace gpawfd::gpaw

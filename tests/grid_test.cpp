@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "grid/array3d.hpp"
+#include "grid/box.hpp"
+
+namespace gpawfd::grid {
+namespace {
+
+TEST(Box3Test, ShapeVolumeContains) {
+  Box3 b{{1, 2, 3}, {4, 6, 8}};
+  EXPECT_EQ(b.shape(), (Vec3{3, 4, 5}));
+  EXPECT_EQ(b.volume(), 60);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains({1, 2, 3}));
+  EXPECT_FALSE(b.contains({4, 2, 3}));
+  EXPECT_TRUE((Box3{{0, 0, 0}, {0, 1, 1}}).empty());
+}
+
+TEST(Box3Test, Intersection) {
+  Box3 a{{0, 0, 0}, {4, 4, 4}};
+  Box3 b{{2, 2, 2}, {6, 6, 6}};
+  EXPECT_EQ(intersect(a, b), (Box3{{2, 2, 2}, {4, 4, 4}}));
+  Box3 c{{5, 5, 5}, {6, 6, 6}};
+  EXPECT_TRUE(intersect(a, c).empty());
+}
+
+TEST(Array3DTest, ShapeAndStrides) {
+  Array3D<double> a({3, 4, 5}, 2);
+  EXPECT_EQ(a.shape(), (Vec3{3, 4, 5}));
+  EXPECT_EQ(a.storage_shape(), (Vec3{7, 8, 9}));
+  EXPECT_EQ(a.ghost(), 2);
+  EXPECT_EQ(a.interior_points(), 60);
+  EXPECT_EQ(a.stride_x(), 72);
+  EXPECT_EQ(a.stride_y(), 9);
+}
+
+TEST(Array3DTest, InteriorPointerMatchesAt) {
+  Array3D<double> a({3, 4, 5}, 1);
+  a.at(0, 0, 0) = 42.0;
+  a.at(1, 2, 3) = 7.0;
+  EXPECT_EQ(a.interior()[0], 42.0);
+  EXPECT_EQ(a.interior()[1 * a.stride_x() + 2 * a.stride_y() + 3], 7.0);
+}
+
+TEST(Array3DTest, GhostIndexing) {
+  Array3D<double> a({2, 2, 2}, 2);
+  a.at(-2, 0, 0) = 1.0;
+  a.at(1, 1, 3) = 2.0;  // high-z ghost
+  EXPECT_EQ(a.at(-2, 0, 0), 1.0);
+  EXPECT_EQ(a.at(1, 1, 3), 2.0);
+}
+
+TEST(Array3DTest, FillGhostsLeavesInterior) {
+  Array3D<double> a({3, 3, 3}, 2);
+  a.fill(5.0);
+  a.fill_ghosts(-1.0);
+  a.for_each_interior([](Vec3, double& v) { EXPECT_EQ(v, 5.0); });
+  EXPECT_EQ(a.at(-1, 0, 0), -1.0);
+  EXPECT_EQ(a.at(3, 1, 1), -1.0);
+  EXPECT_EQ(a.at(0, -2, 2), -1.0);
+}
+
+TEST(FaceCodec, FacePointCounts) {
+  Array3D<double> a({3, 4, 5}, 2);
+  EXPECT_EQ(face_points(a, 0), 2 * 4 * 5);
+  EXPECT_EQ(face_points(a, 1), 2 * 3 * 5);
+  EXPECT_EQ(face_points(a, 2), 2 * 3 * 4);
+}
+
+TEST(FaceCodec, PackUnpackRoundTripBetweenArrays) {
+  // Simulate the exchange between two neighbours along x: the high slab of
+  // `left` becomes the low ghost of `right`.
+  const Vec3 n{4, 3, 5};
+  Array3D<double> left(n, 2), right(n, 2);
+  Rng rng(1);
+  left.for_each_interior([&](Vec3, double& v) { v = rng.next_double(); });
+
+  AlignedVector<double> buf(static_cast<std::size_t>(face_points(left, 0)));
+  pack_face(left, Face{0, 1}, std::span<double>(buf.data(), buf.size()));
+  unpack_ghost(right, Face{0, 0}, std::span<const double>(buf.data(), buf.size()));
+
+  for (std::int64_t j = 0; j < 2; ++j)  // ghost slab rows
+    for (std::int64_t y = 0; y < n.y; ++y)
+      for (std::int64_t z = 0; z < n.z; ++z)
+        EXPECT_EQ(right.at(j - 2, y, z), left.at(n.x - 2 + j, y, z));
+}
+
+TEST(FaceCodec, LocalPeriodicFillWrapsAllDims) {
+  const Vec3 n{4, 5, 6};
+  Array3D<double> a(n, 2);
+  int counter = 0;
+  a.for_each_interior([&](Vec3, double& v) { v = ++counter; });
+  local_periodic_fill(a);
+
+  // Ghosts must equal the periodically wrapped interior point.
+  for (int d = 0; d < 3; ++d) {
+    for (std::int64_t k = 1; k <= 2; ++k) {
+      Vec3 lo_ghost{1, 1, 1}, hi_ghost{1, 1, 1};
+      lo_ghost[d] = -k;
+      hi_ghost[d] = n[d] - 1 + k;
+      Vec3 lo_wrap = lo_ghost, hi_wrap = hi_ghost;
+      lo_wrap[d] = n[d] - k;
+      hi_wrap[d] = k - 1;
+      EXPECT_EQ(a.at(lo_ghost), a.at(lo_wrap)) << "dim " << d << " k " << k;
+      EXPECT_EQ(a.at(hi_ghost), a.at(hi_wrap)) << "dim " << d << " k " << k;
+    }
+  }
+}
+
+TEST(FaceCodec, ComplexElements) {
+  using C = std::complex<double>;
+  Array3D<C> a({3, 3, 3}, 1), b({3, 3, 3}, 1);
+  a.for_each_interior([](Vec3 p, C& v) {
+    v = C(static_cast<double>(p.x), static_cast<double>(p.z));
+  });
+  AlignedVector<C> buf(static_cast<std::size_t>(face_points(a, 2)));
+  pack_face(a, Face{2, 1}, std::span<C>(buf.data(), buf.size()));
+  unpack_ghost(b, Face{2, 0}, std::span<const C>(buf.data(), buf.size()));
+  EXPECT_EQ(b.at(1, 1, -1), (C{1.0, 2.0}));
+}
+
+TEST(FaceCodec, SizeMismatchThrows) {
+  Array3D<double> a({3, 3, 3}, 1);
+  AlignedVector<double> buf(5);  // wrong size (needs 9)
+  EXPECT_THROW(pack_face(a, Face{0, 0}, std::span<double>(buf.data(), buf.size())),
+               gpawfd::Error);
+  EXPECT_THROW(unpack_ghost(a, Face{0, 0}, std::span<const double>(buf.data(), buf.size())),
+               gpawfd::Error);
+}
+
+TEST(Array3DTest, ZeroGhostArrayWorks) {
+  Array3D<double> a({2, 2, 2}, 0);
+  EXPECT_EQ(a.storage_shape(), (Vec3{2, 2, 2}));
+  a.at(1, 1, 1) = 3.0;
+  EXPECT_EQ(a.at(1, 1, 1), 3.0);
+}
+
+}  // namespace
+}  // namespace gpawfd::grid

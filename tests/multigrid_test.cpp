@@ -1,0 +1,150 @@
+// Multigrid Poisson solver: convergence rate, agreement with the plain
+// Jacobi solver, decomposition invariance, and level construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gpaw/multigrid.hpp"
+#include "gpaw/poisson.hpp"
+#include "mp/thread_comm.hpp"
+
+namespace gpawfd::gpaw {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+grid::Array3D<double> sin_rho(const Domain& d, double L) {
+  auto rho = d.make_field();
+  const double k = 2.0 * kPi / L;
+  const double h = d.spacing();
+  d.fill(rho, [&](Vec3 p) {
+    return k * k * std::sin(k * static_cast<double>(p.x) * h) / (4.0 * kPi);
+  });
+  return rho;
+}
+
+TEST(Multigrid, BuildsAFullHierarchy) {
+  mp::ThreadWorld world(1);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, Vec3::cube(32), 0.25);
+    MultigridPoissonSolver mg(d);
+    // 32 -> 16 -> 8 -> 4 -> 2: stops when local extent < 2.
+    EXPECT_GE(mg.levels(), 4);
+  });
+}
+
+TEST(Multigrid, FewerLevelsWhenDistributed) {
+  mp::ThreadWorld world(8);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, Vec3::cube(32), 0.25);  // 2x2x2 process grid, local 16^3
+    MultigridPoissonSolver mg(d);
+    // Coarsening stops once a local extent would fall under 2:
+    // local 16 -> 8 -> 4 -> 2.
+    EXPECT_GE(mg.levels(), 3);
+    EXPECT_LE(mg.levels(), 4);
+  });
+}
+
+TEST(Multigrid, ConvergesInFewCyclesWhereJacobiNeedsThousands) {
+  mp::ThreadWorld world(1);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 32;
+    const double L = 1.0;
+    Domain d(c, Vec3::cube(n), L / n);
+    auto rho = sin_rho(d, L);
+    auto phi = d.make_field();
+    MultigridOptions o;
+    o.tolerance = 1e-9;
+    MultigridPoissonSolver mg(d, o);
+    const auto res = mg.solve(phi, rho);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.cycles, 25) << "V-cycles should converge fast";
+  });
+}
+
+TEST(Multigrid, MatchesJacobiSolverSolution) {
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 16;
+    const double L = 1.0;
+    Domain d(c, Vec3::cube(n), L / n);
+    auto rho = sin_rho(d, L);
+
+    auto phi_mg = d.make_field();
+    MultigridOptions mo;
+    mo.tolerance = 1e-10;
+    MultigridPoissonSolver mg(d, mo);
+    const auto mg_res = mg.solve(phi_mg, rho);
+    EXPECT_TRUE(mg_res.converged);
+
+    auto phi_j = d.make_field();
+    PoissonSolver::Options jo;
+    jo.tolerance = 1e-10;
+    PoissonSolver jacobi(d, jo);
+    const auto j_res = jacobi.solve(phi_j, rho);
+    EXPECT_TRUE(j_res.converged);
+
+    double max_diff = 0;
+    phi_mg.for_each_interior([&](Vec3 p, double& v) {
+      max_diff = std::max(max_diff, std::fabs(v - phi_j.at(p)));
+    });
+    EXPECT_LT(max_diff, 1e-7);
+  });
+}
+
+TEST(Multigrid, DecompositionInvariantSolution) {
+  auto solve_probe = [](int ranks) {
+    double probe = 0;
+    mp::ThreadWorld world(ranks);
+    world.run([&](mp::ThreadComm& c) {
+      const int n = 16;
+      Domain d(c, Vec3::cube(n), 1.0 / n);
+      auto rho = sin_rho(d, 1.0);
+      auto phi = d.make_field();
+      MultigridOptions o;
+      o.tolerance = 1e-11;
+      MultigridPoissonSolver mg(d, o);
+      mg.solve(phi, rho);
+      const Vec3 pt{3, 5, 7};
+      double local = d.box().contains(pt) ? phi.at(pt - d.box().lo) : 0.0;
+      const double total = c.allreduce_sum(local);
+      if (c.rank() == 0) probe = total;
+    });
+    return probe;
+  };
+  EXPECT_NEAR(solve_probe(1), solve_probe(8), 1e-8);
+}
+
+TEST(Multigrid, ResidualDropsByOrdersOfMagnitudePerCycle) {
+  mp::ThreadWorld world(1);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 32;
+    Domain d(c, Vec3::cube(n), 1.0 / n);
+    auto rho = sin_rho(d, 1.0);
+    auto phi = d.make_field();
+    // One cycle vs three cycles.
+    MultigridOptions o1;
+    o1.max_cycles = 1;
+    o1.tolerance = 0;
+    MultigridPoissonSolver mg1(d, o1);
+    const auto r1 = mg1.solve(phi, rho);
+    auto phi3 = d.make_field();
+    MultigridOptions o3 = o1;
+    o3.max_cycles = 3;
+    MultigridPoissonSolver mg3(d, o3);
+    const auto r3 = mg3.solve(phi3, rho);
+    EXPECT_LT(r3.relative_residual, r1.relative_residual * 0.2);
+  });
+}
+
+TEST(Multigrid, NonPeriodicDomainRejected) {
+  mp::ThreadWorld world(1);
+  world.run([](mp::ThreadComm& c) {
+    Domain d(c, Vec3::cube(16), 0.5, 2, /*periodic=*/false);
+    EXPECT_THROW(MultigridPoissonSolver{d}, gpawfd::Error);
+  });
+}
+
+}  // namespace
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "sched/plan.hpp"
+
+namespace gpawfd::sched {
+namespace {
+
+JobConfig small_job() {
+  JobConfig j;
+  j.grid_shape = Vec3::cube(24);
+  j.ngrids = 32;
+  return j;
+}
+
+TEST(MakeBatches, SumsToTotalAndRespectsCap) {
+  for (int grids : {0, 1, 7, 8, 32, 100}) {
+    for (int batch : {1, 3, 8, 128}) {
+      for (bool ramp : {false, true}) {
+        const auto b = make_batches(grids, batch, ramp);
+        EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), grids);
+        for (int s : b) {
+          EXPECT_GE(s, 1);
+          EXPECT_LE(s, batch);
+        }
+      }
+    }
+  }
+}
+
+TEST(MakeBatches, RampHalvesFirstBatch) {
+  const auto b = make_batches(32, 8, true);
+  EXPECT_EQ(b.front(), 4);  // the paper's "128 reduced to 64" rule
+  EXPECT_EQ(b, (std::vector<int>{4, 8, 8, 8, 4}));
+  const auto nb = make_batches(32, 8, false);
+  EXPECT_EQ(nb, (std::vector<int>{8, 8, 8, 8}));
+}
+
+TEST(MakeBatches, RampAppliesAtExactBatchMultiple) {
+  // grids == batch: without the ramp there would be a single batch and
+  // no overlap at all.
+  EXPECT_EQ(make_batches(8, 8, true), (std::vector<int>{4, 4}));
+  EXPECT_EQ(make_batches(6, 8, true), (std::vector<int>{6}));  // < batch
+}
+
+TEST(ApproachNames, AllDistinct) {
+  std::set<std::string> names;
+  for (Approach a :
+       {Approach::kFlatOriginal, Approach::kFlatOptimized,
+        Approach::kHybridMultiple, Approach::kHybridMasterOnly,
+        Approach::kFlatOptimizedSubgroups})
+    names.insert(to_string(a));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(ApproachTraits, SameSubsetRequirement) {
+  EXPECT_TRUE(satisfies_same_subset_requirement(Approach::kFlatOriginal));
+  EXPECT_TRUE(satisfies_same_subset_requirement(Approach::kHybridMultiple));
+  EXPECT_FALSE(
+      satisfies_same_subset_requirement(Approach::kFlatOptimizedSubgroups));
+}
+
+TEST(RunPlan, FlatUsesOneRankPerCore) {
+  const auto p = RunPlan::make(Approach::kFlatOptimized, small_job(),
+                               Optimizations::all_on(8), 32, 4);
+  EXPECT_EQ(p.nranks(), 32);
+  EXPECT_EQ(p.threads_per_rank(), 1);
+  EXPECT_EQ(p.comm_streams_per_rank(), 1);
+  EXPECT_EQ(p.nodes(), 8);
+  EXPECT_EQ(p.decomp().ranks(), 32);
+}
+
+TEST(RunPlan, HybridUsesOneRankPerNode) {
+  const auto p = RunPlan::make(Approach::kHybridMultiple, small_job(),
+                               Optimizations::all_on(8), 32, 4);
+  EXPECT_EQ(p.nranks(), 8);
+  EXPECT_EQ(p.threads_per_rank(), 4);
+  EXPECT_EQ(p.comm_streams_per_rank(), 4);
+  EXPECT_EQ(p.decomp().ranks(), 8);  // 4x coarser than flat
+}
+
+TEST(RunPlan, MasterOnlyHasOneCommStream) {
+  const auto p = RunPlan::make(Approach::kHybridMasterOnly, small_job(),
+                               Optimizations::all_on(8), 32, 4);
+  EXPECT_EQ(p.nranks(), 8);
+  EXPECT_EQ(p.threads_per_rank(), 4);
+  EXPECT_EQ(p.comm_streams_per_rank(), 1);
+}
+
+TEST(RunPlan, SubgroupsPartitionNodeDeepWithRankPerCore) {
+  const auto p = RunPlan::make(Approach::kFlatOptimizedSubgroups,
+                               small_job(), Optimizations::all_on(8), 32, 4);
+  EXPECT_EQ(p.nranks(), 32);
+  EXPECT_EQ(p.threads_per_rank(), 1);
+  EXPECT_EQ(p.decomp().ranks(), 8);  // node-deep like hybrid
+  // Ranks 0..3 share the same cell but own disjoint grid subsets.
+  EXPECT_EQ(p.coords_of_rank(0), p.coords_of_rank(3));
+  const auto g0 = p.grids_of_stream(0, 0);
+  const auto g1 = p.grids_of_stream(1, 0);
+  std::set<int> all(g0.begin(), g0.end());
+  for (int g : g1) EXPECT_EQ(all.count(g), 0u);
+}
+
+TEST(RunPlan, HybridThreadsPartitionGridsExactly) {
+  const auto p = RunPlan::make(Approach::kHybridMultiple, small_job(),
+                               Optimizations::all_on(8), 32, 4);
+  std::set<int> seen;
+  for (int t = 0; t < 4; ++t) {
+    for (int g : p.grids_of_stream(0, t)) {
+      EXPECT_TRUE(seen.insert(g).second) << "grid " << g << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 31);
+}
+
+TEST(RunPlan, FlatStreamSeesAllGrids) {
+  const auto p = RunPlan::make(Approach::kFlatOriginal, small_job(),
+                               Optimizations::original(), 32, 4);
+  EXPECT_EQ(p.grids_of_stream(5, 0).size(), 32u);
+}
+
+TEST(RunPlan, BatchesRespectPerStreamGridCounts) {
+  const auto p = RunPlan::make(Approach::kHybridMultiple, small_job(),
+                               Optimizations::all_on(8), 32, 4);
+  // 8 grids per thread, batch 8, ramp on but double-buffered: first 4.
+  const auto b = p.batches_of_stream(0, 0);
+  EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), 8);
+}
+
+TEST(RunPlan, FaceBytesMatchDecomposition) {
+  JobConfig j = small_job();  // 24^3
+  const auto p = RunPlan::make(Approach::kFlatOptimized, j,
+                               Optimizations::all_on(8), 8, 4);
+  // 8 ranks -> 2x2x2, local 12^3, face = 2 * 12*12 * 8 bytes.
+  EXPECT_EQ(p.decomp().process_grid(), Vec3::cube(2));
+  for (int d = 0; d < 3; ++d)
+    EXPECT_EQ(p.face_bytes_per_grid({0, 0, 0}, d), 2 * 144 * 8);
+  EXPECT_EQ(p.points_per_grid({0, 0, 0}), 12 * 12 * 12);
+  EXPECT_TRUE(p.dim_needs_exchange(0));
+}
+
+TEST(RunPlan, SingleCoreHasNoExchange) {
+  const auto p = RunPlan::make(Approach::kFlatOriginal, small_job(),
+                               Optimizations::original(), 1, 4);
+  EXPECT_EQ(p.nranks(), 1);
+  for (int d = 0; d < 3; ++d) EXPECT_FALSE(p.dim_needs_exchange(d));
+}
+
+TEST(RunPlan, PartialNodeHybridWorks) {
+  const auto p = RunPlan::make(Approach::kHybridMultiple, small_job(),
+                               Optimizations::all_on(8), 2, 4);
+  EXPECT_EQ(p.nranks(), 1);
+  EXPECT_EQ(p.threads_per_rank(), 2);
+}
+
+TEST(RunPlan, ComplexElementsDoubleFaceBytes) {
+  JobConfig j = small_job();
+  j.elem_bytes = 16;
+  const auto p = RunPlan::make(Approach::kFlatOptimized, j,
+                               Optimizations::all_on(8), 8, 4);
+  EXPECT_EQ(p.face_bytes_per_grid({0, 0, 0}, 0), 2 * 144 * 16);
+}
+
+TEST(RunPlan, InvalidConfigsThrow) {
+  JobConfig j = small_job();
+  j.ngrids = 0;
+  EXPECT_THROW(RunPlan::make(Approach::kFlatOptimized, j,
+                             Optimizations::all_on(8), 8, 4),
+               gpawfd::Error);
+  EXPECT_THROW(RunPlan::make(Approach::kHybridMultiple, small_job(),
+                             Optimizations::all_on(8), 42, 4),
+               gpawfd::Error);  // not whole nodes
+}
+
+}  // namespace
+}  // namespace gpawfd::sched

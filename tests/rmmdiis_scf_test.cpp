@@ -1,0 +1,150 @@
+// RMM-DIIS eigensolver and the Hartree SCF loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gpaw/rmmdiis.hpp"
+#include "gpaw/scf.hpp"
+#include "mp/thread_comm.hpp"
+
+namespace gpawfd::gpaw {
+namespace {
+
+grid::Array3D<double> harmonic_potential(const Domain& d, int n, double h,
+                                         double w) {
+  auto v = d.make_field();
+  d.fill(v, [&](Vec3 p) {
+    auto x2 = [&](std::int64_t q) {
+      const double x = (static_cast<double>(q) - n / 2.0) * h;
+      return x * x;
+    };
+    return 0.5 * w * w * (x2(p.x) + x2(p.y) + x2(p.z));
+  });
+  return v;
+}
+
+TEST(RmmDiis, HarmonicWellMatchesChebyshevSolver) {
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 20;
+    const double h = 0.55;
+    Domain d(c, Vec3::cube(n), h);
+    const int nbands = 2;
+
+    Hamiltonian h1(d, harmonic_potential(d, n, h, 1.0), nbands);
+    WaveFunctions wfs1(d, nbands);
+    wfs1.randomize(9);
+    EigensolverOptions co;
+    co.tolerance = 1e-10;
+    const auto cheb = solve_lowest_eigenstates(h1, wfs1, co);
+    ASSERT_TRUE(cheb.converged);
+
+    Hamiltonian h2(d, harmonic_potential(d, n, h, 1.0), nbands);
+    WaveFunctions wfs2(d, nbands);
+    wfs2.randomize(10);
+    RmmDiisOptions ro;
+    ro.max_iterations = 300;
+    ro.tolerance = 1e-10;
+    const auto rmm = rmm_diis_solve(h2, wfs2, ro);
+    EXPECT_TRUE(rmm.converged);
+
+    for (int b = 0; b < nbands; ++b)
+      EXPECT_NEAR(rmm.eigenvalues[static_cast<std::size_t>(b)],
+                  cheb.eigenvalues[static_cast<std::size_t>(b)], 1e-6)
+          << "band " << b;
+  });
+}
+
+TEST(RmmDiis, ResidualNormsShrink) {
+  mp::ThreadWorld world(2);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 16;
+    Domain d(c, Vec3::cube(n), 0.6);
+    Hamiltonian h(d, harmonic_potential(d, n, 0.6, 1.0), 2);
+    WaveFunctions wfs(d, 2);
+    wfs.randomize(3);
+    RmmDiisOptions o;
+    o.max_iterations = 60;
+    o.tolerance = 1e-9;
+    const auto res = rmm_diis_solve(h, wfs, o);
+    for (double r : res.residual_norms) EXPECT_LT(r, 1e-2);
+  });
+}
+
+TEST(Scf, NonInteractingLimitReproducesBareEigenvalues) {
+  // With zero occupation the Hartree potential vanishes and the SCF
+  // eigenvalues must equal the bare (one-shot) ones.
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 16;
+    const double h = 0.6;
+    Domain d(c, Vec3::cube(n), h);
+
+    Hamiltonian bare(d, harmonic_potential(d, n, h, 1.0), 1);
+    WaveFunctions wfs0(d, 1);
+    wfs0.randomize(5);
+    EigensolverOptions eo;
+    eo.tolerance = 1e-10;
+    const auto ref = solve_lowest_eigenstates(bare, wfs0, eo);
+
+    ScfOptions so;
+    so.eigensolver.tolerance = 1e-10;
+    ScfLoop scf(d, harmonic_potential(d, n, h, 1.0), {0.0}, so);
+    WaveFunctions wfs(d, 1);
+    wfs.randomize(6);
+    const auto res = scf.run(wfs);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.eigenvalues[0], ref.eigenvalues[0], 1e-7);
+    EXPECT_NEAR(res.total_energy, 0.0, 1e-10);  // zero occupation
+  });
+}
+
+TEST(Scf, HartreeRepulsionRaisesTheLevel) {
+  // Two electrons in the well: their mutual Hartree repulsion must push
+  // the one-particle level above the bare 1.5 (and converge).
+  mp::ThreadWorld world(4);
+  world.run([](mp::ThreadComm& c) {
+    const int n = 16;
+    const double h = 0.7;
+    Domain d(c, Vec3::cube(n), h);
+    ScfOptions so;
+    so.density_tolerance = 1e-7;
+    so.eigensolver.tolerance = 1e-9;
+    ScfLoop scf(d, harmonic_potential(d, n, h, 1.0), {2.0}, so);
+    WaveFunctions wfs(d, 1);
+    wfs.randomize(7);
+    const auto res = scf.run(wfs);
+    EXPECT_TRUE(res.converged) << res.density_change;
+    EXPECT_GT(res.eigenvalues[0], 1.5);
+    EXPECT_LT(res.eigenvalues[0], 4.0);
+    // E_total = 2 eps - E_H < 2 eps (double counting removed).
+    EXPECT_LT(res.total_energy, 2 * res.eigenvalues[0]);
+    EXPECT_GT(res.total_energy, 2 * 1.5 - 1e-9);
+  });
+}
+
+TEST(Scf, DecompositionInvariant) {
+  auto run = [](int ranks) {
+    double e = 0;
+    mp::ThreadWorld world(ranks);
+    world.run([&](mp::ThreadComm& c) {
+      const int n = 16;
+      const double h = 0.7;
+      Domain d(c, Vec3::cube(n), h);
+      ScfOptions so;
+      so.density_tolerance = 1e-8;
+      so.eigensolver.tolerance = 1e-10;
+      ScfLoop scf(d, harmonic_potential(d, n, h, 1.0), {2.0}, so);
+      WaveFunctions wfs(d, 1);
+      wfs.randomize(7);
+      const auto res = scf.run(wfs);
+      if (c.rank() == 0) e = res.total_energy;
+    });
+    return e;
+  };
+  EXPECT_NEAR(run(1), run(8), 1e-6);
+}
+
+}  // namespace
+}  // namespace gpawfd::gpaw

@@ -1,0 +1,211 @@
+// Simulated-executor tests: cross-validation against the functional
+// engine's communication accounting, and structural timing properties
+// (overlap helps, batching helps at scale, hybrid partitions coarser).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/sim_executor.hpp"
+#include "core/testing.hpp"
+#include "mp/thread_comm.hpp"
+
+namespace gpawfd::core {
+namespace {
+
+using bgsim::MachineConfig;
+using sched::Approach;
+using sched::JobConfig;
+using sched::Optimizations;
+using sched::RunPlan;
+
+JobConfig job(Vec3 shape, int ngrids) {
+  JobConfig j;
+  j.grid_shape = shape;
+  j.ngrids = ngrids;
+  j.ghost = 2;
+  return j;
+}
+
+TEST(StencilFlops, ThirteenPointIs25) {
+  EXPECT_EQ(stencil_flops_per_point(2), 25);
+  EXPECT_EQ(stencil_flops_per_point(1), 13);
+}
+
+TEST(SimExecutor, SequentialBaselineScalesWithWork) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  JobConfig j1 = job(Vec3::cube(32), 8);
+  JobConfig j2 = job(Vec3::cube(32), 16);  // twice the grids
+  const double t1 = simulate_sequential_seconds(j1, m);
+  const double t2 = simulate_sequential_seconds(j2, m);
+  EXPECT_GT(t1, 0);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(SimExecutor, DeterministicAcrossRuns) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const auto plan = RunPlan::make(Approach::kHybridMultiple,
+                                  job(Vec3::cube(48), 32),
+                                  Optimizations::all_on(8), 64, 4);
+  const SimResult a = simulate(plan, m);
+  const SimResult b = simulate(plan, m);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.bytes_sent_total, b.bytes_sent_total);
+  EXPECT_EQ(a.messages_total, b.messages_total);
+}
+
+/// The decisive cross-check: for identical plans, the simulator must
+/// inject exactly the bytes the functional engine sends through the real
+/// in-process transport.
+class SimVsFunctionalBytes : public ::testing::TestWithParam<Approach> {};
+
+TEST_P(SimVsFunctionalBytes, ByteForByte) {
+  const Approach a = GetParam();
+  JobConfig j = job({16, 12, 12}, 8);
+  const Optimizations o = a == Approach::kFlatOriginal
+                              ? Optimizations::original()
+                              : Optimizations::all_on(2);
+  const auto plan = RunPlan::make(a, j, o, 8, 4);
+
+  // Functional run.
+  const auto coeffs = stencil::Coeffs::laplacian(2);
+  mp::ThreadWorld world(plan.nranks(), mp::ThreadMode::kMultiple);
+  std::atomic<std::int64_t> functional_bytes{0}, functional_msgs{0};
+  world.run([&](mp::ThreadComm& comm) {
+    DistributedFd<double> engine(comm, plan, coeffs);
+    const grid::Box3 box = plan.decomp().local_box(engine.coords());
+    const auto n = static_cast<std::size_t>(j.ngrids);
+    std::vector<grid::Array3D<double>> in(n), out(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      in[g] = grid::Array3D<double>(box.shape(), j.ghost);
+      out[g] = grid::Array3D<double>(box.shape(), j.ghost);
+      testing::fill_local(in[g], box, static_cast<int>(g));
+    }
+    engine.apply_all(in, out);
+    functional_bytes += comm.stats().bytes_sent.load();
+    functional_msgs += comm.stats().messages_sent.load();
+  });
+
+  // Simulated run.
+  const SimResult sim = simulate(plan, MachineConfig::bluegene_p());
+  EXPECT_EQ(sim.bytes_sent_total, functional_bytes.load()) << to_string(a);
+  EXPECT_EQ(sim.messages_total, functional_msgs.load()) << to_string(a);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApproaches, SimVsFunctionalBytes,
+                         ::testing::Values(
+                             Approach::kFlatOriginal,
+                             Approach::kFlatOptimized,
+                             Approach::kHybridMultiple,
+                             Approach::kHybridMasterOnly,
+                             Approach::kFlatOptimizedSubgroups));
+
+TEST(SimExecutor, NonblockingBeatsSerializedExchange) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig j = job(Vec3::cube(96), 64);
+  const int cores = 512;
+  const auto serial = RunPlan::make(Approach::kFlatOriginal, j,
+                                    Optimizations::original(), cores, 4);
+  Optimizations nb = Optimizations::original();
+  nb.nonblocking_tridim = true;
+  const auto overlap =
+      RunPlan::make(Approach::kFlatOptimized, j, nb, cores, 4);
+  EXPECT_LT(simulate(overlap, m).seconds, simulate(serial, m).seconds);
+}
+
+TEST(SimExecutor, BatchingHelpsWhenSubgridsAreTiny) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig j = job(Vec3::cube(96), 64);
+  const int cores = 4096;  // 96^3 over 4096 ranks: tiny faces
+  Optimizations b1 = Optimizations::all_on(1);
+  Optimizations b8 = Optimizations::all_on(8);
+  const auto p1 = RunPlan::make(Approach::kFlatOptimized, j, b1, cores, 4);
+  const auto p8 = RunPlan::make(Approach::kFlatOptimized, j, b8, cores, 4);
+  EXPECT_LT(simulate(p8, m).seconds, simulate(p1, m).seconds);
+}
+
+TEST(SimExecutor, HybridSendsFewerBytesThanFlat) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig j = job(Vec3::cube(96), 64);
+  const int cores = 512;
+  const auto flat = RunPlan::make(Approach::kFlatOptimized, j,
+                                  Optimizations::all_on(8), cores, 4);
+  const auto hyb = RunPlan::make(Approach::kHybridMultiple, j,
+                                 Optimizations::all_on(8), cores, 4);
+  const SimResult rf = simulate(flat, m);
+  const SimResult rh = simulate(hyb, m);
+  EXPECT_LT(rh.bytes_sent_total, rf.bytes_sent_total);
+  EXPECT_LT(rh.bytes_sent_per_node, rf.bytes_sent_per_node);
+}
+
+TEST(SimExecutor, SubgroupAblationMatchesHybridMultipleClosely) {
+  // The paper found them performance-identical: the only difference in
+  // the model is MPI-mode overhead vs thread overhead, so within a few
+  // percent.
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig j = job(Vec3::cube(96), 256);
+  const int cores = 2048;
+  const auto sub = RunPlan::make(Approach::kFlatOptimizedSubgroups, j,
+                                 Optimizations::all_on(8), cores, 4);
+  const auto hyb = RunPlan::make(Approach::kHybridMultiple, j,
+                                 Optimizations::all_on(8), cores, 4);
+  const double ts = simulate(sub, m).seconds;
+  const double th = simulate(hyb, m).seconds;
+  EXPECT_NEAR(ts / th, 1.0, 0.10);
+}
+
+TEST(SimExecutor, UtilizationBetweenZeroAndOne) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  for (Approach a : {Approach::kFlatOriginal, Approach::kFlatOptimized,
+                     Approach::kHybridMultiple,
+                     Approach::kHybridMasterOnly}) {
+    const Optimizations o = a == Approach::kFlatOriginal
+                                ? Optimizations::original()
+                                : Optimizations::all_on(8);
+    const auto plan =
+        RunPlan::make(a, job(Vec3::cube(96), 64), o, 512, 4);
+    const SimResult r = simulate(plan, m);
+    EXPECT_GT(r.utilization, 0.0) << to_string(a);
+    EXPECT_LE(r.utilization, 1.0) << to_string(a);
+    EXPECT_GT(r.seconds, 0.0) << to_string(a);
+  }
+}
+
+TEST(SimExecutor, TopologyMappingBeatsLinearPlacement) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig j = job(Vec3::cube(96), 64);
+  Optimizations mapped = Optimizations::all_on(8);
+  Optimizations unmapped = Optimizations::all_on(8);
+  unmapped.topology_mapping = false;
+  const auto pm =
+      RunPlan::make(Approach::kHybridMultiple, j, mapped, 2048, 4);
+  const auto pu =
+      RunPlan::make(Approach::kHybridMultiple, j, unmapped, 2048, 4);
+  EXPECT_LT(simulate(pm, m).seconds, simulate(pu, m).seconds);
+}
+
+TEST(SimExecutor, DoubleBufferingHidesCommunication) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  const JobConfig j = job(Vec3::cube(96), 256);
+  Optimizations db = Optimizations::all_on(8);
+  Optimizations nodb = Optimizations::all_on(8);
+  nodb.double_buffering = false;
+  nodb.ramp_up = false;
+  const auto p_db = RunPlan::make(Approach::kHybridMultiple, j, db, 512, 4);
+  const auto p_no = RunPlan::make(Approach::kHybridMultiple, j, nodb, 512, 4);
+  EXPECT_LT(simulate(p_db, m).seconds, simulate(p_no, m).seconds);
+}
+
+TEST(SimExecutor, MoreIterationsScaleTime) {
+  const MachineConfig m = MachineConfig::bluegene_p();
+  JobConfig j = job(Vec3::cube(48), 32);
+  const auto p1 = RunPlan::make(Approach::kFlatOptimized, j,
+                                Optimizations::all_on(8), 64, 4);
+  j.iterations = 3;
+  const auto p3 = RunPlan::make(Approach::kFlatOptimized, j,
+                                Optimizations::all_on(8), 64, 4);
+  const double t1 = simulate(p1, m).seconds;
+  const double t3 = simulate(p3, m).seconds;
+  EXPECT_NEAR(t3 / t1, 3.0, 0.35);
+}
+
+}  // namespace
+}  // namespace gpawfd::core

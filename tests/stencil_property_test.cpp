@@ -1,0 +1,133 @@
+// Property tests of the stencil substrate: convergence order, linearity,
+// translation invariance, symmetry — for every radius and across shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "grid/array3d.hpp"
+#include "stencil/kernels.hpp"
+
+namespace gpawfd::stencil {
+namespace {
+
+using grid::Array3D;
+constexpr double kPi = std::numbers::pi;
+
+class StencilRadius : public ::testing::TestWithParam<int> {};
+
+/// Central differences of radius r are O(h^{2r}) accurate: halving h
+/// must shrink the plane-wave error by ~2^{2r}.
+TEST_P(StencilRadius, ConvergenceOrderMatchesRadius) {
+  const int r = GetParam();
+  auto max_error = [&](int n) {
+    const double h = 2.0 * kPi / n;
+    Array3D<double> in(Vec3::cube(n), r), out(Vec3::cube(n), r);
+    in.for_each_interior([&](Vec3 p, double& v) {
+      v = std::sin(static_cast<double>(p.x) * h) +
+          std::cos(static_cast<double>(p.y) * h);
+    });
+    grid::local_periodic_fill(in);
+    apply(in, out, Coeffs::laplacian_spacing(r, h, h, h));
+    double err = 0;
+    out.for_each_interior([&](Vec3 p, double& v) {
+      const double exact = -(std::sin(static_cast<double>(p.x) * h) +
+                             std::cos(static_cast<double>(p.y) * h));
+      err = std::max(err, std::fabs(v - exact));
+    });
+    return err;
+  };
+  const double e1 = max_error(16);
+  const double e2 = max_error(32);
+  const double order = std::log2(e1 / e2);
+  EXPECT_NEAR(order, 2.0 * r, 0.4) << "radius " << r;
+}
+
+TEST_P(StencilRadius, Linearity) {
+  const int r = GetParam();
+  const Vec3 n{9, 8, 7};
+  Array3D<double> a(n, r), b(n, r), combo(n, r);
+  Array3D<double> out_a(n, r), out_b(n, r), out_combo(n, r);
+  Rng rng(13);
+  a.for_each_interior([&](Vec3, double& v) { v = rng.uniform(-1, 1); });
+  b.for_each_interior([&](Vec3, double& v) { v = rng.uniform(-1, 1); });
+  const double alpha = 2.5, beta = -0.75;
+  combo.for_each_interior(
+      [&](Vec3 p, double& v) { v = alpha * a.at(p) + beta * b.at(p); });
+  grid::local_periodic_fill(a);
+  grid::local_periodic_fill(b);
+  grid::local_periodic_fill(combo);
+  const Coeffs c = Coeffs::laplacian(r);
+  apply(a, out_a, c);
+  apply(b, out_b, c);
+  apply(combo, out_combo, c);
+  out_combo.for_each_interior([&](Vec3 p, double& v) {
+    EXPECT_NEAR(v, alpha * out_a.at(p) + beta * out_b.at(p), 1e-11);
+  });
+}
+
+TEST_P(StencilRadius, TranslationInvarianceUnderPeriodicShift) {
+  const int r = GetParam();
+  const Vec3 n{8, 8, 8};
+  const Vec3 shift{3, 5, 1};
+  Array3D<double> a(n, r), shifted(n, r), out_a(n, r), out_s(n, r);
+  Rng rng(21);
+  a.for_each_interior([&](Vec3, double& v) { v = rng.uniform(-1, 1); });
+  shifted.for_each_interior([&](Vec3 p, double& v) {
+    Vec3 q = p + shift;
+    for (int d = 0; d < 3; ++d) q[d] %= n[d];
+    v = a.at(q);
+  });
+  grid::local_periodic_fill(a);
+  grid::local_periodic_fill(shifted);
+  const Coeffs c = Coeffs::laplacian(r);
+  apply(a, out_a, c);
+  apply(shifted, out_s, c);
+  out_s.for_each_interior([&](Vec3 p, double& v) {
+    Vec3 q = p + shift;
+    for (int d = 0; d < 3; ++d) q[d] %= n[d];
+    EXPECT_DOUBLE_EQ(v, out_a.at(q));
+  });
+}
+
+/// The Laplacian is self-adjoint on periodic grids: <Ax, y> == <x, Ay>.
+TEST_P(StencilRadius, SelfAdjointOnPeriodicGrid) {
+  const int r = GetParam();
+  const Vec3 n{7, 9, 8};
+  Array3D<double> x(n, r), y(n, r), ax(n, r), ay(n, r);
+  Rng rng(31);
+  x.for_each_interior([&](Vec3, double& v) { v = rng.uniform(-1, 1); });
+  y.for_each_interior([&](Vec3, double& v) { v = rng.uniform(-1, 1); });
+  grid::local_periodic_fill(x);
+  grid::local_periodic_fill(y);
+  const Coeffs c = Coeffs::laplacian(r);
+  apply(x, ax, c);
+  apply(y, ay, c);
+  double ax_y = 0, x_ay = 0;
+  ax.for_each_interior([&](Vec3 p, double& v) { ax_y += v * y.at(p); });
+  ay.for_each_interior([&](Vec3 p, double& v) { x_ay += v * x.at(p); });
+  EXPECT_NEAR(ax_y, x_ay, 1e-9 * std::max(1.0, std::fabs(ax_y)));
+}
+
+/// Eigenvalues of the discrete Laplacian are non-positive: the Rayleigh
+/// quotient of any periodic field must be <= 0.
+TEST_P(StencilRadius, NegativeSemiDefinite) {
+  const int r = GetParam();
+  const Vec3 n{8, 8, 8};
+  Rng rng(37);
+  for (int trial = 0; trial < 5; ++trial) {
+    Array3D<double> x(n, r), ax(n, r);
+    x.for_each_interior([&](Vec3, double& v) { v = rng.uniform(-1, 1); });
+    grid::local_periodic_fill(x);
+    apply(x, ax, Coeffs::laplacian(r));
+    double q = 0;
+    ax.for_each_interior([&](Vec3 p, double& v) { q += v * x.at(p); });
+    EXPECT_LE(q, 1e-10) << "radius " << r << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRadii, StencilRadius, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gpawfd::stencil

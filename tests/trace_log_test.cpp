@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "bgsim/trace_log.hpp"
+#include "core/sim_executor.hpp"
+
+namespace gpawfd {
+namespace {
+
+using bgsim::Phase;
+using bgsim::TraceLog;
+
+TEST(TraceLog, AccumulatesSpansPerPhase) {
+  TraceLog log;
+  log.add(0, Phase::kCompute, 0, 1'000);
+  log.add(1, Phase::kCompute, 500, 2'500);
+  log.add(0, Phase::kWait, 1'000, 1'200);
+  EXPECT_EQ(log.spans().size(), 3u);
+  EXPECT_DOUBLE_EQ(log.total_seconds(Phase::kCompute), 3e-6);
+  EXPECT_DOUBLE_EQ(log.total_seconds(Phase::kWait), 0.2e-6);
+  EXPECT_DOUBLE_EQ(log.total_seconds(Phase::kCopy), 0.0);
+}
+
+TEST(TraceLog, DropsEmptySpans) {
+  TraceLog log;
+  log.add(0, Phase::kCopy, 5, 5);
+  log.add(0, Phase::kCopy, 7, 6);
+  EXPECT_TRUE(log.spans().empty());
+}
+
+TEST(TraceLog, ChromeJsonIsWellFormed) {
+  TraceLog log;
+  log.add(3, Phase::kCompute, 1'000, 2'000);
+  log.add(4, Phase::kMpiOverhead, 0, 500);
+  std::ostringstream os;
+  log.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mpi\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces: one '{' per span.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
+}
+
+TEST(TraceLog, PhaseNamesAreDistinct) {
+  std::set<std::string> names;
+  for (Phase p : {Phase::kCompute, Phase::kCopy, Phase::kMpiOverhead,
+                  Phase::kWait, Phase::kBarrier, Phase::kSpawn})
+    names.insert(to_string(p));
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(TraceLog, SimulationProducesConsistentBreakdown) {
+  using sched::Approach;
+  sched::JobConfig job;
+  job.grid_shape = Vec3::cube(48);
+  job.ngrids = 32;
+  const auto plan =
+      sched::RunPlan::make(Approach::kHybridMultiple, job,
+                           sched::Optimizations::all_on(8), 64, 4);
+  TraceLog log;
+  const auto r = core::simulate(plan, bgsim::MachineConfig::bluegene_p(), &log);
+
+  EXPECT_FALSE(log.spans().empty());
+  // The log's per-phase totals must equal the SimResult breakdown.
+  EXPECT_NEAR(log.total_seconds(Phase::kCompute), r.phases.compute, 1e-12);
+  EXPECT_NEAR(log.total_seconds(Phase::kWait), r.phases.wait, 1e-12);
+  EXPECT_NEAR(log.total_seconds(Phase::kCopy), r.phases.copy, 1e-12);
+  EXPECT_NEAR(log.total_seconds(Phase::kMpiOverhead), r.phases.mpi_overhead,
+              1e-12);
+  // Every activity class is exercised by a hybrid run.
+  EXPECT_GT(r.phases.compute, 0.0);
+  EXPECT_GT(r.phases.copy, 0.0);
+  EXPECT_GT(r.phases.mpi_overhead, 0.0);
+  EXPECT_GT(r.phases.spawn, 0.0);
+  // Per-stream busy time can never exceed streams * makespan.
+  const double busy = r.phases.compute + r.phases.copy +
+                      r.phases.mpi_overhead + r.phases.wait +
+                      r.phases.barrier + r.phases.spawn;
+  EXPECT_LE(busy, 64 * r.seconds * (1 + 1e-9));
+  // No span may end after the makespan.
+  for (const auto& s : log.spans())
+    EXPECT_LE(bgsim::to_seconds(s.end), r.seconds * (1 + 1e-9));
+}
+
+TEST(TraceLog, SerializedRunSpendsMoreTimeWaiting) {
+  using sched::Approach;
+  sched::JobConfig job;
+  // Faces must be large enough that transfers outlast the CPU-side call
+  // overheads, otherwise neither pattern ever waits.
+  job.grid_shape = Vec3::cube(96);
+  job.ngrids = 32;
+  const auto serialized =
+      core::simulate(sched::RunPlan::make(Approach::kFlatOriginal, job,
+                                          sched::Optimizations::original(),
+                                          64, 4),
+                     bgsim::MachineConfig::bluegene_p());
+  const auto overlapped =
+      core::simulate(sched::RunPlan::make(Approach::kFlatOptimized, job,
+                                          sched::Optimizations::all_on(8),
+                                          64, 4),
+                     bgsim::MachineConfig::bluegene_p());
+  // Same compute, but the serialized pattern exposes the waits.
+  EXPECT_NEAR(serialized.phases.compute, overlapped.phases.compute, 1e-4);
+  EXPECT_GT(serialized.phases.wait, overlapped.phases.wait);
+}
+
+}  // namespace
+}  // namespace gpawfd

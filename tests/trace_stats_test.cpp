@@ -1,0 +1,90 @@
+// Host-side tracing: phase timers, comm counters, and the engine's
+// optional wall-clock phase accounting.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/engine.hpp"
+#include "core/testing.hpp"
+#include "mp/thread_comm.hpp"
+#include "trace/stats.hpp"
+
+namespace gpawfd {
+namespace {
+
+TEST(PhaseTimers, AccumulatesAcrossScopes) {
+  trace::PhaseTimers t;
+  t.add("compute", 1.5);
+  t.add("compute", 0.5);
+  t.add("exchange", 0.25);
+  EXPECT_DOUBLE_EQ(t.get("compute"), 2.0);
+  EXPECT_DOUBLE_EQ(t.get("exchange"), 0.25);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  const auto snap = t.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.get("compute"), 0.0);
+}
+
+TEST(PhaseTimers, ScopedMeasuresElapsedTime) {
+  trace::PhaseTimers t;
+  {
+    trace::PhaseTimers::Scoped s(t, "sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  EXPECT_GE(t.get("sleep"), 0.010);
+  EXPECT_LT(t.get("sleep"), 2.0);
+}
+
+TEST(PhaseTimers, ThreadSafeAccumulation) {
+  trace::PhaseTimers t;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 8; ++i)
+    ts.emplace_back([&] {
+      for (int k = 0; k < 1000; ++k) t.add("x", 0.001);
+    });
+  for (auto& th : ts) th.join();
+  EXPECT_NEAR(t.get("x"), 8.0, 1e-9);
+}
+
+TEST(CommStats, CountersAccumulate) {
+  trace::CommStats s;
+  s.count_send(100);
+  s.count_send(50);
+  s.count_recv(70);
+  EXPECT_EQ(s.bytes_sent.load(), 150);
+  EXPECT_EQ(s.messages_sent.load(), 2);
+  EXPECT_EQ(s.bytes_received.load(), 70);
+}
+
+TEST(EngineTimers, PhaseAccountingCoversExchangeAndCompute) {
+  using sched::Approach;
+  sched::JobConfig j;
+  j.grid_shape = {16, 16, 16};
+  j.ngrids = 8;
+  j.ghost = 2;
+  const auto plan = sched::RunPlan::make(Approach::kFlatOptimized, j,
+                                         sched::Optimizations::all_on(2), 4,
+                                         4);
+  const auto coeffs = stencil::Coeffs::laplacian(2);
+  mp::ThreadWorld world(plan.nranks(), mp::ThreadMode::kMultiple);
+  trace::PhaseTimers timers;
+  world.run([&](mp::ThreadComm& comm) {
+    core::DistributedFd<double> engine(comm, plan, coeffs);
+    engine.set_timers(&timers);
+    const grid::Box3 box = plan.decomp().local_box(engine.coords());
+    const auto n = static_cast<std::size_t>(j.ngrids);
+    std::vector<grid::Array3D<double>> in(n), out(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      in[g] = grid::Array3D<double>(box.shape(), j.ghost);
+      out[g] = grid::Array3D<double>(box.shape(), j.ghost);
+      core::testing::fill_local(in[g], box, static_cast<int>(g));
+    }
+    engine.apply_all(in, out);
+  });
+  EXPECT_GT(timers.get("compute"), 0.0);
+  EXPECT_GT(timers.get("exchange"), 0.0);
+}
+
+}  // namespace
+}  // namespace gpawfd

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+
+namespace gpawfd::core {
+namespace {
+
+// Keep the compiler from folding away busy-work loops.
+inline void benchmark_do_not_optimize(double& v) {
+  asm volatile("" : "+m"(v));
+}
+
+TEST(WorkerPool, RunsEveryWorkerExactlyOnce) {
+  WorkerPool pool(4);
+  std::atomic<int> mask{0};
+  pool.run([&](int tid) { mask.fetch_or(1 << tid); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(WorkerPool, SingleThreadPoolRunsInline) {
+  WorkerPool pool(1);
+  int count = 0;
+  pool.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WorkerPool, RunActsAsBarrier) {
+  // After run() returns, all workers' writes must be visible.
+  WorkerPool pool(4);
+  std::vector<int> out(4, 0);
+  for (int round = 1; round <= 16; ++round) {
+    pool.run([&, round](int tid) {
+      out[static_cast<std::size_t>(tid)] = round;
+    });
+    for (int v : out) EXPECT_EQ(v, round);
+  }
+}
+
+TEST(WorkerPool, SplitsSlabWorkCompletely) {
+  // The master-only pattern: split [0, n) into slabs, each worker fills
+  // its own; together they must cover every element exactly once.
+  constexpr int kN = 1003;
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run([&](int tid) {
+    const int x0 = kN * tid / 4;
+    const int x1 = kN * (tid + 1) / 4;
+    for (int i = x0; i < x1; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(WorkerPool, ManySequentialRounds) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 500; ++i)
+    pool.run([&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1500);
+}
+
+TEST(WorkerPool, UnbalancedWorkStillJoins) {
+  WorkerPool pool(4);
+  std::atomic<int> done{0};
+  pool.run([&](int tid) {
+    // Worker 3 does far more work than the others.
+    double sink = 0;
+    const int iters = tid == 3 ? 2'000'000 : 10;
+    for (int i = 0; i < iters; ++i) sink += static_cast<double>(i);
+    benchmark_do_not_optimize(sink);
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace gpawfd::core
