@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimizations.dir/ablation_optimizations.cpp.o"
+  "CMakeFiles/ablation_optimizations.dir/ablation_optimizations.cpp.o.d"
+  "ablation_optimizations"
+  "ablation_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subgroup.dir/ablation_subgroup.cpp.o"
+  "CMakeFiles/ablation_subgroup.dir/ablation_subgroup.cpp.o.d"
+  "ablation_subgroup"
+  "ablation_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

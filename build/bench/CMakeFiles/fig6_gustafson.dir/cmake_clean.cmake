@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gustafson.dir/fig6_gustafson.cpp.o"
+  "CMakeFiles/fig6_gustafson.dir/fig6_gustafson.cpp.o.d"
+  "fig6_gustafson"
+  "fig6_gustafson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gustafson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

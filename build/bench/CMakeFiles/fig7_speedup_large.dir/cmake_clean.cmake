@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_speedup_large.dir/fig7_speedup_large.cpp.o"
+  "CMakeFiles/fig7_speedup_large.dir/fig7_speedup_large.cpp.o.d"
+  "fig7_speedup_large"
+  "fig7_speedup_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_speedup_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

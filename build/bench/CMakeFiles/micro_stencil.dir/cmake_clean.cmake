@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stencil.dir/micro_stencil.cpp.o"
+  "CMakeFiles/micro_stencil.dir/micro_stencil.cpp.o.d"
+  "micro_stencil"
+  "micro_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transport.dir/micro_transport.cpp.o"
+  "CMakeFiles/micro_transport.dir/micro_transport.cpp.o.d"
+  "micro_transport"
+  "micro_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electronic_structure.dir/electronic_structure.cpp.o"
+  "CMakeFiles/electronic_structure.dir/electronic_structure.cpp.o.d"
+  "electronic_structure"
+  "electronic_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electronic_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

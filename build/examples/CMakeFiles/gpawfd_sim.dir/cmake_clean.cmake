@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_sim.dir/gpawfd_sim.cpp.o"
+  "CMakeFiles/gpawfd_sim.dir/gpawfd_sim.cpp.o.d"
+  "gpawfd_sim"
+  "gpawfd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hartree_scf.dir/hartree_scf.cpp.o"
+  "CMakeFiles/hartree_scf.dir/hartree_scf.cpp.o.d"
+  "hartree_scf"
+  "hartree_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hartree_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_room.dir/machine_room.cpp.o"
+  "CMakeFiles/machine_room.dir/machine_room.cpp.o.d"
+  "machine_room"
+  "machine_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson.dir/poisson.cpp.o"
+  "CMakeFiles/poisson.dir/poisson.cpp.o.d"
+  "poisson"
+  "poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgsim/event_loop.cpp" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/event_loop.cpp.o" "gcc" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/bgsim/fabric.cpp" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/fabric.cpp.o" "gcc" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/fabric.cpp.o.d"
+  "/root/repo/src/bgsim/machine.cpp" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/machine.cpp.o" "gcc" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/machine.cpp.o.d"
+  "/root/repo/src/bgsim/torus.cpp" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/torus.cpp.o" "gcc" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/torus.cpp.o.d"
+  "/root/repo/src/bgsim/trace_log.cpp" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/trace_log.cpp.o" "gcc" "src/bgsim/CMakeFiles/gpawfd_bgsim.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpawfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

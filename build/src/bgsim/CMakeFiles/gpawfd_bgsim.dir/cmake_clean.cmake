@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_bgsim.dir/event_loop.cpp.o"
+  "CMakeFiles/gpawfd_bgsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/gpawfd_bgsim.dir/fabric.cpp.o"
+  "CMakeFiles/gpawfd_bgsim.dir/fabric.cpp.o.d"
+  "CMakeFiles/gpawfd_bgsim.dir/machine.cpp.o"
+  "CMakeFiles/gpawfd_bgsim.dir/machine.cpp.o.d"
+  "CMakeFiles/gpawfd_bgsim.dir/torus.cpp.o"
+  "CMakeFiles/gpawfd_bgsim.dir/torus.cpp.o.d"
+  "CMakeFiles/gpawfd_bgsim.dir/trace_log.cpp.o"
+  "CMakeFiles/gpawfd_bgsim.dir/trace_log.cpp.o.d"
+  "libgpawfd_bgsim.a"
+  "libgpawfd_bgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_bgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

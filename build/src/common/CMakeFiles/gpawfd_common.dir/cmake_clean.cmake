@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_common.dir/cli.cpp.o"
+  "CMakeFiles/gpawfd_common.dir/cli.cpp.o.d"
+  "CMakeFiles/gpawfd_common.dir/math.cpp.o"
+  "CMakeFiles/gpawfd_common.dir/math.cpp.o.d"
+  "CMakeFiles/gpawfd_common.dir/table.cpp.o"
+  "CMakeFiles/gpawfd_common.dir/table.cpp.o.d"
+  "libgpawfd_common.a"
+  "libgpawfd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_core.dir/figures.cpp.o"
+  "CMakeFiles/gpawfd_core.dir/figures.cpp.o.d"
+  "CMakeFiles/gpawfd_core.dir/sim_executor.cpp.o"
+  "CMakeFiles/gpawfd_core.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/gpawfd_core.dir/worker_pool.cpp.o"
+  "CMakeFiles/gpawfd_core.dir/worker_pool.cpp.o.d"
+  "libgpawfd_core.a"
+  "libgpawfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

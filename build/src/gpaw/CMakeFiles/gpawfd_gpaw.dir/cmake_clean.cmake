@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_gpaw.dir/dense.cpp.o"
+  "CMakeFiles/gpawfd_gpaw.dir/dense.cpp.o.d"
+  "CMakeFiles/gpawfd_gpaw.dir/multigrid.cpp.o"
+  "CMakeFiles/gpawfd_gpaw.dir/multigrid.cpp.o.d"
+  "CMakeFiles/gpawfd_gpaw.dir/wavefunctions.cpp.o"
+  "CMakeFiles/gpawfd_gpaw.dir/wavefunctions.cpp.o.d"
+  "libgpawfd_gpaw.a"
+  "libgpawfd_gpaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_gpaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpawfd_gpaw.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpawfd_gpaw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_grid.dir/decomposition.cpp.o"
+  "CMakeFiles/gpawfd_grid.dir/decomposition.cpp.o.d"
+  "libgpawfd_grid.a"
+  "libgpawfd_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_mp.dir/cart.cpp.o"
+  "CMakeFiles/gpawfd_mp.dir/cart.cpp.o.d"
+  "CMakeFiles/gpawfd_mp.dir/comm.cpp.o"
+  "CMakeFiles/gpawfd_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/gpawfd_mp.dir/thread_comm.cpp.o"
+  "CMakeFiles/gpawfd_mp.dir/thread_comm.cpp.o.d"
+  "libgpawfd_mp.a"
+  "libgpawfd_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpawfd_sched.dir/plan.cpp.o"
+  "CMakeFiles/gpawfd_sched.dir/plan.cpp.o.d"
+  "libgpawfd_sched.a"
+  "libgpawfd_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpawfd_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

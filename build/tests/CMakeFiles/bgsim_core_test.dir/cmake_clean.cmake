@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgsim_core_test.dir/bgsim_core_test.cpp.o"
+  "CMakeFiles/bgsim_core_test.dir/bgsim_core_test.cpp.o.d"
+  "bgsim_core_test"
+  "bgsim_core_test.pdb"
+  "bgsim_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgsim_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgsim_net_test.dir/bgsim_net_test.cpp.o"
+  "CMakeFiles/bgsim_net_test.dir/bgsim_net_test.cpp.o.d"
+  "bgsim_net_test"
+  "bgsim_net_test.pdb"
+  "bgsim_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgsim_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

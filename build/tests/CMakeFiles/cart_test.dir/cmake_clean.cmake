@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cart_test.dir/cart_test.cpp.o"
+  "CMakeFiles/cart_test.dir/cart_test.cpp.o.d"
+  "cart_test"
+  "cart_test.pdb"
+  "cart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_chain_test.dir/engine_chain_test.cpp.o"
+  "CMakeFiles/engine_chain_test.dir/engine_chain_test.cpp.o.d"
+  "engine_chain_test"
+  "engine_chain_test.pdb"
+  "engine_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpaw_test.dir/gpaw_test.cpp.o"
+  "CMakeFiles/gpaw_test.dir/gpaw_test.cpp.o.d"
+  "gpaw_test"
+  "gpaw_test.pdb"
+  "gpaw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpaw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/halo_test.cpp" "tests/CMakeFiles/halo_test.dir/halo_test.cpp.o" "gcc" "tests/CMakeFiles/halo_test.dir/halo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpawfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/gpawfd_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gpawfd_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gpawfd_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgsim/CMakeFiles/gpawfd_bgsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpawfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_test.dir/halo_test.cpp.o"
+  "CMakeFiles/halo_test.dir/halo_test.cpp.o.d"
+  "halo_test"
+  "halo_test.pdb"
+  "halo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_test.dir/mp_test.cpp.o"
+  "CMakeFiles/mp_test.dir/mp_test.cpp.o.d"
+  "mp_test"
+  "mp_test.pdb"
+  "mp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

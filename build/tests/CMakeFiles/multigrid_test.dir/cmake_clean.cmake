@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigrid_test.dir/multigrid_test.cpp.o"
+  "CMakeFiles/multigrid_test.dir/multigrid_test.cpp.o.d"
+  "multigrid_test"
+  "multigrid_test.pdb"
+  "multigrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

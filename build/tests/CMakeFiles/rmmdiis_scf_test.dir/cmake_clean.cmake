@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmmdiis_scf_test.dir/rmmdiis_scf_test.cpp.o"
+  "CMakeFiles/rmmdiis_scf_test.dir/rmmdiis_scf_test.cpp.o.d"
+  "rmmdiis_scf_test"
+  "rmmdiis_scf_test.pdb"
+  "rmmdiis_scf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmmdiis_scf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_property_test.dir/stencil_property_test.cpp.o"
+  "CMakeFiles/stencil_property_test.dir/stencil_property_test.cpp.o.d"
+  "stencil_property_test"
+  "stencil_property_test.pdb"
+  "stencil_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

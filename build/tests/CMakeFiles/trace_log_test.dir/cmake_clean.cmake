@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_log_test.dir/trace_log_test.cpp.o"
+  "CMakeFiles/trace_log_test.dir/trace_log_test.cpp.o.d"
+  "trace_log_test"
+  "trace_log_test.pdb"
+  "trace_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/decomposition_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_test[1]_include.cmake")
+include("/root/repo/build/tests/cart_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/bgsim_core_test[1]_include.cmake")
+include("/root/repo/build/tests/bgsim_net_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")
+include("/root/repo/build/tests/dense_test[1]_include.cmake")
+include("/root/repo/build/tests/gpaw_test[1]_include.cmake")
+include("/root/repo/build/tests/multigrid_test[1]_include.cmake")
+include("/root/repo/build/tests/worker_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/halo_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_log_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/rmmdiis_scf_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_stats_test[1]_include.cmake")
