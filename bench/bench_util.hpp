@@ -2,8 +2,12 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/figures.hpp"
@@ -36,6 +40,72 @@ inline constexpr ApproachSpec kApproaches[] = {
 inline sched::Optimizations opts_for(const ApproachSpec& spec, int batch) {
   return spec.uses_optimizations ? sched::Optimizations::all_on(batch)
                                  : sched::Optimizations::original();
+}
+
+/// Flat JSON object writer for machine-readable bench artifacts
+/// (BENCH_*.json), so successive PRs can diff throughput/latency series
+/// without scraping the human tables. Keys keep insertion order.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void set(const std::string& key, std::int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) {
+    set(key, static_cast<std::int64_t>(value));
+  }
+  void set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, '"' + escaped(value) + '"');
+  }
+
+  void render(std::ostream& os) const {
+    os << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      os << "  \"" << escaped(entries_[i].first) << "\": "
+         << entries_[i].second << (i + 1 < entries_.size() ? ",\n" : "\n");
+    os << "}\n";
+  }
+
+  /// Returns false (with a stderr note) when the path is unwritable —
+  /// benches should keep printing their tables regardless.
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os.good()) {
+      std::cerr << "cannot write JSON report to " << path << "\n";
+      return false;
+    }
+    render(os);
+    return true;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// `--json <path>` / `--json=<path>` support for the bench drivers
+/// (which otherwise take no arguments). Empty string when absent.
+inline std::string json_path_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return {};
 }
 
 }  // namespace gpawfd::bench

@@ -1,0 +1,155 @@
+// Service-layer benchmark: the simulated machine room behind
+// svc::SimService. Measures (1) cold path — distinct jobs that must run
+// the simulator, (2) hot path — a client swarm re-requesting the same
+// jobs, answered by the single-flight LRU cache, (3) admission control
+// at a deliberately tiny queue bound. Emits BENCH_svc.json
+// (--json <path>, default BENCH_svc.json in the cwd) with throughput,
+// p50/p99 latency, the hit/cold speedup, and the hit ratio so future
+// PRs can track service performance.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "svc/service.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+using namespace gpawfd;
+
+core::SimJobSpec job_spec(int job_id) {
+  core::SimJobSpec spec;
+  spec.approach = sched::Approach::kHybridMultiple;
+  spec.job.grid_shape = Vec3::cube(48);
+  spec.job.ngrids = 32 + 4 * job_id;
+  spec.opt = sched::Optimizations::all_on(4);
+  spec.total_cores = 64;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpawfd::bench;
+
+  constexpr int kDistinctJobs = 8;
+  constexpr int kClients = 16;
+  constexpr int kRequestsPerClient = 256;
+
+  banner("Simulation service: cache, single-flight, admission control",
+         "service layer over the IPDPS'09 engine (this repo, src/svc)",
+         "cache hits >= 10x faster than cold simulations; rejects, "
+         "never blocks, past the queue bound");
+
+  svc::ServiceConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.cache_capacity = 64;
+  svc::SimService service(cfg);
+  std::cout << "workers: " << service.workers() << ", queue capacity "
+            << cfg.queue_capacity << ", cache capacity "
+            << cfg.cache_capacity << "\n\n";
+
+  // ---- phase 1: cold -------------------------------------------------
+  trace::LatencyHistogram cold;
+  for (int j = 0; j < kDistinctJobs; ++j) {
+    const double t0 = trace::now_seconds();
+    service.run(job_spec(j));
+    cold.record(trace::now_seconds() - t0);
+  }
+
+  // ---- phase 2: hot client swarm --------------------------------------
+  trace::LatencyHistogram hot;
+  std::atomic<std::int64_t> completed{0};
+  const double swarm_t0 = trace::now_seconds();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int job_id = (c + i) % kDistinctJobs;
+        const double t0 = trace::now_seconds();
+        svc::Ticket t = service.submit(job_spec(job_id));
+        if (t.rejected()) continue;
+        t.result.wait();
+        hot.record(trace::now_seconds() - t0);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double swarm_seconds = trace::now_seconds() - swarm_t0;
+  const double throughput =
+      static_cast<double>(completed.load()) / swarm_seconds;
+
+  // ---- phase 3: admission control at a tiny bound ---------------------
+  svc::ServiceConfig tiny;
+  tiny.workers = 1;
+  tiny.queue_capacity = 2;
+  tiny.cache_capacity = 4;
+  std::int64_t flood_rejected = 0, flood_accepted = 0;
+  {
+    svc::SimService bounded(tiny);
+    for (int i = 0; i < 32; ++i) {
+      svc::Ticket t = bounded.submit(job_spec(i));  // 32 distinct cold jobs
+      if (t.status == svc::SubmitStatus::kRejectedQueueFull)
+        ++flood_rejected;
+      else if (!t.rejected())
+        ++flood_accepted;
+    }
+  }  // drain
+
+  // ---- report ---------------------------------------------------------
+  const double cold_mean = cold.mean_seconds();
+  const double hot_p50 = hot.quantile(0.50);
+  const double hot_p99 = hot.quantile(0.99);
+  const double speedup = hot_p50 > 0 ? cold_mean / hot_p50 : 0;
+  const double hit_ratio = service.metrics().hit_ratio();
+
+  Table t({"metric", "value"});
+  t.add_row({"cold latency (mean)", fmt_seconds(cold_mean)});
+  t.add_row({"cold latency (max)", fmt_seconds(cold.max_seconds())});
+  t.add_row({"hot latency (p50)", fmt_seconds(hot_p50)});
+  t.add_row({"hot latency (p99)", fmt_seconds(hot_p99)});
+  t.add_row({"hit/cold speedup", fmt_fixed(speedup, 0) + "x"});
+  t.add_row({"swarm throughput", fmt_fixed(throughput, 0) + " req/s"});
+  t.add_row({"cache hit ratio", fmt_fixed(100 * hit_ratio, 1) + "%"});
+  t.add_row({"flood: accepted", std::to_string(flood_accepted)});
+  t.add_row({"flood: rejected", std::to_string(flood_rejected)});
+  t.print(std::cout);
+
+  std::cout << "\nservice metrics snapshot:\n"
+            << service.metrics_snapshot() << "\n";
+
+  const bool hit_fast_enough = speedup >= 10.0;
+  const bool admission_sheds = flood_rejected > 0;
+  std::cout << (hit_fast_enough ? "OK" : "FAIL")
+            << ": cache hits are " << fmt_fixed(speedup, 0)
+            << "x faster than cold runs (need >= 10x)\n"
+            << (admission_sheds ? "OK" : "FAIL")
+            << ": admission control rejected " << flood_rejected
+            << " of 32 past-the-bound requests\n";
+
+  std::string json_path = json_path_from_args(argc, argv);
+  if (json_path.empty()) json_path = "BENCH_svc.json";
+  JsonReport report;
+  report.set("bench", std::string("svc_service"));
+  report.set("distinct_jobs", kDistinctJobs);
+  report.set("clients", kClients);
+  report.set("requests_per_client", kRequestsPerClient);
+  report.set("workers", service.workers());
+  report.set("cold_latency_mean_s", cold_mean);
+  report.set("cold_latency_max_s", cold.max_seconds());
+  report.set("hot_latency_p50_s", hot_p50);
+  report.set("hot_latency_p99_s", hot_p99);
+  report.set("hit_over_cold_speedup", speedup);
+  report.set("throughput_rps", throughput);
+  report.set("cache_hit_ratio", hit_ratio);
+  report.set("executed", service.metrics().executed.load());
+  report.set("dedup_joined", service.metrics().dedup_joined.load());
+  report.set("flood_accepted", flood_accepted);
+  report.set("flood_rejected", flood_rejected);
+  if (report.write(json_path))
+    std::cout << "JSON report -> " << json_path << "\n";
+
+  return hit_fast_enough && admission_sheds ? 0 : 1;
+}

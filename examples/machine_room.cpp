@@ -1,11 +1,17 @@
 // The machine room: run the paper's four programming approaches on the
 // simulated Blue Gene/P at a scale of your choosing and watch who wins.
+// The four simulations are submitted concurrently to svc::SimService
+// (this binary is the service layer's first internal consumer), so they
+// run in parallel on the worker pool and identical re-runs are served
+// from the result cache.
 //
-//   ./machine_room [cores] [ngrids] [grid_edge]
-//
-// Defaults reproduce a mid-size slice of the paper's Fig. 6/7 regime.
-#include <cstdlib>
+//   ./machine_room                          # paper's Fig. 6/7 mid-size slice
+//   ./machine_room --cores=16384 --grids=2816 --edge=192
 #include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "svc/service.hpp"
 
 #include "bench/bench_util.hpp"
 
@@ -15,11 +21,38 @@ int main(int argc, char** argv) {
   using sched::JobConfig;
   using sched::Optimizations;
 
-  const int cores = argc > 1 ? std::atoi(argv[1]) : 4096;
-  const int ngrids = argc > 2 ? std::atoi(argv[2]) : 1024;
-  const int edge = argc > 3 ? std::atoi(argv[3]) : 192;
+  CliParser cli;
+  cli.flag("cores", "4096", "total PowerPC 450 cores (multiple of 4)")
+      .flag("grids", "1024", "number of real-space grids")
+      .flag("edge", "192", "grid edge length (grids are edge^3)");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
 
+  const int cores = static_cast<int>(cli.get_int("cores"));
+  const int ngrids = static_cast<int>(cli.get_int("grids"));
+  const int edge = static_cast<int>(cli.get_int("edge"));
   const auto m = bgsim::MachineConfig::bluegene_p();
+  try {
+    GPAWFD_CHECK_MSG(cores >= 1, "--cores must be positive");
+    GPAWFD_CHECK_MSG(cores % m.cores_per_node == 0,
+                     "--cores must be a multiple of "
+                         << m.cores_per_node << " (whole nodes), got "
+                         << cores);
+    GPAWFD_CHECK_MSG(ngrids >= 1, "--grids must be positive");
+    GPAWFD_CHECK_MSG(edge >= 8, "--edge must be at least 8");
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
   JobConfig job;
   job.grid_shape = Vec3::cube(edge);
   job.ngrids = ngrids;
@@ -36,22 +69,47 @@ int main(int argc, char** argv) {
 
   const double seq = core::simulate_sequential_seconds(job, m);
 
-  Table t({"approach", "batch", "time", "speedup", "CPU util",
-           "sent/node", "messages"});
+  // One service, four concurrent submissions — the per-approach batch
+  // search stays on this thread, the simulations overlap on the pool.
+  svc::SimService service;
+  std::vector<svc::Ticket> tickets;
+  std::vector<int> batches;
   for (const ApproachSpec& spec : kApproaches) {
     int batch = 1;
     if (spec.uses_optimizations)
       batch = core::best_batch_size(spec.approach, job,
-                                    Optimizations::all_on(1), cores, 4, m);
-    const auto r = core::simulate_scaled(spec.approach, job,
-                                         opts_for(spec, batch), cores, 4, m);
-    t.add_row({spec.name, std::to_string(batch), fmt_seconds(r.seconds),
+                                    Optimizations::all_on(1), cores,
+                                    m.cores_per_node, m);
+    core::SimJobSpec sim;
+    sim.approach = spec.approach;
+    sim.job = job;
+    sim.opt = opts_for(spec, batch);
+    sim.total_cores = cores;
+    sim.cores_per_node = m.cores_per_node;
+    sim.machine = m;
+    svc::Ticket t = service.submit(sim, svc::Priority::kInteractive);
+    GPAWFD_CHECK_MSG(!t.rejected(), "service rejected "
+                                        << spec.name << ": "
+                                        << svc::to_string(t.status));
+    tickets.push_back(std::move(t));
+    batches.push_back(batch);
+  }
+
+  Table t({"approach", "batch", "time", "speedup", "CPU util",
+           "sent/node", "messages"});
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const ApproachSpec& spec = kApproaches[i];
+    const auto r = tickets[i].result.get();
+    t.add_row({spec.name, std::to_string(batches[i]), fmt_seconds(r.seconds),
                fmt_fixed(seq / r.seconds, 0) + "x",
                fmt_fixed(100 * seq / (cores * r.seconds), 1) + "%",
                fmt_bytes(r.bytes_sent_per_node),
                std::to_string(r.messages_total)});
   }
   t.print(std::cout);
-  std::cout << "\n(sequential baseline: " << fmt_seconds(seq) << ")\n";
+  std::cout << "\n(sequential baseline: " << fmt_seconds(seq)
+            << "; simulations executed: "
+            << service.metrics().executed.load() << " on "
+            << service.workers() << " workers)\n";
   return 0;
 }

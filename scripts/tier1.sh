@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md): configure, build, and run the full ctest
+# suite. Pass --tsan to run the same thing under ThreadSanitizer in a
+# separate build tree (build-tsan/), which race-checks the concurrent
+# service layer (svc_stress_test, mp_stress_test) for real.
+#
+#   scripts/tier1.sh            # the ROADMAP tier-1 line
+#   scripts/tier1.sh --tsan     # + TSAN build of the concurrency tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_tier1() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # Only the concurrency-heavy suites need the (slow) TSAN pass.
+  cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
+  cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \
+    worker_pool_test mp_stress_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Svc|WorkerPool|MpStress|JobQueue|ResultCache'
+else
+  run_tier1 build
+fi

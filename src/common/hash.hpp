@@ -1,0 +1,39 @@
+// Hashing helpers shared by the service layer's job keys and any future
+// content-addressed caches. Stable across runs (never address-based) so
+// hashes can be logged, compared between processes, and used as cache
+// keys in serialized form.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpawfd {
+
+/// FNV-1a 64-bit over a byte range. Deterministic and
+/// platform-independent for the same bytes.
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer — a cheap high-quality bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fold `value` into `seed` (boost-style hash_combine with a 64-bit
+/// mixer). Order-sensitive: combining a, b differs from b, a.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+}  // namespace gpawfd

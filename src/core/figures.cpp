@@ -31,6 +31,11 @@ SimResult run_once(Approach a, JobConfig job, const Optimizations& opt,
 
 }  // namespace
 
+SimResult simulate_job(const SimJobSpec& spec) {
+  return simulate_scaled(spec.approach, spec.job, spec.opt, spec.total_cores,
+                         spec.cores_per_node, spec.machine, spec.scaled);
+}
+
 SimResult simulate_scaled(Approach approach, const JobConfig& job,
                           const Optimizations& opt, int total_cores,
                           int cores_per_node,

@@ -20,7 +20,30 @@ struct ScaledSimOptions {
   /// Run the full job directly when ngrids <= cap; otherwise simulate at
   /// two sampled grid counts and extrapolate.
   int grid_cap = 256;
+
+  friend bool operator==(const ScaledSimOptions&,
+                         const ScaledSimOptions&) = default;
 };
+
+/// A fully self-contained simulation request: everything simulate_scaled
+/// needs, bundled so it can be queued, hashed, and cached by the service
+/// layer (src/svc).
+struct SimJobSpec {
+  sched::Approach approach = sched::Approach::kHybridMultiple;
+  sched::JobConfig job;
+  sched::Optimizations opt;
+  int total_cores = 4;
+  int cores_per_node = 4;
+  bgsim::MachineConfig machine = bgsim::MachineConfig::bluegene_p();
+  ScaledSimOptions scaled;
+};
+
+/// Re-entrant simulate entry point: `simulate_scaled` on a bundled spec.
+/// Safe to call concurrently from many threads — every call builds its
+/// own RunPlan and event loop (the simulator's current-loop pointer is
+/// thread-local) and touches no shared mutable state. This is the
+/// executor the service layer's worker pool drives.
+SimResult simulate_job(const SimJobSpec& spec);
 
 /// Simulate `plan`'s job, extrapolating over ngrids when it exceeds the
 /// cap. Exact (direct simulation) below the cap.

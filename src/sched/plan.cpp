@@ -1,5 +1,7 @@
 #include "sched/plan.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 #include "common/math.hpp"
 
@@ -23,6 +25,26 @@ std::string to_string(Approach a) {
 
 bool satisfies_same_subset_requirement(Approach a) {
   return a != Approach::kFlatOptimizedSubgroups;
+}
+
+std::string canonical_string(const JobConfig& job) {
+  std::ostringstream os;
+  os << "shape=" << job.grid_shape.x << 'x' << job.grid_shape.y << 'x'
+     << job.grid_shape.z << ";ngrids=" << job.ngrids
+     << ";ghost=" << job.ghost << ";elem_bytes=" << job.elem_bytes
+     << ";iterations=" << job.iterations
+     << ";periodic=" << (job.periodic ? 1 : 0);
+  return os.str();
+}
+
+std::string canonical_string(const Optimizations& opt) {
+  std::ostringstream os;
+  os << "tridim=" << (opt.nonblocking_tridim ? 1 : 0)
+     << ";batch=" << opt.batch_size
+     << ";dbuf=" << (opt.double_buffering ? 1 : 0)
+     << ";ramp=" << (opt.ramp_up ? 1 : 0)
+     << ";map=" << (opt.topology_mapping ? 1 : 0);
+  return os.str();
 }
 
 std::vector<int> make_batches(int grids, int batch_size, bool ramp_up) {

@@ -50,7 +50,15 @@ struct JobConfig {
   int elem_bytes = 8;                 // real grids; 16 for complex
   int iterations = 1;                 // FD sweeps over every grid
   bool periodic = true;
+
+  friend bool operator==(const JobConfig&, const JobConfig&) = default;
 };
+
+/// Canonical single-line encoding of a JobConfig: every field, in
+/// declaration order, unambiguously delimited. Two configs encode
+/// equally iff they are equal — the service layer's cache keys
+/// (svc::JobKey) are built from these strings.
+std::string canonical_string(const JobConfig& job);
 
 /// Section V optimizations, individually toggleable for the ablations.
 struct Optimizations {
@@ -78,7 +86,13 @@ struct Optimizations {
                          .ramp_up = false,
                          .topology_mapping = true};
   }
+
+  friend bool operator==(const Optimizations&, const Optimizations&) = default;
 };
+
+/// Canonical single-line encoding of an Optimizations toggle set (see
+/// canonical_string(JobConfig) for the contract).
+std::string canonical_string(const Optimizations& opt);
 
 /// Split `grids` items into batches of at most `batch_size`, optionally
 /// halving the first batch (the paper's ramp-up). Sizes sum to `grids`.

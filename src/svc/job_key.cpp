@@ -1,0 +1,66 @@
+#include "svc/job_key.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "sched/plan.hpp"
+
+namespace gpawfd::svc {
+
+namespace {
+
+/// Doubles are encoded with 17 significant digits — enough to
+/// round-trip an IEEE double exactly, so two machine configs that
+/// differ in any bit of any constant get different keys.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Every MachineConfig field, in declaration order. A field added to
+/// MachineConfig must be added here (and kVersion bumped) or two
+/// different machines would share cache entries.
+void append_machine(std::ostringstream& os, const bgsim::MachineConfig& m) {
+  os << "cpn=" << m.cores_per_node << ";hz=" << fmt_double(m.cpu_hz)
+     << ";peak=" << fmt_double(m.peak_flops_per_node)
+     << ";membw=" << fmt_double(m.mem_bandwidth)
+     << ";mem=" << m.main_memory_bytes
+     << ";linkbw=" << fmt_double(m.link_bandwidth)
+     << ";pkteff=" << fmt_double(m.packet_efficiency)
+     << ";hop=" << m.hop_latency << ";inj=" << m.injection_latency
+     << ";torusmin=" << m.torus_min_nodes
+     << ";loopbw=" << fmt_double(m.loopback_bandwidth)
+     << ";looplat=" << m.loopback_latency
+     << ";mpicall=" << m.mpi_call_overhead
+     << ";mpimult=" << m.mpi_multiple_overhead
+     << ";mpiwait=" << m.mpi_wait_overhead << ";treelat=" << m.tree_latency
+     << ";treebw=" << fmt_double(m.tree_bandwidth)
+     << ";barlat=" << m.barrier_latency
+     << ";coreflops=" << fmt_double(m.core_flops)
+     << ";memcpybw=" << fmt_double(m.memcpy_bandwidth)
+     << ";smp=" << fmt_double(m.smp_slowdown)
+     << ";stencilbpp=" << fmt_double(m.stencil_bytes_per_point)
+     << ";tbar=" << m.thread_barrier_cost
+     << ";tspawn=" << m.thread_spawn_cost;
+}
+
+}  // namespace
+
+JobKey JobKey::of(const core::SimJobSpec& spec) {
+  std::ostringstream os;
+  os << "v" << kVersion << "|approach=" << static_cast<int>(spec.approach)
+     << "|job{" << sched::canonical_string(spec.job) << "}|opt{"
+     << sched::canonical_string(spec.opt) << "}|cores=" << spec.total_cores
+     << "|cpn=" << spec.cores_per_node
+     << "|cap=" << spec.scaled.grid_cap << "|machine{";
+  append_machine(os, spec.machine);
+  os << "}";
+  std::string canonical = os.str();
+  const std::uint64_t h = fnv1a(canonical);
+  return JobKey(std::move(canonical), h);
+}
+
+}  // namespace gpawfd::svc

@@ -1,0 +1,60 @@
+// Canonical cache key for a simulation request. Two SimJobSpecs that
+// would produce the same SimResult (same workload, approach,
+// optimizations, machine slice, machine constants, and scaling options)
+// map to the same JobKey; any field that can change the result is part
+// of the encoding. The key carries an explicit format version so that a
+// change to the simulator's semantics (not just to this encoding) can
+// invalidate every previously cached result by bumping kVersion.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/figures.hpp"
+
+namespace gpawfd::svc {
+
+class JobKey {
+ public:
+  /// Bump whenever the meaning of a cached SimResult changes: a new
+  /// field in JobConfig/Optimizations/MachineConfig, a simulator cost
+  /// model fix — anything that makes previously cached results stale for
+  /// an identical-looking spec.
+  static constexpr int kVersion = 1;
+
+  /// Canonicalize a spec. Deterministic: equal specs (field-wise) give
+  /// byte-identical keys and equal hashes, across threads and processes.
+  static JobKey of(const core::SimJobSpec& spec);
+
+  /// The full canonical encoding — unambiguous, human-readable,
+  /// suitable as a map key or a log line.
+  const std::string& canonical() const { return canonical_; }
+  /// 64-bit hash of the canonical encoding (FNV-1a), precomputed once.
+  std::uint64_t hash() const { return hash_; }
+
+  friend bool operator==(const JobKey& a, const JobKey& b) {
+    return a.hash_ == b.hash_ && a.canonical_ == b.canonical_;
+  }
+  friend bool operator!=(const JobKey& a, const JobKey& b) {
+    return !(a == b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const JobKey& k) {
+    return os << k.canonical_;
+  }
+
+  struct Hasher {
+    std::size_t operator()(const JobKey& k) const {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+
+ private:
+  JobKey(std::string canonical, std::uint64_t hash)
+      : canonical_(std::move(canonical)), hash_(hash) {}
+
+  std::string canonical_;
+  std::uint64_t hash_;
+};
+
+}  // namespace gpawfd::svc

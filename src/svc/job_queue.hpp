@@ -1,0 +1,161 @@
+// Bounded MPMC priority queue with explicit admission control. Producers
+// either get the item in (kAccepted) or an immediate, reasoned refusal
+// (kQueueFull / kClosed) — the queue never silently drops and, in the
+// default reject policy, never blocks a producer: backpressure is a
+// *signal* the caller can act on (shed load, retry with backoff), which
+// is what a serving stack wants at saturation. A blocking push_wait() is
+// provided for callers that prefer throttling to shedding.
+//
+// Three strict priority classes, FIFO within a class. Consumers block in
+// pop() until an item arrives or the queue is closed *and* drained, so
+// close() gives clean shutdown-with-drain semantics; drain_remaining()
+// gives shutdown-with-discard.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpawfd::svc {
+
+enum class Priority : int {
+  kInteractive = 0,  // a user is waiting on this request
+  kNormal = 1,       // default
+  kBatch = 2,        // bulk/offline work, runs when nothing else is queued
+};
+inline constexpr int kPriorityClasses = 3;
+
+enum class PushResult {
+  kAccepted,
+  kQueueFull,  // admission control: bounded and at capacity
+  kClosed,     // shutdown in progress
+};
+
+inline const char* to_string(PushResult r) {
+  switch (r) {
+    case PushResult::kAccepted:
+      return "accepted";
+    case PushResult::kQueueFull:
+      return "queue-full";
+    case PushResult::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+template <typename T>
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {
+    GPAWFD_CHECK(capacity >= 1);
+  }
+
+  /// Non-blocking admission: O(1) verdict under one lock.
+  PushResult try_push(T item, Priority prio = Priority::kNormal) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (size_ >= capacity_) return PushResult::kQueueFull;
+      classes_[static_cast<std::size_t>(prio)].push_back(std::move(item));
+      ++size_;
+      if (size_ > high_water_) high_water_ = size_;
+    }
+    cv_pop_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Blocking admission: waits for space instead of rejecting (the
+  /// throttling flavour of backpressure). Still refuses after close().
+  PushResult push_wait(T item, Priority prio = Priority::kNormal) {
+    {
+      std::unique_lock lock(mu_);
+      cv_push_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+      if (closed_) return PushResult::kClosed;
+      classes_[static_cast<std::size_t>(prio)].push_back(std::move(item));
+      ++size_;
+      if (size_ > high_water_) high_water_ = size_;
+    }
+    cv_pop_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Blocks until an item is available (highest priority class first,
+  /// FIFO within a class) or the queue is closed and empty — the
+  /// consumer's signal to exit its loop.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_pop_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    for (auto& cls : classes_) {
+      if (!cls.empty()) {
+        T item = std::move(cls.front());
+        cls.pop_front();
+        --size_;
+        lock.unlock();
+        cv_push_.notify_one();
+        return item;
+      }
+    }
+    GPAWFD_CHECK_MSG(false, "size/classes bookkeeping out of sync");
+    return std::nullopt;
+  }
+
+  /// Stop admitting. Consumers keep draining; pop() returns nullopt once
+  /// empty. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_pop_.notify_all();
+    cv_push_.notify_all();
+  }
+
+  /// Remove and return everything still queued (for discard-style
+  /// shutdown, so the owner can fail the associated requests).
+  std::vector<T> drain_remaining() {
+    std::vector<T> out;
+    {
+      std::lock_guard lock(mu_);
+      out.reserve(size_);
+      for (auto& cls : classes_) {
+        for (auto& item : cls) out.push_back(std::move(item));
+        cls.clear();
+      }
+      size_ = 0;
+    }
+    cv_push_.notify_all();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t high_water() const {
+    std::lock_guard lock(mu_);
+    return high_water_;
+  }
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_pop_;   // consumers wait for items
+  std::condition_variable cv_push_;  // push_wait producers wait for space
+  std::deque<T> classes_[kPriorityClasses];
+  std::size_t size_ = 0;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace gpawfd::svc

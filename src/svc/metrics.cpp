@@ -1,0 +1,53 @@
+#include "svc/metrics.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace gpawfd::svc {
+
+double Metrics::hit_ratio() const {
+  const double hits =
+      static_cast<double>(cache_hits.load(std::memory_order_relaxed));
+  const double misses =
+      static_cast<double>(dedup_joined.load(std::memory_order_relaxed) +
+                          accepted.load(std::memory_order_relaxed));
+  const double total = hits + misses;
+  return total > 0 ? hits / total : 0.0;
+}
+
+std::string Metrics::snapshot(std::int64_t cache_size,
+                              std::int64_t cache_evictions) const {
+  std::ostringstream os;
+  auto line = [&](const char* key, auto value) {
+    os << key << ": " << value << "\n";
+  };
+  line("svc.submitted", submitted.load(std::memory_order_relaxed));
+  line("svc.cache_hits", cache_hits.load(std::memory_order_relaxed));
+  line("svc.dedup_joined", dedup_joined.load(std::memory_order_relaxed));
+  line("svc.accepted", accepted.load(std::memory_order_relaxed));
+  line("svc.rejected_queue_full",
+       rejected_queue_full.load(std::memory_order_relaxed));
+  line("svc.rejected_shutdown",
+       rejected_shutdown.load(std::memory_order_relaxed));
+  line("svc.executed", executed.load(std::memory_order_relaxed));
+  line("svc.exec_failures", exec_failures.load(std::memory_order_relaxed));
+  line("svc.cancelled", cancelled.load(std::memory_order_relaxed));
+  line("svc.hit_ratio", fmt_fixed(hit_ratio(), 4));
+  line("svc.queue_depth_high_water", queue_depth_high_water());
+  if (cache_size >= 0) line("svc.cache_size", cache_size);
+  if (cache_evictions >= 0) line("svc.cache_evictions", cache_evictions);
+  auto hist = [&](const char* name, const trace::LatencyHistogram& h) {
+    os << name << ": count=" << h.count() << " mean="
+       << fmt_seconds(h.mean_seconds())
+       << " p50=" << fmt_seconds(h.quantile(0.50))
+       << " p99=" << fmt_seconds(h.quantile(0.99))
+       << " max=" << fmt_seconds(h.max_seconds()) << "\n";
+  };
+  hist("svc.queue_wait", queue_wait);
+  hist("svc.exec_time", exec_time);
+  hist("svc.hit_time", hit_time);
+  return os.str();
+}
+
+}  // namespace gpawfd::svc

@@ -1,0 +1,62 @@
+// Service-level observability: monotonic counters, queue-depth
+// high-water mark, and latency histograms (trace::LatencyHistogram) for
+// every stage a request passes through. All recording paths are
+// relaxed-atomic — cheap enough to leave on permanently, in the spirit
+// of trace::CommStats. `snapshot()` renders a consistent-enough text
+// block (counters are read once each; exactness across counters is not
+// guaranteed while traffic is in flight, which is the standard contract
+// for service metrics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "trace/stats.hpp"
+
+namespace gpawfd::svc {
+
+class Metrics {
+ public:
+  // ---- request accounting (one increment per submit) ----------------
+  std::atomic<std::int64_t> submitted{0};     // every submit() call
+  std::atomic<std::int64_t> cache_hits{0};    // served from ResultCache
+  std::atomic<std::int64_t> dedup_joined{0};  // attached to an in-flight run
+  std::atomic<std::int64_t> accepted{0};      // enqueued as a new execution
+  std::atomic<std::int64_t> rejected_queue_full{0};
+  std::atomic<std::int64_t> rejected_shutdown{0};
+
+  // ---- execution accounting ------------------------------------------
+  std::atomic<std::int64_t> executed{0};         // simulations actually run
+  std::atomic<std::int64_t> exec_failures{0};    // executor threw
+  std::atomic<std::int64_t> cancelled{0};        // queued but never run
+
+  // ---- latency histograms --------------------------------------------
+  trace::LatencyHistogram queue_wait;   // enqueue -> picked up by a worker
+  trace::LatencyHistogram exec_time;    // executor run time (cold)
+  trace::LatencyHistogram hit_time;     // submit() latency for cache hits
+
+  // ---- gauges ---------------------------------------------------------
+  void note_queue_depth(std::int64_t depth) {
+    std::int64_t seen = queue_depth_high_water_.load(std::memory_order_relaxed);
+    while (depth > seen && !queue_depth_high_water_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t queue_depth_high_water() const {
+    return queue_depth_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// cache_hits / (cache_hits + misses); misses = joined + accepted.
+  double hit_ratio() const;
+
+  /// Multi-line human/machine-greppable text block (key: value lines),
+  /// the exporter the examples and benches print.
+  std::string snapshot(std::int64_t cache_size = -1,
+                       std::int64_t cache_evictions = -1) const;
+
+ private:
+  std::atomic<std::int64_t> queue_depth_high_water_{0};
+};
+
+}  // namespace gpawfd::svc

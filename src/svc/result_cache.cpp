@@ -1,0 +1,104 @@
+#include "svc/result_cache.hpp"
+
+#include "common/math.hpp"
+
+namespace gpawfd::svc {
+
+ResultCache::ResultCache(std::size_t capacity, int shards)
+    : capacity_(capacity) {
+  GPAWFD_CHECK(capacity >= 1);
+  GPAWFD_CHECK(shards >= 1);
+  // More stripes than entries would leave stripes with capacity 0.
+  if (static_cast<std::size_t>(shards) > capacity)
+    shards = static_cast<int>(capacity);
+  per_shard_capacity_ = static_cast<std::size_t>(
+      ceil_div(static_cast<std::int64_t>(capacity), shards));
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Lookup ResultCache::lookup_or_begin(const JobKey& key) {
+  Shard& sh = shard_of(key);
+  std::lock_guard lock(sh.mu);
+
+  if (auto it = sh.map.find(key); it != sh.map.end()) {
+    // Refresh LRU position, answer from cache.
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<core::SimResult> ready;
+    ready.set_value(it->second->second);
+    return {Outcome::kHit, ready.get_future().share()};
+  }
+
+  if (auto it = sh.flights.find(key); it != sh.flights.end()) {
+    joins_.fetch_add(1, std::memory_order_relaxed);
+    return {Outcome::kJoined, it->second->future};
+  }
+
+  auto flight = std::make_shared<Flight>();
+  flight->future = flight->promise.get_future().share();
+  sh.flights.emplace(key, flight);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return {Outcome::kLeader, flight->future};
+}
+
+std::optional<core::SimResult> ResultCache::peek(const JobKey& key) {
+  Shard& sh = shard_of(key);
+  std::lock_guard lock(sh.mu);
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) return std::nullopt;
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::complete(const JobKey& key, const core::SimResult& result) {
+  Shard& sh = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard lock(sh.mu);
+    auto fit = sh.flights.find(key);
+    GPAWFD_CHECK_MSG(fit != sh.flights.end(),
+                     "complete() without a leader flight for " << key);
+    flight = std::move(fit->second);
+    sh.flights.erase(fit);
+
+    if (sh.map.find(key) == sh.map.end()) {
+      sh.lru.emplace_front(key, result);
+      sh.map.emplace(key, sh.lru.begin());
+      while (sh.lru.size() > per_shard_capacity_) {
+        sh.map.erase(sh.lru.back().first);
+        sh.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Wake waiters outside the stripe lock.
+  flight->promise.set_value(result);
+}
+
+void ResultCache::abort(const JobKey& key, std::exception_ptr error) {
+  Shard& sh = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard lock(sh.mu);
+    auto fit = sh.flights.find(key);
+    GPAWFD_CHECK_MSG(fit != sh.flights.end(),
+                     "abort() without a leader flight for " << key);
+    flight = std::move(fit->second);
+    sh.flights.erase(fit);
+  }
+  flight->promise.set_exception(std::move(error));
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    n += sh->lru.size();
+  }
+  return n;
+}
+
+}  // namespace gpawfd::svc

@@ -1,0 +1,105 @@
+// Sharded, mutex-striped LRU cache of simulation results with built-in
+// single-flight deduplication: the first requester of a missing key
+// becomes the *leader* (it must run the simulation and call complete()
+// or abort()); every concurrent requester of the same key *joins* the
+// leader's shared_future instead of spawning a duplicate run. N
+// identical concurrent requests therefore cost exactly one execution —
+// the amortization the paper applies to stencil/DFT planning, applied
+// here to whole simulation runs.
+//
+// Striping: a key lives on exactly one shard (by hash), so the lock held
+// during a lookup is 1/shards as contended as a single global mutex;
+// LRU order is maintained per shard, which bounds staleness of eviction
+// decisions but keeps every operation O(1) under its stripe lock.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sim_executor.hpp"
+#include "svc/job_key.hpp"
+
+namespace gpawfd::svc {
+
+class ResultCache {
+ public:
+  enum class Outcome {
+    kHit,     // value was cached; `result` is already ready
+    kJoined,  // another requester is computing it; `result` will be set
+    kLeader,  // caller owns the computation: run it, then complete()/abort()
+  };
+
+  struct Lookup {
+    Outcome outcome;
+    std::shared_future<core::SimResult> result;
+  };
+
+  /// `capacity` cached results total, spread over `shards` stripes
+  /// (each stripe holds ceil(capacity/shards)).
+  explicit ResultCache(std::size_t capacity, int shards = 8);
+
+  /// The single-flight entry point; atomic per key.
+  Lookup lookup_or_begin(const JobKey& key);
+
+  /// Cache-only probe: never starts a flight, counts a hit but not a
+  /// miss (used by monitoring / tests).
+  std::optional<core::SimResult> peek(const JobKey& key);
+
+  /// Leader hand-off: publish the result to the LRU, wake every joined
+  /// waiter, and end the flight. Exactly one of complete()/abort() must
+  /// follow every kLeader lookup.
+  void complete(const JobKey& key, const core::SimResult& result);
+
+  /// Leader hand-off on failure: propagate `error` to every joined
+  /// waiter (their future.get() throws) without caching anything.
+  void abort(const JobKey& key, std::exception_ptr error);
+
+  // ---- statistics ----------------------------------------------------
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::int64_t joins() const {
+    return joins_.load(std::memory_order_relaxed);
+  }
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Flight {
+    std::promise<core::SimResult> promise;
+    std::shared_future<core::SimResult> future;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Most-recently-used at the front.
+    std::list<std::pair<JobKey, core::SimResult>> lru;
+    std::unordered_map<JobKey, decltype(lru)::iterator, JobKey::Hasher> map;
+    std::unordered_map<JobKey, std::shared_ptr<Flight>, JobKey::Hasher>
+        flights;
+  };
+
+  Shard& shard_of(const JobKey& key) {
+    return *shards_[key.hash() % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> joins_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace gpawfd::svc

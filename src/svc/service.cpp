@@ -1,0 +1,142 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+
+#include "trace/stats.hpp"
+
+namespace gpawfd::svc {
+
+const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kCacheHit:
+      return "cache-hit";
+    case SubmitStatus::kJoined:
+      return "joined";
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kRejectedQueueFull:
+      return "rejected: queue full";
+    case SubmitStatus::kRejectedShutdown:
+      return "rejected: shutdown";
+  }
+  return "?";
+}
+
+namespace {
+int default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+}  // namespace
+
+SimService::SimService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity, config_.cache_shards),
+      queue_(config_.queue_capacity) {
+  if (config_.workers <= 0) config_.workers = default_workers();
+  if (!config_.executor) config_.executor = core::simulate_job;
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+SimService::~SimService() { shutdown(/*drain=*/true); }
+
+Ticket SimService::submit(const core::SimJobSpec& spec, Priority priority) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    metrics_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejectedShutdown, {}};
+  }
+
+  const double t0 = trace::now_seconds();
+  const JobKey key = JobKey::of(spec);
+  ResultCache::Lookup lookup = cache_.lookup_or_begin(key);
+  switch (lookup.outcome) {
+    case ResultCache::Outcome::kHit:
+      metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      metrics_.hit_time.record(trace::now_seconds() - t0);
+      return {SubmitStatus::kCacheHit, std::move(lookup.result)};
+    case ResultCache::Outcome::kJoined:
+      metrics_.dedup_joined.fetch_add(1, std::memory_order_relaxed);
+      return {SubmitStatus::kJoined, std::move(lookup.result)};
+    case ResultCache::Outcome::kLeader:
+      break;
+  }
+
+  // We are the leader: admission control decides whether the execution
+  // actually happens.
+  QueuedJob job{key, spec, trace::now_seconds()};
+  const PushResult push =
+      config_.block_when_full ? queue_.push_wait(std::move(job), priority)
+                              : queue_.try_push(std::move(job), priority);
+  switch (push) {
+    case PushResult::kAccepted:
+      metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
+      metrics_.note_queue_depth(static_cast<std::int64_t>(queue_.size()));
+      return {SubmitStatus::kAccepted, std::move(lookup.result)};
+    case PushResult::kQueueFull:
+    case PushResult::kClosed: {
+      // End the flight we started. A request that joined in the window
+      // between our lookup and this abort sees the rejection as an
+      // exception on its future — it shared our admission fate.
+      const bool full = push == PushResult::kQueueFull;
+      (full ? metrics_.rejected_queue_full : metrics_.rejected_shutdown)
+          .fetch_add(1, std::memory_order_relaxed);
+      cache_.abort(key, std::make_exception_ptr(ServiceError(
+                            full ? "rejected: queue full"
+                                 : "rejected: shutdown")));
+      return {full ? SubmitStatus::kRejectedQueueFull
+                   : SubmitStatus::kRejectedShutdown,
+              {}};
+    }
+  }
+  return {SubmitStatus::kRejectedShutdown, {}};
+}
+
+core::SimResult SimService::run(const core::SimJobSpec& spec,
+                                Priority priority) {
+  Ticket t = submit(spec, priority);
+  if (t.rejected()) throw ServiceError(to_string(t.status));
+  return t.result.get();
+}
+
+void SimService::worker_loop() {
+  while (auto job = queue_.pop()) execute(std::move(*job));
+}
+
+void SimService::execute(QueuedJob job) {
+  metrics_.queue_wait.record(trace::now_seconds() - job.enqueue_time);
+  try {
+    const double t0 = trace::now_seconds();
+    const core::SimResult result = config_.executor(job.spec);
+    metrics_.exec_time.record(trace::now_seconds() - t0);
+    metrics_.executed.fetch_add(1, std::memory_order_relaxed);
+    cache_.complete(job.key, result);
+  } catch (...) {
+    metrics_.exec_failures.fetch_add(1, std::memory_order_relaxed);
+    cache_.abort(job.key, std::current_exception());
+  }
+}
+
+void SimService::shutdown(bool drain) {
+  std::call_once(shutdown_once_, [&] {
+    shutting_down_.store(true, std::memory_order_release);
+    queue_.close();
+    if (!drain) {
+      for (QueuedJob& job : queue_.drain_remaining()) {
+        metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        cache_.abort(job.key, std::make_exception_ptr(
+                                  ServiceError("cancelled: shutdown")));
+      }
+    }
+    for (std::thread& t : threads_) t.join();
+  });
+}
+
+std::string SimService::metrics_snapshot() const {
+  return metrics_.snapshot(static_cast<std::int64_t>(cache_.size()),
+                           cache_.evictions());
+}
+
+}  // namespace gpawfd::svc

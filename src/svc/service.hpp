@@ -1,0 +1,124 @@
+// SimService: the concurrent control plane over the simulation engine.
+// Clients submit SimJobSpecs and get back shared futures; internally a
+// bounded priority queue (admission control, backpressure) feeds a pool
+// of worker threads that drive the re-entrant core::simulate_job, with a
+// single-flight LRU ResultCache in front so identical requests are
+// served from memory (or join an in-flight run) instead of re-simulating.
+// Every stage is metered (svc::Metrics).
+//
+// Lifecycle: construct -> submit()* -> shutdown() (or destructor, which
+// drains). After shutdown() begins, submits are rejected with
+// kRejectedShutdown; in-flight and (when draining) queued work still
+// completes, so no accepted future is ever abandoned.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/figures.hpp"
+#include "svc/job_key.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/metrics.hpp"
+#include "svc/result_cache.hpp"
+
+namespace gpawfd::svc {
+
+/// Thrown into a request's future when its job was accepted but the
+/// service shut down (discard mode) or the executor failed.
+class ServiceError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct ServiceConfig {
+  /// Executor threads. 0 = one per hardware thread, capped at 8 (the
+  /// simulator is CPU-bound; more workers than cores just thrash).
+  int workers = 0;
+  /// Bounded queue: requests beyond this are rejected (or, with
+  /// block_when_full, throttled).
+  std::size_t queue_capacity = 64;
+  /// Cached SimResults across all shards.
+  std::size_t cache_capacity = 512;
+  int cache_shards = 8;
+  /// Backpressure policy: false = reject-with-reason (load shedding,
+  /// the default for a service), true = block the submitter (throttling,
+  /// for in-process batch producers).
+  bool block_when_full = false;
+  /// The simulation function. Replaceable for tests (count executions,
+  /// inject delays/failures); defaults to core::simulate_job.
+  std::function<core::SimResult(const core::SimJobSpec&)> executor;
+};
+
+enum class SubmitStatus {
+  kCacheHit,           // completed immediately from the ResultCache
+  kJoined,             // deduplicated onto an identical in-flight job
+  kAccepted,           // enqueued; a worker will execute it
+  kRejectedQueueFull,  // admission control refused (queue at capacity)
+  kRejectedShutdown,   // service no longer accepts work
+};
+
+const char* to_string(SubmitStatus s);
+
+/// What submit() hands back. `result` is valid unless rejected() —
+/// rejected requests get *no* future (the request was never admitted),
+/// which keeps rejection O(1) and allocation-free on the hot path.
+struct Ticket {
+  SubmitStatus status = SubmitStatus::kRejectedShutdown;
+  std::shared_future<core::SimResult> result;
+
+  bool rejected() const {
+    return status == SubmitStatus::kRejectedQueueFull ||
+           status == SubmitStatus::kRejectedShutdown;
+  }
+};
+
+class SimService {
+ public:
+  explicit SimService(ServiceConfig config = {});
+  ~SimService();  // shutdown(/*drain=*/true)
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Thread-safe. Never runs the simulation on the caller's thread.
+  Ticket submit(const core::SimJobSpec& spec,
+                Priority priority = Priority::kNormal);
+
+  /// Convenience: submit and wait. Throws ServiceError on rejection.
+  core::SimResult run(const core::SimJobSpec& spec,
+                      Priority priority = Priority::kNormal);
+
+  /// Stop the service. drain=true (default) finishes everything already
+  /// accepted; drain=false fails queued-but-unstarted jobs with
+  /// ServiceError ("cancelled"). Idempotent; later submits are rejected.
+  void shutdown(bool drain = true);
+
+  const Metrics& metrics() const { return metrics_; }
+  const ResultCache& cache() const { return cache_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Metrics + cache counters as one text block (the exporter).
+  std::string metrics_snapshot() const;
+
+ private:
+  struct QueuedJob {
+    JobKey key;
+    core::SimJobSpec spec;
+    double enqueue_time = 0;
+  };
+
+  void worker_loop();
+  void execute(QueuedJob job);
+
+  ServiceConfig config_;
+  ResultCache cache_;
+  JobQueue<QueuedJob> queue_;
+  Metrics metrics_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutting_down_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace gpawfd::svc

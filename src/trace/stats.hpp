@@ -3,6 +3,7 @@
 // simulator (virtual clock) so both report the same schema.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -57,6 +58,100 @@ class PhaseTimers {
  private:
   mutable std::mutex mu_;
   std::map<std::string, double> acc_;
+};
+
+/// Fixed-bucket latency histogram: power-of-two buckets from 1 µs to
+/// ~1 hour plus an underflow and an overflow bucket. Lock-free recording
+/// (relaxed atomics — counts are statistics, not synchronization), so it
+/// is safe on the hot path of a concurrent service. Quantiles are
+/// bucket-upper-bound estimates, which is the usual contract for
+/// fixed-bucket exporters.
+class LatencyHistogram {
+ public:
+  /// 1 µs × 2^32 ≈ 71 min spans every latency a service op can see.
+  static constexpr int kBuckets = 32;
+  static constexpr double kFirstUpperSeconds = 1e-6;
+
+  void record(double seconds) {
+    buckets_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
+    // Compare-and-swap max; contention is rare (only on new maxima).
+    std::int64_t ns = to_ns(seconds);
+    std::int64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const {
+    std::int64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  double total_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  double max_seconds() const {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  double mean_seconds() const {
+    const std::int64_t n = count();
+    return n > 0 ? total_seconds() / static_cast<double>(n) : 0.0;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile observation
+  /// (q in [0, 1]). Returns 0 when empty.
+  double quantile(double q) const {
+    const std::int64_t n = count();
+    if (n == 0) return 0.0;
+    std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets + 2; ++b) {
+      seen += buckets_[static_cast<std::size_t>(b)].load(
+          std::memory_order_relaxed);
+      if (seen > rank) return upper_bound_seconds(b);
+    }
+    return upper_bound_seconds(kBuckets + 1);
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket index: 0 = underflow (< 1 µs), 1..kBuckets = power-of-two
+  /// buckets, kBuckets+1 = overflow.
+  static int bucket_of(double seconds) {
+    if (!(seconds >= kFirstUpperSeconds)) return 0;  // also NaN/negative
+    double upper = kFirstUpperSeconds;
+    for (int b = 1; b <= kBuckets; ++b) {
+      if (seconds <= upper) return b;
+      upper *= 2;
+    }
+    return kBuckets + 1;
+  }
+
+  /// Inclusive upper edge of a bucket (infinity-ish for the overflow).
+  static double upper_bound_seconds(int bucket) {
+    if (bucket <= 0) return kFirstUpperSeconds;
+    double upper = kFirstUpperSeconds;
+    for (int b = 1; b < bucket; ++b) upper *= 2;
+    return upper;
+  }
+
+ private:
+  static std::int64_t to_ns(double seconds) {
+    return seconds > 0 ? static_cast<std::int64_t>(seconds * 1e9) : 0;
+  }
+
+  std::array<std::atomic<std::int64_t>, kBuckets + 2> buckets_{};
+  std::atomic<std::int64_t> sum_ns_{0};
+  std::atomic<std::int64_t> max_ns_{0};
 };
 
 /// Communication accounting (per rank or per node, caller's choice).

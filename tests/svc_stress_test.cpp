@@ -1,0 +1,340 @@
+// Concurrency tests for svc::SimService: single-flight execution counts
+// under heavy client fan-in, cache coherence (same JobKey => identical
+// SimResult), non-blocking admission control at the queue bound, metrics
+// consistency, and clean shutdown with work in flight. Run under the
+// GPAWFD_TSAN preset to race-check the queue/cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "trace/stats.hpp"
+
+namespace gpawfd {
+namespace {
+
+using core::SimJobSpec;
+using core::SimResult;
+
+SimJobSpec spec_of_job(int job_id) {
+  SimJobSpec spec;
+  spec.approach = sched::Approach::kHybridMultiple;
+  spec.job.grid_shape = Vec3::cube(24);
+  spec.job.ngrids = 8 + job_id;  // distinct workload per job id
+  spec.opt = sched::Optimizations::all_on(2);
+  spec.total_cores = 4;
+  return spec;
+}
+
+/// Fake executor: records per-key execution counts and burns a little
+/// wall clock so concurrent submits genuinely overlap an in-flight run.
+class CountingExecutor {
+ public:
+  explicit CountingExecutor(std::chrono::milliseconds delay) : delay_(delay) {}
+
+  SimResult operator()(const SimJobSpec& spec) {
+    {
+      std::lock_guard lock(mu_);
+      ++runs_[svc::JobKey::of(spec).canonical()];
+    }
+    total_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(delay_);
+    SimResult r;
+    r.seconds = static_cast<double>(spec.job.ngrids);  // identity marker
+    r.messages_total = spec.job.ngrids;
+    return r;
+  }
+
+  int total() const { return total_.load(); }
+  std::map<std::string, int> runs() const {
+    std::lock_guard lock(mu_);
+    return runs_;
+  }
+
+ private:
+  std::chrono::milliseconds delay_;
+  mutable std::mutex mu_;
+  std::map<std::string, int> runs_;
+  std::atomic<int> total_{0};
+};
+
+// Acceptance (a): 64 concurrent clients x 8 distinct jobs -> exactly 8
+// executions, every response coherent with its key.
+TEST(SvcStress, SingleFlightExecutesEachDistinctJobExactlyOnce) {
+  constexpr int kClients = 64;
+  constexpr int kJobs = 8;
+  auto counting =
+      std::make_shared<CountingExecutor>(std::chrono::milliseconds(20));
+
+  svc::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 1024;
+  cfg.executor = [counting](const SimJobSpec& s) { return (*counting)(s); };
+  svc::SimService service(cfg);
+
+  std::vector<std::thread> clients;
+  std::atomic<int> coherent{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Stagger job order per client so every job sees concurrent
+      // first-requesters, joiners, and late cache-hitters.
+      for (int j = 0; j < kJobs; ++j) {
+        const int job_id = (j + c) % kJobs;
+        svc::Ticket t = service.submit(spec_of_job(job_id));
+        ASSERT_FALSE(t.rejected()) << svc::to_string(t.status);
+        const SimResult r = t.result.get();
+        // Cache coherence: same JobKey => the marker of *that* job.
+        if (r.seconds == static_cast<double>(8 + job_id) &&
+            r.messages_total == 8 + job_id)
+          coherent.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(coherent.load(), kClients * kJobs);
+  EXPECT_EQ(counting->total(), kJobs)
+      << "single-flight must collapse all duplicate requests";
+  for (const auto& [key, n] : counting->runs())
+    EXPECT_EQ(n, 1) << "job executed " << n << " times: " << key;
+
+  const auto& m = service.metrics();
+  EXPECT_EQ(m.submitted.load(), kClients * kJobs);
+  EXPECT_EQ(m.accepted.load(), kJobs);
+  EXPECT_EQ(m.executed.load(), kJobs);
+  EXPECT_EQ(m.cache_hits.load() + m.dedup_joined.load() + m.accepted.load(),
+            m.submitted.load())
+      << "every submit is exactly one of hit/joined/accepted:\n"
+      << service.metrics_snapshot();
+  EXPECT_EQ(m.rejected_queue_full.load(), 0);
+  EXPECT_EQ(service.cache().size(), static_cast<std::size_t>(kJobs));
+}
+
+// Acceptance (c): past the queue bound the service rejects immediately
+// (load shedding), it does not block, and the metrics add up.
+TEST(SvcStress, AdmissionControlRejectsNotBlocksPastTheBound) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> started{0};
+
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.executor = [&](const SimJobSpec& s) {
+    started.fetch_add(1);
+    opened.wait();  // hold the worker so the queue stays full
+    SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    return r;
+  };
+  svc::SimService service(cfg);
+
+  // Job 0 occupies the worker...
+  svc::Ticket a = service.submit(spec_of_job(0));
+  ASSERT_EQ(a.status, svc::SubmitStatus::kAccepted);
+  while (started.load() == 0) std::this_thread::yield();
+  // ...jobs 1 and 2 fill the bounded queue...
+  svc::Ticket b = service.submit(spec_of_job(1));
+  svc::Ticket c = service.submit(spec_of_job(2));
+  ASSERT_EQ(b.status, svc::SubmitStatus::kAccepted);
+  ASSERT_EQ(c.status, svc::SubmitStatus::kAccepted);
+  // ...job 3 must be refused with a reason, without blocking.
+  const double t0 = trace::now_seconds();
+  svc::Ticket d = service.submit(spec_of_job(3));
+  const double reject_latency = trace::now_seconds() - t0;
+  EXPECT_EQ(d.status, svc::SubmitStatus::kRejectedQueueFull);
+  EXPECT_TRUE(d.rejected());
+  EXPECT_FALSE(d.result.valid()) << "rejected requests get no future";
+  EXPECT_LT(reject_latency, 0.25) << "rejection must not block";
+
+  gate.set_value();
+  EXPECT_DOUBLE_EQ(a.result.get().seconds, 8.0);
+  EXPECT_DOUBLE_EQ(b.result.get().seconds, 9.0);
+  EXPECT_DOUBLE_EQ(c.result.get().seconds, 10.0);
+
+  const auto& m = service.metrics();
+  EXPECT_EQ(m.submitted.load(), 4);
+  EXPECT_EQ(m.accepted.load(), 3);
+  EXPECT_EQ(m.rejected_queue_full.load(), 1);
+  EXPECT_EQ(m.cache_hits.load() + m.dedup_joined.load() + m.accepted.load() +
+                m.rejected_queue_full.load() + m.rejected_shutdown.load(),
+            m.submitted.load())
+      << service.metrics_snapshot();
+  EXPECT_GE(m.queue_depth_high_water(), 2);
+
+  // The rejected job was never poisoned: resubmitting works now.
+  svc::Ticket retry = service.submit(spec_of_job(3));
+  EXPECT_FALSE(retry.rejected());
+  EXPECT_DOUBLE_EQ(retry.result.get().seconds, 11.0);
+}
+
+// Blocking backpressure flavour: with block_when_full the submitter
+// throttles instead of shedding.
+TEST(SvcStress, BlockingBackpressureThrottlesProducers) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 2;
+  cfg.block_when_full = true;
+  cfg.executor = [](const SimJobSpec& s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    return r;
+  };
+  svc::SimService service(cfg);
+
+  std::vector<svc::Ticket> tickets;
+  for (int j = 0; j < 16; ++j) tickets.push_back(service.submit(spec_of_job(j)));
+  for (auto& t : tickets) {
+    ASSERT_FALSE(t.rejected());
+    t.result.wait();
+  }
+  EXPECT_EQ(service.metrics().rejected_queue_full.load(), 0);
+  EXPECT_EQ(service.metrics().executed.load(), 16);
+}
+
+// Clean shutdown, drain flavour: the destructor finishes accepted work;
+// no future is left dangling.
+TEST(SvcStress, DrainShutdownCompletesInFlightAndQueuedWork) {
+  std::vector<svc::Ticket> tickets;
+  {
+    svc::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 64;
+    cfg.executor = [](const SimJobSpec& s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      SimResult r;
+      r.seconds = static_cast<double>(s.job.ngrids);
+      return r;
+    };
+    svc::SimService service(cfg);
+    for (int j = 0; j < 12; ++j)
+      tickets.push_back(service.submit(spec_of_job(j)));
+  }  // ~SimService: drain
+  for (std::size_t j = 0; j < tickets.size(); ++j) {
+    ASSERT_FALSE(tickets[j].rejected());
+    EXPECT_DOUBLE_EQ(tickets[j].result.get().seconds,
+                     static_cast<double>(8 + j));
+  }
+}
+
+// Discard shutdown: in-flight work completes, queued-unstarted work is
+// cancelled with an exception (never silently dropped), submits after
+// shutdown are rejected.
+TEST(SvcStress, DiscardShutdownCancelsQueuedWorkExplicitly) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> started{0};
+
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.executor = [&](const SimJobSpec& s) {
+    started.fetch_add(1);
+    opened.wait();
+    SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    return r;
+  };
+  svc::SimService service(cfg);
+
+  svc::Ticket inflight = service.submit(spec_of_job(0));
+  ASSERT_EQ(inflight.status, svc::SubmitStatus::kAccepted);
+  while (started.load() == 0) std::this_thread::yield();
+  svc::Ticket queued1 = service.submit(spec_of_job(1));
+  svc::Ticket queued2 = service.submit(spec_of_job(2));
+  ASSERT_EQ(queued1.status, svc::SubmitStatus::kAccepted);
+  ASSERT_EQ(queued2.status, svc::SubmitStatus::kAccepted);
+
+  std::thread stopper([&] { service.shutdown(/*drain=*/false); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();  // let the in-flight job finish so workers can join
+  stopper.join();
+
+  EXPECT_DOUBLE_EQ(inflight.result.get().seconds, 8.0);
+  EXPECT_THROW(queued1.result.get(), svc::ServiceError);
+  EXPECT_THROW(queued2.result.get(), svc::ServiceError);
+  EXPECT_EQ(service.metrics().cancelled.load(), 2);
+
+  svc::Ticket late = service.submit(spec_of_job(3));
+  EXPECT_EQ(late.status, svc::SubmitStatus::kRejectedShutdown);
+}
+
+// Acceptance (b) at test scale: a cache hit answers >= 10x faster than
+// the cold simulation it short-circuits (the bench measures the same
+// ratio at service scale).
+TEST(SvcStress, CacheHitIsAtLeastTenTimesFasterThanColdRun) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;  // real executor: core::simulate_job
+  svc::SimService service(cfg);
+
+  SimJobSpec spec;
+  spec.approach = sched::Approach::kHybridMultiple;
+  spec.job.grid_shape = Vec3::cube(48);
+  spec.job.ngrids = 16;
+  spec.opt = sched::Optimizations::all_on(4);
+  spec.total_cores = 8;
+
+  const double cold0 = trace::now_seconds();
+  service.run(spec);
+  const double cold = trace::now_seconds() - cold0;
+
+  double best_hit = 1e9;
+  for (int i = 0; i < 5; ++i) {
+    const double h0 = trace::now_seconds();
+    svc::Ticket t = service.submit(spec);
+    t.result.get();
+    const double h = trace::now_seconds() - h0;
+    ASSERT_EQ(t.status, svc::SubmitStatus::kCacheHit);
+    best_hit = std::min(best_hit, h);
+  }
+  EXPECT_GE(cold / best_hit, 10.0)
+      << "cold=" << cold << "s best_hit=" << best_hit << "s";
+}
+
+// Hammer one service with a mixed read/write pattern while results are
+// being evicted — the TSAN target for the striped LRU.
+TEST(SvcStress, EvictionChurnStaysCoherentUnderConcurrency) {
+  auto counting =
+      std::make_shared<CountingExecutor>(std::chrono::milliseconds(0));
+  svc::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 256;
+  cfg.cache_capacity = 8;  // far fewer than distinct jobs -> churn
+  cfg.cache_shards = 4;
+  cfg.executor = [counting](const SimJobSpec& s) { return (*counting)(s); };
+  svc::SimService service(cfg);
+
+  constexpr int kClients = 16;
+  constexpr int kDistinct = 48;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 64; ++i) {
+        const int job_id = (c * 7 + i * 11) % kDistinct;
+        svc::Ticket t = service.submit(spec_of_job(job_id));
+        if (t.rejected()) continue;  // shedding under churn is fine
+        try {
+          if (t.result.get().seconds != static_cast<double>(8 + job_id))
+            bad.fetch_add(1);
+        } catch (const svc::ServiceError&) {
+          // joined a flight whose leader was shed — a documented fate
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0) << "a key must never yield another key's result";
+  EXPECT_LE(service.cache().size(), 8u);
+  EXPECT_GT(service.cache().evictions(), 0);
+}
+
+}  // namespace
+}  // namespace gpawfd

@@ -1,0 +1,335 @@
+// Unit tests for the service layer's building blocks: JobKey
+// canonicalization, the bounded priority queue's admission/ordering
+// semantics, the sharded LRU + single-flight ResultCache, and the
+// latency histogram / metrics exporter.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/hash.hpp"
+#include "svc/job_key.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/metrics.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/service.hpp"
+
+namespace gpawfd {
+namespace {
+
+core::SimJobSpec small_spec(int ngrids = 8, int cores = 4) {
+  core::SimJobSpec spec;
+  spec.approach = sched::Approach::kHybridMultiple;
+  spec.job.grid_shape = Vec3::cube(24);
+  spec.job.ngrids = ngrids;
+  spec.opt = sched::Optimizations::all_on(2);
+  spec.total_cores = cores;
+  spec.cores_per_node = 4;
+  return spec;
+}
+
+core::SimResult result_with_seconds(double s) {
+  core::SimResult r;
+  r.seconds = s;
+  return r;
+}
+
+// ---- hashing utilities ------------------------------------------------
+
+TEST(Hash, Fnv1aIsStableAndSensitive) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a(std::string_view("\0", 1)));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  const std::uint64_t a = hash_combine(hash_combine(0, 1), 2);
+  const std::uint64_t b = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+// ---- canonical encodings ---------------------------------------------
+
+TEST(Canonical, JobConfigRoundTripsEveryField) {
+  sched::JobConfig a, b;
+  EXPECT_EQ(sched::canonical_string(a), sched::canonical_string(b));
+  b.ngrids = 33;
+  EXPECT_NE(sched::canonical_string(a), sched::canonical_string(b));
+  b = a;
+  b.periodic = false;
+  EXPECT_NE(sched::canonical_string(a), sched::canonical_string(b));
+  b = a;
+  b.grid_shape = {144, 144, 145};
+  EXPECT_NE(sched::canonical_string(a), sched::canonical_string(b));
+}
+
+TEST(Canonical, OptimizationsDistinguishBatchAndToggles) {
+  const auto a = sched::Optimizations::all_on(8);
+  auto b = a;
+  EXPECT_EQ(sched::canonical_string(a), sched::canonical_string(b));
+  b.batch_size = 4;
+  EXPECT_NE(sched::canonical_string(a), sched::canonical_string(b));
+  b = a;
+  b.double_buffering = false;
+  EXPECT_NE(sched::canonical_string(a), sched::canonical_string(b));
+}
+
+// ---- JobKey -----------------------------------------------------------
+
+TEST(JobKey, EqualSpecsGiveEqualKeys) {
+  const auto a = svc::JobKey::of(small_spec());
+  const auto b = svc::JobKey::of(small_spec());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(JobKey, EveryAxisOfTheSpecChangesTheKey) {
+  const auto base = svc::JobKey::of(small_spec());
+
+  auto s = small_spec();
+  s.approach = sched::Approach::kFlatOriginal;
+  EXPECT_NE(svc::JobKey::of(s), base) << "approach not encoded";
+
+  s = small_spec();
+  s.job.ngrids = 9;
+  EXPECT_NE(svc::JobKey::of(s), base) << "job not encoded";
+
+  s = small_spec();
+  s.opt.batch_size = 4;
+  EXPECT_NE(svc::JobKey::of(s), base) << "optimizations not encoded";
+
+  s = small_spec();
+  s.total_cores = 8;
+  EXPECT_NE(svc::JobKey::of(s), base) << "cores not encoded";
+
+  s = small_spec();
+  s.machine.link_bandwidth *= 1.0000001;
+  EXPECT_NE(svc::JobKey::of(s), base) << "machine constants not encoded";
+
+  s = small_spec();
+  s.scaled.grid_cap = 128;
+  EXPECT_NE(svc::JobKey::of(s), base) << "scaling options not encoded";
+}
+
+TEST(JobKey, CanonicalStringCarriesTheVersion) {
+  const auto k = svc::JobKey::of(small_spec());
+  EXPECT_EQ(k.canonical().rfind("v1|", 0), 0u) << k.canonical();
+}
+
+// ---- JobQueue ---------------------------------------------------------
+
+TEST(JobQueue, RejectsWhenFullInsteadOfBlocking) {
+  svc::JobQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), svc::PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(2), svc::PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(3), svc::PushResult::kQueueFull);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(JobQueue, PriorityClassesDrainHighestFirstFifoWithin) {
+  svc::JobQueue<int> q(8);
+  ASSERT_EQ(q.try_push(10, svc::Priority::kBatch), svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(1, svc::Priority::kInteractive),
+            svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(5, svc::Priority::kNormal), svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(2, svc::Priority::kInteractive),
+            svc::PushResult::kAccepted);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), 10);
+}
+
+TEST(JobQueue, CloseDrainsThenUnblocksConsumers) {
+  svc::JobQueue<int> q(4);
+  ASSERT_EQ(q.try_push(7), svc::PushResult::kAccepted);
+  q.close();
+  EXPECT_EQ(q.try_push(8), svc::PushResult::kClosed);
+  EXPECT_EQ(q.pop(), 7);            // still drains what was admitted
+  EXPECT_EQ(q.pop(), std::nullopt);  // then signals exhaustion
+}
+
+TEST(JobQueue, PushWaitBlocksUntilSpace) {
+  svc::JobQueue<int> q(1);
+  ASSERT_EQ(q.try_push(1), svc::PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(q.push_wait(2), svc::PushResult::kAccepted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.pop(), 1);  // frees the slot the producer waits on
+  producer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(JobQueue, DrainRemainingEmptiesEverything) {
+  svc::JobQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2, svc::Priority::kBatch);
+  q.close();
+  const auto rest = q.drain_remaining();
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// ---- ResultCache ------------------------------------------------------
+
+TEST(ResultCache, LeaderCompletesAndSubsequentLookupsHit) {
+  svc::ResultCache cache(16);
+  const auto key = svc::JobKey::of(small_spec());
+  auto first = cache.lookup_or_begin(key);
+  ASSERT_EQ(first.outcome, svc::ResultCache::Outcome::kLeader);
+  cache.complete(key, result_with_seconds(1.25));
+  EXPECT_DOUBLE_EQ(first.result.get().seconds, 1.25);
+
+  auto second = cache.lookup_or_begin(key);
+  EXPECT_EQ(second.outcome, svc::ResultCache::Outcome::kHit);
+  EXPECT_DOUBLE_EQ(second.result.get().seconds, 1.25);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, ConcurrentRequestersJoinTheFlight) {
+  svc::ResultCache cache(16);
+  const auto key = svc::JobKey::of(small_spec());
+  auto leader = cache.lookup_or_begin(key);
+  ASSERT_EQ(leader.outcome, svc::ResultCache::Outcome::kLeader);
+  auto joined = cache.lookup_or_begin(key);
+  EXPECT_EQ(joined.outcome, svc::ResultCache::Outcome::kJoined);
+  EXPECT_EQ(cache.joins(), 1);
+  cache.complete(key, result_with_seconds(2.0));
+  EXPECT_DOUBLE_EQ(joined.result.get().seconds, 2.0);
+}
+
+TEST(ResultCache, AbortPropagatesToJoinedWaiters) {
+  svc::ResultCache cache(16);
+  const auto key = svc::JobKey::of(small_spec());
+  auto leader = cache.lookup_or_begin(key);
+  ASSERT_EQ(leader.outcome, svc::ResultCache::Outcome::kLeader);
+  auto joined = cache.lookup_or_begin(key);
+  cache.abort(key, std::make_exception_ptr(svc::ServiceError("boom")));
+  EXPECT_THROW(joined.result.get(), svc::ServiceError);
+  EXPECT_EQ(cache.size(), 0u) << "aborted flights must not be cached";
+  // The key is computable again after the abort.
+  auto retry = cache.lookup_or_begin(key);
+  EXPECT_EQ(retry.outcome, svc::ResultCache::Outcome::kLeader);
+  cache.complete(key, result_with_seconds(1.0));
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedWithinAShard) {
+  // Single shard so LRU order is global and deterministic.
+  svc::ResultCache cache(3, /*shards=*/1);
+  std::vector<svc::JobKey> keys;
+  for (int i = 0; i < 4; ++i) {
+    auto spec = small_spec();
+    spec.job.ngrids = 8 + i;
+    keys.push_back(svc::JobKey::of(spec));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto l = cache.lookup_or_begin(keys[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(l.outcome, svc::ResultCache::Outcome::kLeader);
+    cache.complete(keys[static_cast<std::size_t>(i)], result_with_seconds(i));
+  }
+  // Touch key0 so key1 is now the least recently used.
+  EXPECT_TRUE(cache.peek(keys[0]).has_value());
+  auto l = cache.lookup_or_begin(keys[3]);
+  ASSERT_EQ(l.outcome, svc::ResultCache::Outcome::kLeader);
+  cache.complete(keys[3], result_with_seconds(3));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 3u);
+  auto victim = cache.lookup_or_begin(keys[1]);
+  EXPECT_EQ(victim.outcome, svc::ResultCache::Outcome::kLeader)
+      << "key1 should have been evicted";
+  cache.complete(keys[1], result_with_seconds(1));
+  EXPECT_TRUE(cache.peek(keys[0]).has_value()) << "key0 was refreshed";
+}
+
+TEST(ResultCache, ShardCountNeverExceedsCapacity) {
+  svc::ResultCache cache(2, /*shards=*/8);
+  EXPECT_LE(cache.shards(), 2);
+}
+
+// ---- LatencyHistogram -------------------------------------------------
+
+TEST(LatencyHistogram, BucketsAndQuantiles) {
+  trace::LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(1e-3);
+  h.record(10.0);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.mean_seconds(), (99 * 1e-3 + 10.0) / 100.0, 1e-6);
+  EXPECT_NEAR(h.max_seconds(), 10.0, 1e-6);
+  // p50 lands in the ~1ms bucket (upper bound within 2x), p999 in the
+  // 10s outlier's bucket.
+  EXPECT_LE(h.quantile(0.5), 2.1e-3);
+  EXPECT_GE(h.quantile(0.5), 1e-3);
+  EXPECT_GE(h.quantile(0.999), 10.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowAreCaptured) {
+  trace::LatencyHistogram h;
+  h.record(1e-9);   // < 1us underflow
+  h.record(1e9);    // > max bucket overflow
+  h.record(-1.0);   // garbage goes to underflow, never UB
+  EXPECT_EQ(h.count(), 3);
+}
+
+// ---- Metrics snapshot -------------------------------------------------
+
+TEST(Metrics, SnapshotReportsConsistentCounts) {
+  svc::Metrics m;
+  m.submitted.store(10);
+  m.cache_hits.store(4);
+  m.dedup_joined.store(2);
+  m.accepted.store(3);
+  m.rejected_queue_full.store(1);
+  m.note_queue_depth(7);
+  m.note_queue_depth(3);  // high water keeps the max
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 4.0 / 9.0);
+  EXPECT_EQ(m.queue_depth_high_water(), 7);
+  const std::string snap = m.snapshot(/*cache_size=*/5, /*evictions=*/1);
+  EXPECT_NE(snap.find("svc.submitted: 10"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("svc.rejected_queue_full: 1"), std::string::npos);
+  EXPECT_NE(snap.find("svc.cache_size: 5"), std::string::npos);
+  EXPECT_NE(snap.find("svc.queue_depth_high_water: 7"), std::string::npos);
+}
+
+// ---- SimService end-to-end against the real simulator -----------------
+
+TEST(SimService, RunsARealSimulationAndCachesIt) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  svc::SimService service(cfg);
+  const auto spec = small_spec();
+
+  auto cold = service.submit(spec);
+  ASSERT_EQ(cold.status, svc::SubmitStatus::kAccepted);
+  const core::SimResult r1 = cold.result.get();
+  EXPECT_GT(r1.seconds, 0.0);
+  // Identical to a direct (unserviced) call — the service adds no
+  // nondeterminism.
+  const core::SimResult direct = core::simulate_job(spec);
+  EXPECT_DOUBLE_EQ(r1.seconds, direct.seconds);
+  EXPECT_EQ(r1.bytes_sent_total, direct.bytes_sent_total);
+
+  auto hit = service.submit(spec);
+  EXPECT_EQ(hit.status, svc::SubmitStatus::kCacheHit);
+  EXPECT_DOUBLE_EQ(hit.result.get().seconds, r1.seconds);
+  EXPECT_EQ(service.metrics().cache_hits.load(), 1);
+  EXPECT_EQ(service.metrics().executed.load(), 1);
+}
+
+TEST(SimService, RunHelperThrowsOnRejection) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  service.shutdown();
+  EXPECT_THROW(service.run(small_spec()), svc::ServiceError);
+}
+
+}  // namespace
+}  // namespace gpawfd
