@@ -26,15 +26,19 @@ inline void banner(const std::string& title, const std::string& paper_ref,
 /// The four approaches of section VI in presentation order.
 struct ApproachSpec {
   const char* name;
+  const char* slug;  // key-safe name for JSON reports
   sched::Approach approach;
   bool uses_optimizations;  // false: always Optimizations::original()
 };
 
 inline constexpr ApproachSpec kApproaches[] = {
-    {"Flat original", sched::Approach::kFlatOriginal, false},
-    {"Flat optimized", sched::Approach::kFlatOptimized, true},
-    {"Hybrid multiple", sched::Approach::kHybridMultiple, true},
-    {"Hybrid master-only", sched::Approach::kHybridMasterOnly, true},
+    {"Flat original", "flat_original", sched::Approach::kFlatOriginal, false},
+    {"Flat optimized", "flat_optimized", sched::Approach::kFlatOptimized,
+     true},
+    {"Hybrid multiple", "hybrid_multiple", sched::Approach::kHybridMultiple,
+     true},
+    {"Hybrid master-only", "hybrid_master_only",
+     sched::Approach::kHybridMasterOnly, true},
 };
 
 inline sched::Optimizations opts_for(const ApproachSpec& spec, int batch) {

@@ -39,7 +39,7 @@ double measure_bandwidth(const bgsim::MachineConfig& m, std::int64_t bytes) {
 }  // namespace
 }  // namespace gpawfd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpawfd;
   const auto m = bgsim::MachineConfig::bluegene_p();
 
@@ -50,8 +50,11 @@ int main() {
   print_table1(m);
   std::cout << '\n';
 
+  bench::JsonReport rep;
+  rep.set("bench", std::string("fig2_bandwidth"));
   Table t({"message size [B]", "bandwidth [MB/s]", "fraction of peak"});
   const double peak = m.effective_link_bandwidth();
+  rep.set("peak_link_bandwidth_mbs", peak / 1e6);
   double half_point = -1, knee_bw = -1;
   for (int exp = 0; exp <= 7; ++exp) {
     for (std::int64_t mul : {1, 2, 5}) {
@@ -61,16 +64,23 @@ int main() {
       const double bw = measure_bandwidth(m, size);
       t.add_row({std::to_string(size), fmt_fixed(bw / 1e6, 1),
                  fmt_fixed(bw / peak, 3)});
+      rep.set("bandwidth_mbs_" + std::to_string(size), bw / 1e6);
       if (half_point < 0 && bw >= 0.5 * peak) half_point = static_cast<double>(size);
       if (size == 100'000) knee_bw = bw;
     }
   }
   t.print(std::cout);
+  rep.set("half_bandwidth_message_bytes", half_point);
+  rep.set("bandwidth_at_1e5_mbs", knee_bw / 1e6);
 
   std::cout << "\npaper-vs-measured:\n"
             << "  half-bandwidth message size: paper ~1e3 B, measured ~"
             << half_point << " B\n"
             << "  bandwidth at 1e5 B: paper ~370-390 MB/s, measured "
             << fmt_bandwidth(knee_bw) << "\n";
+
+  std::string path = bench::json_path_from_args(argc, argv);
+  if (path.empty()) path = "BENCH_fig2.json";
+  if (rep.write(path)) std::cout << "JSON written to " << path << "\n";
   return 0;
 }

@@ -11,7 +11,7 @@
 
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpawfd;
   using namespace gpawfd::bench;
   using sched::JobConfig;
@@ -31,6 +31,10 @@ int main() {
   std::cout << "sequential baseline (1 core): " << fmt_seconds(t_seq)
             << "\n\n";
 
+  JsonReport rep;
+  rep.set("bench", std::string("fig5_speedup"));
+  rep.set("sequential_seconds", t_seq);
+
   const int cores_list[] = {1, 16, 64, 256, 512, 1024, 2048, 4096};
   for (int batch : {1, 8}) {
     std::cout << (batch == 1 ? "[left graph]  batching disabled\n"
@@ -43,6 +47,9 @@ int main() {
         const auto r = core::simulate_scaled(
             spec.approach, job, opts_for(spec, batch), cores, 4, m);
         row.push_back(fmt_fixed(t_seq / r.seconds, 1));
+        rep.set("speedup_" + std::string(spec.slug) + "_batch" +
+                    std::to_string(batch) + "_cores" + std::to_string(cores),
+                t_seq / r.seconds);
       }
       t.add_row(std::move(row));
     }
@@ -54,5 +61,9 @@ int main() {
                "for the best approaches with batch 8,\nwith Flat optimized "
                "and Hybrid multiple indistinguishable at this small grid "
                "count.\n";
+
+  std::string path = json_path_from_args(argc, argv);
+  if (path.empty()) path = "BENCH_fig5.json";
+  if (rep.write(path)) std::cout << "JSON written to " << path << "\n";
   return 0;
 }

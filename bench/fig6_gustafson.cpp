@@ -12,7 +12,7 @@
 
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpawfd;
   using namespace gpawfd::bench;
   using sched::Approach;
@@ -25,6 +25,9 @@ int main() {
          "Kristensen et al., IPDPS'09, Fig. 6",
          "Hybrid multiple fastest from 512 cores; Flat original slowest; "
          "Flat comm/node ~1.7x Hybrid comm/node");
+
+  JsonReport rep;
+  rep.set("bench", std::string("fig6_gustafson"));
 
   Table t({"cores=grids", "Flat original [s]", "Flat optimized [s]",
            "Hybrid multiple [s]", "Hybrid master-only [s]",
@@ -48,6 +51,9 @@ int main() {
       const auto r = core::simulate_scaled(spec.approach, job,
                                            opts_for(spec, batch), cores, 4, m);
       row.push_back(fmt_fixed(r.seconds, 3));
+      rep.set("seconds_" + std::string(spec.slug) + "_cores" +
+                  std::to_string(cores),
+              r.seconds);
       if (spec.approach == Approach::kFlatOptimized) {
         flat_mb = r.bytes_sent_per_node / 1e6;
         flat_batch = batch;
@@ -60,6 +66,11 @@ int main() {
     row.push_back(fmt_fixed(flat_mb, 1));
     row.push_back(fmt_fixed(hyb_mb, 1));
     row.push_back(std::to_string(flat_batch) + "/" + std::to_string(hyb_batch));
+    const std::string cs = std::to_string(cores);
+    rep.set("comm_mb_flat_cores" + cs, flat_mb);
+    rep.set("comm_mb_hybrid_cores" + cs, hyb_mb);
+    rep.set("best_batch_flat_cores" + cs, flat_batch);
+    rep.set("best_batch_hybrid_cores" + cs, hyb_batch);
     t.add_row(std::move(row));
   }
   t.print(std::cout);
@@ -74,5 +85,9 @@ int main() {
          "one FD sweep per grid; the paper's\n"
       << "  benchmark loops the operation), but the relative ordering "
          "and growth are the reproduced shape.\n";
+
+  std::string path = json_path_from_args(argc, argv);
+  if (path.empty()) path = "BENCH_fig6.json";
+  if (rep.write(path)) std::cout << "JSON written to " << path << "\n";
   return 0;
 }

@@ -13,7 +13,7 @@
 
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpawfd;
   using namespace gpawfd::bench;
   using sched::Approach;
@@ -31,6 +31,10 @@ int main() {
          "vs Flat original at 16k; ~10% over Flat optimized; util 36->70%");
 
   const double seq = core::simulate_sequential_seconds(job, m);
+
+  JsonReport rep;
+  rep.set("bench", std::string("fig7_speedup_large"));
+  rep.set("sequential_seconds", seq);
 
   struct Cell {
     double seconds = 0;
@@ -58,6 +62,9 @@ int main() {
     for (std::size_t a = 0; a < 4; ++a) {
       row.push_back(fmt_fixed(t_fo_1k / secs[a], 2));
       seconds[{static_cast<int>(a), cores}] = secs[a];
+      rep.set("speedup_" + std::string(kApproaches[a].slug) + "_cores" +
+                  std::to_string(cores),
+              t_fo_1k / secs[a]);
     }
     t.add_row(std::move(row));
   }
@@ -83,5 +90,17 @@ int main() {
             << fmt_fixed(100 * seq / (16384 * fo_16k), 1) << "%\n"
             << "  CPU utilization Hybrid multiple at 16k: paper 70% -> "
             << fmt_fixed(100 * seq / (16384 * hm_16k), 1) << "%\n";
+
+  rep.set("headline_hybrid_vs_flat_original_1k_at_16k", t_fo_1k / hm_16k);
+  rep.set("headline_hybrid_self_speedup_1k_to_16k", hm_1k / hm_16k);
+  rep.set("headline_hybrid_vs_flat_original_at_16k", fo_16k / hm_16k);
+  rep.set("headline_hybrid_vs_flat_optimized_at_16k", fopt_16k / hm_16k);
+  rep.set("utilization_flat_original_16k_pct", 100 * seq / (16384 * fo_16k));
+  rep.set("utilization_hybrid_multiple_16k_pct",
+          100 * seq / (16384 * hm_16k));
+
+  std::string path = json_path_from_args(argc, argv);
+  if (path.empty()) path = "BENCH_fig7.json";
+  if (rep.write(path)) std::cout << "JSON written to " << path << "\n";
   return 0;
 }

@@ -1,9 +1,17 @@
-// Kernel microbenchmarks (google-benchmark): stencil throughput by
-// radius and element type, face codec throughput, local periodic fill.
+// Kernel microbenchmarks. Default mode measures the scalar baseline vs
+// the SIMD/tiled fast path (apply by radius and element type, fused vs
+// unfused jacobi) with a best-of-reps manual harness and writes
+// BENCH_micro_stencil.json. `--gbench [filters...]` instead runs the
+// google-benchmark registrations below.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "grid/array3d.hpp"
 #include "stencil/kernels.hpp"
@@ -40,6 +48,22 @@ void BM_StencilApply(benchmark::State& state) {
 }
 BENCHMARK_TEMPLATE(BM_StencilApply, double)
     ->ArgsProduct({{1, 2, 3}, {32, 64, 96}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StencilApplyScalar(benchmark::State& state) {
+  const int radius = static_cast<int>(state.range(0));
+  const auto n = Vec3::cube(state.range(1));
+  Array3D<double> in = random_grid<double>(n, radius);
+  Array3D<double> out(n, radius);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(radius);
+  for (auto _ : state) {
+    gpawfd::stencil::apply_scalar(in, out, c);
+    benchmark::DoNotOptimize(out.interior());
+  }
+  state.SetItemsProcessed(state.iterations() * in.interior_points());
+}
+BENCHMARK(BM_StencilApplyScalar)
+    ->ArgsProduct({{1, 2}, {64, 96}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_StencilApplyComplex(benchmark::State& state) {
@@ -112,6 +136,162 @@ void BM_JacobiStep(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiStep)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------
+// Manual harness (default mode): best-of-reps timing so the JSON numbers
+// are stable enough for PR-over-PR diffing.
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best per-call seconds over `reps` repetitions, with the inner
+/// iteration count sized so each repetition runs >= ~20 ms.
+template <typename F>
+double best_seconds(F&& fn, int reps = 5) {
+  fn();  // warm-up (faults pages, primes caches)
+  double t0 = now_s();
+  fn();
+  double once = std::max(now_s() - t0, 1e-9);
+  const int iters = std::max(1, static_cast<int>(0.02 / once));
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double start = now_s();
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, (now_s() - start) / iters);
+  }
+  return best;
+}
+
+struct Pair {
+  double scalar_mpts;
+  double simd_mpts;
+  double speedup() const { return simd_mpts / scalar_mpts; }
+};
+
+template <typename T>
+Pair measure_apply(int radius, std::int64_t edge) {
+  const auto n = Vec3::cube(edge);
+  Array3D<T> in = random_grid<T>(n, radius);
+  Array3D<T> out(n, radius);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(radius);
+  const double pts = static_cast<double>(in.interior_points());
+  const double ts =
+      best_seconds([&] { gpawfd::stencil::apply_scalar(in, out, c); });
+  const double tv = best_seconds([&] { gpawfd::stencil::apply(in, out, c); });
+  return {pts / ts / 1e6, pts / tv / 1e6};
+}
+
+Pair measure_jacobi(std::int64_t edge) {
+  // Fusion pays in memory traffic, so measure it in the regime the real
+  // workload runs in: many grids relaxed round-robin (GPAW cycles
+  // thousands of wave functions), each cold in cache when its turn comes.
+  // The ring is sized to overflow even a large last-level cache.
+  const auto n = Vec3::cube(edge);
+  const auto c = gpawfd::stencil::Coeffs::laplacian(2);
+  constexpr std::size_t kRing = 32;
+  std::vector<Array3D<double>> u, b, out;
+  for (std::size_t i = 0; i < kRing; ++i) {
+    u.push_back(random_grid<double>(n, 2));
+    b.push_back(random_grid<double>(n, 2));
+    out.emplace_back(n, 2);
+  }
+  const double pts =
+      static_cast<double>(kRing) * static_cast<double>(u[0].interior_points());
+  const double tu = best_seconds(
+      [&] {
+        for (std::size_t i = 0; i < kRing; ++i)
+          gpawfd::stencil::jacobi_step_unfused(u[i], b[i], out[i], c, 0.7);
+      },
+      3);
+  const double tf = best_seconds(
+      [&] {
+        for (std::size_t i = 0; i < kRing; ++i)
+          gpawfd::stencil::jacobi_step(u[i], b[i], out[i], c, 0.7);
+      },
+      3);
+  return {pts / tu / 1e6, pts / tf / 1e6};
+}
+
+int run_manual(const std::string& json_path) {
+  using gpawfd::Table;
+  using gpawfd::fmt_fixed;
+  constexpr std::int64_t kEdge = 96;
+
+  gpawfd::bench::banner(
+      "Kernel fast path: scalar baseline vs SIMD/tiled kernels",
+      "Kristensen et al., IPDPS'09, section V (kernel optimization)",
+      "radius-2 double apply >= 1.5x; fused jacobi >= 1.3x over unfused");
+  std::cout << "SIMD ISA: " << gpawfd::stencil::kernel_isa()
+            << " (lane width " << gpawfd::simd::kWidth << " doubles), grid "
+            << kEdge << "^3\n\n";
+
+  const Pair r1 = measure_apply<double>(1, kEdge);
+  const Pair r2 = measure_apply<double>(2, kEdge);
+  const Pair c2 = measure_apply<std::complex<double>>(2, kEdge);
+  const Pair jac = measure_jacobi(kEdge);
+  // Minimum streaming traffic of one apply: read u once, write out once.
+  const double r2_gbs = r2.simd_mpts * 1e6 * 2 * sizeof(double) / 1e9;
+
+  Table t({"kernel", "scalar [Mpts/s]", "fast [Mpts/s]", "speedup"});
+  t.add_row({"apply r=1 double", fmt_fixed(r1.scalar_mpts, 1),
+             fmt_fixed(r1.simd_mpts, 1), fmt_fixed(r1.speedup(), 2) + "x"});
+  t.add_row({"apply r=2 double", fmt_fixed(r2.scalar_mpts, 1),
+             fmt_fixed(r2.simd_mpts, 1), fmt_fixed(r2.speedup(), 2) + "x"});
+  t.add_row({"apply r=2 complex", fmt_fixed(c2.scalar_mpts, 1),
+             fmt_fixed(c2.simd_mpts, 1), fmt_fixed(c2.speedup(), 2) + "x"});
+  t.add_row({"jacobi r=2 fused vs unfused", fmt_fixed(jac.scalar_mpts, 1),
+             fmt_fixed(jac.simd_mpts, 1), fmt_fixed(jac.speedup(), 2) + "x"});
+  t.print(std::cout);
+  std::cout << "\napply r=2 fast-path streaming traffic: "
+            << fmt_fixed(r2_gbs, 2) << " GB/s (1 read + 1 write per point)\n";
+
+  gpawfd::bench::JsonReport rep;
+  rep.set("bench", std::string("micro_stencil"));
+  rep.set("isa", std::string(gpawfd::stencil::kernel_isa()));
+  rep.set("simd_width_doubles", gpawfd::simd::kWidth);
+  rep.set("grid_edge", kEdge);
+  rep.set("apply_r1_scalar_mpts", r1.scalar_mpts);
+  rep.set("apply_r1_simd_mpts", r1.simd_mpts);
+  rep.set("apply_r1_speedup", r1.speedup());
+  rep.set("apply_r2_scalar_mpts", r2.scalar_mpts);
+  rep.set("apply_r2_simd_mpts", r2.simd_mpts);
+  rep.set("apply_r2_speedup", r2.speedup());
+  rep.set("apply_r2_simd_gbs", r2_gbs);
+  rep.set("apply_r2_complex_scalar_mpts", c2.scalar_mpts);
+  rep.set("apply_r2_complex_simd_mpts", c2.simd_mpts);
+  rep.set("apply_r2_complex_speedup", c2.speedup());
+  rep.set("jacobi_r2_unfused_mpts", jac.scalar_mpts);
+  rep.set("jacobi_r2_fused_mpts", jac.simd_mpts);
+  rep.set("jacobi_fused_speedup", jac.speedup());
+  rep.write(json_path);
+  std::cout << "JSON written to " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool gbench = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--gbench") == 0) {
+      gbench = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (gbench) {
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::string path = gpawfd::bench::json_path_from_args(argc, argv);
+  if (path.empty()) path = "BENCH_micro_stencil.json";
+  return run_manual(path);
+}

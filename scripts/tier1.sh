@@ -6,6 +6,9 @@
 #
 #   scripts/tier1.sh            # the ROADMAP tier-1 line
 #   scripts/tier1.sh --tsan     # + TSAN build of the concurrency tests
+#   scripts/tier1.sh --native   # host-tuned build (-march=native) in
+#                               # build-native/: the SIMD kernels compile
+#                               # to AVX2/FMA and the same suite must pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +21,9 @@ run_tier1() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-if [[ "${1:-}" == "--tsan" ]]; then
+if [[ "${1:-}" == "--native" ]]; then
+  run_tier1 build-native -DGPAWFD_NATIVE=ON
+elif [[ "${1:-}" == "--tsan" ]]; then
   # Only the concurrency-heavy suites need the (slow) TSAN pass.
   cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
   cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \

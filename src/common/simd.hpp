@@ -1,0 +1,143 @@
+// Portable double-precision SIMD pack, compile-time dispatched: AVX2 on
+// x86 with -mavx2/-march=native, SSE2 on any x86-64, NEON on aarch64,
+// and a transparent scalar fallback elsewhere. One ISA is selected per
+// translation unit at compile time — there is no runtime dispatch, so
+// the kernels inline down to straight vector code.
+//
+// The pack only models what the stencil/numerics kernels need: unaligned
+// load/store, broadcast, +, -, *, fused multiply-add and a horizontal
+// sum. Complex<double> grids ride on the same pack because every stencil
+// coefficient is real: a complex array is processed as interleaved
+// double lanes with doubled strides.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define GPAWFD_SIMD_ISA_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define GPAWFD_SIMD_ISA_SSE2 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define GPAWFD_SIMD_ISA_NEON 1
+#else
+#define GPAWFD_SIMD_ISA_SCALAR 1
+#endif
+
+namespace gpawfd::simd {
+
+#if defined(GPAWFD_SIMD_ISA_AVX2)
+
+struct VecD {
+  static constexpr int kWidth = 4;
+  __m256d v;
+
+  static VecD load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static VecD broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static VecD zero() { return {_mm256_setzero_pd()}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {_mm256_mul_pd(a.v, b.v)}; }
+};
+
+/// a*b + c (single-rounded when the target has FMA, e.g. -march=native).
+inline VecD fmadd(VecD a, VecD b, VecD c) {
+#if defined(__FMA__)
+  return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+  return a * b + c;
+#endif
+}
+
+inline double hsum(VecD a) {
+  __m128d lo = _mm256_castpd256_pd128(a.v);
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d swap = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swap));
+}
+
+inline constexpr const char* kIsaName = "avx2";
+
+#elif defined(GPAWFD_SIMD_ISA_SSE2)
+
+struct VecD {
+  static constexpr int kWidth = 2;
+  __m128d v;
+
+  static VecD load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static VecD broadcast(double x) { return {_mm_set1_pd(x)}; }
+  static VecD zero() { return {_mm_setzero_pd()}; }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {_mm_sub_pd(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {_mm_mul_pd(a.v, b.v)}; }
+};
+
+inline VecD fmadd(VecD a, VecD b, VecD c) { return a * b + c; }
+
+inline double hsum(VecD a) {
+  const __m128d swap = _mm_unpackhi_pd(a.v, a.v);
+  return _mm_cvtsd_f64(_mm_add_sd(a.v, swap));
+}
+
+inline constexpr const char* kIsaName = "sse2";
+
+#elif defined(GPAWFD_SIMD_ISA_NEON)
+
+struct VecD {
+  static constexpr int kWidth = 2;
+  float64x2_t v;
+
+  static VecD load(const double* p) { return {vld1q_f64(p)}; }
+  static VecD broadcast(double x) { return {vdupq_n_f64(x)}; }
+  static VecD zero() { return {vdupq_n_f64(0.0)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) { return {vaddq_f64(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {vsubq_f64(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {vmulq_f64(a.v, b.v)}; }
+};
+
+inline VecD fmadd(VecD a, VecD b, VecD c) { return {vfmaq_f64(c.v, a.v, b.v)}; }
+
+inline double hsum(VecD a) { return vaddvq_f64(a.v); }
+
+inline constexpr const char* kIsaName = "neon";
+
+#else  // scalar fallback
+
+struct VecD {
+  static constexpr int kWidth = 1;
+  double v;
+
+  static VecD load(const double* p) { return {*p}; }
+  static VecD broadcast(double x) { return {x}; }
+  static VecD zero() { return {0.0}; }
+  void store(double* p) const { *p = v; }
+
+  friend VecD operator+(VecD a, VecD b) { return {a.v + b.v}; }
+  friend VecD operator-(VecD a, VecD b) { return {a.v - b.v}; }
+  friend VecD operator*(VecD a, VecD b) { return {a.v * b.v}; }
+};
+
+inline VecD fmadd(VecD a, VecD b, VecD c) { return {a.v * b.v + c.v}; }
+
+inline double hsum(VecD a) { return a.v; }
+
+inline constexpr const char* kIsaName = "scalar";
+
+#endif
+
+/// Number of doubles processed per vector op on this build.
+inline constexpr int kWidth = VecD::kWidth;
+
+/// Name of the instruction set the pack compiled down to.
+inline constexpr const char* isa_name() { return kIsaName; }
+
+}  // namespace gpawfd::simd

@@ -208,6 +208,9 @@ class DistributedFd {
                               out[static_cast<std::size_t>(g)], coeffs_, x0,
                               x1);
       });
+      if (timers_)
+        timers_->add_count("compute", static_cast<std::int64_t>(ids.size()) *
+                                          local_shape().product());
     } else {
       for (int g : ids) compute_one(g, in, out);
     }
@@ -217,6 +220,7 @@ class DistributedFd {
                    std::span<grid::Array3D<T>> out) {
     stencil::apply(in[static_cast<std::size_t>(g)],
                    out[static_cast<std::size_t>(g)], coeffs_);
+    if (timers_) timers_->add_count("compute", local_shape().product());
   }
 
   /// Communicator rank of the neighbour across each of the six faces.

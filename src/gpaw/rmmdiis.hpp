@@ -46,21 +46,18 @@ namespace detail {
 /// (T + shift) x = r with a few damped Jacobi sweeps, smoothing the
 /// high-frequency error the residual is dominated by. Communication-free
 /// (zero ghosts): a local smoother is exactly what a preconditioner may
-/// be.
+/// be. Each sweep is one fused jacobi_step of the shifted operator
+/// (stencil + update in a single pass over the grid).
 inline void precondition(const Domain& d, const stencil::Coeffs& kinetic,
                          double shift, int sweeps,
                          const grid::Array3D<double>& r,
                          grid::Array3D<double>& x,
                          grid::Array3D<double>& scratch) {
-  const double diag = kinetic.center + shift;
   x.fill(0.0);
   for (int s = 0; s < sweeps; ++s) {
     x.fill_ghosts(0.0);
-    stencil::apply(x, scratch, kinetic);
-    x.for_each_interior([&](Vec3 p, double& v) {
-      const double resid = r.at(p) - (scratch.at(p) + shift * v);
-      v += 0.7 * resid / diag;
-    });
+    stencil::jacobi_step(x, r, scratch, kinetic, 0.7, shift);
+    std::swap(x, scratch);
   }
   (void)d;
 }
@@ -97,14 +94,11 @@ inline RmmDiisResult rmm_diis_solve(Hamiltonian& h, WaveFunctions& wfs,
 
   for (res.iterations = 1; res.iterations <= opt.max_iterations;
        ++res.iterations) {
-    // Rayleigh-Ritz.
+    // Rayleigh-Ritz. Blocked assembly + one allreduce (the per-pair
+    // d.dot form costs n^2 allreduces and streams each grid n times).
     h.apply(wfs.storage(), hpsi);
-    DenseMatrix hsub(n, n);
-    for (int i = 0; i < n; ++i)
-      for (int j = i; j < n; ++j) {
-        hsub(i, j) = d.dot(wfs.band(i), hpsi[static_cast<std::size_t>(j)]);
-        hsub(j, i) = hsub(i, j);
-      }
+    const DenseMatrix hsub =
+        overlap_matrix(d, wfs.storage(), hpsi, /*symmetric=*/true);
     const EigenResult eig = jacobi_eigensolver(hsub);
     wfs.rotate(eig.vectors);
 

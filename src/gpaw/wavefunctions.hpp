@@ -7,12 +7,26 @@
 // rank-local.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "gpaw/dense.hpp"
 #include "gpaw/domain.hpp"
 
 namespace gpawfd::gpaw {
+
+/// Cache-blocked distributed overlap assembly: S(i, j) = <a_i | b_j> =
+/// sum a_i * b_j * dv for every pair, with ONE allreduce of the whole
+/// matrix (the naive per-pair form costs n^2 allreduces). Bands are
+/// visited in tiles so each grid row is streamed once for a whole tile's
+/// worth of SIMD dot products instead of once per pair. With
+/// `symmetric` (valid when <a_i|b_j> == <a_j|b_i>, e.g. b = a or
+/// b = H a with Hermitian H) only the upper triangle is computed and
+/// mirrored. All fields must share the domain's shape and ghost width.
+DenseMatrix overlap_matrix(const Domain& d,
+                           std::span<const grid::Array3D<double>> a,
+                           std::span<const grid::Array3D<double>> b,
+                           bool symmetric);
 
 class WaveFunctions {
  public:
@@ -36,7 +50,8 @@ class WaveFunctions {
   /// decomposition: values depend on global coordinates only).
   void randomize(std::uint64_t seed);
 
-  /// Overlap matrix S_ij = <psi_i | psi_j> (one allreduce of n^2/2 sums).
+  /// Overlap matrix S_ij = <psi_i | psi_j> (blocked assembly, one
+  /// allreduce).
   DenseMatrix overlap() const;
 
   /// In-place rotation psi_j <- sum_i psi_i * u(i, j).

@@ -5,8 +5,9 @@
 // i.e. a radius-2 central-difference approximation applied independently
 // along each axis (A' = C1*A + C2*A[x-1] + ... + C13*A[z+2]).
 // The canonical instance in GPAW is the 4th-order Laplacian; we also
-// provide radius 1 (2nd order) and radius 3 (6th order) for the kernel
-// sweep benchmarks, plus fully custom coefficients.
+// provide radius 1 (2nd order), radius 3 (6th order) and radius 4
+// (8th order) for the kernel sweep benchmarks, plus fully custom
+// coefficients.
 #pragma once
 
 #include <array>
@@ -17,7 +18,7 @@
 
 namespace gpawfd::stencil {
 
-inline constexpr int kMaxRadius = 3;
+inline constexpr int kMaxRadius = 4;
 
 /// Axis-separable symmetric stencil: result(p) = center*A(p) +
 /// sum_d sum_{k=1..radius} axis[d][k-1] * (A(p + k e_d) + A(p - k e_d)).
@@ -47,11 +48,14 @@ inline std::array<double, kMaxRadius + 1> second_derivative_weights(
   GPAWFD_CHECK(radius >= 1 && radius <= kMaxRadius);
   switch (radius) {
     case 1:
-      return {-2.0, 1.0, 0.0, 0.0};
+      return {-2.0, 1.0, 0.0, 0.0, 0.0};
     case 2:
-      return {-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0, 0.0};
+      return {-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0, 0.0, 0.0};
+    case 3:
+      return {-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0, 0.0};
     default:
-      return {-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0};
+      return {-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0,
+              -1.0 / 560.0};
   }
 }
 

@@ -1,18 +1,48 @@
 // Stencil kernels: a reference implementation (used as ground truth in
-// tests) and an optimized pointer/stride kernel with a contiguous inner
-// z-loop (the shape of GPAW's C kernel). Both operate on ghost-extended
-// arrays whose ghosts have already been filled by the halo exchange (or
-// by local_periodic_fill / fill_ghosts).
+// tests), the original scalar pointer kernel (kept selectable for
+// benchmarking), and the vectorized, cache-blocked fast path that every
+// caller gets by default. All kernels operate on ghost-extended arrays
+// whose ghosts have already been filled by the halo exchange (or by
+// local_periodic_fill / fill_ghosts).
+//
+// Fast-path structure:
+//   - One row primitive sweeps the contiguous z-direction with the
+//     portable SIMD pack (common/simd.hpp), radius-1/2 term counts baked
+//     in at compile time, any radius via a runtime term loop.
+//   - An epilogue functor decides what happens to the stencil value per
+//     point: plain store (apply), rhs - value (fused residual), or the
+//     full weighted-Jacobi update (fused jacobi_step — apply + update in
+//     ONE sweep, halving the memory traffic of the old two-pass form).
+//   - Rows are visited in y/z tiles sized so the (2r+1) planes a sweep
+//     touches stay cache-resident while x streams (see Tiling).
+//   - std::complex<double> grids reuse the double kernels unchanged:
+//     every coefficient is real, so a complex array is just interleaved
+//     double lanes with doubled strides.
 //
 // The input and output grids are always two separate arrays — GPAW
 // guarantees this, which is what makes the computation order irrelevant
 // and the operation embarrassingly parallel within a sub-grid.
 #pragma once
 
+#include <algorithm>
 #include <complex>
+#include <cstdint>
+#include <utility>
 
+#include "common/simd.hpp"
 #include "grid/array3d.hpp"
 #include "stencil/coeffs.hpp"
+
+// The scalar baseline kernels are compiled with the compiler's
+// auto-vectorizer off (GCC) so the measured scalar-vs-SIMD speedup
+// isolates explicit vectorization — the baseline models GPAW's plain C
+// kernel, which the PPC450 compilers did not auto-vectorize.
+#if defined(__GNUC__) && !defined(__clang__)
+#define GPAWFD_NO_AUTOVEC \
+  __attribute__((optimize("no-tree-loop-vectorize,no-tree-slp-vectorize")))
+#else
+#define GPAWFD_NO_AUTOVEC
+#endif
 
 namespace gpawfd::stencil {
 
@@ -39,15 +69,268 @@ void apply_reference(const grid::Array3D<T>& in, grid::Array3D<T>& out,
       }
 }
 
-/// Optimized kernel over an x-slab [x_begin, x_end) of the interior.
-/// Splitting over x-slabs is how the hybrid master-only approach divides
-/// one grid across the four cores of a node.
+/// y/z tile extents of the blocked fast path. A sweep at x touches the
+/// (2r+1) x-planes [x-r, x+r]; tiling y and (for very long rows) z keeps
+/// that working set — (2r+1) * ty * tz * 8 bytes — inside L2 while x
+/// streams, so each plane loaded from memory is reused 2r+1 times.
+/// `tz` is counted in doubles and must stay a multiple of 2 so a
+/// complex<double> element is never split across chunks.
+struct Tiling {
+  std::int64_t ty = 32;    // rows per y-tile
+  std::int64_t tz = 2048;  // doubles per z-chunk (16 KiB rows cap)
+};
+
+inline constexpr Tiling kDefaultTiling{};
+
+/// Instruction set the kernels were compiled for ("avx2", "sse2",
+/// "neon", "scalar").
+inline const char* kernel_isa() { return simd::isa_name(); }
+
+namespace detail {
+
 template <typename T>
-void apply_slab(const grid::Array3D<T>& in, grid::Array3D<T>& out,
-                const Coeffs& c, std::int64_t x_begin, std::int64_t x_end) {
+inline constexpr std::int64_t kDoublesPer = sizeof(T) / sizeof(double);
+
+inline const double* as_doubles(const double* p) { return p; }
+inline double* as_doubles(double* p) { return p; }
+inline const double* as_doubles(const std::complex<double>* p) {
+  return reinterpret_cast<const double*>(p);
+}
+inline double* as_doubles(std::complex<double>* p) {
+  return reinterpret_cast<double*>(p);
+}
+
+/// Stencil flattened to double-lane terms: value(z) = center*p[z] +
+/// sum_k coef[k] * (p[z - off[k]] + p[z + off[k]]), offsets in doubles.
+struct RowTerms {
+  double center = 0;
+  std::array<double, 3 * kMaxRadius> coef{};
+  std::array<std::int64_t, 3 * kMaxRadius> off{};
+  int nterms = 0;
+};
+
+inline RowTerms make_row_terms(const Coeffs& c, std::int64_t stride_x,
+                               std::int64_t stride_y, std::int64_t scale) {
+  RowTerms t;
+  t.center = c.center;
+  for (int k = 1; k <= c.radius; ++k) {
+    t.coef[static_cast<std::size_t>(t.nterms)] = c.axis[0][k - 1];
+    t.off[static_cast<std::size_t>(t.nterms++)] = k * stride_x * scale;
+    t.coef[static_cast<std::size_t>(t.nterms)] = c.axis[1][k - 1];
+    t.off[static_cast<std::size_t>(t.nterms++)] = k * stride_y * scale;
+    t.coef[static_cast<std::size_t>(t.nterms)] = c.axis[2][k - 1];
+    t.off[static_cast<std::size_t>(t.nterms++)] = k * scale;
+  }
+  return t;
+}
+
+// Epilogues: what to do with the stencil value of each point. `q`, `b`,
+// `u` are row base pointers (same row offset as the stencil input).
+
+// Epilogues receive the stencil value `a` and the already-loaded centre
+// input value `u` of the point, so no epilogue reloads the input row.
+
+/// out = A u  (plain apply).
+struct StoreEpi {
+  double* __restrict q;
+  void vec(std::int64_t z, simd::VecD a, simd::VecD) const { a.store(q + z); }
+  void scalar(std::int64_t z, double a, double) const { q[z] = a; }
+};
+
+/// out = b - A u  (fused residual).
+struct ResidualEpi {
+  const double* __restrict b;
+  double* __restrict q;
+  void vec(std::int64_t z, simd::VecD a, simd::VecD) const {
+    (simd::VecD::load(b + z) - a).store(q + z);
+  }
+  void scalar(std::int64_t z, double a, double) const { q[z] = b[z] - a; }
+};
+
+/// out = u + w * (b - A u - shift*u)  with  w = omega / (center + shift):
+/// one damped Jacobi step of (A + shift I) u = b, fused into the sweep.
+struct JacobiEpi {
+  const double* __restrict b;
+  double* __restrict q;
+  double w;
+  double shift;
+  void vec(std::int64_t z, simd::VecD a, simd::VecD vu) const {
+    const simd::VecD resid = simd::VecD::load(b + z) - a -
+                             simd::VecD::broadcast(shift) * vu;
+    simd::fmadd(simd::VecD::broadcast(w), resid, vu).store(q + z);
+  }
+  void scalar(std::int64_t z, double a, double u) const {
+    q[z] = u + w * (b[z] - a - shift * u);
+  }
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPAWFD_FORCEINLINE [[gnu::always_inline]] inline
+#else
+#define GPAWFD_FORCEINLINE inline
+#endif
+
+/// One vector of output: stencil value of lanes [z, z+kW) with the term
+/// count unrolled by fold expression. Forced inline — if this lands
+/// out of line the per-iteration state round-trips through memory and
+/// the kernel loses ~2x.
+template <class Epi, std::size_t... K>
+GPAWFD_FORCEINLINE void row_body(const double* __restrict p, std::int64_t z,
+                                 simd::VecD vc, const std::int64_t* off,
+                                 const simd::VecD* vco, const Epi& epi,
+                                 std::index_sequence<K...>) {
+  using simd::VecD;
+  const VecD vp = VecD::load(p + z);
+  // Two accumulators (even/odd terms) so the multiply-add chain is not
+  // one serial latency chain of sizeof...(K) additions.
+  VecD acc0 = vc * vp;
+  VecD acc1 = VecD::zero();
+  (((K % 2 == 0 ? acc0 : acc1) = simd::fmadd(
+        vco[K], VecD::load(p + z - off[K]) + VecD::load(p + z + off[K]),
+        K % 2 == 0 ? acc0 : acc1)),
+   ...);
+  epi.vec(z, acc0 + acc1, vp);
+}
+
+/// Core row sweep over `nd` double lanes, vectorized along z. NT > 0
+/// bakes the term count in at compile time (radius-1/2 specializations:
+/// the term loop fully unrolls and the coefficient broadcasts hoist out
+/// of the z-loop); NT == 0 reads t.nterms at runtime (any radius).
+template <int NT, class Epi>
+inline void row_stencil(const double* __restrict p, std::int64_t nd,
+                        const RowTerms& t, const Epi& epi) {
+  using simd::VecD;
+  constexpr int kW = VecD::kWidth;
+  constexpr int kCap = NT > 0 ? NT : 3 * kMaxRadius;
+  const int nt = NT > 0 ? NT : t.nterms;
+  // Copy the terms into locals before the loop: the epilogue's output
+  // stores cannot alias function-local state, so the broadcasts and
+  // offsets stay in registers. Read through `t` they would be reloaded
+  // from memory after every store (the compiler must assume the store
+  // may hit them).
+  std::int64_t off[kCap];
+  double co[kCap];
+  VecD vco[kCap];
+  for (int k = 0; k < nt; ++k) {
+    off[k] = t.off[static_cast<std::size_t>(k)];
+    co[k] = t.coef[static_cast<std::size_t>(k)];
+    vco[k] = VecD::broadcast(co[k]);
+  }
+  const double center = t.center;
+  const VecD vc = VecD::broadcast(center);
+  std::int64_t z = 0;
+  if constexpr (NT > 0) {
+    // Fold-expression unroll: NT is a template argument, so the term
+    // updates expand to straight-line code (a `for (k < NT)` loop is not
+    // reliably unrolled at -O2 and re-reads off[]/vco[] each iteration).
+    for (; z + kW <= nd; z += kW)
+      row_body(p, z, vc, off, vco, epi,
+               std::make_index_sequence<static_cast<std::size_t>(NT)>{});
+  } else {
+    for (; z + kW <= nd; z += kW) {
+      const VecD vp = VecD::load(p + z);
+      VecD acc = vc * vp;
+      for (int k = 0; k < nt; ++k)
+        acc = simd::fmadd(
+            vco[k], VecD::load(p + z - off[k]) + VecD::load(p + z + off[k]),
+            acc);
+      epi.vec(z, acc, vp);
+    }
+  }
+  for (; z < nd; ++z) {
+    const double pz = p[z];
+    double acc = center * pz;
+    for (int k = 0; k < nt; ++k)
+      acc += co[k] * (p[z - off[k]] + p[z + off[k]]);
+    epi.scalar(z, acc, pz);
+  }
+}
+
+/// Tiled sweep over the x-slab [x_begin, x_end): visits every interior
+/// row chunk once, in y/z tiles, and calls make_epi(row_offset_in_doubles)
+/// to build the per-row epilogue.
+template <typename T, class MakeEpi>
+inline void sweep_slab(const grid::Array3D<T>& in, const Coeffs& c,
+                       std::int64_t x_begin, std::int64_t x_end, Tiling tl,
+                       const MakeEpi& make_epi) {
+  const Vec3 n = in.shape();
+  const std::int64_t scale = kDoublesPer<T>;
+  const std::int64_t sx = in.stride_x() * scale;
+  const std::int64_t sy = in.stride_y() * scale;
+  const RowTerms t = make_row_terms(c, in.stride_x(), in.stride_y(), scale);
+  const double* src = as_doubles(in.interior());
+  const std::int64_t ndz = n.z * scale;
+  const std::int64_t ty = std::max<std::int64_t>(1, tl.ty);
+  const std::int64_t tz =
+      std::max<std::int64_t>(scale, tl.tz / scale * scale);
+  for (std::int64_t y0 = 0; y0 < n.y; y0 += ty) {
+    const std::int64_t y1 = std::min(n.y, y0 + ty);
+    for (std::int64_t z0 = 0; z0 < ndz; z0 += tz) {
+      const std::int64_t len = std::min(tz, ndz - z0);
+      for (std::int64_t x = x_begin; x < x_end; ++x) {
+        for (std::int64_t y = y0; y < y1; ++y) {
+          const std::int64_t row = x * sx + y * sy + z0;
+          const auto epi = make_epi(row);
+          switch (c.radius) {
+            case 1:
+              row_stencil<3>(src + row, len, t, epi);
+              break;
+            case 2:
+              row_stencil<6>(src + row, len, t, epi);
+              break;
+            default:
+              row_stencil<0>(src + row, len, t, epi);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+inline void check_pair(const grid::Array3D<T>& in, const grid::Array3D<T>& out,
+                       const Coeffs& c) {
   GPAWFD_CHECK(in.shape() == out.shape());
   GPAWFD_CHECK(in.ghost() >= c.radius);
   GPAWFD_CHECK(in.storage_shape() == out.storage_shape());
+}
+
+}  // namespace detail
+
+/// Fast kernel over an x-slab [x_begin, x_end) of the interior:
+/// vectorized along z, y/z-tiled. Splitting over x-slabs is how the
+/// hybrid master-only approach divides one grid across the four cores of
+/// a node.
+template <typename T>
+void apply_slab(const grid::Array3D<T>& in, grid::Array3D<T>& out,
+                const Coeffs& c, std::int64_t x_begin, std::int64_t x_end,
+                Tiling tl = kDefaultTiling) {
+  detail::check_pair(in, out, c);
+  GPAWFD_CHECK(0 <= x_begin && x_begin <= x_end && x_end <= in.shape().x);
+  double* dst = detail::as_doubles(out.interior());
+  detail::sweep_slab(in, c, x_begin, x_end, tl, [&](std::int64_t row) {
+    return detail::StoreEpi{dst + row};
+  });
+}
+
+/// Fast kernel over the full interior.
+template <typename T>
+void apply(const grid::Array3D<T>& in, grid::Array3D<T>& out,
+           const Coeffs& c) {
+  apply_slab(in, out, c, 0, in.shape().x);
+}
+
+/// The original scalar pointer kernel with a contiguous inner z-loop
+/// (the shape of GPAW's C kernel) — kept selectable so benchmarks can
+/// report the SIMD/tiled speedup against it. Compiled with the
+/// auto-vectorizer off (see GPAWFD_NO_AUTOVEC) so it stays a true scalar
+/// baseline.
+template <typename T>
+GPAWFD_NO_AUTOVEC void apply_slab_scalar(const grid::Array3D<T>& in,
+                                         grid::Array3D<T>& out,
+                                         const Coeffs& c, std::int64_t x_begin,
+                                         std::int64_t x_end) {
+  detail::check_pair(in, out, c);
   GPAWFD_CHECK(0 <= x_begin && x_begin <= x_end && x_end <= in.shape().x);
   const Vec3 n = in.shape();
   const std::int64_t sx = in.stride_x();
@@ -101,32 +384,117 @@ void apply_slab(const grid::Array3D<T>& in, grid::Array3D<T>& out,
   }
 }
 
-/// Optimized kernel over the full interior.
+/// Scalar kernel over the full interior (benchmark baseline).
 template <typename T>
-void apply(const grid::Array3D<T>& in, grid::Array3D<T>& out,
-           const Coeffs& c) {
-  apply_slab(in, out, c, 0, in.shape().x);
+void apply_scalar(const grid::Array3D<T>& in, grid::Array3D<T>& out,
+                  const Coeffs& c) {
+  apply_slab_scalar(in, out, c, 0, in.shape().x);
 }
 
-/// One weighted-Jacobi relaxation step for  A u = b  where A is the
-/// stencil: u_out = u_in + omega * (b - A u_in) / (-center).
-/// Used by the Poisson solver; `u_in` must have filled ghosts.
+namespace detail {
+
+template <typename T>
+inline void check_triple(const grid::Array3D<T>& u_in,
+                         const grid::Array3D<T>& b,
+                         const grid::Array3D<T>& u_out, const Coeffs& c,
+                         double shift) {
+  check_pair(u_in, u_out, c);
+  GPAWFD_CHECK(u_in.shape() == b.shape());
+  GPAWFD_CHECK(u_in.storage_shape() == b.storage_shape());
+  GPAWFD_CHECK(c.center + shift != 0.0);
+}
+
+}  // namespace detail
+
+/// One weighted-Jacobi relaxation step for  (A + shift I) u = b  where A
+/// is the stencil, over the x-slab [x_begin, x_end):
+///   u_out = u_in + omega * (b - A u_in - shift*u_in) / (center + shift).
+/// Fused: the stencil value feeds the update inside one sweep, so each
+/// grid is streamed once instead of twice. `u_in` must have filled
+/// ghosts; shift = 0 recovers the plain Poisson relaxation.
+template <typename T>
+void jacobi_step_slab(const grid::Array3D<T>& u_in, const grid::Array3D<T>& b,
+                      grid::Array3D<T>& u_out, const Coeffs& c, double omega,
+                      double shift, std::int64_t x_begin, std::int64_t x_end,
+                      Tiling tl = kDefaultTiling) {
+  detail::check_triple(u_in, b, u_out, c, shift);
+  GPAWFD_CHECK(0 <= x_begin && x_begin <= x_end && x_end <= u_in.shape().x);
+  const double w = omega / (c.center + shift);
+  const double* bb = detail::as_doubles(b.interior());
+  double* qb = detail::as_doubles(u_out.interior());
+  detail::sweep_slab(u_in, c, x_begin, x_end, tl, [&](std::int64_t row) {
+    return detail::JacobiEpi{bb + row, qb + row, w, shift};
+  });
+}
+
+/// Fused weighted-Jacobi step over the full interior.
 template <typename T>
 void jacobi_step(const grid::Array3D<T>& u_in, const grid::Array3D<T>& b,
-                 grid::Array3D<T>& u_out, const Coeffs& c, double omega) {
-  GPAWFD_CHECK(u_in.shape() == b.shape());
-  GPAWFD_CHECK(u_in.shape() == u_out.shape());
-  GPAWFD_CHECK(c.center != 0.0);
+                 grid::Array3D<T>& u_out, const Coeffs& c, double omega,
+                 double shift = 0.0) {
+  jacobi_step_slab(u_in, b, u_out, c, omega, shift, 0, u_in.shape().x);
+}
+
+/// Unfused baseline: fast apply, then a separate raw-strided update pass
+/// (no .at() triple-indexing). Kept so benchmarks can report the fusion
+/// speedup; numerics match jacobi_step.
+template <typename T>
+void jacobi_step_unfused(const grid::Array3D<T>& u_in,
+                         const grid::Array3D<T>& b, grid::Array3D<T>& u_out,
+                         const Coeffs& c, double omega, double shift = 0.0) {
+  detail::check_triple(u_in, b, u_out, c, shift);
   apply(u_in, u_out, c);  // u_out = A u_in
+  using simd::VecD;
   const Vec3 n = u_in.shape();
-  const double inv_diag = 1.0 / c.center;
-  for (std::int64_t x = 0; x < n.x; ++x)
-    for (std::int64_t y = 0; y < n.y; ++y)
-      for (std::int64_t z = 0; z < n.z; ++z) {
-        const T resid = b.at(x, y, z) - u_out.at(x, y, z);
-        u_out.at(x, y, z) =
-            u_in.at(x, y, z) + static_cast<T>(omega * inv_diag) * resid;
+  const std::int64_t scale = detail::kDoublesPer<T>;
+  const std::int64_t sx = u_in.stride_x() * scale;
+  const std::int64_t sy = u_in.stride_y() * scale;
+  const std::int64_t nd = n.z * scale;
+  const double w = omega / (c.center + shift);
+  const double* ub = detail::as_doubles(u_in.interior());
+  const double* bb = detail::as_doubles(b.interior());
+  double* qb = detail::as_doubles(u_out.interior());
+  const VecD vw = VecD::broadcast(w);
+  const VecD vs = VecD::broadcast(shift);
+  for (std::int64_t x = 0; x < n.x; ++x) {
+    for (std::int64_t y = 0; y < n.y; ++y) {
+      const std::int64_t row = x * sx + y * sy;
+      const double* __restrict u = ub + row;
+      const double* __restrict rhs = bb + row;
+      double* __restrict q = qb + row;
+      std::int64_t z = 0;
+      for (; z + VecD::kWidth <= nd; z += VecD::kWidth) {
+        const VecD vu = VecD::load(u + z);
+        const VecD resid = VecD::load(rhs + z) - VecD::load(q + z) - vs * vu;
+        simd::fmadd(vw, resid, vu).store(q + z);
       }
+      for (; z < nd; ++z) q[z] = u[z] + w * (rhs[z] - q[z] - shift * u[z]);
+    }
+  }
+}
+
+/// Fused residual over an x-slab: out = rhs - A u, one sweep.
+template <typename T>
+void residual_slab(const grid::Array3D<T>& u, const grid::Array3D<T>& rhs,
+                   grid::Array3D<T>& out, const Coeffs& c,
+                   std::int64_t x_begin, std::int64_t x_end,
+                   Tiling tl = kDefaultTiling) {
+  detail::check_pair(u, out, c);
+  GPAWFD_CHECK(u.shape() == rhs.shape());
+  GPAWFD_CHECK(u.storage_shape() == rhs.storage_shape());
+  GPAWFD_CHECK(0 <= x_begin && x_begin <= x_end && x_end <= u.shape().x);
+  const double* bb = detail::as_doubles(rhs.interior());
+  double* qb = detail::as_doubles(out.interior());
+  detail::sweep_slab(u, c, x_begin, x_end, tl, [&](std::int64_t row) {
+    return detail::ResidualEpi{bb + row, qb + row};
+  });
+}
+
+/// Fused residual over the full interior: out = rhs - A u.
+template <typename T>
+void residual(const grid::Array3D<T>& u, const grid::Array3D<T>& rhs,
+              grid::Array3D<T>& out, const Coeffs& c) {
+  residual_slab(u, rhs, out, c, 0, u.shape().x);
 }
 
 }  // namespace gpawfd::stencil

@@ -50,14 +50,44 @@ class PhaseTimers {
     std::lock_guard lock(mu_);
     return acc_;
   }
+
+  /// Work accounting alongside the time accounting: phases may record how
+  /// many items (grid points, grids, bytes...) they processed so callers
+  /// can report throughput, e.g. Mpts/s = count("compute") / get("compute")
+  /// / 1e6.
+  void add_count(const std::string& phase, std::int64_t items) {
+    std::lock_guard lock(mu_);
+    counts_[phase] += items;
+  }
+  std::int64_t get_count(const std::string& phase) const {
+    std::lock_guard lock(mu_);
+    auto it = counts_.find(phase);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  std::map<std::string, std::int64_t> count_snapshot() const {
+    std::lock_guard lock(mu_);
+    return counts_;
+  }
+  /// Items per second for a phase (0 when no time was recorded).
+  double rate(const std::string& phase) const {
+    std::lock_guard lock(mu_);
+    auto ct = counts_.find(phase);
+    auto tm = acc_.find(phase);
+    if (ct == counts_.end() || tm == acc_.end() || tm->second <= 0.0)
+      return 0.0;
+    return static_cast<double>(ct->second) / tm->second;
+  }
+
   void reset() {
     std::lock_guard lock(mu_);
     acc_.clear();
+    counts_.clear();
   }
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, double> acc_;
+  std::map<std::string, std::int64_t> counts_;
 };
 
 /// Fixed-bucket latency histogram: power-of-two buckets from 1 µs to

@@ -127,7 +127,129 @@ TEST_P(StencilRadius, NegativeSemiDefinite) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllRadii, StencilRadius, ::testing::Values(1, 2, 3));
+INSTANTIATE_TEST_SUITE_P(AllRadii, StencilRadius,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---- Fast-path agreement ---------------------------------------------
+// The SIMD/tiled kernels reorder the floating-point sums, so they agree
+// with the ground-truth transcription to rounding, not bit-exactly.
+
+constexpr double kTol = 1e-11;
+
+template <typename T>
+void fill_random(Array3D<T>& a, Rng& rng) {
+  a.for_each_interior([&](Vec3, T& v) { v = rng.uniform(-1, 1); });
+}
+template <>
+void fill_random(Array3D<std::complex<double>>& a, Rng& rng) {
+  a.for_each_interior([&](Vec3, std::complex<double>& v) {
+    v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  });
+}
+
+template <typename T>
+void expect_match(const Array3D<T>& got, const Array3D<T>& want,
+                  const char* what) {
+  want.for_each_interior([&](Vec3 p, const T& v) {
+    ASSERT_NEAR(std::abs(got.at(p) - v), 0.0, kTol)
+        << what << " at (" << p.x << "," << p.y << "," << p.z << ")";
+  });
+}
+
+// Odd, strided, and tile-boundary-straddling extents: none are a
+// multiple of the SIMD width, the default y-tile, or the tiny test
+// tiling below, so every scalar tail and tile edge is exercised.
+const Vec3 kShapes[] = {{9, 8, 7}, {5, 11, 13}, {8, 7, 33}, {6, 9, 10}};
+
+template <typename T>
+void check_fast_paths(int radius, Vec3 n, unsigned seed) {
+  Array3D<T> in(n, radius), want(n, radius), got(n, radius);
+  Rng rng(seed);
+  fill_random(in, rng);
+  grid::local_periodic_fill(in);
+  const Coeffs c = Coeffs::laplacian(radius);
+  apply_reference(in, want, c);
+
+  apply(in, got, c);
+  expect_match(got, want, "apply");
+
+  apply_scalar(in, got, c);
+  expect_match(got, want, "apply_scalar");
+
+  // Tiny tiles force rows to split mid-vector and y-tiles to straddle.
+  apply_slab(in, got, c, 0, n.x, Tiling{3, 8});
+  expect_match(got, want, "apply_slab tiled");
+}
+
+class FastPathRadius : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastPathRadius, MatchesReferenceDouble) {
+  unsigned seed = 101;
+  for (const Vec3& n : kShapes)
+    check_fast_paths<double>(GetParam(), n, seed++);
+}
+
+TEST_P(FastPathRadius, MatchesReferenceComplex) {
+  unsigned seed = 202;
+  for (const Vec3& n : kShapes)
+    check_fast_paths<std::complex<double>>(GetParam(), n, seed++);
+}
+
+TEST_P(FastPathRadius, FusedJacobiMatchesReference) {
+  const int r = GetParam();
+  const double omega = 0.7, shift = 0.35;
+  for (const Vec3& n : kShapes) {
+    Array3D<double> u(n, r), b(n, r), au(n, r), want(n, r), got(n, r);
+    Rng rng(303 + static_cast<unsigned>(n.z));
+    fill_random(u, rng);
+    fill_random(b, rng);
+    grid::local_periodic_fill(u);
+    const Coeffs c = Coeffs::laplacian(r);
+    apply_reference(u, au, c);
+    const double w = omega / (c.center + shift);
+    want.for_each_interior([&](Vec3 p, double& v) {
+      v = u.at(p) + w * (b.at(p) - au.at(p) - shift * u.at(p));
+    });
+
+    jacobi_step(u, b, got, c, omega, shift);
+    expect_match(got, want, "jacobi_step fused");
+
+    jacobi_step_unfused(u, b, got, c, omega, shift);
+    expect_match(got, want, "jacobi_step unfused");
+  }
+}
+
+TEST_P(FastPathRadius, FusedResidualMatchesReference) {
+  const int r = GetParam();
+  for (const Vec3& n : kShapes) {
+    Array3D<double> u(n, r), rhs(n, r), au(n, r), want(n, r), got(n, r);
+    Rng rng(404 + static_cast<unsigned>(n.y));
+    fill_random(u, rng);
+    fill_random(rhs, rng);
+    grid::local_periodic_fill(u);
+    const Coeffs c = Coeffs::laplacian(r);
+    apply_reference(u, au, c);
+    want.for_each_interior(
+        [&](Vec3 p, double& v) { v = rhs.at(p) - au.at(p); });
+
+    residual(u, rhs, got, c);
+    expect_match(got, want, "residual fused");
+  }
+}
+
+TEST_P(FastPathRadius, RandomizedShapesAgainstReference) {
+  const int r = GetParam();
+  Rng rng(550 + static_cast<unsigned>(r));
+  for (int trial = 0; trial < 4; ++trial) {
+    const Vec3 n{static_cast<std::int64_t>(rng.uniform(3, 12)),
+                 static_cast<std::int64_t>(rng.uniform(3, 12)),
+                 static_cast<std::int64_t>(rng.uniform(3, 20))};
+    check_fast_paths<double>(r, n, 660 + static_cast<unsigned>(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRadii, FastPathRadius,
+                         ::testing::Values(1, 2, 3, 4));
 
 }  // namespace
 }  // namespace gpawfd::stencil

@@ -45,7 +45,7 @@ TEST(Coeffs, FlopsPerPoint) {
 
 TEST(Coeffs, InvalidInputsThrow) {
   EXPECT_THROW(Coeffs::laplacian(0), gpawfd::Error);
-  EXPECT_THROW(Coeffs::laplacian(4), gpawfd::Error);
+  EXPECT_THROW(Coeffs::laplacian(5), gpawfd::Error);
   EXPECT_THROW(Coeffs::laplacian_spacing(2, -1.0, 1.0, 1.0), gpawfd::Error);
 }
 
@@ -143,9 +143,13 @@ TEST(Kernels, ComplexGridMatchesRealAndImagParts) {
   apply(in, out, c);
   apply(re, re_out, c);
   apply(im, im_out, c);
+  // Rounding-level tolerance, not bit equality: complex rows hold twice
+  // as many double lanes as real rows, so under FMA builds a point can
+  // take the fused vector body in one kernel and the scalar tail in the
+  // other.
   out.for_each_interior([&](Vec3 p, C& v) {
-    EXPECT_DOUBLE_EQ(v.real(), re_out.at(p));
-    EXPECT_DOUBLE_EQ(v.imag(), im_out.at(p));
+    EXPECT_NEAR(v.real(), re_out.at(p), 1e-12);
+    EXPECT_NEAR(v.imag(), im_out.at(p), 1e-12);
   });
 }
 

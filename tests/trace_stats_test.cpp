@@ -36,6 +36,23 @@ TEST(PhaseTimers, ScopedMeasuresElapsedTime) {
   EXPECT_LT(t.get("sleep"), 2.0);
 }
 
+TEST(PhaseTimers, CountsAndRates) {
+  trace::PhaseTimers t;
+  t.add("compute", 2.0);
+  t.add_count("compute", 1000);
+  t.add_count("compute", 500);
+  EXPECT_EQ(t.get_count("compute"), 1500);
+  EXPECT_EQ(t.get_count("missing"), 0);
+  EXPECT_DOUBLE_EQ(t.rate("compute"), 750.0);  // items per second
+  EXPECT_DOUBLE_EQ(t.rate("missing"), 0.0);
+  t.add_count("untimed", 7);
+  EXPECT_DOUBLE_EQ(t.rate("untimed"), 0.0);  // no elapsed time recorded
+  const auto snap = t.count_snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  t.reset();
+  EXPECT_EQ(t.get_count("compute"), 0);
+}
+
 TEST(PhaseTimers, ThreadSafeAccumulation) {
   trace::PhaseTimers t;
   std::vector<std::thread> ts;
@@ -84,6 +101,10 @@ TEST(EngineTimers, PhaseAccountingCoversExchangeAndCompute) {
   });
   EXPECT_GT(timers.get("compute"), 0.0);
   EXPECT_GT(timers.get("exchange"), 0.0);
+  // Every rank adds its local points per grid; summed over the domain
+  // decomposition that is exactly ngrids * global points.
+  EXPECT_EQ(timers.get_count("compute"), 8 * 16 * 16 * 16);
+  EXPECT_GT(timers.rate("compute"), 0.0);  // Mpts/s basis for reports
 }
 
 }  // namespace
