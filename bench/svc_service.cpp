@@ -2,15 +2,20 @@
 // svc::SimService. Measures (1) cold path — distinct jobs that must run
 // the simulator, (2) hot path — a client swarm re-requesting the same
 // jobs, answered by the single-flight LRU cache, (3) admission control
-// at a deliberately tiny queue bound. Emits BENCH_svc.json
+// at a deliberately tiny queue bound, (4) fault absorption — a seeded
+// FaultyExecutor (throws, stragglers, hangs) behind a RetryPolicy, so
+// the retry/timeout counters land in the report. Emits BENCH_svc.json
 // (--json <path>, default BENCH_svc.json in the cwd) with throughput,
-// p50/p99 latency, the hit/cold speedup, and the hit ratio so future
-// PRs can track service performance.
+// p50/p99 latency, the hit/cold speedup, the hit ratio, and the
+// retry/timeout/gave-up counters so future PRs can track both service
+// performance and fault-handling behaviour.
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "svc/fault.hpp"
 #include "svc/service.hpp"
 #include "trace/stats.hpp"
 
@@ -98,6 +103,66 @@ int main(int argc, char** argv) {
     }
   }  // drain
 
+  // ---- phase 4: fault absorption under a retry policy ------------------
+  // Seeded, deterministic chaos: ~45% of keys fault (throw / straggle /
+  // hang) on their first attempt, and the retry policy must recover
+  // every one of them — gave_up == 0 is the pass criterion.
+  svc::FaultConfig fault_cfg;
+  fault_cfg.seed = 42;
+  fault_cfg.throw_probability = 0.25;
+  fault_cfg.delay_probability = 0.15;
+  fault_cfg.hang_probability = 0.05;
+  fault_cfg.fail_attempts = 1;  // every fault recovers on the first retry
+  fault_cfg.delay_seconds = 0.030;
+  fault_cfg.jitter_seconds = 0.010;
+  auto faulty = std::make_shared<svc::FaultyExecutor>(
+      [](const core::SimJobSpec& spec) {
+        core::SimResult r;
+        r.seconds = static_cast<double>(spec.job.ngrids);
+        return r;
+      },
+      fault_cfg);
+
+  svc::ServiceConfig chaos_cfg;
+  chaos_cfg.workers = 4;
+  chaos_cfg.queue_capacity = 256;
+  chaos_cfg.executor = [faulty](const core::SimJobSpec& s) {
+    return (*faulty)(s);
+  };
+  chaos_cfg.retry.max_attempts = 3;
+  chaos_cfg.retry.initial_backoff_seconds = 0.0005;
+  chaos_cfg.retry.max_backoff_seconds = 0.004;
+  chaos_cfg.retry.attempt_timeout_seconds = 0.010;  // bounds every hang
+
+  constexpr int kChaosJobs = 64;
+  std::int64_t chaos_completed = 0, chaos_failed = 0;
+  std::int64_t retries, timeouts, gave_up;
+  double attempt_p50, attempt_p99;
+  const double chaos_t0 = trace::now_seconds();
+  double chaos_seconds;
+  {
+    svc::SimService chaos(chaos_cfg);
+    std::vector<svc::Ticket> tickets;
+    for (int j = 0; j < kChaosJobs; ++j)
+      tickets.push_back(chaos.submit(job_spec(100 + j)));
+    for (auto& t : tickets) {
+      if (t.rejected()) continue;
+      try {
+        t.result.get();
+        ++chaos_completed;
+      } catch (const svc::ServiceError&) {
+        ++chaos_failed;
+      }
+    }
+    chaos_seconds = trace::now_seconds() - chaos_t0;
+    const auto& cm = chaos.metrics();
+    retries = cm.retries.load();
+    timeouts = cm.timeouts.load();
+    gave_up = cm.gave_up.load();
+    attempt_p50 = cm.attempt_time.quantile(0.50);
+    attempt_p99 = cm.attempt_time.quantile(0.99);
+  }
+
   // ---- report ---------------------------------------------------------
   const double cold_mean = cold.mean_seconds();
   const double hot_p50 = hot.quantile(0.50);
@@ -115,6 +180,13 @@ int main(int argc, char** argv) {
   t.add_row({"cache hit ratio", fmt_fixed(100 * hit_ratio, 1) + "%"});
   t.add_row({"flood: accepted", std::to_string(flood_accepted)});
   t.add_row({"flood: rejected", std::to_string(flood_rejected)});
+  t.add_row({"chaos: completed", std::to_string(chaos_completed)});
+  t.add_row({"chaos: failed", std::to_string(chaos_failed)});
+  t.add_row({"chaos: retries", std::to_string(retries)});
+  t.add_row({"chaos: timeouts", std::to_string(timeouts)});
+  t.add_row({"chaos: gave up", std::to_string(gave_up)});
+  t.add_row({"chaos: attempt p50", fmt_seconds(attempt_p50)});
+  t.add_row({"chaos: attempt p99", fmt_seconds(attempt_p99)});
   t.print(std::cout);
 
   std::cout << "\nservice metrics snapshot:\n"
@@ -122,12 +194,18 @@ int main(int argc, char** argv) {
 
   const bool hit_fast_enough = speedup >= 10.0;
   const bool admission_sheds = flood_rejected > 0;
+  const bool faults_absorbed =
+      gave_up == 0 && chaos_failed == 0 && retries > 0;
   std::cout << (hit_fast_enough ? "OK" : "FAIL")
             << ": cache hits are " << fmt_fixed(speedup, 0)
             << "x faster than cold runs (need >= 10x)\n"
             << (admission_sheds ? "OK" : "FAIL")
             << ": admission control rejected " << flood_rejected
-            << " of 32 past-the-bound requests\n";
+            << " of 32 past-the-bound requests\n"
+            << (faults_absorbed ? "OK" : "FAIL")
+            << ": retry policy absorbed every injected fault (" << retries
+            << " retries, " << timeouts << " timeouts, " << gave_up
+            << " gave up) in " << fmt_seconds(chaos_seconds) << "\n";
 
   std::string json_path = json_path_from_args(argc, argv);
   if (json_path.empty()) json_path = "BENCH_svc.json";
@@ -148,8 +226,20 @@ int main(int argc, char** argv) {
   report.set("dedup_joined", service.metrics().dedup_joined.load());
   report.set("flood_accepted", flood_accepted);
   report.set("flood_rejected", flood_rejected);
+  report.set("chaos_jobs", kChaosJobs);
+  report.set("chaos_completed", chaos_completed);
+  report.set("chaos_failed", chaos_failed);
+  report.set("retries", retries);
+  report.set("timeouts", timeouts);
+  report.set("gave_up", gave_up);
+  report.set("injected_throws", faulty->injected_throws());
+  report.set("injected_delays", faulty->injected_delays());
+  report.set("injected_hangs", faulty->injected_hangs());
+  report.set("attempt_p50_s", attempt_p50);
+  report.set("attempt_p99_s", attempt_p99);
+  report.set("chaos_seconds", chaos_seconds);
   if (report.write(json_path))
     std::cout << "JSON report -> " << json_path << "\n";
 
-  return hit_fast_enough && admission_sheds ? 0 : 1;
+  return hit_fast_enough && admission_sheds && faults_absorbed ? 0 : 1;
 }

@@ -5,15 +5,24 @@
 // serves every repeat from the LRU result cache, and meters the whole
 // thing. What an RPC front-end would wrap, minus the wire.
 //
+// Pass --fault-rate/--fault-delay-rate/--fault-hang-rate to stand a
+// seeded svc::FaultyExecutor between the service and the simulator and
+// watch the retry policy (--retries/--backoff-ms/--timeout-ms) absorb
+// the injected failures; terminal failures are tallied by
+// ServiceError::reason().
+//
 //   ./sim_server                          # 8 clients x 6 distinct jobs
 //   ./sim_server --clients=32 --requests=64 --queue-capacity=16
+//   ./sim_server --fault-rate=0.3 --retries=3 --timeout-ms=50
 #include <atomic>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "svc/fault.hpp"
 #include "svc/service.hpp"
 #include "trace/stats.hpp"
 
@@ -29,7 +38,17 @@ int main(int argc, char** argv) {
       .flag("cache-capacity", "128", "cached SimResults")
       .flag("cores", "256", "simulated cores of the smallest job")
       .flag("edge", "48", "grid edge of every job (edge^3)")
-      .flag("block", "false", "block producers when full (vs reject)");
+      .flag("block", "false", "block producers when full (vs reject)")
+      .flag("fault-rate", "0", "probability a job key throws when run")
+      .flag("fault-delay-rate", "0", "probability a job key straggles")
+      .flag("fault-hang-rate", "0", "probability a job key hangs")
+      .flag("fault-delay-ms", "20", "straggler pause in milliseconds")
+      .flag("fault-fail-attempts", "-1",
+            "faulty attempts per key before it recovers (-1 = forever)")
+      .flag("fault-seed", "42", "seed of the deterministic fault plan")
+      .flag("retries", "1", "attempts per job (RetryPolicy::max_attempts)")
+      .flag("backoff-ms", "1", "initial retry backoff in milliseconds")
+      .flag("timeout-ms", "0", "per-attempt timeout (0 = none)");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -56,6 +75,28 @@ int main(int argc, char** argv) {
   cfg.cache_capacity =
       static_cast<std::size_t>(cli.get_int("cache-capacity"));
   cfg.block_when_full = cli.get_bool("block");
+  cfg.retry.max_attempts = static_cast<int>(cli.get_int("retries"));
+  cfg.retry.initial_backoff_seconds = cli.get_double("backoff-ms") / 1e3;
+  cfg.retry.attempt_timeout_seconds = cli.get_double("timeout-ms") / 1e3;
+
+  // With any fault probability set, stand a seeded FaultyExecutor between
+  // the service and the simulator: same seed, same failure schedule.
+  svc::FaultConfig fault_cfg;
+  fault_cfg.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  fault_cfg.throw_probability = cli.get_double("fault-rate");
+  fault_cfg.delay_probability = cli.get_double("fault-delay-rate");
+  fault_cfg.hang_probability = cli.get_double("fault-hang-rate");
+  fault_cfg.delay_seconds = cli.get_double("fault-delay-ms") / 1e3;
+  fault_cfg.fail_attempts = static_cast<int>(cli.get_int("fault-fail-attempts"));
+  const bool inject_faults = fault_cfg.throw_probability > 0 ||
+                             fault_cfg.delay_probability > 0 ||
+                             fault_cfg.hang_probability > 0;
+  std::shared_ptr<svc::FaultyExecutor> faulty;
+  if (inject_faults) {
+    faulty = std::make_shared<svc::FaultyExecutor>(core::simulate_job,
+                                                   fault_cfg);
+    cfg.executor = [faulty](const core::SimJobSpec& s) { return (*faulty)(s); };
+  }
   svc::SimService service(cfg);
 
   // K distinct experiments: the four approaches cycled over growing
@@ -81,8 +122,19 @@ int main(int argc, char** argv) {
             << service.workers() << " workers, queue bound "
             << cfg.queue_capacity << " ("
             << (cfg.block_when_full ? "throttle" : "shed") << " when full)\n";
+  if (inject_faults)
+    std::cout << "fault plan: seed " << fault_cfg.seed << ", P(throw) "
+              << fault_cfg.throw_probability << ", P(delay) "
+              << fault_cfg.delay_probability << ", P(hang) "
+              << fault_cfg.hang_probability << "; retry policy: "
+              << cfg.retry.max_attempts << " attempts, timeout "
+              << fmt_seconds(cfg.retry.attempt_timeout_seconds) << "\n";
 
   std::atomic<std::int64_t> ok{0}, shed{0}, failed{0};
+  // Terminal failures keyed by ServiceError::reason() — the machine-
+  // readable cause a real RPC front-end would map onto status codes.
+  constexpr int kReasons = 8;
+  std::atomic<std::int64_t> by_reason[kReasons] = {};
   trace::LatencyHistogram latency;
   const double t0 = trace::now_seconds();
   std::vector<std::thread> swarm;
@@ -101,9 +153,14 @@ int main(int argc, char** argv) {
           continue;
         }
         try {
-          t.result.wait();
+          t.result.get();
           latency.record(trace::now_seconds() - r0);
           ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const svc::ServiceError& e) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          const int r = static_cast<int>(e.reason());
+          if (r >= 0 && r < kReasons)
+            by_reason[r].fetch_add(1, std::memory_order_relaxed);
         } catch (const Error&) {
           failed.fetch_add(1, std::memory_order_relaxed);
         }
@@ -126,6 +183,21 @@ int main(int argc, char** argv) {
              std::to_string(service.metrics().executed.load())});
   t.add_row({"cache hit ratio",
              fmt_fixed(100 * service.metrics().hit_ratio(), 1) + "%"});
+  if (inject_faults) {
+    const auto& m = service.metrics();
+    t.add_row({"retries", std::to_string(m.retries.load())});
+    t.add_row({"timeouts", std::to_string(m.timeouts.load())});
+    t.add_row({"gave up", std::to_string(m.gave_up.load())});
+    t.add_row({"injected throws", std::to_string(faulty->injected_throws())});
+    t.add_row({"injected delays", std::to_string(faulty->injected_delays())});
+    t.add_row({"injected hangs", std::to_string(faulty->injected_hangs())});
+    for (int r = 0; r < kReasons; ++r) {
+      if (by_reason[r].load() == 0) continue;
+      t.add_row({std::string("failed: ") +
+                     svc::to_string(static_cast<svc::ErrorReason>(r)),
+                 std::to_string(by_reason[r].load())});
+    }
+  }
   std::cout << "\n";
   t.print(std::cout);
 

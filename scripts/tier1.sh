@@ -2,10 +2,14 @@
 # Tier-1 verify (ROADMAP.md): configure, build, and run the full ctest
 # suite. Pass --tsan to run the same thing under ThreadSanitizer in a
 # separate build tree (build-tsan/), which race-checks the concurrent
-# service layer (svc_stress_test, mp_stress_test) for real.
+# service layer (svc_stress_test incl. the chaos soak, svc_fault_test,
+# mp_stress_test) for real. Pass --stress to run only the `stress`-
+# labelled soak suites with many more chaos rounds — the nightly lane,
+# kept out of tier-1 so the default stays fast.
 #
 #   scripts/tier1.sh            # the ROADMAP tier-1 line
 #   scripts/tier1.sh --tsan     # + TSAN build of the concurrency tests
+#   scripts/tier1.sh --stress   # long soak: ctest -L stress, more rounds
 #   scripts/tier1.sh --native   # host-tuned build (-march=native) in
 #                               # build-native/: the SIMD kernels compile
 #                               # to AVX2/FMA and the same suite must pass
@@ -27,9 +31,16 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   # Only the concurrency-heavy suites need the (slow) TSAN pass.
   cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
   cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \
-    worker_pool_test mp_stress_test
+    svc_fault_test worker_pool_test mp_stress_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Svc|WorkerPool|MpStress|JobQueue|ResultCache'
+    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache'
+elif [[ "${1:-}" == "--stress" ]]; then
+  # Nightly soak lane: only the `stress`-labelled suites, run much longer
+  # (GPAWFD_CHAOS_ROUNDS multiplies the chaos soak's fault schedules).
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target svc_stress_test mp_stress_test
+  GPAWFD_CHAOS_ROUNDS="${GPAWFD_CHAOS_ROUNDS:-20}" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
 else
   run_tier1 build
 fi

@@ -1,0 +1,61 @@
+// The per-attempt execution context a SimService worker publishes to the
+// executor it is about to call. Executors run synchronously on a worker
+// thread, so the service cannot preempt them; instead the worker exports
+// its attempt number, per-attempt deadline, and a cancellation flag
+// through a thread-local, and cooperative executors (the fault layer, a
+// long-running simulation that wants to bail early) observe them. The
+// default executor ignores the context entirely — publishing it costs
+// two pointer-sized stores per attempt.
+#pragma once
+
+#include <atomic>
+
+#include "trace/stats.hpp"
+
+namespace gpawfd::svc {
+
+struct ExecContext {
+  /// 0-based attempt index of this execution within its job (0 = first
+  /// try, 1 = first retry, ...).
+  int attempt = 0;
+  /// Per-attempt time budget. never() when the RetryPolicy has no
+  /// timeout. An executor that outlives it is classified as timed out by
+  /// the worker loop even if it eventually returns a result.
+  trace::Deadline deadline;
+  /// Set when the owning service is discarding work (shutdown with
+  /// drain=false). Cooperative executors should unwind promptly.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool cancel_requested() const {
+    return cancel != nullptr && cancel->load(std::memory_order_acquire);
+  }
+};
+
+namespace detail {
+inline thread_local ExecContext g_exec_context;
+}  // namespace detail
+
+/// The context of the innermost service attempt running on this thread.
+/// Outside a worker it is the default (attempt 0, no deadline, no
+/// cancel), so executors behave sanely when called directly.
+inline const ExecContext& current_exec_context() {
+  return detail::g_exec_context;
+}
+
+/// RAII publication: the worker loop installs the attempt's context for
+/// exactly the duration of the executor call.
+class ExecContextScope {
+ public:
+  explicit ExecContextScope(const ExecContext& ctx)
+      : saved_(detail::g_exec_context) {
+    detail::g_exec_context = ctx;
+  }
+  ~ExecContextScope() { detail::g_exec_context = saved_; }
+  ExecContextScope(const ExecContextScope&) = delete;
+  ExecContextScope& operator=(const ExecContextScope&) = delete;
+
+ private:
+  ExecContext saved_;
+};
+
+}  // namespace gpawfd::svc

@@ -1,0 +1,151 @@
+#include "svc/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/hash.hpp"
+
+namespace gpawfd::svc {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kHang:
+      return "hang";
+  }
+  return "?";
+}
+
+FaultyExecutor::FaultyExecutor(Executor inner, FaultConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  GPAWFD_CHECK(inner_ != nullptr);
+}
+
+double FaultyExecutor::unit_hash(std::uint64_t key_hash,
+                                 std::uint64_t stream) const {
+  const std::uint64_t h =
+      hash_combine(hash_combine(config_.seed, key_hash), stream);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+}
+
+FaultRule FaultyExecutor::rule_for(const JobKey& key) const {
+  {
+    std::lock_guard lock(mu_);
+    auto it = overrides_.find(key);
+    if (it != overrides_.end()) return it->second;
+  }
+  // Hash-partition the key space: one draw per key, walked through the
+  // configured probability bands so a key lands in exactly one kind.
+  const double u = unit_hash(key.hash(), /*stream=*/0);
+  FaultRule rule;
+  rule.fail_attempts = config_.fail_attempts;
+  rule.delay_seconds = config_.delay_seconds;
+  rule.jitter_seconds = config_.jitter_seconds;
+  double band = config_.throw_probability;
+  if (u < band) {
+    rule.kind = FaultKind::kThrow;
+    return rule;
+  }
+  band += config_.hang_probability;
+  if (u < band) {
+    rule.kind = FaultKind::kHang;
+    return rule;
+  }
+  band += config_.delay_probability;
+  if (u < band) {
+    rule.kind = FaultKind::kDelay;
+    return rule;
+  }
+  rule.kind = FaultKind::kNone;
+  return rule;
+}
+
+void FaultyExecutor::set_rule(const JobKey& key, FaultRule rule) {
+  std::lock_guard lock(mu_);
+  overrides_[key] = rule;
+}
+
+void FaultyExecutor::cancel_all() {
+  {
+    std::lock_guard lock(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+void FaultyExecutor::delay(const FaultRule& rule, const JobKey& key,
+                           const ExecContext& ctx) {
+  injected_delays_.fetch_add(1, std::memory_order_relaxed);
+  const double jitter =
+      rule.jitter_seconds > 0
+          ? rule.jitter_seconds *
+                unit_hash(key.hash(),
+                          /*stream=*/1 + static_cast<std::uint64_t>(
+                                             ctx.attempt))
+          : 0;
+  double pause = rule.delay_seconds + jitter;
+  // Never sleep much past the attempt deadline: the straggler has
+  // already missed it, and the worker classifies on elapsed time.
+  if (!ctx.deadline.is_never())
+    pause = std::min(pause, ctx.deadline.remaining_seconds() + 1e-3);
+  if (pause > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(pause));
+}
+
+void FaultyExecutor::hang(const ExecContext& ctx) {
+  injected_hangs_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(mu_);
+  // Sliced waits: the context's cancel flag and the deadline have no cv
+  // to notify this thread, so re-check a few hundred times a second.
+  // Hangs model lost nodes — their release latency is not asserted on.
+  while (!cancelled_ && !ctx.cancel_requested() && !ctx.deadline.expired())
+    cv_.wait_for(lock, std::chrono::milliseconds(2));
+  std::ostringstream what;
+  what << "injected hang released ("
+       << (cancelled_ ? "cancel_all"
+                      : ctx.cancel_requested() ? "service discard"
+                                               : "attempt deadline")
+       << ")";
+  // Deadline-released hangs must be *past* the deadline when the worker
+  // measures elapsed time, so it classifies the attempt as timed out.
+  lock.unlock();
+  while (!ctx.deadline.is_never() && !ctx.deadline.expired())
+    std::this_thread::yield();
+  throw FaultInjected(what.str());
+}
+
+core::SimResult FaultyExecutor::operator()(const core::SimJobSpec& spec) {
+  const JobKey key = JobKey::of(spec);
+  const ExecContext& ctx = current_exec_context();
+  const FaultRule rule = rule_for(key);
+  const bool affected =
+      rule.fail_attempts < 0 || ctx.attempt < rule.fail_attempts;
+  if (affected) {
+    switch (rule.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kThrow: {
+        injected_throws_.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream what;
+        what << "injected failure for " << key << " attempt " << ctx.attempt;
+        throw FaultInjected(what.str());
+      }
+      case FaultKind::kDelay:
+        delay(rule, key, ctx);
+        break;
+      case FaultKind::kHang:
+        hang(ctx);  // never returns
+    }
+  }
+  passed_through_.fetch_add(1, std::memory_order_relaxed);
+  return inner_(spec);
+}
+
+}  // namespace gpawfd::svc

@@ -1,0 +1,143 @@
+// Deterministic fault injection for the service layer: FaultyExecutor
+// wraps any ServiceConfig::executor and injects failures *keyed off the
+// JobKey hash and the attempt number*, never off rand() or the clock —
+// the same seed and request stream reproduce the same fault schedule on
+// every run, which is what makes retry/timeout/backoff behaviour
+// testable at all (the chaos harness in tests/svc_fault_test.cpp and the
+// soak in tests/svc_stress_test.cpp are the consumers).
+//
+// Fault kinds (per key, chosen once by seeded hash partition or pinned
+// explicitly with set_rule):
+//   kThrow — the attempt throws FaultInjected. With fail_attempts = N,
+//            attempts 0..N-1 fail and attempt N succeeds
+//            ("fail-N-then-succeed", the retry-recovery scenario).
+//   kDelay — the attempt is slowed by delay_seconds plus a deterministic
+//            per-(key, attempt) jitter in [0, jitter_seconds). Sleeps
+//            are capped just past the attempt deadline so timeout tests
+//            never oversleep. Models stragglers.
+//   kHang  — the attempt blocks until the per-attempt deadline expires,
+//            cancel_all() is called, or the service starts discarding,
+//            then throws. Models a lost/looping node; this is the fault
+//            only a deadline can absorb.
+//   kNone  — pass through to the inner executor.
+//
+// The attempt number and deadline come from svc::current_exec_context(),
+// published by the SimService worker loop; outside a service the
+// defaults (attempt 0, no deadline) apply, so the wrapper also works
+// standalone in unit tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "core/figures.hpp"
+#include "svc/exec_context.hpp"
+#include "svc/job_key.hpp"
+
+namespace gpawfd::svc {
+
+/// What FaultyExecutor throws for an injected failure. Derives from the
+/// library Error so it propagates like any executor exception.
+class FaultInjected : public Error {
+ public:
+  using Error::Error;
+};
+
+enum class FaultKind { kNone, kThrow, kDelay, kHang };
+
+const char* to_string(FaultKind k);
+
+/// The fault a specific key is subject to.
+struct FaultRule {
+  FaultKind kind = FaultKind::kNone;
+  /// For kThrow/kHang: attempts 0..fail_attempts-1 fail, later attempts
+  /// succeed. For kDelay: only those attempts are slowed. -1 = every
+  /// attempt is affected (the fault is permanent).
+  int fail_attempts = -1;
+  /// kDelay: base added latency per affected attempt.
+  double delay_seconds = 0;
+  /// kDelay: extra deterministic per-(key, attempt) latency in
+  /// [0, jitter_seconds).
+  double jitter_seconds = 0;
+};
+
+/// Seeded plan: which keys fault, and how. Probabilities partition the
+/// key space by hash (mix64(seed ^ key.hash())), so "30% of keys throw"
+/// selects the *same* 30% on every run with the same seed.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfa11ULL;
+  double throw_probability = 0;
+  double hang_probability = 0;
+  double delay_probability = 0;
+  /// Applied to every probabilistically selected rule (see FaultRule).
+  int fail_attempts = -1;
+  double delay_seconds = 0;
+  double jitter_seconds = 0;
+};
+
+class FaultyExecutor {
+ public:
+  using Executor = std::function<core::SimResult(const core::SimJobSpec&)>;
+
+  FaultyExecutor(Executor inner, FaultConfig config);
+
+  /// The executor call: decide the key's rule, inject, delegate.
+  core::SimResult operator()(const core::SimJobSpec& spec);
+
+  /// The deterministic rule this plan assigns to `key` (explicit rules
+  /// win over the seeded partition). Exposed so tests can predict the
+  /// schedule instead of discovering it.
+  FaultRule rule_for(const JobKey& key) const;
+
+  /// Pin a rule for one key, overriding the seeded partition — the
+  /// precision tool for single-branch tests.
+  void set_rule(const JobKey& key, FaultRule rule);
+
+  /// Release every hung attempt (they throw FaultInjected). Hangs also
+  /// self-release on their attempt deadline or on service discard, so
+  /// this is only needed when neither is configured.
+  void cancel_all();
+
+  // ---- injection accounting (relaxed atomics, like svc::Metrics) ------
+  std::int64_t injected_throws() const {
+    return injected_throws_.load(std::memory_order_relaxed);
+  }
+  std::int64_t injected_delays() const {
+    return injected_delays_.load(std::memory_order_relaxed);
+  }
+  std::int64_t injected_hangs() const {
+    return injected_hangs_.load(std::memory_order_relaxed);
+  }
+  std::int64_t passed_through() const {
+    return passed_through_.load(std::memory_order_relaxed);
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  /// Deterministic uniform in [0, 1) for (seed, key, stream).
+  double unit_hash(std::uint64_t key_hash, std::uint64_t stream) const;
+  void delay(const FaultRule& rule, const JobKey& key,
+             const ExecContext& ctx);
+  [[noreturn]] void hang(const ExecContext& ctx);
+
+  Executor inner_;
+  FaultConfig config_;
+
+  mutable std::mutex mu_;  // guards overrides_ and the hang cv state
+  std::unordered_map<JobKey, FaultRule, JobKey::Hasher> overrides_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+
+  std::atomic<std::int64_t> injected_throws_{0};
+  std::atomic<std::int64_t> injected_delays_{0};
+  std::atomic<std::int64_t> injected_hangs_{0};
+  std::atomic<std::int64_t> passed_through_{0};
+};
+
+}  // namespace gpawfd::svc

@@ -12,6 +12,7 @@
 // gives shutdown-with-discard.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -105,6 +106,21 @@ class JobQueue {
     return std::nullopt;
   }
 
+  /// Park the caller for up to `seconds` or until close(), whichever
+  /// comes first; returns closed(). This is the deadline plumbing the
+  /// service's retry backoff sits on: a worker sleeping out a backoff is
+  /// woken the moment shutdown closes the queue, so no shutdown ever
+  /// waits out a backoff schedule.
+  bool wait_closed_for(double seconds) {
+    std::unique_lock lock(mu_);
+    // Dedicated cv: push's notify_one on cv_pop_ must never be stolen by
+    // a backoff sleeper, or an item could sit unserved.
+    cv_closed_.wait_for(
+        lock, std::chrono::duration<double>(seconds > 0 ? seconds : 0),
+        [&] { return closed_; });
+    return closed_;
+  }
+
   /// Stop admitting. Consumers keep draining; pop() returns nullopt once
   /// empty. Idempotent.
   void close() {
@@ -114,6 +130,7 @@ class JobQueue {
     }
     cv_pop_.notify_all();
     cv_push_.notify_all();
+    cv_closed_.notify_all();
   }
 
   /// Remove and return everything still queued (for discard-style
@@ -150,8 +167,9 @@ class JobQueue {
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::condition_variable cv_pop_;   // consumers wait for items
-  std::condition_variable cv_push_;  // push_wait producers wait for space
+  std::condition_variable cv_pop_;     // consumers wait for items
+  std::condition_variable cv_push_;    // push_wait producers wait for space
+  std::condition_variable cv_closed_;  // backoff sleepers wait for close()
   std::deque<T> classes_[kPriorityClasses];
   std::size_t size_ = 0;
   std::size_t high_water_ = 0;

@@ -6,6 +6,29 @@
 
 namespace gpawfd::svc {
 
+namespace {
+/// One place enumerates the counters so snapshot() and counter_map()
+/// can never drift apart.
+template <typename Fn>
+void for_each_counter(const Metrics& m, Fn&& fn) {
+  auto get = [](const std::atomic<std::int64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  fn("svc.submitted", get(m.submitted));
+  fn("svc.cache_hits", get(m.cache_hits));
+  fn("svc.dedup_joined", get(m.dedup_joined));
+  fn("svc.accepted", get(m.accepted));
+  fn("svc.rejected_queue_full", get(m.rejected_queue_full));
+  fn("svc.rejected_shutdown", get(m.rejected_shutdown));
+  fn("svc.executed", get(m.executed));
+  fn("svc.exec_failures", get(m.exec_failures));
+  fn("svc.timeouts", get(m.timeouts));
+  fn("svc.retries", get(m.retries));
+  fn("svc.gave_up", get(m.gave_up));
+  fn("svc.cancelled", get(m.cancelled));
+}
+}  // namespace
+
 double Metrics::hit_ratio() const {
   const double hits =
       static_cast<double>(cache_hits.load(std::memory_order_relaxed));
@@ -16,23 +39,21 @@ double Metrics::hit_ratio() const {
   return total > 0 ? hits / total : 0.0;
 }
 
+std::map<std::string, std::int64_t> Metrics::counter_map() const {
+  std::map<std::string, std::int64_t> out;
+  for_each_counter(*this,
+                   [&](const char* key, std::int64_t v) { out[key] = v; });
+  return out;
+}
+
 std::string Metrics::snapshot(std::int64_t cache_size,
                               std::int64_t cache_evictions) const {
   std::ostringstream os;
   auto line = [&](const char* key, auto value) {
     os << key << ": " << value << "\n";
   };
-  line("svc.submitted", submitted.load(std::memory_order_relaxed));
-  line("svc.cache_hits", cache_hits.load(std::memory_order_relaxed));
-  line("svc.dedup_joined", dedup_joined.load(std::memory_order_relaxed));
-  line("svc.accepted", accepted.load(std::memory_order_relaxed));
-  line("svc.rejected_queue_full",
-       rejected_queue_full.load(std::memory_order_relaxed));
-  line("svc.rejected_shutdown",
-       rejected_shutdown.load(std::memory_order_relaxed));
-  line("svc.executed", executed.load(std::memory_order_relaxed));
-  line("svc.exec_failures", exec_failures.load(std::memory_order_relaxed));
-  line("svc.cancelled", cancelled.load(std::memory_order_relaxed));
+  for_each_counter(
+      *this, [&](const char* key, std::int64_t v) { line(key, v); });
   line("svc.hit_ratio", fmt_fixed(hit_ratio(), 4));
   line("svc.queue_depth_high_water", queue_depth_high_water());
   if (cache_size >= 0) line("svc.cache_size", cache_size);
@@ -46,6 +67,7 @@ std::string Metrics::snapshot(std::int64_t cache_size,
   };
   hist("svc.queue_wait", queue_wait);
   hist("svc.exec_time", exec_time);
+  hist("svc.attempt_time", attempt_time);
   hist("svc.hit_time", hit_time);
   return os.str();
 }

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "trace/stats.hpp"
@@ -27,14 +28,24 @@ class Metrics {
   std::atomic<std::int64_t> rejected_shutdown{0};
 
   // ---- execution accounting ------------------------------------------
-  std::atomic<std::int64_t> executed{0};         // simulations actually run
-  std::atomic<std::int64_t> exec_failures{0};    // executor threw
-  std::atomic<std::int64_t> cancelled{0};        // queued but never run
+  // Job-level: every accepted job ends exactly one way, so
+  //   accepted == executed + gave_up + cancelled
+  // once the service is quiescent.
+  std::atomic<std::int64_t> executed{0};   // jobs completed successfully
+  std::atomic<std::int64_t> gave_up{0};    // attempt budget exhausted
+  std::atomic<std::int64_t> cancelled{0};  // discarded by shutdown
+  // Attempt-level: each executor call is classified exactly one way
+  // (success / threw / exceeded its deadline), so
+  //   exec_failures + timeouts == retries + gave_up + mid-retry cancels.
+  std::atomic<std::int64_t> exec_failures{0};  // attempt threw in budget
+  std::atomic<std::int64_t> timeouts{0};       // attempt exceeded deadline
+  std::atomic<std::int64_t> retries{0};        // re-executions started
 
   // ---- latency histograms --------------------------------------------
-  trace::LatencyHistogram queue_wait;   // enqueue -> picked up by a worker
-  trace::LatencyHistogram exec_time;    // executor run time (cold)
-  trace::LatencyHistogram hit_time;     // submit() latency for cache hits
+  trace::LatencyHistogram queue_wait;    // enqueue -> picked up by a worker
+  trace::LatencyHistogram exec_time;     // successful executor run (cold)
+  trace::LatencyHistogram attempt_time;  // every attempt, incl. failed ones
+  trace::LatencyHistogram hit_time;      // submit() latency for cache hits
 
   // ---- gauges ---------------------------------------------------------
   void note_queue_depth(std::int64_t depth) {
@@ -54,6 +65,11 @@ class Metrics {
   /// the exporter the examples and benches print.
   std::string snapshot(std::int64_t cache_size = -1,
                        std::int64_t cache_evictions = -1) const;
+
+  /// Every monotonic counter by snapshot name — no histograms, no
+  /// timings, so two runs of the same deterministic schedule compare
+  /// equal (the fault tests' reproducibility check).
+  std::map<std::string, std::int64_t> counter_map() const;
 
  private:
   std::atomic<std::int64_t> queue_depth_high_water_{0};

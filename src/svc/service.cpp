@@ -1,7 +1,10 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
+#include "svc/exec_context.hpp"
 #include "trace/stats.hpp"
 
 namespace gpawfd::svc {
@@ -22,10 +25,50 @@ const char* to_string(SubmitStatus s) {
   return "?";
 }
 
+const char* to_string(ErrorReason r) {
+  switch (r) {
+    case ErrorReason::kUnknown:
+      return "unknown";
+    case ErrorReason::kCancelled:
+      return "cancelled";
+    case ErrorReason::kExecutorFailed:
+      return "executor-failed";
+    case ErrorReason::kTimedOut:
+      return "timed-out";
+    case ErrorReason::kGaveUp:
+      return "gave-up";
+    case ErrorReason::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case ErrorReason::kRejectedShutdown:
+      return "rejected-shutdown";
+  }
+  return "?";
+}
+
+double RetryPolicy::backoff_after(int failed_attempt) const {
+  if (initial_backoff_seconds <= 0) return 0;
+  double pause = initial_backoff_seconds;
+  for (int k = 0; k < failed_attempt; ++k) {
+    pause *= backoff_multiplier;
+    if (pause >= max_backoff_seconds) break;  // capped; stop before overflow
+  }
+  return std::min(pause, max_backoff_seconds);
+}
+
 namespace {
 int default_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+std::string what_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
 }
 }  // namespace
 
@@ -35,6 +78,7 @@ SimService::SimService(ServiceConfig config)
       queue_(config_.queue_capacity) {
   if (config_.workers <= 0) config_.workers = default_workers();
   if (!config_.executor) config_.executor = core::simulate_job;
+  if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w)
     threads_.emplace_back([this] { worker_loop(); });
@@ -83,9 +127,11 @@ Ticket SimService::submit(const core::SimJobSpec& spec, Priority priority) {
       const bool full = push == PushResult::kQueueFull;
       (full ? metrics_.rejected_queue_full : metrics_.rejected_shutdown)
           .fetch_add(1, std::memory_order_relaxed);
-      cache_.abort(key, std::make_exception_ptr(ServiceError(
-                            full ? "rejected: queue full"
-                                 : "rejected: shutdown")));
+      cache_.abort(key,
+                   std::make_exception_ptr(ServiceError(
+                       full ? "rejected: queue full" : "rejected: shutdown",
+                       full ? ErrorReason::kRejectedQueueFull
+                            : ErrorReason::kRejectedShutdown)));
       return {full ? SubmitStatus::kRejectedQueueFull
                    : SubmitStatus::kRejectedShutdown,
               {}};
@@ -97,7 +143,11 @@ Ticket SimService::submit(const core::SimJobSpec& spec, Priority priority) {
 core::SimResult SimService::run(const core::SimJobSpec& spec,
                                 Priority priority) {
   Ticket t = submit(spec, priority);
-  if (t.rejected()) throw ServiceError(to_string(t.status));
+  if (t.rejected())
+    throw ServiceError(to_string(t.status),
+                       t.status == SubmitStatus::kRejectedQueueFull
+                           ? ErrorReason::kRejectedQueueFull
+                           : ErrorReason::kRejectedShutdown);
   return t.result.get();
 }
 
@@ -105,29 +155,97 @@ void SimService::worker_loop() {
   while (auto job = queue_.pop()) execute(std::move(*job));
 }
 
+void SimService::fail(const JobKey& key, ErrorReason reason,
+                      const std::string& what) {
+  cache_.abort(key, std::make_exception_ptr(ServiceError(what, reason)));
+}
+
+// The attempt lifecycle (see DESIGN.md §10 for the state diagram). Each
+// loop iteration is one attempt and classifies itself exactly one way —
+// success / exec_failure (threw within budget) / timeout (exceeded the
+// per-attempt deadline, whether it threw or returned) — so the metrics
+// reconcile: accepted == executed + gave_up + cancelled at quiescence.
 void SimService::execute(QueuedJob job) {
   metrics_.queue_wait.record(trace::now_seconds() - job.enqueue_time);
-  try {
+  const RetryPolicy& rp = config_.retry;
+  for (int attempt = 0;; ++attempt) {
     const double t0 = trace::now_seconds();
-    const core::SimResult result = config_.executor(job.spec);
-    metrics_.exec_time.record(trace::now_seconds() - t0);
-    metrics_.executed.fetch_add(1, std::memory_order_relaxed);
-    cache_.complete(job.key, result);
-  } catch (...) {
-    metrics_.exec_failures.fetch_add(1, std::memory_order_relaxed);
-    cache_.abort(job.key, std::current_exception());
+    const trace::Deadline deadline =
+        rp.attempt_timeout_seconds > 0
+            ? trace::Deadline::at(t0 + rp.attempt_timeout_seconds)
+            : trace::Deadline::never();
+    std::exception_ptr error;
+    core::SimResult result;
+    {
+      ExecContextScope scope(ExecContext{attempt, deadline, &discard_});
+      try {
+        result = config_.executor(job.spec);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    const double elapsed = trace::now_seconds() - t0;
+    metrics_.attempt_time.record(elapsed);
+    const bool timed_out =
+        !deadline.is_never() && elapsed >= rp.attempt_timeout_seconds;
+
+    if (!error && !timed_out) {
+      metrics_.exec_time.record(elapsed);
+      metrics_.executed.fetch_add(1, std::memory_order_relaxed);
+      cache_.complete(job.key, result);
+      return;
+    }
+
+    // Classify the failed attempt and decide the job's fate.
+    ErrorReason reason;
+    std::ostringstream what;
+    if (timed_out) {
+      metrics_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      reason = ErrorReason::kTimedOut;
+      what << "attempt " << attempt << " timed out after " << elapsed
+           << "s (budget " << rp.attempt_timeout_seconds << "s)";
+    } else {
+      metrics_.exec_failures.fetch_add(1, std::memory_order_relaxed);
+      reason = rp.max_attempts > 1 ? ErrorReason::kGaveUp
+                                   : ErrorReason::kExecutorFailed;
+      what << "executor failed on attempt " << attempt << ": "
+           << what_of(error);
+    }
+
+    if (attempt + 1 >= rp.max_attempts) {
+      metrics_.gave_up.fetch_add(1, std::memory_order_relaxed);
+      if (reason == ErrorReason::kGaveUp)
+        what << " (gave up after " << rp.max_attempts << " attempts)";
+      fail(job.key, reason, what.str());
+      return;
+    }
+
+    // Backoff parked on the queue's lifecycle (close() wakes it), then
+    // re-check for discard-shutdown: cancelling beats retrying into a
+    // service that is throwing work away.
+    const double pause = rp.backoff_after(attempt);
+    if (pause > 0) queue_.wait_closed_for(pause);
+    if (discard_.load(std::memory_order_acquire)) {
+      metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      fail(job.key, ErrorReason::kCancelled,
+           "cancelled: shutdown during retry backoff");
+      return;
+    }
+    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void SimService::shutdown(bool drain) {
   std::call_once(shutdown_once_, [&] {
     shutting_down_.store(true, std::memory_order_release);
+    // Publish discard *before* closing the queue so a retry loop woken
+    // by close() observes it.
+    if (!drain) discard_.store(true, std::memory_order_release);
     queue_.close();
     if (!drain) {
       for (QueuedJob& job : queue_.drain_remaining()) {
         metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
-        cache_.abort(job.key, std::make_exception_ptr(
-                                  ServiceError("cancelled: shutdown")));
+        fail(job.key, ErrorReason::kCancelled, "cancelled: shutdown");
       }
     }
     for (std::thread& t : threads_) t.join();

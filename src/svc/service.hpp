@@ -25,11 +25,60 @@
 
 namespace gpawfd::svc {
 
-/// Thrown into a request's future when its job was accepted but the
-/// service shut down (discard mode) or the executor failed.
+/// Machine-readable cause of a ServiceError. Tests and clients branch on
+/// this instead of matching message strings, and the two historically
+/// indistinguishable paths — discard-shutdown cancellation vs executor
+/// failure — carry distinct reasons.
+enum class ErrorReason {
+  kUnknown = 0,
+  kCancelled,           // accepted but discarded by shutdown(drain=false)
+  kExecutorFailed,      // executor threw and the policy allows no retries
+  kTimedOut,            // final attempt exceeded the per-attempt deadline
+  kGaveUp,              // retry budget exhausted without success
+  kRejectedQueueFull,   // admission aborted the flight (joined waiters)
+  kRejectedShutdown,    // admission aborted the flight during shutdown
+};
+
+const char* to_string(ErrorReason r);
+
+/// Thrown into a request's future when its job was accepted but could
+/// not be completed: the service shut down in discard mode, the executor
+/// failed (terminally, after any retries), or an attempt timed out.
 class ServiceError : public Error {
  public:
-  using Error::Error;
+  explicit ServiceError(const std::string& what,
+                        ErrorReason reason = ErrorReason::kUnknown)
+      : Error(what), reason_(reason) {}
+  ErrorReason reason() const { return reason_; }
+
+ private:
+  ErrorReason reason_;
+};
+
+/// How SimService handles executor failures and stragglers: up to
+/// max_attempts executions per job with capped exponential backoff in
+/// between, and an optional per-attempt deadline. The deadline is
+/// *cooperative*: executors run synchronously on a worker thread, so the
+/// worker classifies an attempt as timed out after the fact (and
+/// publishes the deadline through svc::ExecContext so cooperative
+/// executors can unwind early). A late-but-successful result past the
+/// deadline is discarded and retried — deterministic-cost executors that
+/// always exceed the budget will time out on every attempt, so size the
+/// budget from measured exec_time, not hope.
+struct RetryPolicy {
+  /// Total executions allowed per job (1 = no retries, the default).
+  int max_attempts = 1;
+  /// Backoff before retry k (0-based failed attempt k): min(
+  /// initial_backoff_seconds * backoff_multiplier^k, max_backoff_seconds).
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.100;
+  /// Per-attempt budget; 0 disables the deadline.
+  double attempt_timeout_seconds = 0;
+
+  /// The capped exponential schedule above, as a pure function (unit
+  /// tested; also what the docs' state diagram refers to).
+  double backoff_after(int failed_attempt) const;
 };
 
 struct ServiceConfig {
@@ -47,8 +96,12 @@ struct ServiceConfig {
   /// for in-process batch producers).
   bool block_when_full = false;
   /// The simulation function. Replaceable for tests (count executions,
-  /// inject delays/failures); defaults to core::simulate_job.
+  /// inject delays/failures — see svc::FaultyExecutor); defaults to
+  /// core::simulate_job. Workers publish an ExecContext (attempt index,
+  /// per-attempt deadline, cancel flag) around every call.
   std::function<core::SimResult(const core::SimJobSpec&)> executor;
+  /// Failure handling for accepted jobs (attempts / backoff / timeout).
+  RetryPolicy retry;
 };
 
 enum class SubmitStatus {
@@ -111,6 +164,8 @@ class SimService {
 
   void worker_loop();
   void execute(QueuedJob job);
+  /// Terminal failure: abort the flight with a reasoned ServiceError.
+  void fail(const JobKey& key, ErrorReason reason, const std::string& what);
 
   ServiceConfig config_;
   ResultCache cache_;
@@ -118,6 +173,9 @@ class SimService {
   Metrics metrics_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutting_down_{false};
+  /// shutdown(drain=false) was requested: retry loops stop retrying and
+  /// cancel instead; published to executors via ExecContext::cancel.
+  std::atomic<bool> discard_{false};
   std::once_flag shutdown_once_;
 };
 

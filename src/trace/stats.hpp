@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -19,6 +20,35 @@ inline double now_seconds() {
   return std::chrono::duration<double>(clock::now().time_since_epoch())
       .count();
 }
+
+/// An absolute instant on the now_seconds() clock, or never(). A small
+/// value type threaded from owners (the service worker loop) into
+/// cooperative code (executors, fault injection) so a time budget can be
+/// observed without the owner being able to preempt the callee.
+class Deadline {
+ public:
+  Deadline() = default;  // never expires
+  static Deadline never() { return {}; }
+  static Deadline at(double abs_seconds) {
+    Deadline d;
+    d.at_ = abs_seconds;
+    return d;
+  }
+  static Deadline after(double seconds) { return at(now_seconds() + seconds); }
+
+  bool is_never() const {
+    return at_ == std::numeric_limits<double>::infinity();
+  }
+  bool expired() const { return !is_never() && now_seconds() >= at_; }
+  /// Seconds until expiry (negative once expired, +inf when never).
+  double remaining_seconds() const {
+    return is_never() ? at_ : at_ - now_seconds();
+  }
+  double at_seconds() const { return at_; }
+
+ private:
+  double at_ = std::numeric_limits<double>::infinity();
+};
 
 /// Accumulates elapsed seconds per named phase. Thread-safe.
 class PhaseTimers {

@@ -1,18 +1,24 @@
 // Concurrency tests for svc::SimService: single-flight execution counts
 // under heavy client fan-in, cache coherence (same JobKey => identical
 // SimResult), non-blocking admission control at the queue bound, metrics
-// consistency, and clean shutdown with work in flight. Run under the
-// GPAWFD_TSAN preset to race-check the queue/cache.
+// consistency, clean shutdown with work in flight, and the chaos soak
+// (seeded faults + random priorities + mid-run shutdown). Run under the
+// GPAWFD_TSAN preset to race-check the queue/cache/retry machinery;
+// labelled `stress` so nightly can run it longer (GPAWFD_CHAOS_ROUNDS,
+// scripts/tier1.sh --stress) without slowing tier-1.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "svc/fault.hpp"
 #include "svc/service.hpp"
 #include "trace/stats.hpp"
 
@@ -296,6 +302,116 @@ TEST(SvcStress, CacheHitIsAtLeastTenTimesFasterThanColdRun) {
   }
   EXPECT_GE(cold / best_hit, 10.0)
       << "cold=" << cold << "s best_hit=" << best_hit << "s";
+}
+
+// Chaos soak: seeded faults (throws, stragglers, hangs), random-priority
+// submitters, eviction churn, and a mid-run shutdown whose mode (drain
+// vs discard) alternates by round. The invariants under all of it: no
+// accepted future is ever abandoned, no key ever yields another key's
+// result, and the job-level metrics reconcile exactly. Runs one round in
+// tier-1; nightly runs longer via GPAWFD_CHAOS_ROUNDS (scripts/tier1.sh
+// --stress) and race-checks under the GPAWFD_TSAN preset (--tsan).
+TEST(SvcChaos, SoakSurvivesFaultsPrioritiesAndMidRunShutdown) {
+  int rounds = 1;
+  if (const char* env = std::getenv("GPAWFD_CHAOS_ROUNDS"))
+    rounds = std::max(1, std::atoi(env));
+
+  for (int round = 0; round < rounds; ++round) {
+    svc::FaultConfig fc;
+    fc.seed = 0xC0FFEE + static_cast<std::uint64_t>(round);
+    fc.throw_probability = 0.20;
+    fc.hang_probability = 0.05;
+    fc.delay_probability = 0.20;
+    fc.fail_attempts = 2;
+    fc.delay_seconds = 0.002;
+    fc.jitter_seconds = 0.002;
+    auto faulty =
+        std::make_shared<svc::FaultyExecutor>(
+            [](const SimJobSpec& s) {
+              SimResult r;
+              r.seconds = static_cast<double>(s.job.ngrids);
+              r.messages_total = s.job.ngrids;
+              return r;
+            },
+            fc);
+
+    svc::ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.queue_capacity = 128;
+    cfg.cache_capacity = 16;  // fewer than distinct jobs -> eviction churn
+    cfg.cache_shards = 4;
+    cfg.executor = [faulty](const SimJobSpec& s) { return (*faulty)(s); };
+    cfg.retry.max_attempts = 3;
+    cfg.retry.initial_backoff_seconds = 0.0005;
+    cfg.retry.max_backoff_seconds = 0.004;
+    cfg.retry.attempt_timeout_seconds = 0.025;  // bounds every hang
+    svc::SimService service(cfg);
+
+    constexpr int kClients = 8;
+    constexpr int kRequests = 40;
+    constexpr int kDistinct = 24;
+    const bool drain = round % 2 == 0;
+
+    std::mutex mu;
+    std::vector<svc::Ticket> tickets;
+    std::atomic<int> incoherent{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(fc.seed ^ static_cast<std::uint64_t>(c * 977 + 1));
+        for (int i = 0; i < kRequests; ++i) {
+          const int job_id =
+              static_cast<int>(rng.next_below(kDistinct));
+          const auto prio = static_cast<svc::Priority>(rng.next_below(3));
+          svc::Ticket t = service.submit(spec_of_job(job_id), prio);
+          if (!t.rejected()) {
+            // Coherence check on a sample without blocking the swarm.
+            if (i % 8 == 0) {
+              try {
+                if (t.result.get().seconds !=
+                    static_cast<double>(8 + job_id))
+                  incoherent.fetch_add(1);
+              } catch (const svc::ServiceError&) {
+                // a documented fate under faults/shutdown
+              }
+            }
+            std::lock_guard lock(mu);
+            tickets.push_back(std::move(t));
+          }
+        }
+      });
+    }
+    // Mid-run shutdown: let roughly half the traffic through first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    service.shutdown(drain);
+    for (auto& t : clients) t.join();
+
+    // Zero abandoned futures: after shutdown() returned, every accepted
+    // ticket must already be resolved (value or exception).
+    for (const auto& t : tickets)
+      ASSERT_EQ(t.result.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready)
+          << "abandoned future (round " << round << ", drain=" << drain
+          << ")";
+    EXPECT_EQ(incoherent.load(), 0)
+        << "a key must never yield another key's result";
+
+    const auto& m = service.metrics();
+    EXPECT_EQ(m.submitted.load(),
+              m.cache_hits.load() + m.dedup_joined.load() +
+                  m.accepted.load() + m.rejected_queue_full.load() +
+                  m.rejected_shutdown.load())
+        << service.metrics_snapshot();
+    EXPECT_EQ(m.accepted.load(),
+              m.executed.load() + m.gave_up.load() + m.cancelled.load())
+        << "every accepted job must end exactly one way (round " << round
+        << ", drain=" << drain << "):\n"
+        << service.metrics_snapshot();
+    if (drain) {
+      EXPECT_EQ(m.cancelled.load(), 0)
+          << "drain shutdown must not cancel accepted work";
+    }
+  }
 }
 
 // Hammer one service with a mixed read/write pattern while results are
