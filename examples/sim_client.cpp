@@ -1,0 +1,172 @@
+// sim_client: the remote half of sim_server --listen. C client threads,
+// each with its own net::Client connection, fire requests over K
+// distinct experiment configurations at a sim_server across TCP and
+// tally every reply by wire status — the same sweep machine_room and
+// sim_server run in-process, now over the wire. With --pipeline each
+// thread keeps a window of submit_async() futures in flight instead of
+// one blocking submit at a time.
+//
+//   ./sim_server --listen --port=7450 &
+//   ./sim_client --port=7450
+//   ./sim_client --port=7450 --clients=16 --requests=64 --pipeline=8
+#include <atomic>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "net/client.hpp"
+#include "trace/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpawfd;
+
+  CliParser cli;
+  cli.flag("host", "127.0.0.1", "sim_server address (IPv4)")
+      .flag("port", "7450", "sim_server port")
+      .flag("clients", "4", "client threads (one connection each)")
+      .flag("jobs", "6", "distinct experiment configurations")
+      .flag("requests", "32", "requests per client")
+      .flag("pipeline", "1", "async submits kept in flight per thread")
+      .flag("cores", "256", "simulated cores of the smallest job")
+      .flag("edge", "48", "grid edge of every job (edge^3)")
+      .flag("ping", "false", "just ping the server and exit");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  net::ClientConfig ccfg;
+  ccfg.host = cli.get("host");
+  ccfg.port = static_cast<std::uint16_t>(cli.get_int("port"));
+
+  if (cli.get_bool("ping")) {
+    try {
+      net::Client client(ccfg);
+      const double t0 = trace::now_seconds();
+      client.ping();
+      std::cout << "pong from " << ccfg.host << ":" << ccfg.port << " in "
+                << fmt_seconds(trace::now_seconds() - t0) << "\n";
+      return 0;
+    } catch (const net::RpcError& e) {
+      std::cerr << "ping failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  const int clients = static_cast<int>(cli.get_int("clients"));
+  const int njobs = static_cast<int>(cli.get_int("jobs"));
+  const int requests = static_cast<int>(cli.get_int("requests"));
+  const int pipeline = static_cast<int>(cli.get_int("pipeline"));
+  if (clients < 1 || njobs < 1 || requests < 1 || pipeline < 1) {
+    std::cerr << "--clients, --jobs, --requests and --pipeline must be "
+                 "positive\n";
+    return 2;
+  }
+
+  // The same sweep sim_server's in-process swarm runs: four approaches
+  // cycled over growing machine slices.
+  const sched::Approach approaches[] = {
+      sched::Approach::kFlatOriginal, sched::Approach::kFlatOptimized,
+      sched::Approach::kHybridMultiple, sched::Approach::kHybridMasterOnly};
+  auto spec_of = [&](int job_id) {
+    core::SimJobSpec spec;
+    spec.approach = approaches[static_cast<std::size_t>(job_id) % 4];
+    spec.job.grid_shape = Vec3::cube(cli.get_int("edge"));
+    spec.job.ngrids = 32;
+    spec.opt = spec.approach == sched::Approach::kFlatOriginal
+                   ? sched::Optimizations::original()
+                   : sched::Optimizations::all_on(4);
+    spec.total_cores =
+        static_cast<int>(cli.get_int("cores")) << (job_id / 4);
+    return spec;
+  };
+
+  std::cout << "sim_client: " << clients << " connections x " << requests
+            << " requests over " << njobs << " distinct jobs to "
+            << ccfg.host << ":" << ccfg.port << " (pipeline depth "
+            << pipeline << ")\n";
+
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> by_status[net::kWireStatusCount] = {};
+  std::atomic<std::int64_t> reconnects{0};
+  trace::LatencyHistogram latency;
+  const double t0 = trace::now_seconds();
+  std::vector<std::thread> swarm;
+  for (int c = 0; c < clients; ++c) {
+    swarm.emplace_back([&, c] {
+      net::Client client(ccfg);
+      auto settle = [&](std::future<core::SimResult>& f, double sent_at) {
+        try {
+          f.get();
+          latency.record(trace::now_seconds() - sent_at);
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const net::RpcError& e) {
+          by_status[static_cast<int>(e.status())].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      };
+      std::deque<std::pair<std::future<core::SimResult>, double>> window;
+      for (int i = 0; i < requests; ++i) {
+        const int job_id = (c + i) % njobs;
+        const svc::Priority priority =
+            c == 0 ? svc::Priority::kInteractive : svc::Priority::kBatch;
+        if (pipeline == 1) {
+          const double r0 = trace::now_seconds();
+          try {
+            client.submit(spec_of(job_id), priority);
+            latency.record(trace::now_seconds() - r0);
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } catch (const net::RpcError& e) {
+            by_status[static_cast<int>(e.status())].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        while (static_cast<int>(window.size()) >= pipeline) {
+          settle(window.front().first, window.front().second);
+          window.pop_front();
+        }
+        try {
+          const double r0 = trace::now_seconds();
+          window.emplace_back(client.submit_async(spec_of(job_id), priority),
+                              r0);
+        } catch (const net::RpcError& e) {
+          by_status[static_cast<int>(e.status())].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      for (auto& [future, sent_at] : window) settle(future, sent_at);
+      reconnects.fetch_add(client.reconnects(), std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : swarm) t.join();
+  const double wall = trace::now_seconds() - t0;
+
+  Table t({"", "value"});
+  t.add_row({"wall time", fmt_seconds(wall)});
+  t.add_row({"completed", std::to_string(ok.load())});
+  t.add_row({"throughput",
+             fmt_fixed(static_cast<double>(ok.load()) / wall, 0) + " req/s"});
+  t.add_row({"latency p50", fmt_seconds(latency.quantile(0.5))});
+  t.add_row({"latency p99", fmt_seconds(latency.quantile(0.99))});
+  t.add_row({"reconnects", std::to_string(reconnects.load())});
+  for (int s = 0; s < net::kWireStatusCount; ++s) {
+    if (by_status[s].load() == 0) continue;
+    t.add_row({std::string("failed: ") +
+                   net::to_string(static_cast<net::WireStatus>(s)),
+               std::to_string(by_status[s].load())});
+  }
+  std::cout << "\n";
+  t.print(std::cout);
+  return ok.load() > 0 ? 0 : 1;
+}

@@ -1,20 +1,31 @@
-// sim_server: the simulated machine room as an in-process service. M
+// sim_server: the simulated machine room as a service. By default M
 // client threads fire requests over K distinct experiment configurations
-// at svc::SimService; the service schedules them on a bounded priority
-// queue, runs each distinct simulation exactly once (single-flight),
-// serves every repeat from the LRU result cache, and meters the whole
-// thing. What an RPC front-end would wrap, minus the wire.
+// at svc::SimService in-process; the service schedules them on a bounded
+// priority queue, runs each distinct simulation exactly once
+// (single-flight), serves every repeat from the LRU result cache, and
+// meters the whole thing.
+//
+// With --listen the same service is exposed over TCP through net::Server
+// instead: remote sim_client processes submit JobKey canonical strings
+// and get binary SimResults back. The server runs until --duration-s
+// elapses (0 = until SIGINT/SIGTERM) and then prints the wire-visible
+// totals — every reply tallied per WireStatus — next to the service
+// metrics.
 //
 // Pass --fault-rate/--fault-delay-rate/--fault-hang-rate to stand a
 // seeded svc::FaultyExecutor between the service and the simulator and
 // watch the retry policy (--retries/--backoff-ms/--timeout-ms) absorb
 // the injected failures; terminal failures are tallied by
-// ServiceError::reason().
+// ServiceError::reason() (and, under --listen, show up remotely as the
+// matching wire statuses).
 //
 //   ./sim_server                          # 8 clients x 6 distinct jobs
 //   ./sim_server --clients=32 --requests=64 --queue-capacity=16
 //   ./sim_server --fault-rate=0.3 --retries=3 --timeout-ms=50
+//   ./sim_server --listen --port=7450     # serve RPC until Ctrl-C
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -22,9 +33,82 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "net/server.hpp"
 #include "svc/fault.hpp"
 #include "svc/service.hpp"
 #include "trace/stats.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+// Serve RPC until the duration elapses or a signal lands, then print
+// the wire-visible totals: every reply the server sent, tallied by
+// WireStatus — the remote view of the failure taxonomy.
+int run_listen_mode(gpawfd::svc::SimService& service,
+                    const gpawfd::CliParser& cli) {
+  using namespace gpawfd;
+
+  net::ServerConfig scfg;
+  scfg.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  scfg.max_inflight_per_conn = static_cast<int>(cli.get_int("max-inflight"));
+  scfg.max_connections = static_cast<int>(cli.get_int("max-connections"));
+  scfg.idle_timeout_seconds = cli.get_double("idle-timeout-s");
+  net::Server server(service, scfg);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  const double duration = cli.get_double("duration-s");
+  std::cout << "sim_server: listening on port " << server.port() << ", "
+            << service.workers() << " workers";
+  if (duration > 0)
+    std::cout << ", serving for " << fmt_seconds(duration);
+  else
+    std::cout << ", until SIGINT/SIGTERM";
+  std::cout << "\n" << std::flush;
+
+  const double t0 = trace::now_seconds();
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    if (duration > 0 && trace::now_seconds() - t0 >= duration) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const double wall = trace::now_seconds() - t0;
+
+  const net::ServerMetrics& m = server.metrics();
+  Table t({"", "value"});
+  t.add_row({"wall time", fmt_seconds(wall)});
+  t.add_row({"connections accepted",
+             std::to_string(m.connections_accepted.load())});
+  t.add_row({"connections refused",
+             std::to_string(m.connections_refused.load())});
+  t.add_row({"idle closed", std::to_string(m.idle_closed.load())});
+  t.add_row({"submits", std::to_string(m.requests.load())});
+  t.add_row({"pings", std::to_string(m.pings.load())});
+  t.add_row({"replies (all statuses)", std::to_string(m.replies_total())});
+  for (int s = 0; s < net::kWireStatusCount; ++s) {
+    const auto status = static_cast<net::WireStatus>(s);
+    if (m.replies(status) == 0) continue;
+    t.add_row({std::string("replied: ") + net::to_string(status),
+               std::to_string(m.replies(status))});
+  }
+  t.add_row({"bytes in", std::to_string(m.bytes_in.load())});
+  t.add_row({"bytes out", std::to_string(m.bytes_out.load())});
+  t.add_row({"simulations actually run",
+             std::to_string(service.metrics().executed.load())});
+  t.add_row({"cache hit ratio",
+             fmt_fixed(100 * service.metrics().hit_ratio(), 1) + "%"});
+  std::cout << "\n";
+  t.print(std::cout);
+
+  std::cout << "\nwire metrics snapshot:\n" << m.snapshot();
+  std::cout << "\nservice metrics snapshot:\n" << service.metrics_snapshot();
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gpawfd;
@@ -48,7 +132,14 @@ int main(int argc, char** argv) {
       .flag("fault-seed", "42", "seed of the deterministic fault plan")
       .flag("retries", "1", "attempts per job (RetryPolicy::max_attempts)")
       .flag("backoff-ms", "1", "initial retry backoff in milliseconds")
-      .flag("timeout-ms", "0", "per-attempt timeout (0 = none)");
+      .flag("timeout-ms", "0", "per-attempt timeout (0 = none)")
+      .flag("listen", "false", "serve over TCP (net::Server) instead of "
+            "running the in-process client swarm")
+      .flag("port", "0", "--listen TCP port (0 = ephemeral, printed)")
+      .flag("duration-s", "0", "--listen serving time (0 = until signal)")
+      .flag("max-inflight", "64", "--listen per-connection request limit")
+      .flag("max-connections", "256", "--listen connection limit")
+      .flag("idle-timeout-s", "60", "--listen idle connection timeout");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -98,6 +189,8 @@ int main(int argc, char** argv) {
     cfg.executor = [faulty](const core::SimJobSpec& s) { return (*faulty)(s); };
   }
   svc::SimService service(cfg);
+
+  if (cli.get_bool("listen")) return run_listen_mode(service, cli);
 
   // K distinct experiments: the four approaches cycled over growing
   // machine slices — the request mix a parameter sweep would produce.

@@ -28,12 +28,17 @@ run_tier1() {
 if [[ "${1:-}" == "--native" ]]; then
   run_tier1 build-native -DGPAWFD_NATIVE=ON
 elif [[ "${1:-}" == "--tsan" ]]; then
-  # Only the concurrency-heavy suites need the (slow) TSAN pass.
+  # Only the concurrency-heavy suites need the (slow) TSAN pass. The net
+  # loopback tests ride along: poll loop vs worker continuations vs
+  # client reader is exactly the cross-thread surface TSAN is for.
+  # tsan.supp silences the known uninstrumented-libstdc++ exception_ptr
+  # refcount false positive (see the comment in that file).
   cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
   cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \
-    svc_fault_test worker_pool_test mp_stress_test
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache'
+    svc_fault_test worker_pool_test mp_stress_test net_test
+  TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus'
 elif [[ "${1:-}" == "--stress" ]]; then
   # Nightly soak lane: only the `stress`-labelled suites, run much longer
   # (GPAWFD_CHAOS_ROUNDS multiplies the chaos soak's fault schedules).

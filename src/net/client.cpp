@@ -1,0 +1,209 @@
+#include "net/client.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "svc/job_key.hpp"
+
+namespace gpawfd::net {
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() { close(); }
+
+bool Client::connected() const {
+  std::lock_guard lock(mu_);
+  return connected_;
+}
+
+core::SimResult Client::submit(const core::SimJobSpec& spec,
+                               svc::Priority priority) {
+  const std::string canonical = svc::JobKey::of(spec).canonical();
+  return with_retries([&] {
+    return start_request([&](std::uint64_t id) {
+      return make_submit_frame(id, canonical, priority);
+    });
+  });
+}
+
+std::future<core::SimResult> Client::submit_async(const core::SimJobSpec& spec,
+                                                  svc::Priority priority) {
+  const std::string canonical = svc::JobKey::of(spec).canonical();
+  return start_request([&](std::uint64_t id) {
+    return make_submit_frame(id, canonical, priority);
+  });
+}
+
+void Client::ping() {
+  with_retries([&] {
+    return start_request([&](std::uint64_t id) {
+      return make_control_frame(FrameType::kPing, id);
+    });
+  });
+}
+
+core::SimResult Client::with_retries(
+    const std::function<std::future<core::SimResult>()>& attempt) {
+  const int attempts = 1 + std::max(0, config_.max_reconnect_attempts);
+  for (int a = 0;; ++a) {
+    try {
+      return attempt().get();
+    } catch (const RpcError& e) {
+      if (e.status() != WireStatus::kConnectionLost || a + 1 >= attempts)
+        throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          config_.reconnect_backoff_seconds * (a + 1)));
+    }
+  }
+}
+
+std::future<core::SimResult> Client::start_request(
+    const std::function<std::vector<std::uint8_t>(std::uint64_t)>&
+        make_frame) {
+  std::lock_guard connect_lock(connect_mu_);
+  ensure_connected();
+
+  auto pending = std::make_shared<Pending>();
+  std::uint64_t id;
+  int fd;
+  {
+    std::lock_guard lock(mu_);
+    id = next_id_++;
+    fd = sock_.fd();
+    pending_.emplace(id, pending);
+  }
+  std::future<core::SimResult> future = pending->promise.get_future();
+
+  const std::vector<std::uint8_t> bytes = make_frame(id);
+  bool ok;
+  {
+    std::lock_guard write_lock(write_mu_);
+    ok = write_fully(fd, bytes.data(), bytes.size());
+  }
+  if (!ok) {
+    bool ours;
+    {
+      std::lock_guard lock(mu_);
+      ours = pending_.erase(id) > 0;  // the reader may have failed it first
+      connected_ = false;
+    }
+    sock_.shutdown_both();  // wake the reader; join happens on reconnect
+    if (ours)
+      throw RpcError("write failed: connection lost",
+                     WireStatus::kConnectionLost);
+    return future;  // already failed with kConnectionLost by the reader
+  }
+  requests_sent_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void Client::ensure_connected() {
+  {
+    std::lock_guard lock(mu_);
+    if (connected_) return;
+  }
+  // The previous reader (if any) has seen EOF/shutdown and is exiting;
+  // join it before the socket it reads from is replaced.
+  if (reader_.joinable()) reader_.join();
+
+  Socket sock;
+  try {
+    sock = Socket::connect_to(config_.host, config_.port);
+  } catch (const Error& e) {
+    throw RpcError(std::string("connect failed: ") + e.what(),
+                   WireStatus::kConnectionLost);
+  }
+  sock.set_nodelay(true);
+  int fd;
+  {
+    std::lock_guard lock(mu_);
+    sock_ = std::move(sock);
+    fd = sock_.fd();
+    connected_ = true;
+    if (ever_connected_) reconnects_.fetch_add(1, std::memory_order_relaxed);
+    ever_connected_ = true;
+  }
+  reader_ = std::thread([this, fd] { reader_loop(fd); });
+}
+
+void Client::reader_loop(int fd) {
+  FrameDecoder decoder(config_.max_frame_bytes);
+  std::uint8_t buf[4096];
+  bool protocol_ok = true;
+  while (protocol_ok) {
+    const IoResult r = read_some(fd, buf, sizeof buf);
+    if (r.status != IoStatus::kOk) break;
+    decoder.feed(buf, r.n);
+    for (;;) {
+      FrameDecoder::Result res = decoder.next();
+      if (res.status == FrameDecoder::Status::kNeedMore) break;
+      if (res.status == FrameDecoder::Status::kError) {
+        protocol_ok = false;  // unsyncable stream: treat as a dead link
+        break;
+      }
+      std::shared_ptr<Pending> pending;
+      {
+        std::lock_guard lock(mu_);
+        auto it = pending_.find(res.frame.header.request_id);
+        if (it != pending_.end()) {
+          pending = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (!pending) continue;  // late reply for an abandoned request
+      switch (res.frame.header.type) {
+        case FrameType::kResult:
+          try {
+            pending->promise.set_value(decode_sim_result(
+                res.frame.payload.data(), res.frame.payload.size()));
+          } catch (...) {
+            pending->promise.set_exception(std::current_exception());
+          }
+          break;
+        case FrameType::kError:
+          pending->promise.set_exception(std::make_exception_ptr(RpcError(
+              std::string(res.frame.payload.begin(), res.frame.payload.end()),
+              res.frame.header.status)));
+          break;
+        case FrameType::kPong:
+          pending->promise.set_value(core::SimResult{});
+          break;
+        default:
+          pending->promise.set_exception(std::make_exception_ptr(
+              RpcError("unexpected frame type from server",
+                       WireStatus::kInternal)));
+          break;
+      }
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    connected_ = false;
+  }
+  fail_all_pending("connection lost before reply");
+}
+
+void Client::fail_all_pending(const std::string& why) {
+  std::map<std::uint64_t, std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard lock(mu_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, pending] : orphans)
+    pending->promise.set_exception(
+        std::make_exception_ptr(RpcError(why, WireStatus::kConnectionLost)));
+}
+
+void Client::close() {
+  std::lock_guard connect_lock(connect_mu_);
+  {
+    std::lock_guard lock(mu_);
+    connected_ = false;
+  }
+  sock_.shutdown_both();
+  if (reader_.joinable()) reader_.join();
+  sock_.close();
+}
+
+}  // namespace gpawfd::net

@@ -1,0 +1,109 @@
+// net::Client: the remote counterpart of svc::SimService::submit. A
+// client owns one TCP connection (plus a reader thread demultiplexing
+// replies by request id), offers a synchronous submit() that retries
+// across reconnects — safe because the server deduplicates by JobKey,
+// so a resent request joins the original flight instead of recomputing —
+// and an async submit_async() returning a std::future for pipelined
+// submission over the same connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace gpawfd::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Extra connection attempts a synchronous submit()/ping() makes after
+  /// a kConnectionLost failure (0 disables reconnecting). Each retry
+  /// backs off a little longer so a restarting server gets to rebind.
+  int max_reconnect_attempts = 3;
+  double reconnect_backoff_seconds = 0.05;
+};
+
+class Client {
+ public:
+  /// Lazy: no connection is made until the first request (so a client
+  /// can be built before its server, and survives server restarts).
+  explicit Client(ClientConfig config);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submit and wait. Throws RpcError carrying the wire status on any
+  /// failure; reconnects and resends on connection loss (idempotent:
+  /// the request is the JobKey itself).
+  core::SimResult submit(const core::SimJobSpec& spec,
+                         svc::Priority priority = svc::Priority::kNormal);
+
+  /// Single-attempt pipelined submit: the future resolves when the reply
+  /// frame lands (RpcError inside the future on failure). Throws only
+  /// when the connection cannot be established or the write fails.
+  std::future<core::SimResult> submit_async(
+      const core::SimJobSpec& spec,
+      svc::Priority priority = svc::Priority::kNormal);
+
+  /// Liveness round-trip (kPing/kPong), with the same reconnect policy
+  /// as submit().
+  void ping();
+
+  /// Shut the connection down and join the reader. Outstanding futures
+  /// fail with kConnectionLost. Idempotent; the next request reconnects.
+  void close();
+
+  bool connected() const;
+  std::int64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  std::int64_t requests_sent() const {
+    return requests_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    std::promise<core::SimResult> promise;
+  };
+
+  /// Ensure a live connection, register a pending slot, write one frame.
+  /// Caller supplies the frame given the assigned request id.
+  std::future<core::SimResult> start_request(
+      const std::function<std::vector<std::uint8_t>(std::uint64_t)>&
+          make_frame);
+  /// Run `attempt` with the sync retry-on-connection-loss policy.
+  core::SimResult with_retries(
+      const std::function<std::future<core::SimResult>()>& attempt);
+  void ensure_connected();  // caller holds connect_mu_
+  void reader_loop(int fd);
+  void fail_all_pending(const std::string& why);
+
+  ClientConfig config_;
+  /// Serializes connect/reconnect/close transitions (never held by the
+  /// reader thread, so joining under it cannot deadlock).
+  std::mutex connect_mu_;
+  /// Guards sock identity, pending_, next_id_, connected_.
+  mutable std::mutex mu_;
+  /// Serializes frame writes so pipelined submits never interleave bytes.
+  std::mutex write_mu_;
+  Socket sock_;
+  bool connected_ = false;
+  bool ever_connected_ = false;
+  std::map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  std::uint64_t next_id_ = 1;
+  std::thread reader_;
+  std::atomic<std::int64_t> reconnects_{0};
+  std::atomic<std::int64_t> requests_sent_{0};
+};
+
+}  // namespace gpawfd::net

@@ -1,0 +1,414 @@
+#include "net/frame.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "svc/job_key.hpp"
+
+namespace gpawfd::net {
+
+// ---- little-endian primitives -----------------------------------------
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_double(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  append_u64(out, bits);
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double read_double(const std::uint8_t* p) {
+  const std::uint64_t bits = read_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// ---- frame encoding ----------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
+                                       const std::uint8_t* payload,
+                                       std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload_len);
+  append_u32(out, kMagic);
+  out.push_back(header.version);
+  out.push_back(static_cast<std::uint8_t>(header.type));
+  out.push_back(static_cast<std::uint8_t>(header.status));
+  out.push_back(header.flags);
+  append_u64(out, header.request_id);
+  append_u32(out, static_cast<std::uint32_t>(payload_len));
+  out.insert(out.end(), payload, payload + payload_len);
+  return out;
+}
+
+std::vector<std::uint8_t> make_submit_frame(std::uint64_t request_id,
+                                            const std::string& canonical,
+                                            svc::Priority priority) {
+  FrameHeader h;
+  h.type = FrameType::kSubmit;
+  h.flags = static_cast<std::uint8_t>(priority);
+  h.request_id = request_id;
+  return encode_frame(
+      h, reinterpret_cast<const std::uint8_t*>(canonical.data()),
+      canonical.size());
+}
+
+std::vector<std::uint8_t> make_result_frame(std::uint64_t request_id,
+                                            const core::SimResult& result) {
+  FrameHeader h;
+  h.type = FrameType::kResult;
+  h.request_id = request_id;
+  const std::vector<std::uint8_t> payload = encode_sim_result(result);
+  return encode_frame(h, payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> make_error_frame(std::uint64_t request_id,
+                                           WireStatus status,
+                                           const std::string& message) {
+  FrameHeader h;
+  h.type = FrameType::kError;
+  h.status = status;
+  h.request_id = request_id;
+  return encode_frame(
+      h, reinterpret_cast<const std::uint8_t*>(message.data()),
+      message.size());
+}
+
+std::vector<std::uint8_t> make_control_frame(FrameType type,
+                                             std::uint64_t request_id) {
+  FrameHeader h;
+  h.type = type;
+  h.request_id = request_id;
+  return encode_frame(h, nullptr, 0);
+}
+
+svc::Priority priority_of_flags(std::uint8_t flags) {
+  return flags < svc::kPriorityClasses ? static_cast<svc::Priority>(flags)
+                                       : svc::Priority::kNormal;
+}
+
+// ---- incremental decoding ----------------------------------------------
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return;  // stream is dead; don't grow the buffer
+  // Reclaim the consumed prefix before appending so a long-lived
+  // connection's buffer stays bounded by one frame plus one read.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Result FrameDecoder::next() {
+  if (poisoned_) return poison_;
+  Result r;
+  if (buf_.size() - pos_ < kHeaderBytes) return r;  // kNeedMore
+
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t magic = read_u32(p);
+  FrameHeader h;
+  h.version = p[4];
+  h.type = static_cast<FrameType>(p[5]);
+  h.status = static_cast<WireStatus>(p[6]);
+  h.flags = p[7];
+  h.request_id = read_u64(p + 8);
+  h.payload_len = read_u32(p + 16);
+
+  auto poison = [&](WireStatus status, std::string what, bool header_valid) {
+    poisoned_ = true;
+    poison_.status = Status::kError;
+    poison_.error = std::move(what);
+    poison_.error_status = status;
+    poison_.header_valid = header_valid;
+    poison_.frame.header = h;
+    return poison_;
+  };
+
+  if (magic != kMagic)
+    return poison(WireStatus::kBadRequest, "bad magic", false);
+  if (h.version != kWireVersion)
+    return poison(WireStatus::kBadRequest,
+                  "unsupported wire version " + std::to_string(h.version),
+                  false);
+  if (h.payload_len > max_frame_bytes_)
+    return poison(WireStatus::kFrameTooLarge,
+                  "frame payload of " + std::to_string(h.payload_len) +
+                      " bytes exceeds the " +
+                      std::to_string(max_frame_bytes_) + "-byte limit",
+                  true);
+
+  if (buf_.size() - pos_ < kHeaderBytes + h.payload_len) return r;
+
+  r.status = Status::kFrame;
+  r.frame.header = h;
+  r.frame.payload.assign(p + kHeaderBytes, p + kHeaderBytes + h.payload_len);
+  pos_ += kHeaderBytes + h.payload_len;
+  return r;
+}
+
+// ---- SimResult codec ---------------------------------------------------
+
+std::vector<std::uint8_t> encode_sim_result(const core::SimResult& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSimResultWireBytes);
+  append_double(out, r.seconds);
+  append_double(out, r.compute_core_seconds);
+  append_double(out, r.utilization);
+  append_u64(out, static_cast<std::uint64_t>(r.bytes_sent_total));
+  append_double(out, r.bytes_sent_per_node);
+  append_u64(out, static_cast<std::uint64_t>(r.messages_total));
+  append_double(out, r.phases.compute);
+  append_double(out, r.phases.copy);
+  append_double(out, r.phases.mpi_overhead);
+  append_double(out, r.phases.wait);
+  append_double(out, r.phases.barrier);
+  append_double(out, r.phases.spawn);
+  return out;
+}
+
+core::SimResult decode_sim_result(const std::uint8_t* p, std::size_t n) {
+  GPAWFD_CHECK_MSG(n == kSimResultWireBytes,
+                   "SimResult payload is " << n << " bytes, want "
+                                           << kSimResultWireBytes);
+  core::SimResult r;
+  r.seconds = read_double(p);
+  r.compute_core_seconds = read_double(p + 8);
+  r.utilization = read_double(p + 16);
+  r.bytes_sent_total = static_cast<std::int64_t>(read_u64(p + 24));
+  r.bytes_sent_per_node = read_double(p + 32);
+  r.messages_total = static_cast<std::int64_t>(read_u64(p + 40));
+  r.phases.compute = read_double(p + 48);
+  r.phases.copy = read_double(p + 56);
+  r.phases.mpi_overhead = read_double(p + 64);
+  r.phases.wait = read_double(p + 72);
+  r.phases.barrier = read_double(p + 80);
+  r.phases.spawn = read_double(p + 88);
+  return r;
+}
+
+// ---- canonical job-spec parser ----------------------------------------
+
+namespace {
+
+/// Strict left-to-right cursor over the canonical encoding. Numeric
+/// fields are read with strtoll/strtod, which round-trip the %.17g
+/// doubles the encoder writes exactly.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  void expect(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    GPAWFD_CHECK_MSG(s_.compare(pos_, n, lit) == 0,
+                     "canonical spec: expected \"" << lit << "\" at offset "
+                                                   << pos_);
+    pos_ += n;
+  }
+
+  std::int64_t integer() {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const long long v = std::strtoll(begin, &end, 10);
+    GPAWFD_CHECK_MSG(end != begin,
+                     "canonical spec: expected integer at offset " << pos_);
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  double floating() {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    GPAWFD_CHECK_MSG(end != begin,
+                     "canonical spec: expected number at offset " << pos_);
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  bool boolean() {
+    const std::int64_t v = integer();
+    GPAWFD_CHECK_MSG(v == 0 || v == 1,
+                     "canonical spec: boolean must be 0/1, got " << v);
+    return v != 0;
+  }
+
+  bool done() const { return pos_ == s_.size(); }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Admission bounds: a remote client must not be able to queue a job
+/// whose mere planning (decomposition, batching) is a denial of service.
+/// Generous relative to everything the paper runs (144^3 grids, 16384
+/// cores) but finite.
+void check_admissible(const core::SimJobSpec& spec) {
+  auto in = [](std::int64_t v, std::int64_t lo, std::int64_t hi) {
+    return v >= lo && v <= hi;
+  };
+  GPAWFD_CHECK_MSG(in(spec.job.grid_shape.x, 1, 4096) &&
+                       in(spec.job.grid_shape.y, 1, 4096) &&
+                       in(spec.job.grid_shape.z, 1, 4096),
+                   "grid shape out of admissible range");
+  GPAWFD_CHECK_MSG(in(spec.job.ngrids, 1, 1 << 20), "ngrids out of range");
+  GPAWFD_CHECK_MSG(in(spec.job.ghost, 1, 8), "ghost out of range");
+  GPAWFD_CHECK_MSG(in(spec.job.elem_bytes, 1, 64), "elem_bytes out of range");
+  GPAWFD_CHECK_MSG(in(spec.job.iterations, 1, 100000),
+                   "iterations out of range");
+  GPAWFD_CHECK_MSG(in(spec.total_cores, 1, 1 << 24),
+                   "total_cores out of range");
+  GPAWFD_CHECK_MSG(in(spec.cores_per_node, 1, 1024),
+                   "cores_per_node out of range");
+  GPAWFD_CHECK_MSG(in(spec.scaled.grid_cap, 1, 1 << 20),
+                   "grid_cap out of range");
+}
+
+}  // namespace
+
+core::SimJobSpec parse_job_spec(const std::string& canonical) {
+  Cursor c(canonical);
+  core::SimJobSpec spec;
+
+  c.expect("v");
+  const std::int64_t version = c.integer();
+  GPAWFD_CHECK_MSG(version == svc::JobKey::kVersion,
+                   "canonical spec version " << version << ", this server "
+                                             << "speaks v"
+                                             << svc::JobKey::kVersion);
+
+  c.expect("|approach=");
+  const std::int64_t approach = c.integer();
+  GPAWFD_CHECK_MSG(
+      approach >= 0 &&
+          approach <=
+              static_cast<std::int64_t>(
+                  sched::Approach::kFlatOptimizedSubgroups),
+      "unknown approach " << approach);
+  spec.approach = static_cast<sched::Approach>(approach);
+
+  c.expect("|job{shape=");
+  spec.job.grid_shape.x = c.integer();
+  c.expect("x");
+  spec.job.grid_shape.y = c.integer();
+  c.expect("x");
+  spec.job.grid_shape.z = c.integer();
+  c.expect(";ngrids=");
+  spec.job.ngrids = static_cast<int>(c.integer());
+  c.expect(";ghost=");
+  spec.job.ghost = static_cast<int>(c.integer());
+  c.expect(";elem_bytes=");
+  spec.job.elem_bytes = static_cast<int>(c.integer());
+  c.expect(";iterations=");
+  spec.job.iterations = static_cast<int>(c.integer());
+  c.expect(";periodic=");
+  spec.job.periodic = c.boolean();
+
+  c.expect("}|opt{tridim=");
+  spec.opt.nonblocking_tridim = c.boolean();
+  c.expect(";batch=");
+  spec.opt.batch_size = static_cast<int>(c.integer());
+  c.expect(";dbuf=");
+  spec.opt.double_buffering = c.boolean();
+  c.expect(";ramp=");
+  spec.opt.ramp_up = c.boolean();
+  c.expect(";map=");
+  spec.opt.topology_mapping = c.boolean();
+
+  c.expect("}|cores=");
+  spec.total_cores = static_cast<int>(c.integer());
+  c.expect("|cpn=");
+  spec.cores_per_node = static_cast<int>(c.integer());
+  c.expect("|cap=");
+  spec.scaled.grid_cap = static_cast<int>(c.integer());
+
+  bgsim::MachineConfig& m = spec.machine;
+  c.expect("|machine{cpn=");
+  m.cores_per_node = static_cast<int>(c.integer());
+  c.expect(";hz=");
+  m.cpu_hz = c.floating();
+  c.expect(";peak=");
+  m.peak_flops_per_node = c.floating();
+  c.expect(";membw=");
+  m.mem_bandwidth = c.floating();
+  c.expect(";mem=");
+  m.main_memory_bytes = c.integer();
+  c.expect(";linkbw=");
+  m.link_bandwidth = c.floating();
+  c.expect(";pkteff=");
+  m.packet_efficiency = c.floating();
+  c.expect(";hop=");
+  m.hop_latency = c.integer();
+  c.expect(";inj=");
+  m.injection_latency = c.integer();
+  c.expect(";torusmin=");
+  m.torus_min_nodes = static_cast<int>(c.integer());
+  c.expect(";loopbw=");
+  m.loopback_bandwidth = c.floating();
+  c.expect(";looplat=");
+  m.loopback_latency = c.integer();
+  c.expect(";mpicall=");
+  m.mpi_call_overhead = c.integer();
+  c.expect(";mpimult=");
+  m.mpi_multiple_overhead = c.integer();
+  c.expect(";mpiwait=");
+  m.mpi_wait_overhead = c.integer();
+  c.expect(";treelat=");
+  m.tree_latency = c.integer();
+  c.expect(";treebw=");
+  m.tree_bandwidth = c.floating();
+  c.expect(";barlat=");
+  m.barrier_latency = c.integer();
+  c.expect(";coreflops=");
+  m.core_flops = c.floating();
+  c.expect(";memcpybw=");
+  m.memcpy_bandwidth = c.floating();
+  c.expect(";smp=");
+  m.smp_slowdown = c.floating();
+  c.expect(";stencilbpp=");
+  m.stencil_bytes_per_point = c.floating();
+  c.expect(";tbar=");
+  m.thread_barrier_cost = c.integer();
+  c.expect(";tspawn=");
+  m.thread_spawn_cost = c.integer();
+  c.expect("}");
+  GPAWFD_CHECK_MSG(c.done(), "canonical spec: trailing bytes after }");
+
+  // The decisive check: re-canonicalizing the parsed spec must reproduce
+  // the request byte-for-byte. Any drift between this parser and the
+  // JobKey encoder — or any sneaky non-canonical numeral ("01", "1e0") —
+  // is a bad request, never a silently different simulation.
+  const svc::JobKey key = svc::JobKey::of(spec);
+  GPAWFD_CHECK_MSG(key.canonical() == canonical,
+                   "canonical spec does not round-trip: re-encoded as "
+                       << key.canonical());
+  check_admissible(spec);
+  return spec;
+}
+
+}  // namespace gpawfd::net

@@ -1,0 +1,400 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sstream>
+#include <vector>
+
+#include "trace/stats.hpp"
+
+namespace gpawfd::net {
+
+// ---- metrics -----------------------------------------------------------
+
+std::int64_t ServerMetrics::replies_total() const {
+  std::int64_t n = 0;
+  for (const auto& c : replies_by_status)
+    n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::map<std::string, std::int64_t> ServerMetrics::counter_map() const {
+  auto get = [](const std::atomic<std::int64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  std::map<std::string, std::int64_t> out;
+  out["net.connections_accepted"] = get(connections_accepted);
+  out["net.connections_closed"] = get(connections_closed);
+  out["net.connections_refused"] = get(connections_refused);
+  out["net.idle_closed"] = get(idle_closed);
+  out["net.bytes_in"] = get(bytes_in);
+  out["net.bytes_out"] = get(bytes_out);
+  out["net.frames_in"] = get(frames_in);
+  out["net.frames_out"] = get(frames_out);
+  out["net.frame_errors"] = get(frame_errors);
+  out["net.requests"] = get(requests);
+  out["net.pings"] = get(pings);
+  for (int s = 0; s < kWireStatusCount; ++s)
+    out[std::string("net.replies.") +
+        to_string(static_cast<WireStatus>(s))] =
+        get(replies_by_status[s]);
+  return out;
+}
+
+std::string ServerMetrics::snapshot() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : counter_map())
+    os << key << ": " << value << "\n";
+  return os.str();
+}
+
+// ---- connection state machine -----------------------------------------
+
+struct Server::Conn {
+  Conn(std::uint64_t id_, Socket sock_, std::size_t max_frame_bytes)
+      : id(id_), sock(std::move(sock_)), decoder(max_frame_bytes) {}
+
+  std::uint64_t id;
+  Socket sock;
+  FrameDecoder decoder;
+  /// Pending output, oldest first; out_offset is the progress into the
+  /// front buffer (partial writes under backpressure).
+  std::deque<std::vector<std::uint8_t>> outq;
+  std::size_t out_offset = 0;
+  int inflight = 0;
+  double last_active = 0;
+  bool closing = false;  // flush outq, then close (protocol error path)
+  bool dead = false;     // close now (EOF / socket error)
+};
+
+void Server::Completions::push(Reply reply) {
+  std::lock_guard lock(mu);
+  if (wake_fd < 0) return;  // server stopped; drop the reply
+  replies.push_back(std::move(reply));
+  const std::uint8_t byte = 1;
+  // A full pipe just means a wake-up is already pending.
+  (void)!::write(wake_fd, &byte, 1);
+}
+
+// ---- lifecycle ---------------------------------------------------------
+
+Server::Server(svc::SimService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  listener_ = Socket::listen_on(config_.port);
+  port_ = listener_.local_port();
+  listener_.set_nonblocking(true);
+
+  int pipe_fds[2];
+  GPAWFD_CHECK_MSG(::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) == 0,
+                   "pipe2() failed");
+  wake_read_ = Socket(pipe_fds[0]);
+  completions_ = std::make_shared<Completions>();
+  completions_->wake_fd = pipe_fds[1];
+
+  thread_ = std::thread([this] { loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  std::call_once(stop_once_, [&] {
+    running_.store(false, std::memory_order_release);
+    int wake_fd;
+    {
+      std::lock_guard lock(completions_->mu);
+      wake_fd = completions_->wake_fd;
+      completions_->wake_fd = -1;  // late continuations now drop replies
+    }
+    if (wake_fd >= 0) {
+      const std::uint8_t byte = 0;
+      (void)!::write(wake_fd, &byte, 1);
+    }
+    if (thread_.joinable()) thread_.join();
+    if (wake_fd >= 0) ::close(wake_fd);
+    // Connections still in the kernel accept backlog (the loop never got
+    // to them) are reset by closing the listener; accepted ones were
+    // closed by the loop's exit path.
+    listener_.close();
+  });
+}
+
+// ---- event loop --------------------------------------------------------
+
+void Server::loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids;
+    fds.reserve(2 + conns_.size());
+    ids.reserve(conns_.size());
+    fds.push_back({wake_read_.fd(), POLLIN, 0});
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn->outq.empty()) events |= POLLOUT;
+      fds.push_back({conn->sock.fd(), events, 0});
+      ids.push_back(id);
+    }
+
+    // Bounded tick so idle sweeping and shutdown stay responsive even on
+    // a silent socket set.
+    ::poll(fds.data(), fds.size(), 50);
+    if (!running_.load(std::memory_order_acquire)) break;
+
+    if (fds[0].revents & POLLIN) drain_completions();
+    if (fds[1].revents & POLLIN) accept_new();
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const short revents = fds[i + 2].revents;
+      if (revents == 0) continue;
+      auto it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      if (revents & POLLIN) handle_readable(*it->second);
+      reap(ids[i]);
+      it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      if (revents & POLLOUT) handle_writable(*it->second);
+      reap(ids[i]);
+      it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) close_conn(ids[i]);
+    }
+
+    sweep_idle(trace::now_seconds());
+  }
+  conns_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error: back to poll
+    }
+    Socket sock(fd);
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      metrics_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+      continue;  // RAII closes the socket: hard admission at the door
+    }
+    sock.set_nonblocking(true);
+    sock.set_nodelay(true);
+    const std::uint64_t id = next_conn_id_++;
+    auto conn =
+        std::make_unique<Conn>(id, std::move(sock), config_.max_frame_bytes);
+    conn->last_active = trace::now_seconds();
+    conns_.emplace(id, std::move(conn));
+    metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handle_readable(Conn& conn) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const IoResult r = read_some(conn.sock.fd(), buf, sizeof buf);
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status != IoStatus::kOk) {
+      conn.dead = true;
+      break;
+    }
+    metrics_.bytes_in.fetch_add(static_cast<std::int64_t>(r.n),
+                                std::memory_order_relaxed);
+    conn.last_active = trace::now_seconds();
+    conn.decoder.feed(buf, r.n);
+
+    while (!conn.closing && !conn.dead) {
+      FrameDecoder::Result res = conn.decoder.next();
+      if (res.status == FrameDecoder::Status::kNeedMore) break;
+      if (res.status == FrameDecoder::Status::kError) {
+        metrics_.frame_errors.fetch_add(1, std::memory_order_relaxed);
+        // When the header was readable the peer gets told why before the
+        // close; a garbage header gets no reply (nothing to address it
+        // to).
+        if (res.header_valid)
+          send_error(conn, res.frame.header.request_id, res.error_status,
+                     res.error);
+        conn.closing = true;
+        break;
+      }
+      metrics_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      handle_frame(conn, std::move(res.frame));
+    }
+  }
+  // Reaping (dead, or closing with the outq flushed) happens in the
+  // poll loop, never here: handle_frame callers still hold the Conn.
+}
+
+void Server::handle_frame(Conn& conn, Frame frame) {
+  switch (frame.header.type) {
+    case FrameType::kSubmit: {
+      metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+      if (conn.inflight >= config_.max_inflight_per_conn) {
+        send_error(conn, frame.header.request_id, WireStatus::kOverloaded,
+                   "connection already has " +
+                       std::to_string(conn.inflight) +
+                       " requests in flight");
+        return;
+      }
+      const std::string canonical(frame.payload.begin(), frame.payload.end());
+      core::SimJobSpec spec;
+      try {
+        spec = parse_job_spec(canonical);
+      } catch (const Error& e) {
+        send_error(conn, frame.header.request_id, WireStatus::kBadRequest,
+                   e.what());
+        return;
+      }
+      ++conn.inflight;
+      // The continuation runs on whichever thread settles the flight; it
+      // owns only the detached completion queue, so it stays safe past
+      // conn teardown and even past server teardown.
+      auto completions = completions_;
+      const std::uint64_t conn_id = conn.id;
+      const std::uint64_t request_id = frame.header.request_id;
+      service_.submit_then(
+          spec, priority_of_flags(frame.header.flags),
+          [completions, conn_id, request_id](const core::SimResult* result,
+                                             std::exception_ptr error) {
+            Reply reply;
+            reply.conn_id = conn_id;
+            reply.request_id = request_id;
+            if (result != nullptr) {
+              reply.status = WireStatus::kOk;
+              reply.payload = encode_sim_result(*result);
+            } else {
+              std::string what = "unknown failure";
+              reply.status = WireStatus::kInternal;
+              try {
+                std::rethrow_exception(error);
+              } catch (const svc::ServiceError& e) {
+                reply.status = wire_status_of(e.reason());
+                what = e.what();
+              } catch (const std::exception& e) {
+                what = e.what();
+              } catch (...) {
+              }
+              reply.payload.assign(what.begin(), what.end());
+            }
+            completions->push(std::move(reply));
+          });
+      return;
+    }
+    case FrameType::kPing:
+      metrics_.pings.fetch_add(1, std::memory_order_relaxed);
+      metrics_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      enqueue_frame(conn, make_control_frame(FrameType::kPong,
+                                             frame.header.request_id));
+      return;
+    case FrameType::kResult:
+    case FrameType::kError:
+    case FrameType::kPong:
+      break;  // only servers send these; receiving one is a violation
+  }
+  metrics_.frame_errors.fetch_add(1, std::memory_order_relaxed);
+  conn.closing = true;
+}
+
+void Server::send_error(Conn& conn, std::uint64_t request_id,
+                        WireStatus status, const std::string& message) {
+  metrics_.replies_by_status[static_cast<int>(status)].fetch_add(
+      1, std::memory_order_relaxed);
+  metrics_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  enqueue_frame(conn, make_error_frame(request_id, status, message));
+}
+
+void Server::drain_completions() {
+  std::uint8_t scratch[64];
+  while (read_some(wake_read_.fd(), scratch, sizeof scratch).status ==
+         IoStatus::kOk) {
+  }
+  std::vector<Reply> replies;
+  {
+    std::lock_guard lock(completions_->mu);
+    replies.swap(completions_->replies);
+  }
+  for (const Reply& reply : replies) {
+    auto it = conns_.find(reply.conn_id);
+    if (it == conns_.end()) continue;  // connection died before the reply
+    Conn& conn = *it->second;
+    --conn.inflight;
+    conn.last_active = trace::now_seconds();
+    metrics_.replies_by_status[static_cast<int>(reply.status)].fetch_add(
+        1, std::memory_order_relaxed);
+    metrics_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    FrameHeader h;
+    h.type = reply.status == WireStatus::kOk ? FrameType::kResult
+                                             : FrameType::kError;
+    h.status = reply.status;
+    h.request_id = reply.request_id;
+    enqueue_frame(conn,
+                  encode_frame(h, reply.payload.data(), reply.payload.size()));
+    reap(reply.conn_id);
+  }
+}
+
+void Server::enqueue_frame(Conn& conn, std::vector<std::uint8_t> bytes) {
+  conn.outq.push_back(std::move(bytes));
+  // Opportunistic flush: most replies fit the socket buffer, so they
+  // leave now instead of waiting one poll round-trip.
+  handle_writable(conn);
+}
+
+void Server::handle_writable(Conn& conn) {
+  while (!conn.outq.empty()) {
+    const std::vector<std::uint8_t>& front = conn.outq.front();
+    const IoResult r =
+        write_some(conn.sock.fd(), front.data() + conn.out_offset,
+                   front.size() - conn.out_offset);
+    if (r.status == IoStatus::kWouldBlock) return;  // backpressure: POLLOUT
+    if (r.status != IoStatus::kOk) {
+      // Only flag it: callers may still hold the Conn reference, so the
+      // poll loop (via reap) is the single place a Conn dies.
+      conn.dead = true;
+      return;
+    }
+    metrics_.bytes_out.fetch_add(static_cast<std::int64_t>(r.n),
+                                 std::memory_order_relaxed);
+    conn.out_offset += r.n;
+    if (conn.out_offset == front.size()) {
+      conn.outq.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+}
+
+void Server::reap(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const Conn& conn = *it->second;
+  if (conn.dead || (conn.closing && conn.outq.empty())) close_conn(id);
+}
+
+void Server::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  conns_.erase(it);
+  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::sweep_idle(double now) {
+  if (config_.idle_timeout_seconds <= 0) return;
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->inflight == 0 && conn->outq.empty() &&
+        now - conn->last_active > config_.idle_timeout_seconds)
+      idle.push_back(id);
+  }
+  for (const std::uint64_t id : idle) {
+    metrics_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    close_conn(id);
+  }
+}
+
+}  // namespace gpawfd::net

@@ -1,0 +1,157 @@
+// net::Server: the RPC front-end over svc::SimService. A single
+// poll(2)-driven thread owns an acceptor plus one state machine per
+// connection — non-blocking reads feeding a FrameDecoder (partial-frame
+// reassembly), a write queue with backpressure (POLLOUT only while
+// bytes are pending), idle timeouts, and admission limits (max frame
+// size, max in-flight requests per connection, max connections).
+//
+// The bridge to the service is SimService::submit_then: a submit frame
+// parses its JobKey canonical string back into a SimJobSpec and the
+// reply frame is built from the ticket continuation — on the worker
+// thread that settles the flight — then handed back to the poll loop
+// through a completion queue and a wake pipe. Terminal
+// ServiceError::reason()s map onto distinct wire status codes
+// (net::wire_status_of), so remote clients see exactly the failure
+// taxonomy in-process callers get.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "svc/service.hpp"
+
+namespace gpawfd::net {
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (read back via Server::port()).
+  std::uint16_t port = 0;
+  /// Largest accepted frame payload; larger submits are refused with
+  /// kFrameTooLarge and the connection is closed (the stream cannot be
+  /// resynchronized past an unread payload).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection in-flight request ceiling; excess submits are
+  /// answered kOverloaded without touching the service.
+  int max_inflight_per_conn = 64;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 256;
+  /// Connections with no traffic and nothing in flight for this long
+  /// are closed. <= 0 disables the timeout.
+  double idle_timeout_seconds = 60.0;
+};
+
+/// Server-wide wire counters, svc::Metrics-style: relaxed atomics,
+/// a text snapshot(), and a reconciling counter_map() — at quiescence
+/// requests == replies (summed over every status), frames_in ==
+/// requests + pings, and accepted == closed + active connections.
+class ServerMetrics {
+ public:
+  std::atomic<std::int64_t> connections_accepted{0};
+  std::atomic<std::int64_t> connections_closed{0};
+  std::atomic<std::int64_t> connections_refused{0};  // max_connections hit
+  std::atomic<std::int64_t> idle_closed{0};
+  std::atomic<std::int64_t> bytes_in{0};
+  std::atomic<std::int64_t> bytes_out{0};
+  std::atomic<std::int64_t> frames_in{0};
+  std::atomic<std::int64_t> frames_out{0};
+  std::atomic<std::int64_t> frame_errors{0};  // protocol violations
+  std::atomic<std::int64_t> requests{0};      // submit frames admitted
+  std::atomic<std::int64_t> pings{0};
+  /// Replies by wire status, indexed by WireStatus.
+  std::atomic<std::int64_t> replies_by_status[kWireStatusCount] = {};
+
+  std::int64_t replies(WireStatus s) const {
+    return replies_by_status[static_cast<int>(s)].load(
+        std::memory_order_relaxed);
+  }
+  std::int64_t replies_total() const;
+
+  /// Every counter by snapshot name (replies keyed per status), the
+  /// deterministic comparison surface the tests and the operator view
+  /// share.
+  std::map<std::string, std::int64_t> counter_map() const;
+  /// Multi-line "key: value" text block, svc::Metrics::snapshot-style.
+  std::string snapshot() const;
+};
+
+class Server {
+ public:
+  /// Binds, then serves on a background thread until stop()/destruction.
+  /// `service` must outlive the server. Throws Error when the port
+  /// cannot be bound.
+  explicit Server(svc::SimService& service, ServerConfig config = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the ephemeral one when config.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, close every connection, join the loop thread.
+  /// Replies still in flight inside the service are dropped (the
+  /// continuation outlives the server safely and lands in a detached
+  /// completion queue). Idempotent.
+  void stop();
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  std::string metrics_snapshot() const { return metrics_.snapshot(); }
+  int active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+  /// A settled request on its way back to the poll loop. Built on the
+  /// worker thread, drained by the loop on a wake-pipe byte.
+  struct Reply {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    WireStatus status = WireStatus::kOk;
+    std::vector<std::uint8_t> payload;  // result bytes or error message
+  };
+  /// Shared with in-flight continuations so a continuation that fires
+  /// after stop() writes into a detached queue instead of freed memory.
+  struct Completions {
+    std::mutex mu;
+    std::vector<Reply> replies;
+    int wake_fd = -1;  // write end of the wake pipe; -1 once stopped
+    void push(Reply reply);
+  };
+
+  void loop();
+  void accept_new();
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void handle_frame(Conn& conn, Frame frame);
+  void enqueue_frame(Conn& conn, std::vector<std::uint8_t> bytes);
+  void send_error(Conn& conn, std::uint64_t request_id, WireStatus status,
+                  const std::string& message);
+  void drain_completions();
+  /// Erase the connection if it is dead or has finished flushing its
+  /// close — the only place a Conn is destroyed while handlers may still
+  /// hold references up the stack.
+  void reap(std::uint64_t id);
+  void close_conn(std::uint64_t id);
+  void sweep_idle(double now);
+
+  svc::SimService& service_;
+  ServerConfig config_;
+  ServerMetrics metrics_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  Socket wake_read_;
+  std::shared_ptr<Completions> completions_;
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::atomic<int> active_connections_{0};
+  std::atomic<bool> running_{true};
+  std::once_flag stop_once_;
+  std::thread thread_;
+};
+
+}  // namespace gpawfd::net

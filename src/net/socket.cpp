@@ -1,0 +1,145 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace gpawfd::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::listen_on(std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket()");
+  const int one = 1;
+  if (::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0)
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0)
+    throw_errno("bind(port " + std::to_string(port) + ")");
+  if (::listen(s.fd(), backlog) != 0) throw_errno("listen()");
+  return s;
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  GPAWFD_CHECK_MSG(::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) == 1,
+                   "not an IPv4 address: " << host);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket()");
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0)
+    throw_errno("connect(" + ip + ":" + std::to_string(port) + ")");
+  return s;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  GPAWFD_CHECK(flags >= 0);
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  GPAWFD_CHECK(::fcntl(fd_, F_SETFL, want) == 0);
+}
+
+void Socket::set_nodelay(bool on) {
+  const int v = on ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof v);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  GPAWFD_CHECK(
+      ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  return ntohs(addr.sin_port);
+}
+
+IoResult read_some(int fd, std::uint8_t* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r > 0) return {IoStatus::kOk, static_cast<std::size_t>(r)};
+    if (r == 0) return {IoStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return {IoStatus::kWouldBlock, 0};
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult write_some(int fd, const std::uint8_t* buf, std::size_t n) {
+#ifdef MSG_NOSIGNAL
+  constexpr int kFlags = MSG_NOSIGNAL;  // EPIPE instead of SIGPIPE
+#else
+  constexpr int kFlags = 0;
+#endif
+  for (;;) {
+    const ssize_t r = ::send(fd, buf, n, kFlags);
+    if (r >= 0) return {IoStatus::kOk, static_cast<std::size_t>(r)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return {IoStatus::kWouldBlock, 0};
+    return {IoStatus::kError, 0};
+  }
+}
+
+bool write_fully(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const IoResult r = write_some(fd, buf + sent, n - sent);
+    if (r.status == IoStatus::kOk) {
+      sent += r.n;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) continue;  // blocking fd: rare
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gpawfd::net

@@ -1,0 +1,68 @@
+// Thin RAII layer over POSIX TCP sockets: just enough for the RPC
+// front-end (listen/accept/connect, non-blocking mode, EINTR-safe
+// partial reads/writes with a would-block verdict) without pulling a
+// networking framework into the tree. IPv4 only — the serving plane of a
+// machine-room simulator, not a general transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpawfd::net {
+
+enum class IoStatus {
+  kOk,          // n bytes transferred (n may be 0 for a 0-byte request)
+  kWouldBlock,  // non-blocking fd had nothing to give / no room
+  kEof,         // orderly remote close (reads only)
+  kError,       // errno-level failure; the connection is dead
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t n = 0;
+};
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Bind + listen on `port` (0 = ephemeral; read back via local_port),
+  /// SO_REUSEADDR so a restarted server rebinds immediately. Throws
+  /// Error on failure.
+  static Socket listen_on(std::uint16_t port, int backlog = 64);
+
+  /// Blocking connect to a dotted-quad IPv4 address ("localhost" maps to
+  /// 127.0.0.1). Throws Error on failure.
+  static Socket connect_to(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Release ownership without closing.
+  int release();
+  void close();
+
+  void set_nonblocking(bool on);
+  void set_nodelay(bool on);
+  /// Wake a thread blocked in read() on this fd (both directions).
+  void shutdown_both();
+  std::uint16_t local_port() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// One read(2)/send(2), EINTR-retried, SIGPIPE-suppressed.
+IoResult read_some(int fd, std::uint8_t* buf, std::size_t n);
+IoResult write_some(int fd, const std::uint8_t* buf, std::size_t n);
+
+/// Write all `n` bytes to a blocking fd; false when the connection died.
+bool write_fully(int fd, const std::uint8_t* buf, std::size_t n);
+
+}  // namespace gpawfd::net

@@ -1,0 +1,103 @@
+// The wire-visible failure taxonomy of the RPC front-end. Every terminal
+// svc::ErrorReason maps onto a distinct status code (verified by test),
+// so a remote client can branch on exactly the causes an in-process
+// caller of SimService sees, plus the protocol-level causes only a wire
+// can produce (malformed request, oversized frame, connection loss).
+#pragma once
+
+#include <cstdint>
+
+#include "svc/service.hpp"
+
+namespace gpawfd::net {
+
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+
+  // ---- service outcomes (1:1 with svc::ErrorReason) ------------------
+  kCancelled = 1,          // discarded by shutdown(drain=false)
+  kExecutorFailed = 2,     // executor threw, no retries allowed
+  kTimedOut = 3,           // final attempt exceeded its deadline
+  kGaveUp = 4,             // retry budget exhausted
+  kRejectedQueueFull = 5,  // admission control shed the request
+  kRejectedShutdown = 6,   // service no longer accepts work
+
+  // ---- protocol / transport outcomes ----------------------------------
+  kBadRequest = 7,     // payload did not parse as a canonical job spec
+  kFrameTooLarge = 8,  // payload_len exceeded the advertised frame limit
+  kOverloaded = 9,     // per-connection in-flight admission limit hit
+  kInternal = 10,      // unclassified server-side failure
+  /// Client-side synthetic status, never sent on the wire: the
+  /// connection died (or could not be established) before a reply.
+  kConnectionLost = 11,
+};
+
+inline constexpr int kWireStatusCount = 12;
+
+inline const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kCancelled:
+      return "cancelled";
+    case WireStatus::kExecutorFailed:
+      return "executor-failed";
+    case WireStatus::kTimedOut:
+      return "timed-out";
+    case WireStatus::kGaveUp:
+      return "gave-up";
+    case WireStatus::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case WireStatus::kRejectedShutdown:
+      return "rejected-shutdown";
+    case WireStatus::kBadRequest:
+      return "bad-request";
+    case WireStatus::kFrameTooLarge:
+      return "frame-too-large";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kInternal:
+      return "internal";
+    case WireStatus::kConnectionLost:
+      return "connection-lost";
+  }
+  return "?";
+}
+
+/// The server-side mapping: what a terminal ServiceError becomes on the
+/// wire. Total and injective over the reasons a completed request can
+/// carry (kUnknown, the only non-distinct case, folds into kInternal).
+inline WireStatus wire_status_of(svc::ErrorReason r) {
+  switch (r) {
+    case svc::ErrorReason::kCancelled:
+      return WireStatus::kCancelled;
+    case svc::ErrorReason::kExecutorFailed:
+      return WireStatus::kExecutorFailed;
+    case svc::ErrorReason::kTimedOut:
+      return WireStatus::kTimedOut;
+    case svc::ErrorReason::kGaveUp:
+      return WireStatus::kGaveUp;
+    case svc::ErrorReason::kRejectedQueueFull:
+      return WireStatus::kRejectedQueueFull;
+    case svc::ErrorReason::kRejectedShutdown:
+      return WireStatus::kRejectedShutdown;
+    case svc::ErrorReason::kUnknown:
+      return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+/// Thrown by net::Client when a request fails: carries the wire status
+/// so remote callers branch on the same taxonomy ServiceError::reason()
+/// gives in-process callers.
+class RpcError : public Error {
+ public:
+  RpcError(const std::string& what, WireStatus status)
+      : Error(what), status_(status) {}
+  WireStatus status() const { return status_; }
+
+ private:
+  WireStatus status_;
+};
+
+}  // namespace gpawfd::net

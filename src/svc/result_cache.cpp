@@ -1,5 +1,7 @@
 #include "svc/result_cache.hpp"
 
+#include <iterator>
+
 #include "common/math.hpp"
 
 namespace gpawfd::svc {
@@ -27,7 +29,7 @@ ResultCache::Lookup ResultCache::lookup_or_begin(const JobKey& key) {
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     std::promise<core::SimResult> ready;
-    ready.set_value(it->second->second);
+    ready.set_value(it->second->result);
     return {Outcome::kHit, ready.get_future().share()};
   }
 
@@ -50,10 +52,11 @@ std::optional<core::SimResult> ResultCache::peek(const JobKey& key) {
   if (it == sh.map.end()) return std::nullopt;
   sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second->second;
+  return it->second->result;
 }
 
-void ResultCache::complete(const JobKey& key, const core::SimResult& result) {
+void ResultCache::complete(const JobKey& key, const core::SimResult& result,
+                           double cost_seconds) {
   Shard& sh = shard_of(key);
   std::shared_ptr<Flight> flight;
   {
@@ -65,17 +68,29 @@ void ResultCache::complete(const JobKey& key, const core::SimResult& result) {
     sh.flights.erase(fit);
 
     if (sh.map.find(key) == sh.map.end()) {
-      sh.lru.emplace_front(key, result);
+      sh.lru.emplace_front(Entry{key, result, cost_seconds});
       sh.map.emplace(key, sh.lru.begin());
       while (sh.lru.size() > per_shard_capacity_) {
-        sh.map.erase(sh.lru.back().first);
-        sh.lru.pop_back();
+        // Cost-weighted eviction: among the kEvictionWindow entries at
+        // the LRU end, evict the cheapest (ties resolved toward the
+        // least recently used). Uniform costs therefore reduce to LRU.
+        auto victim = std::prev(sh.lru.end());
+        auto it = victim;
+        for (std::size_t w = 1; w < kEvictionWindow && it != sh.lru.begin();
+             ++w) {
+          --it;
+          if (it->cost_seconds < victim->cost_seconds) victim = it;
+        }
+        sh.map.erase(victim->key);
+        sh.lru.erase(victim);
         evictions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
-  // Wake waiters outside the stripe lock.
+  // Wake waiters outside the stripe lock; continuations after the
+  // promise so future-based observers never lag callback observers.
   flight->promise.set_value(result);
+  for (Continuation& fn : flight->continuations) fn(&result, nullptr);
 }
 
 void ResultCache::abort(const JobKey& key, std::exception_ptr error) {
@@ -89,7 +104,17 @@ void ResultCache::abort(const JobKey& key, std::exception_ptr error) {
     flight = std::move(fit->second);
     sh.flights.erase(fit);
   }
-  flight->promise.set_exception(std::move(error));
+  flight->promise.set_exception(error);
+  for (Continuation& fn : flight->continuations) fn(nullptr, error);
+}
+
+bool ResultCache::on_settled(const JobKey& key, Continuation fn) {
+  Shard& sh = shard_of(key);
+  std::lock_guard lock(sh.mu);
+  auto fit = sh.flights.find(key);
+  if (fit == sh.flights.end()) return false;
+  fit->second->continuations.push_back(std::move(fn));
+  return true;
 }
 
 std::size_t ResultCache::size() const {

@@ -11,9 +11,17 @@
 // during a lookup is 1/shards as contended as a single global mutex;
 // LRU order is maintained per shard, which bounds staleness of eviction
 // decisions but keeps every operation O(1) under its stripe lock.
+//
+// Eviction is cost-weighted: complete() records what the result cost to
+// produce (measured cold executor seconds), and when a stripe overflows
+// the *cheapest* entry in a small window at the LRU end is evicted
+// instead of blindly the oldest. A 16k-core result that took seconds to
+// simulate therefore survives a scan of cheap insertions; with uniform
+// costs the policy degenerates to exact LRU.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -39,6 +47,13 @@ class ResultCache {
     std::shared_future<core::SimResult> result;
   };
 
+  /// Invoked exactly once when a flight settles: (&result, nullptr) on
+  /// complete(), (nullptr, error) on abort(). Runs on the settling
+  /// thread, outside the stripe lock; the result pointer is only valid
+  /// for the duration of the call.
+  using Continuation =
+      std::function<void(const core::SimResult*, std::exception_ptr)>;
+
   /// `capacity` cached results total, spread over `shards` stripes
   /// (each stripe holds ceil(capacity/shards)).
   explicit ResultCache(std::size_t capacity, int shards = 8);
@@ -52,12 +67,23 @@ class ResultCache {
 
   /// Leader hand-off: publish the result to the LRU, wake every joined
   /// waiter, and end the flight. Exactly one of complete()/abort() must
-  /// follow every kLeader lookup.
-  void complete(const JobKey& key, const core::SimResult& result);
+  /// follow every kLeader lookup. `cost_seconds` is what producing the
+  /// result cost (measured executor wall time); it weights eviction.
+  void complete(const JobKey& key, const core::SimResult& result,
+                double cost_seconds = 0.0);
 
   /// Leader hand-off on failure: propagate `error` to every joined
   /// waiter (their future.get() throws) without caching anything.
   void abort(const JobKey& key, std::exception_ptr error);
+
+  /// Attach a continuation to the key's in-flight computation (the
+  /// ticket continuation hook the RPC front-end rides on). Returns false
+  /// when no flight exists for the key — it already settled (or never
+  /// started), in which case the caller's shared_future is ready or
+  /// about to be: complete()/abort() erase the flight under the stripe
+  /// lock *before* fulfilling the promise, so "no flight" can precede
+  /// the future becoming ready by a few instructions.
+  bool on_settled(const JobKey& key, Continuation fn);
 
   // ---- statistics ----------------------------------------------------
   std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -74,17 +100,32 @@ class ResultCache {
   std::size_t capacity() const { return capacity_; }
   int shards() const { return static_cast<int>(shards_.size()); }
 
+  /// How far from the LRU end eviction searches for the cheapest entry.
+  /// Small and fixed: eviction stays O(1), yet an expensive result needs
+  /// kEvictionWindow consecutive cheap insertions *after* reaching the
+  /// window to be displaced — and each insertion evicts a cheap
+  /// neighbour first, so it never is.
+  static constexpr std::size_t kEvictionWindow = 8;
+
  private:
   struct Flight {
     std::promise<core::SimResult> promise;
     std::shared_future<core::SimResult> future;
+    std::vector<Continuation> continuations;
+  };
+
+  struct Entry {
+    JobKey key;
+    core::SimResult result;
+    double cost_seconds = 0.0;
   };
 
   struct Shard {
     std::mutex mu;
     /// Most-recently-used at the front.
-    std::list<std::pair<JobKey, core::SimResult>> lru;
-    std::unordered_map<JobKey, decltype(lru)::iterator, JobKey::Hasher> map;
+    std::list<Entry> lru;
+    std::unordered_map<JobKey, std::list<Entry>::iterator, JobKey::Hasher>
+        map;
     std::unordered_map<JobKey, std::shared_ptr<Flight>, JobKey::Hasher>
         flights;
   };

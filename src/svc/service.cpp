@@ -140,6 +140,44 @@ Ticket SimService::submit(const core::SimJobSpec& spec, Priority priority) {
   return {SubmitStatus::kRejectedShutdown, {}};
 }
 
+SubmitStatus SimService::submit_then(const core::SimJobSpec& spec,
+                                     Priority priority,
+                                     ResultCache::Continuation done) {
+  Ticket t = submit(spec, priority);
+  switch (t.status) {
+    case SubmitStatus::kRejectedQueueFull:
+    case SubmitStatus::kRejectedShutdown:
+      done(nullptr,
+           std::make_exception_ptr(ServiceError(
+               to_string(t.status),
+               t.status == SubmitStatus::kRejectedQueueFull
+                   ? ErrorReason::kRejectedQueueFull
+                   : ErrorReason::kRejectedShutdown)));
+      return t.status;
+    case SubmitStatus::kCacheHit: {
+      const core::SimResult result = t.result.get();  // ready by contract
+      done(&result, nullptr);
+      return t.status;
+    }
+    case SubmitStatus::kJoined:
+    case SubmitStatus::kAccepted:
+      break;
+  }
+  // Attach to the in-flight computation. If the flight settled in the
+  // window since admission, the ticket's future is (about to be) ready —
+  // the wait below is bounded by the settling thread's few remaining
+  // instructions.
+  if (!cache_.on_settled(JobKey::of(spec), done)) {
+    try {
+      const core::SimResult result = t.result.get();
+      done(&result, nullptr);
+    } catch (...) {
+      done(nullptr, std::current_exception());
+    }
+  }
+  return t.status;
+}
+
 core::SimResult SimService::run(const core::SimJobSpec& spec,
                                 Priority priority) {
   Ticket t = submit(spec, priority);
@@ -192,7 +230,8 @@ void SimService::execute(QueuedJob job) {
     if (!error && !timed_out) {
       metrics_.exec_time.record(elapsed);
       metrics_.executed.fetch_add(1, std::memory_order_relaxed);
-      cache_.complete(job.key, result);
+      // The measured cold cost weights this entry's eviction priority.
+      cache_.complete(job.key, result, elapsed);
       return;
     }
 

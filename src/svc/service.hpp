@@ -138,6 +138,15 @@ class SimService {
   Ticket submit(const core::SimJobSpec& spec,
                 Priority priority = Priority::kNormal);
 
+  /// Continuation flavour of submit() for event-driven callers (the RPC
+  /// front-end): `done` fires exactly once with either the result or the
+  /// ServiceError as an exception_ptr — synchronously on the caller's
+  /// thread for cache hits and rejections, else on the worker thread
+  /// that settles the flight. The result pointer is only valid for the
+  /// duration of the call. No thread is parked waiting on the future.
+  SubmitStatus submit_then(const core::SimJobSpec& spec, Priority priority,
+                           ResultCache::Continuation done);
+
   /// Convenience: submit and wait. Throws ServiceError on rejection.
   core::SimResult run(const core::SimJobSpec& spec,
                       Priority priority = Priority::kNormal);

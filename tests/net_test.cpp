@@ -1,0 +1,662 @@
+// Tests for the RPC front-end: frame codec round-trips (including torn
+// byte-at-a-time delivery), protocol-error rejection (bad magic/version,
+// oversized frames), the SimResult and JobKey payload codecs, seeded
+// fuzz against the decoder and the spec parser, and loopback end-to-end
+// coverage — identical results over the wire, every ErrorReason surfaced
+// as its distinct wire status, overload admission, reconnect after a
+// server restart.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <set>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire_status.hpp"
+#include "svc/job_key.hpp"
+
+namespace gpawfd {
+namespace {
+
+core::SimJobSpec small_spec(int ngrids = 8, int cores = 4) {
+  core::SimJobSpec spec;
+  spec.approach = sched::Approach::kHybridMultiple;
+  spec.job.grid_shape = Vec3::cube(24);
+  spec.job.ngrids = ngrids;
+  spec.opt = sched::Optimizations::all_on(2);
+  spec.total_cores = cores;
+  spec.cores_per_node = 4;
+  return spec;
+}
+
+core::SimResult sample_result() {
+  core::SimResult r;
+  r.seconds = 1.2345678901234567;      // needs all 17 significant digits
+  r.compute_core_seconds = 0.25;
+  r.utilization = 0.70000000000000007;  // not exactly representable
+  r.bytes_sent_total = (std::int64_t{1} << 40) + 7;
+  r.bytes_sent_per_node = 1e-300;       // subnormal-adjacent corner
+  r.messages_total = 123456789;
+  r.phases.compute = 3.14159;
+  r.phases.copy = 0;
+  r.phases.mpi_overhead = -0.0;         // signed zero must survive
+  r.phases.wait = 1e300;
+  r.phases.barrier = 2.5e-7;
+  r.phases.spawn = 42.0;
+  return r;
+}
+
+// ---- frame codec -------------------------------------------------------
+
+TEST(Frame, SubmitRoundTripsHeaderPayloadAndPriority) {
+  const std::string canonical = svc::JobKey::of(small_spec()).canonical();
+  const auto bytes =
+      net::make_submit_frame(0xDEADBEEFCAFEF00DULL, canonical,
+                             svc::Priority::kInteractive);
+  ASSERT_EQ(bytes.size(), net::kHeaderBytes + canonical.size());
+
+  net::FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  auto res = dec.next();
+  ASSERT_EQ(res.status, net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(res.frame.header.type, net::FrameType::kSubmit);
+  EXPECT_EQ(res.frame.header.request_id, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(net::priority_of_flags(res.frame.header.flags),
+            svc::Priority::kInteractive);
+  EXPECT_EQ(std::string(res.frame.payload.begin(), res.frame.payload.end()),
+            canonical);
+  EXPECT_EQ(dec.next().status, net::FrameDecoder::Status::kNeedMore);
+}
+
+TEST(Frame, OutOfRangePriorityFlagsClampToNormal) {
+  EXPECT_EQ(net::priority_of_flags(0xFF), svc::Priority::kNormal);
+  EXPECT_EQ(net::priority_of_flags(
+                static_cast<std::uint8_t>(svc::Priority::kBatch)),
+            svc::Priority::kBatch);
+}
+
+TEST(Frame, DecoderReassemblesTornByteAtATimeDelivery) {
+  // Two frames back to back, delivered one byte per feed: worst-case TCP
+  // segmentation. Both must come out intact, in order.
+  const auto a = net::make_error_frame(7, net::WireStatus::kTimedOut, "late");
+  const auto b = net::make_control_frame(net::FrameType::kPong, 9);
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  net::FrameDecoder dec;
+  std::vector<net::Frame> frames;
+  for (const std::uint8_t byte : stream) {
+    dec.feed(&byte, 1);
+    for (;;) {
+      auto res = dec.next();
+      if (res.status != net::FrameDecoder::Status::kFrame) {
+        ASSERT_EQ(res.status, net::FrameDecoder::Status::kNeedMore);
+        break;
+      }
+      frames.push_back(std::move(res.frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.type, net::FrameType::kError);
+  EXPECT_EQ(frames[0].header.status, net::WireStatus::kTimedOut);
+  EXPECT_EQ(frames[0].header.request_id, 7u);
+  EXPECT_EQ(std::string(frames[0].payload.begin(), frames[0].payload.end()),
+            "late");
+  EXPECT_EQ(frames[1].header.type, net::FrameType::kPong);
+  EXPECT_EQ(frames[1].header.request_id, 9u);
+}
+
+TEST(Frame, ManyFramesInOneFeedAllComeOut) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    const auto f = net::make_control_frame(net::FrameType::kPing,
+                                           static_cast<std::uint64_t>(i));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  net::FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  for (int i = 0; i < 20; ++i) {
+    auto res = dec.next();
+    ASSERT_EQ(res.status, net::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(res.frame.header.request_id, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(dec.next().status, net::FrameDecoder::Status::kNeedMore);
+}
+
+TEST(Frame, OversizedFrameIsRejectedWithAddressableHeader) {
+  net::FrameDecoder dec(/*max_frame_bytes=*/64);
+  net::FrameHeader h;
+  h.type = net::FrameType::kSubmit;
+  h.request_id = 31337;
+  std::vector<std::uint8_t> payload(65, 'x');
+  const auto bytes = net::encode_frame(h, payload.data(), payload.size());
+  dec.feed(bytes.data(), bytes.size());
+  auto res = dec.next();
+  ASSERT_EQ(res.status, net::FrameDecoder::Status::kError);
+  EXPECT_EQ(res.error_status, net::WireStatus::kFrameTooLarge);
+  EXPECT_TRUE(res.header_valid) << "the peer can be told which request died";
+  EXPECT_EQ(res.frame.header.request_id, 31337u);
+  // Sticky: the stream cannot be resynchronized past an unread payload.
+  EXPECT_EQ(dec.next().status, net::FrameDecoder::Status::kError);
+}
+
+TEST(Frame, BadMagicPoisonsWithoutAHeader) {
+  net::FrameDecoder dec;
+  std::vector<std::uint8_t> junk(net::kHeaderBytes, 0x5A);
+  dec.feed(junk.data(), junk.size());
+  auto res = dec.next();
+  ASSERT_EQ(res.status, net::FrameDecoder::Status::kError);
+  EXPECT_EQ(res.error_status, net::WireStatus::kBadRequest);
+  EXPECT_FALSE(res.header_valid);
+  EXPECT_EQ(dec.next().status, net::FrameDecoder::Status::kError);
+}
+
+TEST(Frame, WrongVersionIsRejected) {
+  auto bytes = net::make_control_frame(net::FrameType::kPing, 1);
+  bytes[4] = net::kWireVersion + 1;  // version byte follows the magic
+  net::FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  auto res = dec.next();
+  ASSERT_EQ(res.status, net::FrameDecoder::Status::kError);
+  EXPECT_EQ(res.error_status, net::WireStatus::kBadRequest);
+}
+
+// ---- payload codecs ----------------------------------------------------
+
+TEST(Codec, SimResultRoundTripsBitExact) {
+  const core::SimResult r = sample_result();
+  const auto bytes = net::encode_sim_result(r);
+  ASSERT_EQ(bytes.size(), net::kSimResultWireBytes);
+  const core::SimResult d = net::decode_sim_result(bytes.data(), bytes.size());
+
+  // Bit-exact, not epsilon-close: the wire carries IEEE-754 images.
+  const auto bits = [](double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+  };
+  EXPECT_EQ(bits(d.seconds), bits(r.seconds));
+  EXPECT_EQ(bits(d.compute_core_seconds), bits(r.compute_core_seconds));
+  EXPECT_EQ(bits(d.utilization), bits(r.utilization));
+  EXPECT_EQ(d.bytes_sent_total, r.bytes_sent_total);
+  EXPECT_EQ(bits(d.bytes_sent_per_node), bits(r.bytes_sent_per_node));
+  EXPECT_EQ(d.messages_total, r.messages_total);
+  EXPECT_EQ(bits(d.phases.compute), bits(r.phases.compute));
+  EXPECT_EQ(bits(d.phases.copy), bits(r.phases.copy));
+  EXPECT_EQ(bits(d.phases.mpi_overhead), bits(r.phases.mpi_overhead));
+  EXPECT_EQ(bits(d.phases.wait), bits(r.phases.wait));
+  EXPECT_EQ(bits(d.phases.barrier), bits(r.phases.barrier));
+  EXPECT_EQ(bits(d.phases.spawn), bits(r.phases.spawn));
+  EXPECT_THROW(net::decode_sim_result(bytes.data(), bytes.size() - 1), Error);
+}
+
+TEST(Codec, ParseJobSpecRoundTripsTheCanonicalString) {
+  for (const auto approach :
+       {sched::Approach::kFlatOriginal, sched::Approach::kFlatOptimized,
+        sched::Approach::kHybridMultiple, sched::Approach::kHybridMasterOnly}) {
+    auto spec = small_spec(12, 64);
+    spec.approach = approach;
+    spec.job.periodic = false;
+    spec.scaled.grid_cap = 16;
+    const std::string canonical = svc::JobKey::of(spec).canonical();
+    const core::SimJobSpec parsed = net::parse_job_spec(canonical);
+    EXPECT_EQ(svc::JobKey::of(parsed).canonical(), canonical);
+  }
+}
+
+TEST(Codec, ParseJobSpecRejectsDriftAndGarbage) {
+  const std::string canonical = svc::JobKey::of(small_spec()).canonical();
+  EXPECT_THROW(net::parse_job_spec(""), Error);
+  EXPECT_THROW(net::parse_job_spec("v2|" + canonical.substr(3)), Error);
+  EXPECT_THROW(net::parse_job_spec(canonical + "x"), Error);
+  EXPECT_THROW(net::parse_job_spec(canonical.substr(0, canonical.size() - 1)),
+               Error);
+  EXPECT_THROW(net::parse_job_spec("not a job spec at all"), Error);
+}
+
+TEST(Codec, ParseJobSpecEnforcesAdmissionBounds) {
+  // A well-formed canonical string asking for an absurd simulation must
+  // be refused — a remote client cannot DoS a worker with one frame.
+  auto spec = small_spec();
+  spec.job.iterations = 100000000;
+  EXPECT_THROW(net::parse_job_spec(svc::JobKey::of(spec).canonical()), Error);
+  spec = small_spec();
+  spec.job.grid_shape = Vec3::cube(1 << 20);
+  EXPECT_THROW(net::parse_job_spec(svc::JobKey::of(spec).canonical()), Error);
+}
+
+TEST(Codec, FuzzedBytesNeverCrashTheDecoder) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    net::FrameDecoder dec(1024);
+    const std::size_t n = 1 + rng.next_below(512);
+    std::vector<std::uint8_t> bytes(n);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Occasionally start from a valid prefix so the fuzz also reaches
+    // the post-header states.
+    if (trial % 4 == 0) {
+      auto good = net::make_control_frame(net::FrameType::kPing, trial);
+      bytes.insert(bytes.begin(), good.begin(), good.end());
+    }
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.next_below(64), bytes.size() - offset);
+      dec.feed(bytes.data() + offset, chunk);
+      offset += chunk;
+      for (;;) {
+        const auto res = dec.next();  // must never crash or loop forever
+        if (res.status != net::FrameDecoder::Status::kFrame) break;
+      }
+    }
+  }
+}
+
+TEST(Codec, FuzzedCanonicalMutationsThrowOrRoundTrip) {
+  Rng rng(42424242);
+  const std::string canonical = svc::JobKey::of(small_spec()).canonical();
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = canonical;
+    const int edits = 1 + static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.next_below(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>('0' + rng.next_below(10)));
+          break;
+      }
+    }
+    try {
+      const core::SimJobSpec parsed = net::parse_job_spec(mutated);
+      // A mutation that still parses must re-canonicalize to itself —
+      // there is no input that silently means a different simulation.
+      EXPECT_EQ(svc::JobKey::of(parsed).canonical(), mutated);
+      ++accepted;
+    } catch (const Error&) {
+      // rejected: fine, and by far the common case
+    }
+  }
+  EXPECT_LT(accepted, 30) << "mutation acceptance should be rare";
+}
+
+// ---- status mapping ----------------------------------------------------
+
+TEST(WireStatus, EveryTerminalErrorReasonMapsToADistinctStatus) {
+  const svc::ErrorReason reasons[] = {
+      svc::ErrorReason::kCancelled,         svc::ErrorReason::kExecutorFailed,
+      svc::ErrorReason::kTimedOut,          svc::ErrorReason::kGaveUp,
+      svc::ErrorReason::kRejectedQueueFull, svc::ErrorReason::kRejectedShutdown,
+  };
+  std::set<net::WireStatus> seen;
+  for (const auto r : reasons) {
+    const net::WireStatus s = net::wire_status_of(r);
+    EXPECT_NE(s, net::WireStatus::kOk);
+    EXPECT_TRUE(seen.insert(s).second)
+        << "duplicate wire status for reason " << svc::to_string(r);
+  }
+  EXPECT_EQ(net::wire_status_of(svc::ErrorReason::kUnknown),
+            net::WireStatus::kInternal);
+  // Every status has a printable, unique name (the metrics key space).
+  std::set<std::string> names;
+  for (int s = 0; s < net::kWireStatusCount; ++s)
+    EXPECT_TRUE(
+        names.insert(net::to_string(static_cast<net::WireStatus>(s))).second);
+}
+
+// ---- loopback end-to-end ----------------------------------------------
+
+TEST(Loopback, SubmitOverTheWireMatchesTheInProcessResult) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  svc::SimService service(cfg);
+  net::Server server(service);
+
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+
+  const auto spec = small_spec();
+  const core::SimResult remote = client.submit(spec);
+  const core::SimResult direct = core::simulate_job(spec);
+  EXPECT_DOUBLE_EQ(remote.seconds, direct.seconds);
+  EXPECT_DOUBLE_EQ(remote.utilization, direct.utilization);
+  EXPECT_EQ(remote.bytes_sent_total, direct.bytes_sent_total);
+  EXPECT_EQ(remote.messages_total, direct.messages_total);
+  EXPECT_DOUBLE_EQ(remote.phases.wait, direct.phases.wait);
+
+  // The repeat is a cache hit server-side: no second execution.
+  const core::SimResult again = client.submit(spec);
+  EXPECT_DOUBLE_EQ(again.seconds, direct.seconds);
+  EXPECT_EQ(service.metrics().executed.load(), 1);
+  EXPECT_EQ(server.metrics().replies(net::WireStatus::kOk), 2);
+}
+
+TEST(Loopback, PipelinedAsyncSubmitsAllComplete) {
+  std::atomic<int> executions{0};
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.executor = [&](const core::SimJobSpec& s) {
+    executions.fetch_add(1);
+    core::SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    return r;
+  };
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+
+  std::vector<std::future<core::SimResult>> futures;
+  for (int i = 0; i < 24; ++i)
+    futures.push_back(client.submit_async(small_spec(8 + (i % 6))));
+  for (int i = 0; i < 24; ++i)
+    EXPECT_DOUBLE_EQ(futures[static_cast<std::size_t>(i)].get().seconds,
+                     static_cast<double>(8 + (i % 6)));
+  EXPECT_EQ(executions.load(), 6) << "single-flight dedup over the wire";
+
+  // Counter reconciliation at quiescence: every submit got one reply.
+  const auto counters = server.metrics().counter_map();
+  EXPECT_EQ(counters.at("net.requests"), 24);
+  EXPECT_EQ(server.metrics().replies_total(), 24);
+  EXPECT_EQ(counters.at("net.frames_in"),
+            counters.at("net.requests") + counters.at("net.pings"));
+}
+
+TEST(Loopback, PingPong) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+  client.ping();
+  client.ping();
+  EXPECT_EQ(server.metrics().pings.load(), 2);
+}
+
+TEST(Loopback, ExecutorFailureArrivesAsExecutorFailedStatus) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.executor = [](const core::SimJobSpec&) -> core::SimResult {
+    throw Error("deliberate failure");
+  };
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+  try {
+    client.submit(small_spec());
+    FAIL() << "expected RpcError";
+  } catch (const net::RpcError& e) {
+    EXPECT_EQ(e.status(), net::WireStatus::kExecutorFailed);
+    EXPECT_NE(std::string(e.what()).find("deliberate failure"),
+              std::string::npos);
+  }
+  EXPECT_EQ(server.metrics().replies(net::WireStatus::kExecutorFailed), 1);
+}
+
+TEST(Loopback, RetryExhaustionArrivesAsGaveUpStatus) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.initial_backoff_seconds = 0.001;
+  cfg.executor = [](const core::SimJobSpec&) -> core::SimResult {
+    throw Error("always failing");
+  };
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+  try {
+    client.submit(small_spec());
+    FAIL() << "expected RpcError";
+  } catch (const net::RpcError& e) {
+    EXPECT_EQ(e.status(), net::WireStatus::kGaveUp);
+  }
+}
+
+TEST(Loopback, AttemptTimeoutArrivesAsTimedOutStatus) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.retry.attempt_timeout_seconds = 0.01;
+  cfg.executor = [](const core::SimJobSpec&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return core::SimResult{};
+  };
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+  try {
+    client.submit(small_spec());
+    FAIL() << "expected RpcError";
+  } catch (const net::RpcError& e) {
+    EXPECT_EQ(e.status(), net::WireStatus::kTimedOut);
+  }
+}
+
+TEST(Loopback, QueueFullArrivesAsRejectedQueueFullStatus) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.executor = [opened](const core::SimJobSpec&) {
+    opened.wait();
+    return core::SimResult{};
+  };
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+
+  // First distinct job occupies the single worker, second fills the
+  // queue; keep submitting distinct jobs until one is shed.
+  std::vector<std::future<core::SimResult>> inflight;
+  bool saw_queue_full = false;
+  for (int i = 0; i < 16 && !saw_queue_full; ++i) {
+    auto f = client.submit_async(small_spec(8 + i));
+    if (f.wait_for(std::chrono::milliseconds(200)) ==
+        std::future_status::ready) {
+      try {
+        f.get();
+      } catch (const net::RpcError& e) {
+        EXPECT_EQ(e.status(), net::WireStatus::kRejectedQueueFull);
+        saw_queue_full = true;
+      }
+    } else {
+      inflight.push_back(std::move(f));
+    }
+  }
+  EXPECT_TRUE(saw_queue_full);
+  gate.set_value();
+  for (auto& f : inflight) EXPECT_NO_THROW(f.get());
+}
+
+TEST(Loopback, ShutdownRejectionArrivesAsRejectedShutdownStatus) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  net::Server server(service);
+  service.shutdown();
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+  try {
+    client.submit(small_spec());
+    FAIL() << "expected RpcError";
+  } catch (const net::RpcError& e) {
+    EXPECT_EQ(e.status(), net::WireStatus::kRejectedShutdown);
+  }
+}
+
+TEST(Loopback, MalformedSubmitGetsBadRequestThenClose) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  net::Server server(service);
+
+  net::Socket sock = net::Socket::connect_to("127.0.0.1", server.port());
+  const std::string junk = "v1|approach=9|utter nonsense";
+  const auto frame =
+      net::make_submit_frame(55, junk, svc::Priority::kNormal);
+  ASSERT_TRUE(net::write_fully(sock.fd(), frame.data(), frame.size()));
+
+  net::FrameDecoder dec;
+  std::uint8_t buf[512];
+  for (;;) {
+    const auto r = net::read_some(sock.fd(), buf, sizeof buf);
+    ASSERT_EQ(r.status, net::IoStatus::kOk);
+    dec.feed(buf, r.n);
+    const auto res = dec.next();
+    if (res.status == net::FrameDecoder::Status::kNeedMore) continue;
+    ASSERT_EQ(res.status, net::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(res.frame.header.type, net::FrameType::kError);
+    EXPECT_EQ(res.frame.header.status, net::WireStatus::kBadRequest);
+    EXPECT_EQ(res.frame.header.request_id, 55u);
+    break;
+  }
+  EXPECT_EQ(server.metrics().replies(net::WireStatus::kBadRequest), 1);
+}
+
+TEST(Loopback, OversizedFrameGetsFrameTooLargeThenClose) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  net::ServerConfig scfg;
+  scfg.max_frame_bytes = 128;
+  net::Server server(service, scfg);
+
+  net::Socket sock = net::Socket::connect_to("127.0.0.1", server.port());
+  const std::string huge(256, 'z');
+  const auto frame = net::make_submit_frame(77, huge, svc::Priority::kNormal);
+  ASSERT_TRUE(net::write_fully(sock.fd(), frame.data(), frame.size()));
+
+  net::FrameDecoder dec;
+  std::uint8_t buf[512];
+  bool got_reply = false;
+  for (;;) {
+    const auto r = net::read_some(sock.fd(), buf, sizeof buf);
+    if (r.status != net::IoStatus::kOk) break;  // server closed after reply
+    dec.feed(buf, r.n);
+    const auto res = dec.next();
+    if (res.status == net::FrameDecoder::Status::kNeedMore) continue;
+    ASSERT_EQ(res.status, net::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(res.frame.header.status, net::WireStatus::kFrameTooLarge);
+    EXPECT_EQ(res.frame.header.request_id, 77u);
+    got_reply = true;
+  }
+  EXPECT_TRUE(got_reply);
+  EXPECT_EQ(server.metrics().frame_errors.load(), 1);
+}
+
+TEST(Loopback, InflightLimitArrivesAsOverloaded) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.executor = [opened](const core::SimJobSpec&) {
+    opened.wait();
+    return core::SimResult{};
+  };
+  svc::SimService service(cfg);
+  net::ServerConfig scfg;
+  scfg.max_inflight_per_conn = 1;
+  net::Server server(service, scfg);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+
+  auto first = client.submit_async(small_spec(8));
+  // Distinct job so it cannot join the first flight; the connection's
+  // single in-flight slot is taken, so it must bounce.
+  bool saw_overloaded = false;
+  for (int i = 0; i < 50 && !saw_overloaded; ++i) {
+    auto second = client.submit_async(small_spec(9 + i));
+    try {
+      second.get();
+    } catch (const net::RpcError& e) {
+      ASSERT_EQ(e.status(), net::WireStatus::kOverloaded);
+      saw_overloaded = true;
+    }
+  }
+  EXPECT_TRUE(saw_overloaded);
+  gate.set_value();
+  EXPECT_NO_THROW(first.get());
+}
+
+TEST(Loopback, ClientReconnectsAfterServerRestart) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+
+  auto first = std::make_unique<net::Server>(service);
+  const std::uint16_t port = first->port();
+  net::ClientConfig ccfg;
+  ccfg.port = port;
+  ccfg.max_reconnect_attempts = 10;
+  ccfg.reconnect_backoff_seconds = 0.02;
+  net::Client client(ccfg);
+  EXPECT_NO_THROW(client.submit(small_spec()));
+
+  first->stop();
+  first.reset();
+  // Same port (SO_REUSEADDR), fresh server over the same service.
+  net::ServerConfig scfg;
+  scfg.port = port;
+  net::Server second(service, scfg);
+
+  // The client notices the dead connection and transparently retries;
+  // the resend is safe because the server dedups by JobKey.
+  EXPECT_NO_THROW(client.submit(small_spec(9)));
+  EXPECT_GE(client.reconnects(), 1);
+  EXPECT_EQ(second.metrics().replies(net::WireStatus::kOk), 1);
+}
+
+TEST(Loopback, ServerStopFailsOutstandingClientRequests) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.executor = [opened](const core::SimJobSpec&) {
+    opened.wait();
+    return core::SimResult{};
+  };
+  svc::SimService service(cfg);
+  auto server = std::make_unique<net::Server>(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server->port();
+  net::Client client(ccfg);
+
+  auto pending = client.submit_async(small_spec());
+  server->stop();
+  try {
+    pending.get();
+    FAIL() << "expected RpcError";
+  } catch (const net::RpcError& e) {
+    EXPECT_EQ(e.status(), net::WireStatus::kConnectionLost);
+  }
+  gate.set_value();  // unblock the worker so the service can drain
+}
+
+}  // namespace
+}  // namespace gpawfd

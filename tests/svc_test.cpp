@@ -4,6 +4,9 @@
 // latency histogram / metrics exporter.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "common/hash.hpp"
@@ -251,6 +254,88 @@ TEST(ResultCache, ShardCountNeverExceedsCapacity) {
   EXPECT_LE(cache.shards(), 2);
 }
 
+TEST(ResultCache, CostWeightedEvictionKeepsExpensiveResults) {
+  // An expensive result (10s of simulated work) must survive a scan of
+  // cheap insertions: eviction takes the min-cost entry within the
+  // window at the LRU end, so cheap hits never push out a result that
+  // took real work to produce.
+  svc::ResultCache cache(4, /*shards=*/1);
+  auto key_of = [](int i) {
+    auto spec = small_spec();
+    spec.job.ngrids = 8 + i;
+    return svc::JobKey::of(spec);
+  };
+  const auto expensive = key_of(0);
+  ASSERT_EQ(cache.lookup_or_begin(expensive).outcome,
+            svc::ResultCache::Outcome::kLeader);
+  cache.complete(expensive, result_with_seconds(1.0), /*cost_seconds=*/10.0);
+
+  for (int i = 1; i <= 20; ++i) {
+    const auto k = key_of(i);
+    ASSERT_EQ(cache.lookup_or_begin(k).outcome,
+              svc::ResultCache::Outcome::kLeader);
+    cache.complete(k, result_with_seconds(i), /*cost_seconds=*/0.001);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_TRUE(cache.peek(expensive).has_value())
+      << "the 10s result was evicted by 1ms results";
+  EXPECT_EQ(cache.evictions(), 17);
+}
+
+TEST(ResultCache, UniformCostDegeneratesToExactLru) {
+  // With equal costs the window scan must keep strict LRU order (ties
+  // resolve toward the LRU end), so plain recency behaviour is
+  // unchanged.
+  svc::ResultCache cache(2, /*shards=*/1);
+  auto key_of = [](int i) {
+    auto spec = small_spec();
+    spec.job.ngrids = 8 + i;
+    return svc::JobKey::of(spec);
+  };
+  for (int i = 0; i < 3; ++i) {
+    const auto k = key_of(i);
+    ASSERT_EQ(cache.lookup_or_begin(k).outcome,
+              svc::ResultCache::Outcome::kLeader);
+    cache.complete(k, result_with_seconds(i), /*cost_seconds=*/1.0);
+  }
+  EXPECT_FALSE(cache.peek(key_of(0)).has_value()) << "oldest must go first";
+  EXPECT_TRUE(cache.peek(key_of(1)).has_value());
+  EXPECT_TRUE(cache.peek(key_of(2)).has_value());
+}
+
+TEST(ResultCache, OnSettledFiresForCompletionAndAbort) {
+  svc::ResultCache cache(16);
+  const auto key = svc::JobKey::of(small_spec());
+  ASSERT_EQ(cache.lookup_or_begin(key).outcome,
+            svc::ResultCache::Outcome::kLeader);
+  double seen = 0;
+  ASSERT_TRUE(cache.on_settled(key, [&](const core::SimResult* r,
+                                        std::exception_ptr err) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(err, nullptr);
+    seen = r->seconds;
+  }));
+  cache.complete(key, result_with_seconds(2.5));
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  // Settled flight: no continuation can attach any more.
+  EXPECT_FALSE(cache.on_settled(
+      key, [](const core::SimResult*, std::exception_ptr) {}));
+
+  auto spec = small_spec();
+  spec.job.ngrids = 99;
+  const auto key2 = svc::JobKey::of(spec);
+  ASSERT_EQ(cache.lookup_or_begin(key2).outcome,
+            svc::ResultCache::Outcome::kLeader);
+  bool failed = false;
+  ASSERT_TRUE(cache.on_settled(key2, [&](const core::SimResult* r,
+                                         std::exception_ptr err) {
+    EXPECT_EQ(r, nullptr);
+    failed = err != nullptr;
+  }));
+  cache.abort(key2, std::make_exception_ptr(svc::ServiceError("boom")));
+  EXPECT_TRUE(failed);
+}
+
 // ---- LatencyHistogram -------------------------------------------------
 
 TEST(LatencyHistogram, BucketsAndQuantiles) {
@@ -321,6 +406,82 @@ TEST(SimService, RunsARealSimulationAndCachesIt) {
   EXPECT_DOUBLE_EQ(hit.result.get().seconds, r1.seconds);
   EXPECT_EQ(service.metrics().cache_hits.load(), 1);
   EXPECT_EQ(service.metrics().executed.load(), 1);
+}
+
+TEST(SimService, SubmitThenFiresExactlyOncePerOutcome) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  const auto spec = small_spec();
+
+  // Cold: the continuation fires on the worker thread with the result.
+  std::promise<double> cold;
+  auto status = service.submit_then(
+      spec, svc::Priority::kNormal,
+      [&](const core::SimResult* r, std::exception_ptr err) {
+        ASSERT_NE(r, nullptr);
+        ASSERT_EQ(err, nullptr);
+        cold.set_value(r->seconds);
+      });
+  EXPECT_EQ(status, svc::SubmitStatus::kAccepted);
+  const double seconds = cold.get_future().get();
+  EXPECT_GT(seconds, 0.0);
+
+  // Warm: synchronous on the caller's thread, same result.
+  bool hit = false;
+  status = service.submit_then(
+      spec, svc::Priority::kNormal,
+      [&](const core::SimResult* r, std::exception_ptr err) {
+        ASSERT_NE(r, nullptr);
+        ASSERT_EQ(err, nullptr);
+        EXPECT_DOUBLE_EQ(r->seconds, seconds);
+        hit = true;
+      });
+  EXPECT_EQ(status, svc::SubmitStatus::kCacheHit);
+  EXPECT_TRUE(hit);
+
+  // Rejection: the continuation gets a reasoned ServiceError.
+  service.shutdown();
+  bool rejected = false;
+  status = service.submit_then(
+      small_spec(19), svc::Priority::kNormal,
+      [&](const core::SimResult* r, std::exception_ptr err) {
+        EXPECT_EQ(r, nullptr);
+        ASSERT_NE(err, nullptr);
+        try {
+          std::rethrow_exception(err);
+        } catch (const svc::ServiceError& e) {
+          EXPECT_EQ(e.reason(), svc::ErrorReason::kRejectedShutdown);
+          rejected = true;
+        }
+      });
+  EXPECT_EQ(status, svc::SubmitStatus::kRejectedShutdown);
+  EXPECT_TRUE(rejected);
+}
+
+TEST(SimService, MeasuredColdCostProtectsExpensiveResults) {
+  // execute() weights each cache entry by its measured cold exec time,
+  // so a scan of instant results must not evict the one that slept.
+  std::atomic<int> expensive_runs{0};
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_capacity = 2;
+  cfg.cache_shards = 1;
+  cfg.executor = [&](const core::SimJobSpec& s) {
+    if (s.job.ngrids == 8) {
+      expensive_runs.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    core::SimResult r;
+    r.seconds = s.job.ngrids;
+    return r;
+  };
+  svc::SimService service(cfg);
+  service.run(small_spec(8));
+  for (int i = 1; i <= 10; ++i) service.run(small_spec(8 + i));
+  auto warm = service.submit(small_spec(8));
+  EXPECT_EQ(warm.status, svc::SubmitStatus::kCacheHit);
+  EXPECT_EQ(expensive_runs.load(), 1) << "the expensive result was evicted";
 }
 
 TEST(SimService, RunHelperThrowsOnRejection) {
