@@ -5,14 +5,21 @@
 // at a deliberately tiny queue bound, (4) fault absorption — a seeded
 // FaultyExecutor (throws, stragglers, hangs) behind a RetryPolicy, so
 // the retry/timeout counters land in the report. Emits BENCH_svc.json
-// (--json <path>, default BENCH_svc.json in the cwd) with throughput,
-// p50/p99 latency, the hit/cold speedup, the hit ratio, and the
-// retry/timeout/gave-up counters so future PRs can track both service
-// performance and fault-handling behaviour.
+// (5) persistence — the same jobs run in two services sharing a
+// --cache-dir-style store: the first pays cold simulation and persists,
+// the second warm-loads the store and must re-run nothing. Emits
+// BENCH_svc.json (--json <path>, default BENCH_svc.json in the cwd) with
+// throughput, p50/p99 latency, the hit/cold speedup, the hit ratio, the
+// retry/timeout/gave-up counters, and the cold-vs-warm-start numbers so
+// future PRs can track service performance, fault handling, and
+// restart-recovery behaviour.
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench/bench_util.hpp"
 #include "svc/fault.hpp"
@@ -163,6 +170,41 @@ int main(int argc, char** argv) {
     attempt_p99 = cm.attempt_time.quantile(0.99);
   }
 
+  // ---- phase 5: cold start vs warm start (persistent store) -----------
+  // Two services share one store directory, sequentially — the same
+  // restart a SIGKILLed server would make, minus the SIGKILL (the
+  // torture suite covers torn logs; this measures the payoff).
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() /
+      ("gpawfd_bench_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(store_dir);
+  constexpr int kWarmJobs = 8;
+  std::int64_t persisted = 0, warm_loaded = 0, warm_executed = 0;
+  double cold_start_seconds, warm_start_seconds;
+  {
+    svc::ServiceConfig pc;
+    pc.cache_dir = store_dir.string();
+    svc::SimService first(pc);
+    const double t0 = trace::now_seconds();
+    for (int j = 0; j < kWarmJobs; ++j) first.run(job_spec(j));
+    cold_start_seconds = trace::now_seconds() - t0;
+    first.shutdown();  // drains the persister: everything on disk
+    persisted = first.persister()->written();
+  }
+  {
+    svc::ServiceConfig pc;
+    pc.cache_dir = store_dir.string();
+    svc::SimService second(pc);
+    warm_loaded = second.metrics().warm_loaded.load();
+    const double t0 = trace::now_seconds();
+    for (int j = 0; j < kWarmJobs; ++j) second.run(job_spec(j));
+    warm_start_seconds = trace::now_seconds() - t0;
+    warm_executed = second.metrics().executed.load();
+  }
+  std::filesystem::remove_all(store_dir);
+  const double warm_speedup =
+      warm_start_seconds > 0 ? cold_start_seconds / warm_start_seconds : 0;
+
   // ---- report ---------------------------------------------------------
   const double cold_mean = cold.mean_seconds();
   const double hot_p50 = hot.quantile(0.50);
@@ -187,6 +229,11 @@ int main(int argc, char** argv) {
   t.add_row({"chaos: gave up", std::to_string(gave_up)});
   t.add_row({"chaos: attempt p50", fmt_seconds(attempt_p50)});
   t.add_row({"chaos: attempt p99", fmt_seconds(attempt_p99)});
+  t.add_row({"persist: results stored", std::to_string(persisted)});
+  t.add_row({"persist: warm-loaded", std::to_string(warm_loaded)});
+  t.add_row({"persist: cold start", fmt_seconds(cold_start_seconds)});
+  t.add_row({"persist: warm start", fmt_seconds(warm_start_seconds)});
+  t.add_row({"persist: warm speedup", fmt_fixed(warm_speedup, 0) + "x"});
   t.print(std::cout);
 
   std::cout << "\nservice metrics snapshot:\n"
@@ -206,6 +253,13 @@ int main(int argc, char** argv) {
             << ": retry policy absorbed every injected fault (" << retries
             << " retries, " << timeouts << " timeouts, " << gave_up
             << " gave up) in " << fmt_seconds(chaos_seconds) << "\n";
+
+  const bool warm_restart_free = warm_executed == 0 && warm_loaded > 0;
+  std::cout << (warm_restart_free ? "OK" : "FAIL")
+            << ": warm restart re-ran " << warm_executed << " of "
+            << kWarmJobs << " simulations (warm-loaded " << warm_loaded
+            << " from the store, " << fmt_fixed(warm_speedup, 0)
+            << "x faster start)\n";
 
   std::string json_path = json_path_from_args(argc, argv);
   if (json_path.empty()) json_path = "BENCH_svc.json";
@@ -238,8 +292,18 @@ int main(int argc, char** argv) {
   report.set("attempt_p50_s", attempt_p50);
   report.set("attempt_p99_s", attempt_p99);
   report.set("chaos_seconds", chaos_seconds);
+  report.set("warm_jobs", kWarmJobs);
+  report.set("persisted", persisted);
+  report.set("warm_loaded", warm_loaded);
+  report.set("warm_executed", warm_executed);
+  report.set("cold_start_s", cold_start_seconds);
+  report.set("warm_start_s", warm_start_seconds);
+  report.set("warm_over_cold_speedup", warm_speedup);
   if (report.write(json_path))
     std::cout << "JSON report -> " << json_path << "\n";
 
-  return hit_fast_enough && admission_sheds && faults_absorbed ? 0 : 1;
+  return hit_fast_enough && admission_sheds && faults_absorbed &&
+                 warm_restart_free
+             ? 0
+             : 1;
 }

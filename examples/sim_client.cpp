@@ -6,19 +6,34 @@
 // thread keeps a window of submit_async() futures in flight instead of
 // one blocking submit at a time.
 //
+// With --cache-dir every successful reply is harvested into a local
+// persistent result store (the same on-disk format sim_server's
+// --cache-dir uses — a kResult reply carries the exact 96 bytes a store
+// record does), so a server or in-process run pointed at that directory
+// later starts with the fetched results already cached: the wire fills a
+// second process's cache.
+//
 //   ./sim_server --listen --port=7450 &
 //   ./sim_client --port=7450
 //   ./sim_client --port=7450 --clients=16 --requests=64 --pipeline=8
+//   ./sim_client --port=7450 --cache-dir=/tmp/simcache  # harvest replies
 #include <atomic>
 #include <deque>
+#include <filesystem>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "net/client.hpp"
+#include "svc/cache_store.hpp"
+#include "svc/job_key.hpp"
 #include "trace/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -33,7 +48,9 @@ int main(int argc, char** argv) {
       .flag("pipeline", "1", "async submits kept in flight per thread")
       .flag("cores", "256", "simulated cores of the smallest job")
       .flag("edge", "48", "grid edge of every job (edge^3)")
-      .flag("ping", "false", "just ping the server and exit");
+      .flag("ping", "false", "just ping the server and exit")
+      .flag("cache-dir", "", "harvest successful replies into a local "
+            "persistent result store (sim_server --cache-dir format)");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -100,22 +117,40 @@ int main(int argc, char** argv) {
   std::atomic<std::int64_t> by_status[net::kWireStatusCount] = {};
   std::atomic<std::int64_t> reconnects{0};
   trace::LatencyHistogram latency;
+  // --cache-dir: successful replies harvested here (keyed by canonical
+  // JobKey, deduplicated across threads), written to the store once the
+  // swarm settles. The round-trip latency stands in for the result's
+  // production cost — the best estimate this side of the wire has.
+  const std::string cache_dir = cli.get("cache-dir");
+  std::mutex harvest_mu;
+  std::unordered_map<std::string, std::pair<core::SimResult, double>> harvest;
   const double t0 = trace::now_seconds();
   std::vector<std::thread> swarm;
   for (int c = 0; c < clients; ++c) {
     swarm.emplace_back([&, c] {
       net::Client client(ccfg);
-      auto settle = [&](std::future<core::SimResult>& f, double sent_at) {
+      auto harvested = [&](int job_id, const core::SimResult& r,
+                           double rtt) {
+        if (cache_dir.empty()) return;
+        std::lock_guard lock(harvest_mu);
+        harvest.emplace(svc::JobKey::of(spec_of(job_id)).canonical(),
+                        std::make_pair(r, rtt));
+      };
+      auto settle = [&](std::future<core::SimResult>& f, double sent_at,
+                        int job_id) {
         try {
-          f.get();
-          latency.record(trace::now_seconds() - sent_at);
+          const core::SimResult r = f.get();
+          const double rtt = trace::now_seconds() - sent_at;
+          latency.record(rtt);
           ok.fetch_add(1, std::memory_order_relaxed);
+          harvested(job_id, r, rtt);
         } catch (const net::RpcError& e) {
           by_status[static_cast<int>(e.status())].fetch_add(
               1, std::memory_order_relaxed);
         }
       };
-      std::deque<std::pair<std::future<core::SimResult>, double>> window;
+      std::deque<std::tuple<std::future<core::SimResult>, double, int>>
+          window;
       for (int i = 0; i < requests; ++i) {
         const int job_id = (c + i) % njobs;
         const svc::Priority priority =
@@ -123,9 +158,11 @@ int main(int argc, char** argv) {
         if (pipeline == 1) {
           const double r0 = trace::now_seconds();
           try {
-            client.submit(spec_of(job_id), priority);
-            latency.record(trace::now_seconds() - r0);
+            const core::SimResult r = client.submit(spec_of(job_id), priority);
+            const double rtt = trace::now_seconds() - r0;
+            latency.record(rtt);
             ok.fetch_add(1, std::memory_order_relaxed);
+            harvested(job_id, r, rtt);
           } catch (const net::RpcError& e) {
             by_status[static_cast<int>(e.status())].fetch_add(
                 1, std::memory_order_relaxed);
@@ -133,24 +170,42 @@ int main(int argc, char** argv) {
           continue;
         }
         while (static_cast<int>(window.size()) >= pipeline) {
-          settle(window.front().first, window.front().second);
+          settle(std::get<0>(window.front()), std::get<1>(window.front()),
+                 std::get<2>(window.front()));
           window.pop_front();
         }
         try {
           const double r0 = trace::now_seconds();
           window.emplace_back(client.submit_async(spec_of(job_id), priority),
-                              r0);
+                              r0, job_id);
         } catch (const net::RpcError& e) {
           by_status[static_cast<int>(e.status())].fetch_add(
               1, std::memory_order_relaxed);
         }
       }
-      for (auto& [future, sent_at] : window) settle(future, sent_at);
+      for (auto& [future, sent_at, job_id] : window)
+        settle(future, sent_at, job_id);
       reconnects.fetch_add(client.reconnects(), std::memory_order_relaxed);
     });
   }
   for (auto& t : swarm) t.join();
   const double wall = trace::now_seconds() - t0;
+
+  // Fill (or top up) the local store: skip keys that are already live so
+  // repeated harvests don't grow the log with identical records.
+  std::int64_t stored = 0;
+  if (!cache_dir.empty() && !harvest.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    svc::CacheStore store(svc::CacheStore::path_in(cache_dir));
+    store.recover();
+    const double now = trace::unix_seconds();
+    for (const auto& [key, rv] : harvest) {
+      if (store.contains(key)) continue;
+      store.append_put(key, rv.first, rv.second, now);
+      ++stored;
+    }
+    store.sync();
+  }
 
   Table t({"", "value"});
   t.add_row({"wall time", fmt_seconds(wall)});
@@ -160,6 +215,8 @@ int main(int argc, char** argv) {
   t.add_row({"latency p50", fmt_seconds(latency.quantile(0.5))});
   t.add_row({"latency p99", fmt_seconds(latency.quantile(0.99))});
   t.add_row({"reconnects", std::to_string(reconnects.load())});
+  if (!cache_dir.empty())
+    t.add_row({"results stored locally", std::to_string(stored)});
   for (int s = 0; s < net::kWireStatusCount; ++s) {
     if (by_status[s].load() == 0) continue;
     t.add_row({std::string("failed: ") +

@@ -19,10 +19,17 @@
 // ServiceError::reason() (and, under --listen, show up remotely as the
 // matching wire statuses).
 //
+// Pass --cache-dir to make the result cache persistent: results are
+// written behind to an append-only store in that directory and warm-load
+// the cache on the next start, so a restarted (even SIGKILLed) server
+// answers repeat requests without re-simulating. --cache-ttl-s bounds
+// how stale a served result may be, across restarts.
+//
 //   ./sim_server                          # 8 clients x 6 distinct jobs
 //   ./sim_server --clients=32 --requests=64 --queue-capacity=16
 //   ./sim_server --fault-rate=0.3 --retries=3 --timeout-ms=50
 //   ./sim_server --listen --port=7450     # serve RPC until Ctrl-C
+//   ./sim_server --listen --cache-dir=/tmp/simcache   # warm restarts
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -100,6 +107,13 @@ int run_listen_mode(gpawfd::svc::SimService& service,
              std::to_string(service.metrics().executed.load())});
   t.add_row({"cache hit ratio",
              fmt_fixed(100 * service.metrics().hit_ratio(), 1) + "%"});
+  if (svc::Persister* p = service.persister()) {
+    p->flush();  // settle the write-behind queue before reading counters
+    t.add_row({"results persisted", std::to_string(p->written())});
+    t.add_row({"persist drops", std::to_string(p->dropped())});
+    t.add_row({"warm-loaded at start",
+               std::to_string(service.metrics().warm_loaded.load())});
+  }
   std::cout << "\n";
   t.print(std::cout);
 
@@ -139,7 +153,11 @@ int main(int argc, char** argv) {
       .flag("duration-s", "0", "--listen serving time (0 = until signal)")
       .flag("max-inflight", "64", "--listen per-connection request limit")
       .flag("max-connections", "256", "--listen connection limit")
-      .flag("idle-timeout-s", "60", "--listen idle connection timeout");
+      .flag("idle-timeout-s", "60", "--listen idle connection timeout")
+      .flag("cache-dir", "", "persistent result store directory "
+            "(empty = in-memory cache only)")
+      .flag("cache-ttl-s", "0", "cached result TTL in seconds (0 = never "
+            "expires; enforced across restarts)");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -169,6 +187,8 @@ int main(int argc, char** argv) {
   cfg.retry.max_attempts = static_cast<int>(cli.get_int("retries"));
   cfg.retry.initial_backoff_seconds = cli.get_double("backoff-ms") / 1e3;
   cfg.retry.attempt_timeout_seconds = cli.get_double("timeout-ms") / 1e3;
+  cfg.cache_dir = cli.get("cache-dir");
+  cfg.cache_ttl_seconds = cli.get_double("cache-ttl-s");
 
   // With any fault probability set, stand a seeded FaultyExecutor between
   // the service and the simulator: same seed, same failure schedule.
@@ -189,6 +209,10 @@ int main(int argc, char** argv) {
     cfg.executor = [faulty](const core::SimJobSpec& s) { return (*faulty)(s); };
   }
   svc::SimService service(cfg);
+  if (!cfg.cache_dir.empty())
+    std::cout << "cache store: " << cfg.cache_dir << " (warm-loaded "
+              << service.metrics().warm_loaded.load() << " results, skipped "
+              << service.metrics().warm_skipped.load() << ")\n";
 
   if (cli.get_bool("listen")) return run_listen_mode(service, cli);
 
@@ -276,6 +300,12 @@ int main(int argc, char** argv) {
              std::to_string(service.metrics().executed.load())});
   t.add_row({"cache hit ratio",
              fmt_fixed(100 * service.metrics().hit_ratio(), 1) + "%"});
+  if (svc::Persister* p = service.persister()) {
+    p->flush();
+    t.add_row({"results persisted", std::to_string(p->written())});
+    t.add_row({"warm-loaded at start",
+               std::to_string(service.metrics().warm_loaded.load())});
+  }
   if (inject_faults) {
     const auto& m = service.metrics();
     t.add_row({"retries", std::to_string(m.retries.load())});

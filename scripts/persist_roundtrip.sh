@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Kill-and-restart persistence round-trip (the --persist lane of
+# scripts/tier1.sh): start sim_server --listen with a persistent result
+# store, fill it over TCP with sim_client, SIGKILL the server (a real
+# crash: no shutdown hook, no final flush), restart it on the same
+# directory, and replay the identical sweep. The round trip passes only
+# if the restarted server warm-loads the crashed process's results and
+# answers the whole second sweep without running a single simulation.
+#
+#   scripts/persist_roundtrip.sh                 # uses build/
+#   BUILD_DIR=build-native scripts/persist_roundtrip.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+SERVER="$BUILD/examples/sim_server"
+CLIENT="$BUILD/examples/sim_client"
+[[ -x "$SERVER" && -x "$CLIENT" ]] || {
+  echo "persist_roundtrip: build $SERVER and $CLIENT first" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/gpawfd_persist.XXXXXX")"
+CACHE="$WORK/cache"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A small sweep: 4 distinct jobs, enough requests that both runs hammer
+# the same keys repeatedly (exercising hits, not just fills).
+SWEEP=(--clients=2 --jobs=4 --requests=8 --edge=24 --cores=16)
+
+start_server() {  # $1 = log file; sets SERVER_PID and PORT
+  "$SERVER" --listen --port=0 --workers=2 --cache-dir="$CACHE" >"$1" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  local i
+  for i in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\),.*/\1/p' "$1")"
+    [[ -n "$PORT" ]] && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "persist_roundtrip: server died at startup; log:" >&2
+      cat "$1" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  echo "persist_roundtrip: no port in $1" >&2
+  exit 1
+}
+
+table_value() {  # $1 = log file, $2 = row label -> last integer on the row
+  grep -F "$2" "$1" | grep -o '[0-9]\+' | tail -1
+}
+
+echo "== run 1: cold server, fill the store over TCP =="
+start_server "$WORK/server1.log"
+"$CLIENT" --port="$PORT" "${SWEEP[@]}" >"$WORK/client1.log" 2>&1
+
+# Let the write-behind persister drain + fsync, then crash the server:
+# SIGKILL means no destructor runs — recovery alone must carry the store.
+sleep 2
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+[[ -s "$CACHE/results.gpcs" ]] || {
+  echo "FAIL: store file missing or empty after the first run" >&2
+  exit 1
+}
+
+echo "== run 2: restart on the same store, replay the sweep =="
+start_server "$WORK/server2.log"
+WARM="$(sed -n 's/.*warm-loaded \([0-9]*\) results.*/\1/p' "$WORK/server2.log")"
+"$CLIENT" --port="$PORT" "${SWEEP[@]}" >"$WORK/client2.log" 2>&1
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+EXECUTED="$(table_value "$WORK/server2.log" "simulations actually run")"
+COMPLETED="$(table_value "$WORK/client2.log" "completed")"
+
+echo "warm-loaded at restart:      ${WARM:-?}"
+echo "second-run replies:          ${COMPLETED:-?}"
+echo "second-run simulations run:  ${EXECUTED:-?}"
+
+FAIL=0
+[[ -n "$WARM" && "$WARM" -ge 1 ]] || {
+  echo "FAIL: restarted server warm-loaded nothing" >&2; FAIL=1; }
+[[ -n "$COMPLETED" && "$COMPLETED" -ge 1 ]] || {
+  echo "FAIL: second sweep completed no requests" >&2; FAIL=1; }
+[[ "$EXECUTED" == "0" ]] || {
+  echo "FAIL: restarted server re-ran $EXECUTED simulations" >&2; FAIL=1; }
+if [[ "$FAIL" != 0 ]]; then
+  echo "---- server2.log ----" >&2; cat "$WORK/server2.log" >&2
+  exit 1
+fi
+echo "OK: crash + restart served the entire sweep from the warm store"

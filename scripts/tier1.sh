@@ -10,6 +10,9 @@
 #   scripts/tier1.sh            # the ROADMAP tier-1 line
 #   scripts/tier1.sh --tsan     # + TSAN build of the concurrency tests
 #   scripts/tier1.sh --stress   # long soak: ctest -L stress, more rounds
+#   scripts/tier1.sh --persist  # crash + restart round-trip over the
+#                               # persistent result store (SIGKILL the
+#                               # server, restart, require 0 re-runs)
 #   scripts/tier1.sh --native   # host-tuned build (-march=native) in
 #                               # build-native/: the SIMD kernels compile
 #                               # to AVX2/FMA and the same suite must pass
@@ -35,17 +38,27 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   # refcount false positive (see the comment in that file).
   cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
   cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \
-    svc_fault_test worker_pool_test mp_stress_test net_test
+    svc_fault_test worker_pool_test mp_stress_test net_test cache_store_test
   TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus'
+    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus|CacheStore|Persister|SimServicePersist'
 elif [[ "${1:-}" == "--stress" ]]; then
   # Nightly soak lane: only the `stress`-labelled suites, run much longer
   # (GPAWFD_CHAOS_ROUNDS multiplies the chaos soak's fault schedules).
+  # cache_store_test rides along: its every-byte-offset truncation and
+  # bit-flip torture loops carry the stress label too.
   cmake -B build -S .
-  cmake --build build -j "$JOBS" --target svc_stress_test mp_stress_test
+  cmake --build build -j "$JOBS" \
+    --target svc_stress_test mp_stress_test cache_store_test
   GPAWFD_CHAOS_ROUNDS="${GPAWFD_CHAOS_ROUNDS:-20}" \
     ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
+elif [[ "${1:-}" == "--persist" ]]; then
+  # Persistence round-trip: fill a store over TCP, SIGKILL the server,
+  # restart it on the same directory, and require the replayed sweep to
+  # execute zero simulations (see scripts/persist_roundtrip.sh).
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target sim_server sim_client
+  scripts/persist_roundtrip.sh
 else
   run_tier1 build
 fi

@@ -4,6 +4,7 @@
 // keys in serialized form.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -34,6 +35,29 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
 constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
   return mix64(seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
                        (seed >> 2)));
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over a byte
+/// range — the integrity check of the persistent cache store's record
+/// log. Detects every single-bit flip and every burst up to 32 bits,
+/// which is exactly the torn-write / bit-rot model the store recovers
+/// from. Chainable: pass a previous crc32 as `seed` to extend it.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
 }
 
 }  // namespace gpawfd

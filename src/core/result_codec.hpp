@@ -1,0 +1,37 @@
+// Fixed-width binary codec for core::SimResult plus the little-endian
+// primitives it is built from. One implementation shared by every layer
+// that serializes results — the RPC wire format (src/net/frame) and the
+// persistent result store (src/svc/cache_store) — so a result that
+// crosses the wire and a result recovered from disk are byte-identical
+// by construction: 12 little-endian 8-byte fields, doubles stored as
+// their IEEE-754 bit images, so encoding round-trips to the last bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sim_executor.hpp"
+
+namespace gpawfd::core {
+
+// ---- little-endian primitives -----------------------------------------
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void append_double(std::vector<std::uint8_t>& out, double v);
+std::uint32_t read_u32(const std::uint8_t* p);
+std::uint64_t read_u64(const std::uint8_t* p);
+double read_double(const std::uint8_t* p);
+
+// ---- SimResult codec ---------------------------------------------------
+
+/// Encoded size: 12 fields x 8 bytes. A change here is a format change
+/// for both the wire protocol and the on-disk store — bump
+/// net::kWireVersion and svc::kStoreVersion together with it.
+inline constexpr std::size_t kSimResultCodecBytes = 12 * 8;
+
+std::vector<std::uint8_t> encode_sim_result(const SimResult& r);
+/// Throws Error on a size mismatch.
+SimResult decode_sim_result(const std::uint8_t* p, std::size_t n);
+
+}  // namespace gpawfd::core

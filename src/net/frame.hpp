@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/figures.hpp"
+#include "core/result_codec.hpp"
 #include "net/wire_status.hpp"
 
 namespace gpawfd::net {
@@ -50,13 +51,16 @@ struct Frame {
 };
 
 // ---- little-endian primitives -----------------------------------------
+// One implementation in core/result_codec.hpp, shared with the
+// persistent cache store; re-exported here so wire code keeps reading
+// as net:: throughout.
 
-void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
-void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
-void append_double(std::vector<std::uint8_t>& out, double v);
-std::uint32_t read_u32(const std::uint8_t* p);
-std::uint64_t read_u64(const std::uint8_t* p);
-double read_double(const std::uint8_t* p);
+using core::append_u32;
+using core::append_u64;
+using core::append_double;
+using core::read_u32;
+using core::read_u64;
+using core::read_double;
 
 // ---- frame encoding ----------------------------------------------------
 
@@ -126,12 +130,14 @@ class FrameDecoder {
 
 /// Fixed-width binary SimResult: 12 little-endian 8-byte fields (doubles
 /// bit-exact via their IEEE-754 representation), so a result round-trips
-/// the wire identical to the last bit.
-inline constexpr std::size_t kSimResultWireBytes = 12 * 8;
+/// the wire identical to the last bit. The codec itself lives in
+/// core/result_codec.{hpp,cpp} — the same bytes the persistent cache
+/// store (src/svc/cache_store) writes to disk, so a kResult reply *is* a
+/// serialized store entry.
+inline constexpr std::size_t kSimResultWireBytes = core::kSimResultCodecBytes;
 
-std::vector<std::uint8_t> encode_sim_result(const core::SimResult& r);
-/// Throws Error on a size mismatch.
-core::SimResult decode_sim_result(const std::uint8_t* p, std::size_t n);
+using core::encode_sim_result;
+using core::decode_sim_result;
 
 /// Parse a svc::JobKey canonical string back into the SimJobSpec it
 /// encodes — the server side of a submit payload. Strict: the parsed

@@ -1,0 +1,401 @@
+#include "svc/cache_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "svc/metrics.hpp"
+
+namespace gpawfd::svc {
+
+namespace {
+
+/// Offset of the CRC field inside the header: the CRC covers everything
+/// before it (plus key and value), never itself.
+constexpr std::size_t kCrcOffset = kStoreHeaderBytes - 4;
+
+void write_all(int fd, const std::uint8_t* p, std::size_t n,
+               std::uint64_t offset) {
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      GPAWFD_CHECK_MSG(false, "cache store write failed: "
+                                  << std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+    offset += static_cast<std::uint64_t>(w);
+  }
+}
+
+/// Durability of a rename needs the *directory* entry flushed too;
+/// best-effort (not every filesystem lets you fsync a directory).
+void sync_parent_dir(const std::string& path) {
+  auto slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string CacheStore::path_in(const std::string& dir) {
+  if (dir.empty() || dir.back() == '/') return dir + kFileName;
+  return dir + "/" + kFileName;
+}
+
+CacheStore::CacheStore(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  GPAWFD_CHECK_MSG(fd_ >= 0, "cannot open cache store " << path_ << ": "
+                                                        << std::strerror(errno));
+}
+
+CacheStore::~CacheStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::uint8_t> CacheStore::encode_record(
+    RecordType type, std::uint64_t sequence, double write_time,
+    double cost_seconds, const std::string& key, const std::uint8_t* value,
+    std::size_t value_len) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kStoreHeaderBytes + key.size() + value_len);
+  core::append_u32(out, kStoreMagic);
+  out.push_back(kStoreVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  core::append_u64(out, sequence);
+  core::append_double(out, write_time);
+  core::append_double(out, cost_seconds);
+  core::append_u32(out, static_cast<std::uint32_t>(key.size()));
+  core::append_u32(out, static_cast<std::uint32_t>(value_len));
+  std::uint32_t crc = crc32(out.data(), kCrcOffset);
+  crc = crc32(key.data(), key.size(), crc);
+  crc = crc32(value, value_len, crc);
+  core::append_u32(out, crc);
+  out.insert(out.end(), key.begin(), key.end());
+  out.insert(out.end(), value, value + value_len);
+  return out;
+}
+
+std::uint64_t CacheStore::append_record(RecordType type,
+                                        const std::string& key,
+                                        const std::uint8_t* value,
+                                        std::size_t value_len,
+                                        double cost_seconds,
+                                        double write_time) {
+  GPAWFD_CHECK_MSG(recovered_,
+                   "CacheStore::recover() must run before appends");
+  GPAWFD_CHECK_MSG(!key.empty() && key.size() <= kStoreMaxKeyBytes,
+                   "cache store key size " << key.size() << " out of range");
+  const std::uint64_t seq = next_sequence_;
+  std::vector<std::uint8_t> buf = encode_record(
+      type, seq, write_time, cost_seconds, key, value, value_len);
+  write_all(fd_, buf.data(), buf.size(), end_offset_);
+  end_offset_ += buf.size();
+  next_sequence_ = seq + 1;
+  ++total_records_;
+  note_applied(type, key, seq);
+  return end_offset_;
+}
+
+std::uint64_t CacheStore::append_put(const std::string& key,
+                                     const core::SimResult& result,
+                                     double cost_seconds, double write_time) {
+  std::vector<std::uint8_t> value = core::encode_sim_result(result);
+  return append_record(RecordType::kPut, key, value.data(), value.size(),
+                       cost_seconds, write_time);
+}
+
+std::uint64_t CacheStore::append_tombstone(const std::string& key,
+                                           double write_time) {
+  return append_record(RecordType::kTombstone, key, nullptr, 0, 0.0,
+                       write_time);
+}
+
+void CacheStore::sync() {
+  GPAWFD_CHECK_MSG(::fsync(fd_) == 0,
+                   "cache store fsync failed: " << std::strerror(errno));
+}
+
+void CacheStore::note_applied(RecordType type, const std::string& key,
+                              std::uint64_t sequence) {
+  if (type == RecordType::kPut)
+    live_[key] = sequence;
+  else
+    live_.erase(key);
+}
+
+std::vector<StoreRecord> CacheStore::recover(RecoveryStats* stats,
+                                             bool repair) {
+  struct stat st;
+  GPAWFD_CHECK_MSG(::fstat(fd_, &st) == 0,
+                   "cache store fstat failed: " << std::strerror(errno));
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+
+  std::vector<std::uint8_t> data(file_size);
+  std::uint64_t got = 0;
+  while (got < file_size) {
+    ssize_t r = ::pread(fd_, data.data() + got, file_size - got,
+                        static_cast<off_t>(got));
+    if (r < 0 && errno == EINTR) continue;
+    GPAWFD_CHECK_MSG(r >= 0,
+                     "cache store read failed: " << std::strerror(errno));
+    if (r == 0) break;  // concurrently truncated; treat the rest as torn
+    got += static_cast<std::uint64_t>(r);
+  }
+
+  // Forward scan: accept records until the first one that fails any
+  // structural or integrity check, then stop — nothing past a bad
+  // record can be trusted (its length fields might be the corruption).
+  std::vector<StoreRecord> accepted;
+  std::uint64_t pos = 0;
+  std::uint64_t last_seq = 0;
+  while (pos + kStoreHeaderBytes <= got) {
+    const std::uint8_t* h = data.data() + pos;
+    if (core::read_u32(h) != kStoreMagic) break;
+    if (h[4] != kStoreVersion) break;
+    const std::uint8_t type_byte = h[5];
+    if (type_byte != static_cast<std::uint8_t>(RecordType::kPut) &&
+        type_byte != static_cast<std::uint8_t>(RecordType::kTombstone))
+      break;
+    const std::uint64_t seq = core::read_u64(h + 8);
+    const double write_time = core::read_double(h + 16);
+    const double cost_seconds = core::read_double(h + 24);
+    const std::uint32_t key_len = core::read_u32(h + 32);
+    const std::uint32_t value_len = core::read_u32(h + 36);
+    if (key_len == 0 || key_len > kStoreMaxKeyBytes) break;
+    const auto type = static_cast<RecordType>(type_byte);
+    const std::size_t want_value =
+        type == RecordType::kPut ? core::kSimResultCodecBytes : 0;
+    if (value_len != want_value) break;
+    const std::uint64_t total = kStoreHeaderBytes + key_len + value_len;
+    if (pos + total > got) break;  // torn tail: record extends past EOF
+    std::uint32_t crc = crc32(h, kCrcOffset);
+    crc = crc32(h + kStoreHeaderBytes, key_len + value_len, crc);
+    if (crc != core::read_u32(h + kCrcOffset)) break;
+    if (seq <= last_seq) break;  // sequences are strictly increasing
+
+    StoreRecord rec;
+    rec.key.assign(reinterpret_cast<const char*>(h + kStoreHeaderBytes),
+                   key_len);
+    if (type == RecordType::kPut)
+      rec.result = core::decode_sim_result(h + kStoreHeaderBytes + key_len,
+                                           value_len);
+    rec.cost_seconds = cost_seconds;
+    rec.write_time = write_time;
+    rec.sequence = seq;
+    rec.type = type;
+    accepted.push_back(std::move(rec));
+    last_seq = seq;
+    pos += total;
+  }
+
+  // Replay in sequence order: a later put supersedes an earlier one, a
+  // tombstone deletes. The survivors are the live set.
+  std::unordered_map<std::string, std::size_t> live_idx;
+  std::int64_t puts = 0, tombstones = 0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    if (accepted[i].type == RecordType::kPut) {
+      ++puts;
+      live_idx[accepted[i].key] = i;
+    } else {
+      ++tombstones;
+      live_idx.erase(accepted[i].key);
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(live_idx.size());
+  for (const auto& [key, idx] : live_idx) order.push_back(idx);
+  std::sort(order.begin(), order.end());
+
+  if (stats) {
+    stats->records_scanned = static_cast<std::int64_t>(accepted.size());
+    stats->puts = puts;
+    stats->tombstones = tombstones;
+    stats->live = static_cast<std::int64_t>(live_idx.size());
+    stats->truncated_bytes = static_cast<std::int64_t>(got - pos);
+    stats->truncated = got != pos;
+  }
+
+  // Establish (or re-establish) the writer state from the valid prefix.
+  live_.clear();
+  for (const auto& [key, idx] : live_idx) live_[key] = accepted[idx].sequence;
+  total_records_ = static_cast<std::int64_t>(accepted.size());
+  next_sequence_ = last_seq + 1;
+  end_offset_ = pos;
+  recovered_ = true;
+
+  if (repair && pos < file_size) {
+    GPAWFD_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(pos)) == 0,
+                     "cache store truncate failed: " << std::strerror(errno));
+    sync();
+  }
+
+  std::vector<StoreRecord> live;
+  live.reserve(order.size());
+  for (std::size_t idx : order) live.push_back(std::move(accepted[idx]));
+  return live;
+}
+
+double CacheStore::garbage_ratio() const {
+  if (total_records_ <= 0) return 0.0;
+  const std::int64_t garbage = total_records_ - live_records();
+  return static_cast<double>(garbage) / static_cast<double>(total_records_);
+}
+
+bool CacheStore::maybe_compact(double garbage_threshold,
+                               std::int64_t min_records) {
+  if (total_records_ < min_records) return false;
+  if (garbage_ratio() <= garbage_threshold) return false;
+  return compact();
+}
+
+bool CacheStore::compact() {
+  GPAWFD_CHECK_MSG(recovered_,
+                   "CacheStore::recover() must run before compact()");
+  // Re-read the live set from disk (the in-memory index only holds keys
+  // and sequences, not values). The file is ours alone here: the
+  // persister thread is the only writer and it is the caller.
+  std::vector<StoreRecord> live = recover(nullptr, /*repair=*/false);
+  const std::uint64_t keep_next_seq = next_sequence_;
+
+  const std::string tmp = path_ + ".compact";
+  int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+  GPAWFD_CHECK_MSG(tfd >= 0, "cannot open " << tmp << ": "
+                                            << std::strerror(errno));
+  std::uint64_t offset = 0;
+  for (const StoreRecord& rec : live) {
+    std::vector<std::uint8_t> value = core::encode_sim_result(rec.result);
+    std::vector<std::uint8_t> buf =
+        encode_record(RecordType::kPut, rec.sequence, rec.write_time,
+                      rec.cost_seconds, rec.key, value.data(), value.size());
+    write_all(tfd, buf.data(), buf.size(), offset);
+    offset += buf.size();
+  }
+  GPAWFD_CHECK_MSG(::fsync(tfd) == 0,
+                   "compaction fsync failed: " << std::strerror(errno));
+  ::close(tfd);
+  GPAWFD_CHECK_MSG(::rename(tmp.c_str(), path_.c_str()) == 0,
+                   "compaction rename failed: " << std::strerror(errno));
+  sync_parent_dir(path_);
+
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  GPAWFD_CHECK_MSG(fd_ >= 0, "cannot reopen compacted store " << path_ << ": "
+                                                              << std::strerror(
+                                                                     errno));
+  live_.clear();
+  for (const StoreRecord& rec : live) live_[rec.key] = rec.sequence;
+  total_records_ = static_cast<std::int64_t>(live.size());
+  next_sequence_ = keep_next_seq;  // never reuse a sequence number
+  end_offset_ = offset;
+  ++compactions_;
+  return true;
+}
+
+// ---- Persister ----------------------------------------------------------
+
+Persister::Persister(std::unique_ptr<CacheStore> store,
+                     PersisterConfig config, Metrics* metrics)
+    : store_(std::move(store)),
+      config_(std::move(config)),
+      metrics_(metrics) {
+  GPAWFD_CHECK(store_ != nullptr);
+  GPAWFD_CHECK(config_.queue_capacity >= 1);
+  thread_ = std::thread(&Persister::loop, this);
+}
+
+Persister::~Persister() { shutdown(); }
+
+void Persister::enqueue(std::string key, const core::SimResult& result,
+                        double cost_seconds, double write_time) {
+  std::lock_guard lock(mu_);
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_)
+    metrics_->persist_enqueued.fetch_add(1, std::memory_order_relaxed);
+  // After shutdown (or when bumping the oldest out of a full queue) the
+  // entry is dropped, keeping enqueued == written + dropped exact.
+  if (closed_ || queue_.size() >= config_.queue_capacity) {
+    if (!closed_) queue_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_)
+      metrics_->persist_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (closed_) return;
+  }
+  queue_.push_back(Item{std::move(key), result, cost_seconds, write_time});
+  cv_.notify_one();
+}
+
+void Persister::loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // closed and fully drained (and synced)
+    draining_ = true;
+    while (!queue_.empty()) {
+      Item item = std::move(queue_.front());
+      queue_.pop_front();
+      lk.unlock();
+      if (config_.on_write) config_.on_write(item.key);
+      store_->append_put(item.key, item.result, item.cost_seconds,
+                         item.write_time);
+      written_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_)
+        metrics_->persist_written.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+    }
+    // Queue drained: this is the durability point — one fsync per
+    // batch, not per record — and the bookkeeping moment for
+    // compaction (still on this thread, so the store stays
+    // single-threaded).
+    lk.unlock();
+    store_->sync();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_)
+      metrics_->persist_flushes.fetch_add(1, std::memory_order_relaxed);
+    if (config_.compact_garbage_threshold > 0 &&
+        store_->maybe_compact(config_.compact_garbage_threshold,
+                              config_.compact_min_records)) {
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_)
+        metrics_->persist_compactions.fetch_add(1,
+                                                std::memory_order_relaxed);
+    }
+    lk.lock();
+    draining_ = false;
+    idle_cv_.notify_all();
+    if (closed_ && queue_.empty()) return;
+  }
+}
+
+void Persister::flush() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && !draining_; });
+}
+
+void Persister::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_ && !thread_.joinable()) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace gpawfd::svc

@@ -1,0 +1,253 @@
+// Persistent, crash-safe result store: an append-only record log
+// mapping JobKey canonical strings to bit-exact SimResults (the shared
+// core/result_codec encoding — the same 96 bytes a net kResult frame
+// carries, so a wire reply *is* a serialized store entry). The paper
+// keeps expensive grid work off the critical path; this keeps expensive
+// simulations off the critical path of the *next process*: a bench/CI
+// restart warm-loads the store instead of re-simulating.
+//
+// One record on disk (all little-endian):
+//
+//   0        4       5      6         8          16          24
+//   ┌────────┬───────┬──────┬─────────┬──────────┬───────────┬
+//   │ magic  │version│ type │reserved │ sequence │ write_time│
+//   │ 4B     │ 1B    │ 1B   │ 2B      │ 8B       │ 8B (f64)  │
+//   ┼────────┬─────────┬───────────┬───────┬──────┬──────────┤
+//   │ cost   │ key_len │ value_len │ crc32 │ key… │ value…   │
+//   │ 8B f64 │ 4B      │ 4B        │ 4B    │      │ (96B put)│
+//   └────────┴─────────┴───────────┴───────┴──────┴──────────┘
+//   24      32        36          40      44
+//
+// The CRC covers header bytes [0, 40) plus key plus value, so a torn
+// write (crash mid-append) or any bit flip invalidates exactly the
+// record it touched. Recovery scans forward and stops at the first
+// record that fails any check (magic, version, type, bounds, sequence
+// monotonicity, CRC): everything before it is recovered, everything
+// from it on is dropped — with repair=true the file is physically
+// truncated to the valid prefix so the next append continues cleanly.
+// Later records supersede earlier ones for the same key, and tombstone
+// records delete a key; when the superseded/tombstoned garbage exceeds
+// a threshold, compaction rewrites the live set to a temp file and
+// atomically renames it into place (original sequences and timestamps
+// preserved).
+//
+// CacheStore itself is single-threaded by contract. The write-behind
+// Persister below is the concurrency story: SimService::complete()
+// enqueues into its bounded queue (drop-oldest backpressure — losing a
+// cache entry costs one future re-simulation, blocking a worker costs
+// latency now) and a dedicated thread drains it to the log, fsyncing at
+// every drain and compacting when garbage accumulates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result_codec.hpp"
+
+namespace gpawfd::svc {
+
+class Metrics;
+
+inline constexpr std::uint32_t kStoreMagic = 0x53435047;  // "GPCS" on disk
+inline constexpr std::uint8_t kStoreVersion = 1;
+/// Header incl. the trailing CRC, excl. key/value bytes.
+inline constexpr std::size_t kStoreHeaderBytes = 44;
+/// Sanity bounds recovery enforces before trusting a length field; a
+/// flipped bit in key_len must never make the scanner swallow the rest
+/// of the log as one "record".
+inline constexpr std::size_t kStoreMaxKeyBytes = 16 * 1024;
+
+enum class RecordType : std::uint8_t {
+  kPut = 1,        // value = encode_sim_result (kSimResultCodecBytes)
+  kTombstone = 2,  // value empty; deletes the key
+};
+
+/// One recovered (or to-be-written) log record.
+struct StoreRecord {
+  std::string key;  // JobKey canonical string, opaque to the store
+  core::SimResult result{};
+  double cost_seconds = 0;  // measured cold cost (weights eviction)
+  double write_time = 0;    // trace::unix_seconds() at production time
+  std::uint64_t sequence = 0;
+  RecordType type = RecordType::kPut;
+};
+
+struct RecoveryStats {
+  std::int64_t records_scanned = 0;  // records that passed every check
+  std::int64_t puts = 0;
+  std::int64_t tombstones = 0;
+  std::int64_t live = 0;             // puts surviving supersede/tombstone
+  std::int64_t truncated_bytes = 0;  // torn/corrupt tail dropped
+  bool truncated = false;
+};
+
+class CacheStore {
+ public:
+  /// The store file a directory-configured service uses, so two
+  /// processes given the same --cache-dir agree on the path.
+  static constexpr const char* kFileName = "results.gpcs";
+  static std::string path_in(const std::string& dir);
+
+  /// Opens (creating if absent) the log at `path`. recover() must run
+  /// before the first append — it establishes the valid end of the log
+  /// and the next sequence number.
+  explicit CacheStore(std::string path);
+  ~CacheStore();
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  /// Scan the log from the start, stop at the first torn/corrupt
+  /// record, and return the live set (sequence order). With repair=true
+  /// (the writer's mode) the file is truncated to the valid prefix;
+  /// repair=false is a read-only scan, safe on a file another process
+  /// is appending to.
+  std::vector<StoreRecord> recover(RecoveryStats* stats = nullptr,
+                                   bool repair = true);
+
+  /// Append one record; returns the file offset just past it (a record
+  /// boundary — the torture tests truncate at these and everywhere
+  /// else). Durable only after sync().
+  std::uint64_t append_put(const std::string& key,
+                           const core::SimResult& result,
+                           double cost_seconds, double write_time);
+  std::uint64_t append_tombstone(const std::string& key, double write_time);
+  void sync();  // fsync the log
+
+  // ---- compaction -----------------------------------------------------
+  /// superseded + tombstoned records / total records (0 when empty).
+  double garbage_ratio() const;
+  /// Rewrite the live set when garbage_ratio() exceeds the threshold and
+  /// the log holds at least `min_records`. Returns true if it compacted.
+  bool maybe_compact(double garbage_threshold = 0.5,
+                     std::int64_t min_records = 64);
+  /// Unconditional rewrite: live records -> temp file -> fsync ->
+  /// atomic rename over the log -> fsync the directory.
+  bool compact();
+
+  // ---- statistics -----------------------------------------------------
+  const std::string& path() const { return path_; }
+  /// True when `key` has a live (non-tombstoned, non-superseded) put.
+  bool contains(const std::string& key) const { return live_.count(key) > 0; }
+  std::int64_t total_records() const { return total_records_; }
+  std::int64_t live_records() const {
+    return static_cast<std::int64_t>(live_.size());
+  }
+  std::uint64_t next_sequence() const { return next_sequence_; }
+  std::uint64_t size_bytes() const { return end_offset_; }
+  std::int64_t compactions() const { return compactions_; }
+
+ private:
+  std::vector<std::uint8_t> encode_record(RecordType type,
+                                          std::uint64_t sequence,
+                                          double write_time,
+                                          double cost_seconds,
+                                          const std::string& key,
+                                          const std::uint8_t* value,
+                                          std::size_t value_len) const;
+  std::uint64_t append_record(RecordType type, const std::string& key,
+                              const std::uint8_t* value,
+                              std::size_t value_len, double cost_seconds,
+                              double write_time);
+  void note_applied(RecordType type, const std::string& key,
+                    std::uint64_t sequence);
+
+  std::string path_;
+  int fd_ = -1;
+  bool recovered_ = false;
+  std::uint64_t end_offset_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  std::int64_t total_records_ = 0;
+  /// key -> sequence of its live put (absent = deleted/never written).
+  std::unordered_map<std::string, std::uint64_t> live_;
+  std::int64_t compactions_ = 0;
+};
+
+// ---- write-behind persister --------------------------------------------
+
+struct PersisterConfig {
+  /// Bounded queue between complete() and the log. When full the
+  /// *oldest* pending entry is dropped (counted), never the newest —
+  /// recency is what the next warm start wants — and never the caller's
+  /// time: enqueue() does no I/O.
+  std::size_t queue_capacity = 256;
+  /// Compact after a flush when garbage exceeds this fraction (<= 0
+  /// disables) and the log has at least compact_min_records records.
+  double compact_garbage_threshold = 0.5;
+  std::int64_t compact_min_records = 64;
+  /// Test hook: runs on the persister thread just before each append
+  /// (e.g. to gate writes and force the drop-oldest path determinately).
+  std::function<void(const std::string& key)> on_write;
+};
+
+/// Owns a CacheStore plus the dedicated thread that drains completed
+/// results into it, off the worker hot path. Counters are mirrored into
+/// the service Metrics (when given) so they appear in counter_map() and
+/// reconcile at quiescence: enqueued == written + dropped.
+class Persister {
+ public:
+  /// `store` must already be recovered (the warm-load pass does that).
+  Persister(std::unique_ptr<CacheStore> store, PersisterConfig config = {},
+            Metrics* metrics = nullptr);
+  ~Persister();  // shutdown()
+  Persister(const Persister&) = delete;
+  Persister& operator=(const Persister&) = delete;
+
+  /// Hand a completed result to the write-behind queue. Never blocks on
+  /// I/O; drops the oldest pending entry when the queue is full. Safe
+  /// from any thread; a no-op (counted as dropped) after shutdown().
+  void enqueue(std::string key, const core::SimResult& result,
+               double cost_seconds, double write_time);
+
+  /// Block until everything enqueued so far is written and fsynced.
+  void flush();
+  /// Drain the queue, fsync, and stop the thread. Idempotent.
+  void shutdown();
+
+  const CacheStore& store() const { return *store_; }
+
+  std::int64_t enqueued() const { return enqueued_.load(); }
+  std::int64_t written() const { return written_.load(); }
+  std::int64_t dropped() const { return dropped_.load(); }
+  std::int64_t flushes() const { return flushes_.load(); }
+  std::int64_t compactions() const { return compactions_.load(); }
+
+ private:
+  struct Item {
+    std::string key;
+    core::SimResult result;
+    double cost_seconds;
+    double write_time;
+  };
+
+  void loop();
+
+  std::unique_ptr<CacheStore> store_;
+  PersisterConfig config_;
+  Metrics* metrics_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // wakes the persister thread
+  std::condition_variable idle_cv_;  // wakes flush() waiters
+  std::deque<Item> queue_;
+  bool closed_ = false;
+  bool draining_ = false;  // thread is between pop and post-drain sync
+
+  std::atomic<std::int64_t> enqueued_{0};
+  std::atomic<std::int64_t> written_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<std::int64_t> flushes_{0};
+  std::atomic<std::int64_t> compactions_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace gpawfd::svc

@@ -49,6 +49,19 @@ void append_machine(std::ostringstream& os, const bgsim::MachineConfig& m) {
 
 }  // namespace
 
+JobKey JobKey::from_canonical(std::string canonical) {
+  const std::uint64_t h = fnv1a(canonical);
+  return JobKey(std::move(canonical), h);
+}
+
+std::string JobKey::version_prefix() {
+  return "v" + std::to_string(kVersion) + "|";
+}
+
+bool JobKey::current_version(const std::string& canonical) {
+  return canonical.rfind(version_prefix(), 0) == 0;
+}
+
 JobKey JobKey::of(const core::SimJobSpec& spec) {
   std::ostringstream os;
   os << "v" << kVersion << "|approach=" << static_cast<int>(spec.approach)

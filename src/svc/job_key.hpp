@@ -27,6 +27,21 @@ class JobKey {
   /// byte-identical keys and equal hashes, across threads and processes.
   static JobKey of(const core::SimJobSpec& spec);
 
+  /// Rehydrate a key from a canonical string that *this process* (or a
+  /// peer speaking the same kVersion) produced — the warm-load path of
+  /// the persistent cache store. Purely lexical: the hash is recomputed,
+  /// nothing is parsed or validated; callers that need a SimJobSpec back
+  /// go through net::parse_job_spec's decisive round-trip instead.
+  static JobKey from_canonical(std::string canonical);
+
+  /// "v<kVersion>|" — every current-version canonical string starts with
+  /// this. Warm loads drop records whose key lacks the prefix, which is
+  /// how a kVersion bump invalidates every previously persisted result.
+  static std::string version_prefix();
+
+  /// True when `canonical` was written by the current kVersion.
+  static bool current_version(const std::string& canonical);
+
   /// The full canonical encoding — unambiguous, human-readable,
   /// suitable as a map key or a log line.
   const std::string& canonical() const { return canonical_; }

@@ -26,6 +26,13 @@ void for_each_counter(const Metrics& m, Fn&& fn) {
   fn("svc.retries", get(m.retries));
   fn("svc.gave_up", get(m.gave_up));
   fn("svc.cancelled", get(m.cancelled));
+  fn("svc.warm_loaded", get(m.warm_loaded));
+  fn("svc.warm_skipped", get(m.warm_skipped));
+  fn("svc.persist_enqueued", get(m.persist_enqueued));
+  fn("svc.persist_written", get(m.persist_written));
+  fn("svc.persist_dropped", get(m.persist_dropped));
+  fn("svc.persist_flushes", get(m.persist_flushes));
+  fn("svc.persist_compactions", get(m.persist_compactions));
 }
 }  // namespace
 
@@ -47,7 +54,8 @@ std::map<std::string, std::int64_t> Metrics::counter_map() const {
 }
 
 std::string Metrics::snapshot(std::int64_t cache_size,
-                              std::int64_t cache_evictions) const {
+                              std::int64_t cache_evictions,
+                              std::int64_t cache_expired) const {
   std::ostringstream os;
   auto line = [&](const char* key, auto value) {
     os << key << ": " << value << "\n";
@@ -58,6 +66,7 @@ std::string Metrics::snapshot(std::int64_t cache_size,
   line("svc.queue_depth_high_water", queue_depth_high_water());
   if (cache_size >= 0) line("svc.cache_size", cache_size);
   if (cache_evictions >= 0) line("svc.cache_evictions", cache_evictions);
+  if (cache_expired >= 0) line("svc.cache_expired", cache_expired);
   auto hist = [&](const char* name, const trace::LatencyHistogram& h) {
     os << name << ": count=" << h.count() << " mean="
        << fmt_seconds(h.mean_seconds())

@@ -41,6 +41,22 @@ class Metrics {
   std::atomic<std::int64_t> timeouts{0};       // attempt exceeded deadline
   std::atomic<std::int64_t> retries{0};        // re-executions started
 
+  // ---- persistent cache store -----------------------------------------
+  // Warm load (startup): every recovered live record is either loaded or
+  // skipped (stale version / expired / already present), so
+  //   store live records == warm_loaded + warm_skipped.
+  // Write-behind (steady state): every completed result handed to the
+  // persister is eventually written or dropped by backpressure, so
+  //   persist_enqueued == persist_written + persist_dropped
+  // once the service is quiescent (after shutdown or flush).
+  std::atomic<std::int64_t> warm_loaded{0};
+  std::atomic<std::int64_t> warm_skipped{0};
+  std::atomic<std::int64_t> persist_enqueued{0};
+  std::atomic<std::int64_t> persist_written{0};
+  std::atomic<std::int64_t> persist_dropped{0};  // drop-oldest backpressure
+  std::atomic<std::int64_t> persist_flushes{0};  // fsync barriers
+  std::atomic<std::int64_t> persist_compactions{0};
+
   // ---- latency histograms --------------------------------------------
   trace::LatencyHistogram queue_wait;    // enqueue -> picked up by a worker
   trace::LatencyHistogram exec_time;     // successful executor run (cold)
@@ -64,7 +80,8 @@ class Metrics {
   /// Multi-line human/machine-greppable text block (key: value lines),
   /// the exporter the examples and benches print.
   std::string snapshot(std::int64_t cache_size = -1,
-                       std::int64_t cache_evictions = -1) const;
+                       std::int64_t cache_evictions = -1,
+                       std::int64_t cache_expired = -1) const;
 
   /// Every monotonic counter by snapshot name — no histograms, no
   /// timings, so two runs of the same deterministic schedule compare

@@ -3,11 +3,13 @@
 #include <iterator>
 
 #include "common/math.hpp"
+#include "trace/stats.hpp"
 
 namespace gpawfd::svc {
 
-ResultCache::ResultCache(std::size_t capacity, int shards)
-    : capacity_(capacity) {
+ResultCache::ResultCache(std::size_t capacity, int shards,
+                         double ttl_seconds)
+    : capacity_(capacity), ttl_seconds_(ttl_seconds) {
   GPAWFD_CHECK(capacity >= 1);
   GPAWFD_CHECK(shards >= 1);
   // More stripes than entries would leave stripes with capacity 0.
@@ -20,9 +22,20 @@ ResultCache::ResultCache(std::size_t capacity, int shards)
     shards_.push_back(std::make_unique<Shard>());
 }
 
+void ResultCache::expire_if_stale(Shard& sh, const JobKey& key) {
+  if (ttl_seconds_ <= 0) return;
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) return;
+  if (!is_expired(*it->second, trace::unix_seconds())) return;
+  sh.lru.erase(it->second);
+  sh.map.erase(it);
+  expired_.fetch_add(1, std::memory_order_relaxed);
+}
+
 ResultCache::Lookup ResultCache::lookup_or_begin(const JobKey& key) {
   Shard& sh = shard_of(key);
   std::lock_guard lock(sh.mu);
+  expire_if_stale(sh, key);
 
   if (auto it = sh.map.find(key); it != sh.map.end()) {
     // Refresh LRU position, answer from cache.
@@ -48,11 +61,34 @@ ResultCache::Lookup ResultCache::lookup_or_begin(const JobKey& key) {
 std::optional<core::SimResult> ResultCache::peek(const JobKey& key) {
   Shard& sh = shard_of(key);
   std::lock_guard lock(sh.mu);
+  expire_if_stale(sh, key);
   auto it = sh.map.find(key);
   if (it == sh.map.end()) return std::nullopt;
   sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->result;
+}
+
+void ResultCache::insert_locked(Shard& sh, const JobKey& key,
+                                const core::SimResult& result,
+                                double cost_seconds, double write_time) {
+  sh.lru.emplace_front(Entry{key, result, cost_seconds, write_time});
+  sh.map.emplace(key, sh.lru.begin());
+  while (sh.lru.size() > per_shard_capacity_) {
+    // Cost-weighted eviction: among the kEvictionWindow entries at
+    // the LRU end, evict the cheapest (ties resolved toward the
+    // least recently used). Uniform costs therefore reduce to LRU.
+    auto victim = std::prev(sh.lru.end());
+    auto it = victim;
+    for (std::size_t w = 1; w < kEvictionWindow && it != sh.lru.begin();
+         ++w) {
+      --it;
+      if (it->cost_seconds < victim->cost_seconds) victim = it;
+    }
+    sh.map.erase(victim->key);
+    sh.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ResultCache::complete(const JobKey& key, const core::SimResult& result,
@@ -67,30 +103,26 @@ void ResultCache::complete(const JobKey& key, const core::SimResult& result,
     flight = std::move(fit->second);
     sh.flights.erase(fit);
 
-    if (sh.map.find(key) == sh.map.end()) {
-      sh.lru.emplace_front(Entry{key, result, cost_seconds});
-      sh.map.emplace(key, sh.lru.begin());
-      while (sh.lru.size() > per_shard_capacity_) {
-        // Cost-weighted eviction: among the kEvictionWindow entries at
-        // the LRU end, evict the cheapest (ties resolved toward the
-        // least recently used). Uniform costs therefore reduce to LRU.
-        auto victim = std::prev(sh.lru.end());
-        auto it = victim;
-        for (std::size_t w = 1; w < kEvictionWindow && it != sh.lru.begin();
-             ++w) {
-          --it;
-          if (it->cost_seconds < victim->cost_seconds) victim = it;
-        }
-        sh.map.erase(victim->key);
-        sh.lru.erase(victim);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
+    if (sh.map.find(key) == sh.map.end())
+      insert_locked(sh, key, result, cost_seconds, trace::unix_seconds());
   }
   // Wake waiters outside the stripe lock; continuations after the
   // promise so future-based observers never lag callback observers.
   flight->promise.set_value(result);
   for (Continuation& fn : flight->continuations) fn(&result, nullptr);
+}
+
+bool ResultCache::insert_warm(const JobKey& key,
+                              const core::SimResult& result,
+                              double cost_seconds, double write_time) {
+  if (ttl_seconds_ > 0 &&
+      trace::unix_seconds() - write_time >= ttl_seconds_)
+    return false;  // expired on load
+  Shard& sh = shard_of(key);
+  std::lock_guard lock(sh.mu);
+  if (sh.map.count(key) || sh.flights.count(key)) return false;
+  insert_locked(sh, key, result, cost_seconds, write_time);
+  return true;
 }
 
 void ResultCache::abort(const JobKey& key, std::exception_ptr error) {

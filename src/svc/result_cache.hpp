@@ -18,6 +18,13 @@
 // instead of blindly the oldest. A 16k-core result that took seconds to
 // simulate therefore survives a scan of cheap insertions; with uniform
 // costs the policy degenerates to exact LRU.
+//
+// Staleness is bounded by an optional TTL: every entry remembers when
+// its result was produced (unix clock, so warm-loaded entries from the
+// persistent store keep aging across restarts), and an entry older than
+// the TTL is dropped on the lookup that observes it — the requester
+// becomes the leader and re-fills it, exactly as if it had never been
+// cached.
 #pragma once
 
 #include <cstdint>
@@ -55,8 +62,14 @@ class ResultCache {
       std::function<void(const core::SimResult*, std::exception_ptr)>;
 
   /// `capacity` cached results total, spread over `shards` stripes
-  /// (each stripe holds ceil(capacity/shards)).
-  explicit ResultCache(std::size_t capacity, int shards = 8);
+  /// (each stripe holds ceil(capacity/shards)). `ttl_seconds` bounds the
+  /// staleness of every entry (0 = entries never expire): an entry older
+  /// than the TTL — measured from its write time on the unix clock, so
+  /// the bound survives process restarts — is treated as a miss on the
+  /// next lookup/peek (erased, counted in expired(), and re-filled by
+  /// the requester, who becomes the leader).
+  explicit ResultCache(std::size_t capacity, int shards = 8,
+                       double ttl_seconds = 0);
 
   /// The single-flight entry point; atomic per key.
   Lookup lookup_or_begin(const JobKey& key);
@@ -75,6 +88,16 @@ class ResultCache {
   /// Leader hand-off on failure: propagate `error` to every joined
   /// waiter (their future.get() throws) without caching anything.
   void abort(const JobKey& key, std::exception_ptr error);
+
+  /// Warm-load path (persistent store recovery): insert a result that
+  /// was produced earlier — possibly by another process — preserving its
+  /// original `write_time` so the TTL keeps counting from when the
+  /// result was actually computed, not from when it was reloaded.
+  /// Never starts or settles a flight and touches no hit/miss counters.
+  /// Returns false (and inserts nothing) when the entry is already
+  /// expired, or when the key is cached or in flight.
+  bool insert_warm(const JobKey& key, const core::SimResult& result,
+                   double cost_seconds, double write_time);
 
   /// Attach a continuation to the key's in-flight computation (the
   /// ticket continuation hook the RPC front-end rides on). Returns false
@@ -96,9 +119,15 @@ class ResultCache {
   std::int64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Entries dropped because they outlived the TTL (observed on a
+  /// lookup/peek of the stale key; each was re-countable as a miss).
+  std::int64_t expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   int shards() const { return static_cast<int>(shards_.size()); }
+  double ttl_seconds() const { return ttl_seconds_; }
 
   /// How far from the LRU end eviction searches for the cheapest entry.
   /// Small and fixed: eviction stays O(1), yet an expensive result needs
@@ -118,6 +147,9 @@ class ResultCache {
     JobKey key;
     core::SimResult result;
     double cost_seconds = 0.0;
+    /// trace::unix_seconds() when the result was produced (not inserted:
+    /// a warm-loaded entry keeps its original stamp). 0 with no TTL.
+    double write_time = 0.0;
   };
 
   struct Shard {
@@ -134,13 +166,25 @@ class ResultCache {
     return *shards_[key.hash() % shards_.size()];
   }
 
+  bool is_expired(const Entry& e, double now) const {
+    return ttl_seconds_ > 0 && now - e.write_time >= ttl_seconds_;
+  }
+  /// If the key's entry exists and is stale, erase it (counting it in
+  /// expired_) so the caller proceeds on the miss path. Stripe lock held.
+  void expire_if_stale(Shard& sh, const JobKey& key);
+  void insert_locked(Shard& sh, const JobKey& key,
+                     const core::SimResult& result, double cost_seconds,
+                     double write_time);
+
   std::size_t capacity_;
   std::size_t per_shard_capacity_;
+  double ttl_seconds_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> joins_{0};
   std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> expired_{0};
 };
 
 }  // namespace gpawfd::svc

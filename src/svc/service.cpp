@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <sstream>
 
 #include "svc/exec_context.hpp"
@@ -74,11 +75,31 @@ std::string what_of(const std::exception_ptr& error) {
 
 SimService::SimService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_capacity, config_.cache_shards),
+      cache_(config_.cache_capacity, config_.cache_shards,
+             config_.cache_ttl_seconds),
       queue_(config_.queue_capacity) {
   if (config_.workers <= 0) config_.workers = default_workers();
   if (!config_.executor) config_.executor = core::simulate_job;
   if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
+  if (!config_.cache_dir.empty()) {
+    // Warm start: recover the persistent store and pre-fill the cache
+    // with every live record that is still current-version and within
+    // TTL, before any worker can race a submit against the load.
+    std::filesystem::create_directories(config_.cache_dir);
+    auto store =
+        std::make_unique<CacheStore>(CacheStore::path_in(config_.cache_dir));
+    for (const StoreRecord& rec : store->recover()) {
+      const bool loaded =
+          JobKey::current_version(rec.key) &&
+          cache_.insert_warm(JobKey::from_canonical(rec.key), rec.result,
+                             rec.cost_seconds, rec.write_time);
+      (loaded ? metrics_.warm_loaded : metrics_.warm_skipped)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    PersisterConfig pc;
+    pc.queue_capacity = config_.persist_queue_capacity;
+    persister_ = std::make_unique<Persister>(std::move(store), pc, &metrics_);
+  }
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w)
     threads_.emplace_back([this] { worker_loop(); });
@@ -232,6 +253,12 @@ void SimService::execute(QueuedJob job) {
       metrics_.executed.fetch_add(1, std::memory_order_relaxed);
       // The measured cold cost weights this entry's eviction priority.
       cache_.complete(job.key, result, elapsed);
+      // Write-behind, off this worker's critical path: the persister's
+      // thread does the file I/O. Cache hits (including warm-loaded
+      // entries) never reach here, so the log only grows on real work.
+      if (persister_)
+        persister_->enqueue(job.key.canonical(), result, elapsed,
+                            trace::unix_seconds());
       return;
     }
 
@@ -288,12 +315,15 @@ void SimService::shutdown(bool drain) {
       }
     }
     for (std::thread& t : threads_) t.join();
+    // Workers are gone, so nothing can enqueue anymore: drain what the
+    // persister still holds, fsync, and stop its thread.
+    if (persister_) persister_->shutdown();
   });
 }
 
 std::string SimService::metrics_snapshot() const {
   return metrics_.snapshot(static_cast<std::int64_t>(cache_.size()),
-                           cache_.evictions());
+                           cache_.evictions(), cache_.expired());
 }
 
 }  // namespace gpawfd::svc

@@ -14,10 +14,13 @@
 
 #include <functional>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/figures.hpp"
+#include "svc/cache_store.hpp"
 #include "svc/job_key.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/metrics.hpp"
@@ -102,6 +105,21 @@ struct ServiceConfig {
   std::function<core::SimResult(const core::SimJobSpec&)> executor;
   /// Failure handling for accepted jobs (attempts / backoff / timeout).
   RetryPolicy retry;
+  /// Directory for the persistent result store (created if missing;
+  /// empty = no persistence). At startup the store is recovered and its
+  /// live, current-version, unexpired records warm-load the cache; at
+  /// runtime every executed result is written behind by a dedicated
+  /// persister thread, so a second process pointed at the same directory
+  /// starts with this process's results already cached.
+  std::string cache_dir;
+  /// TTL on cached results, in seconds (0 = never expire). Applies to
+  /// in-memory entries (expired on the lookup that observes them) and to
+  /// warm-loaded store records (skipped at startup), both measured from
+  /// the result's original write time on the unix clock.
+  double cache_ttl_seconds = 0;
+  /// Bounded queue between workers and the persister thread; when full,
+  /// the oldest pending entry is dropped (persist_dropped counts them).
+  std::size_t persist_queue_capacity = 256;
 };
 
 enum class SubmitStatus {
@@ -158,6 +176,8 @@ class SimService {
 
   const Metrics& metrics() const { return metrics_; }
   const ResultCache& cache() const { return cache_; }
+  /// Null when ServiceConfig::cache_dir is empty.
+  Persister* persister() { return persister_.get(); }
   std::size_t queue_depth() const { return queue_.size(); }
   int workers() const { return static_cast<int>(threads_.size()); }
 
@@ -180,6 +200,7 @@ class SimService {
   ResultCache cache_;
   JobQueue<QueuedJob> queue_;
   Metrics metrics_;
+  std::unique_ptr<Persister> persister_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutting_down_{false};
   /// shutdown(drain=false) was requested: retry loops stop retrying and

@@ -21,6 +21,16 @@ inline double now_seconds() {
       .count();
 }
 
+/// Seconds since the Unix epoch — comparable *across processes and
+/// restarts*, unlike now_seconds(). This is the clock persisted in cache
+/// store records and checked by TTL expiry; never use it to measure
+/// durations (it can jump on clock adjustment).
+inline double unix_seconds() {
+  using clock = std::chrono::system_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
 /// An absolute instant on the now_seconds() clock, or never(). A small
 /// value type threaded from owners (the service worker loop) into
 /// cooperative code (executors, fault injection) so a time budget can be

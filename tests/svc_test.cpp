@@ -6,15 +6,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/hash.hpp"
+#include "svc/cache_store.hpp"
 #include "svc/job_key.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/metrics.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/service.hpp"
+#include "trace/stats.hpp"
 
 namespace gpawfd {
 namespace {
@@ -490,6 +496,208 @@ TEST(SimService, RunHelperThrowsOnRejection) {
   svc::SimService service(cfg);
   service.shutdown();
   EXPECT_THROW(service.run(small_spec()), svc::ServiceError);
+}
+
+// ---- TTL / staleness bounds -------------------------------------------
+
+TEST(ResultCacheTtl, ExpiredEntryIsAMissAndRefills) {
+  svc::ResultCache cache(8, 1, /*ttl_seconds=*/0.05);
+  const auto key = svc::JobKey::of(small_spec());
+  auto l1 = cache.lookup_or_begin(key);
+  ASSERT_EQ(l1.outcome, svc::ResultCache::Outcome::kLeader);
+  cache.complete(key, result_with_seconds(1.0));
+  EXPECT_TRUE(cache.peek(key).has_value());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // Past the TTL the entry is dropped by the lookup that observes it...
+  EXPECT_FALSE(cache.peek(key).has_value());
+  EXPECT_EQ(cache.expired(), 1);
+  // ...and the next requester becomes the leader and re-fills it.
+  auto l2 = cache.lookup_or_begin(key);
+  ASSERT_EQ(l2.outcome, svc::ResultCache::Outcome::kLeader);
+  cache.complete(key, result_with_seconds(2.0));
+  auto warm = cache.peek(key);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_DOUBLE_EQ(warm->seconds, 2.0);
+}
+
+TEST(ResultCacheTtl, WarmInsertEnforcesTtlFromOriginalWriteTime) {
+  svc::ResultCache cache(8, 1, /*ttl_seconds=*/3600);
+  const auto key = svc::JobKey::of(small_spec());
+  // Produced two hours ago: already past the one-hour TTL on load.
+  EXPECT_FALSE(cache.insert_warm(key, result_with_seconds(1.0), 0.1,
+                                 trace::unix_seconds() - 7200));
+  EXPECT_FALSE(cache.peek(key).has_value());
+  // Fresh write time loads fine and serves hits.
+  EXPECT_TRUE(cache.insert_warm(key, result_with_seconds(2.0), 0.1,
+                                trace::unix_seconds()));
+  auto hit = cache.peek(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->seconds, 2.0);
+
+  // Without a TTL, arbitrarily old results are still welcome.
+  svc::ResultCache eternal(8, 1);
+  EXPECT_TRUE(eternal.insert_warm(key, result_with_seconds(3.0), 0.1, 0.0));
+}
+
+// ---- persistent store wired into the service ---------------------------
+
+/// Scratch directory for persistence tests, removed on destruction.
+class StoreDir {
+ public:
+  StoreDir() {
+    std::string tmpl = ::testing::TempDir() + "gpawfd_svc_store_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path_ = ::mkdtemp(buf.data());
+  }
+  ~StoreDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& dir() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A fast deterministic executor that counts how often it actually runs.
+svc::ServiceConfig persist_config(const std::string& dir,
+                                  std::atomic<int>* runs,
+                                  double ttl_seconds = 0) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_dir = dir;
+  cfg.cache_ttl_seconds = ttl_seconds;
+  cfg.executor = [runs](const core::SimJobSpec& s) {
+    if (runs) runs->fetch_add(1);
+    core::SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    r.bytes_sent_total = 1000 + s.job.ngrids;
+    return r;
+  };
+  return cfg;
+}
+
+TEST(SimServicePersist, SecondServiceWarmStartsFromTheFirstOnesStore) {
+  StoreDir store;
+  std::atomic<int> runs{0};
+  {
+    svc::SimService first(persist_config(store.dir(), &runs));
+    for (int n : {8, 9, 10}) first.run(small_spec(n));
+    first.shutdown();  // drains the write-behind queue to disk
+    EXPECT_EQ(first.persister()->written(), 3);
+  }
+  EXPECT_EQ(runs.load(), 3);
+
+  svc::SimService second(persist_config(store.dir(), &runs));
+  EXPECT_EQ(second.metrics().warm_loaded.load(), 3);
+  EXPECT_EQ(second.metrics().warm_skipped.load(), 0);
+  for (int n : {8, 9, 10}) {
+    auto t = second.submit(small_spec(n));
+    // The acceptance criterion: a store populated by one service yields
+    // cache *hits* (counted as such) in the next, with exact results.
+    EXPECT_EQ(t.status, svc::SubmitStatus::kCacheHit);
+    EXPECT_DOUBLE_EQ(t.result.get().seconds, n);
+    EXPECT_EQ(t.result.get().bytes_sent_total, 1000 + n);
+  }
+  EXPECT_EQ(runs.load(), 3) << "warm start re-ran a simulation";
+  EXPECT_EQ(second.metrics().cache_hits.load(), 3);
+  EXPECT_EQ(second.metrics().executed.load(), 0);
+}
+
+TEST(SimServicePersist, ExpiredStoreRecordsAreSkippedOnWarmLoad) {
+  StoreDir dir;
+  {
+    svc::CacheStore store(svc::CacheStore::path_in(dir.dir()));
+    store.recover();
+    // One result produced long ago, one produced just now.
+    store.append_put(svc::JobKey::of(small_spec(8)).canonical(),
+                     result_with_seconds(8.0), 0.1,
+                     trace::unix_seconds() - 7200);
+    store.append_put(svc::JobKey::of(small_spec(9)).canonical(),
+                     result_with_seconds(9.0), 0.1, trace::unix_seconds());
+    store.sync();
+  }
+  std::atomic<int> runs{0};
+  svc::SimService service(
+      persist_config(dir.dir(), &runs, /*ttl_seconds=*/3600));
+  EXPECT_EQ(service.metrics().warm_loaded.load(), 1);
+  EXPECT_EQ(service.metrics().warm_skipped.load(), 1);
+  EXPECT_EQ(service.submit(small_spec(9)).status,
+            svc::SubmitStatus::kCacheHit);
+  // The stale one is a miss: it re-executes and re-fills.
+  service.run(small_spec(8));
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(SimServicePersist, VersionBumpInvalidatesTheWarmStore) {
+  StoreDir dir;
+  {
+    svc::CacheStore store(svc::CacheStore::path_in(dir.dir()));
+    store.recover();
+    // A record written by a hypothetical older JobKey::kVersion: its
+    // canonical string carries the old prefix, so the warm load must
+    // not resurrect it even though the bytes are perfectly valid.
+    store.append_put("v0|approach=1|job{stale}", result_with_seconds(1.0),
+                     0.1, trace::unix_seconds());
+    store.append_put(svc::JobKey::of(small_spec(8)).canonical(),
+                     result_with_seconds(8.0), 0.1, trace::unix_seconds());
+    store.sync();
+  }
+  svc::SimService service(persist_config(dir.dir(), nullptr));
+  EXPECT_EQ(service.metrics().warm_loaded.load(), 1);
+  EXPECT_EQ(service.metrics().warm_skipped.load(), 1);
+  EXPECT_EQ(service.submit(small_spec(8)).status,
+            svc::SubmitStatus::kCacheHit);
+}
+
+TEST(SimServicePersist, SubmitThenFiresSynchronouslyOnWarmLoadHit) {
+  StoreDir dir;
+  {
+    svc::CacheStore store(svc::CacheStore::path_in(dir.dir()));
+    store.recover();
+    store.append_put(svc::JobKey::of(small_spec(8)).canonical(),
+                     result_with_seconds(42.0), 0.1, trace::unix_seconds());
+    store.sync();
+  }
+  svc::SimService service(persist_config(dir.dir(), nullptr));
+  bool fired = false;
+  const auto status = service.submit_then(
+      small_spec(8), svc::Priority::kNormal,
+      [&](const core::SimResult* r, std::exception_ptr err) {
+        ASSERT_NE(r, nullptr);
+        ASSERT_EQ(err, nullptr);
+        EXPECT_DOUBLE_EQ(r->seconds, 42.0);
+        fired = true;
+      });
+  EXPECT_EQ(status, svc::SubmitStatus::kCacheHit);
+  EXPECT_TRUE(fired);  // synchronously, before submit_then returned
+}
+
+TEST(SimServicePersist, PersistCountersReconcileInTheCounterMap) {
+  StoreDir dir;
+  std::atomic<int> runs{0};
+  svc::SimService service(persist_config(dir.dir(), &runs));
+  for (int n = 8; n < 14; ++n) service.run(small_spec(n));
+  service.shutdown();  // quiescence: the write-behind queue is drained
+
+  const auto counters = service.metrics().counter_map();
+  EXPECT_EQ(counters.at("svc.persist_enqueued"),
+            counters.at("svc.persist_written") +
+                counters.at("svc.persist_dropped"));
+  // Every executed job was handed to the persister, exactly once.
+  EXPECT_EQ(counters.at("svc.persist_enqueued"),
+            counters.at("svc.executed"));
+  EXPECT_EQ(counters.at("svc.persist_written"), 6);
+  EXPECT_GE(counters.at("svc.persist_flushes"), 1);
+  EXPECT_EQ(counters.at("svc.warm_loaded"), 0);  // the store started empty
+
+  // The snapshot exporter carries the same counters (plus the cache
+  // expiry gauge) so operators see the reconciliation inputs.
+  const std::string snap = service.metrics_snapshot();
+  EXPECT_NE(snap.find("svc.persist_written: 6"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("svc.cache_expired: 0"), std::string::npos) << snap;
 }
 
 }  // namespace
