@@ -101,6 +101,14 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
+/// Boolean flag support (`--smoke` and friends) for the bench drivers.
+inline bool flag_from_args(int argc, const char* const* argv,
+                           const std::string& name) {
+  for (int i = 1; i < argc; ++i)
+    if (name == argv[i]) return true;
+  return false;
+}
+
 /// `--json <path>` / `--json=<path>` support for the bench drivers
 /// (which otherwise take no arguments). Empty string when absent.
 inline std::string json_path_from_args(int argc, const char* const* argv) {

@@ -4,7 +4,9 @@
 // tally every reply by wire status — the same sweep machine_room and
 // sim_server run in-process, now over the wire. With --pipeline each
 // thread keeps a window of submit_async() futures in flight instead of
-// one blocking submit at a time.
+// one blocking submit at a time; --pipeline-window additionally caps the
+// unanswered requests a single connection may carry (the transport-level
+// self-throttle, net::ClientConfig::pipeline_window).
 //
 // With --cache-dir every successful reply is harvested into a local
 // persistent result store (the same on-disk format sim_server's
@@ -16,6 +18,7 @@
 //   ./sim_server --listen --port=7450 &
 //   ./sim_client --port=7450
 //   ./sim_client --port=7450 --clients=16 --requests=64 --pipeline=8
+//   ./sim_client --port=7450 --pipeline=32 --pipeline-window=16
 //   ./sim_client --port=7450 --cache-dir=/tmp/simcache  # harvest replies
 #include <atomic>
 #include <deque>
@@ -46,6 +49,9 @@ int main(int argc, char** argv) {
       .flag("jobs", "6", "distinct experiment configurations")
       .flag("requests", "32", "requests per client")
       .flag("pipeline", "1", "async submits kept in flight per thread")
+      .flag("pipeline-window", "0", "transport-level cap on unanswered "
+            "requests per connection (0 = unbounded; submit_async blocks "
+            "once the window is full)")
       .flag("cores", "256", "simulated cores of the smallest job")
       .flag("edge", "48", "grid edge of every job (edge^3)")
       .flag("ping", "false", "just ping the server and exit")
@@ -65,6 +71,12 @@ int main(int argc, char** argv) {
   net::ClientConfig ccfg;
   ccfg.host = cli.get("host");
   ccfg.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  if (cli.get_int("pipeline-window") < 0) {
+    std::cerr << "--pipeline-window must be >= 0\n";
+    return 2;
+  }
+  ccfg.pipeline_window =
+      static_cast<std::size_t>(cli.get_int("pipeline-window"));
 
   if (cli.get_bool("ping")) {
     try {

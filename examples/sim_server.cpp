@@ -25,9 +25,16 @@
 // answers repeat requests without re-simulating. --cache-ttl-s bounds
 // how stale a served result may be, across restarts.
 //
+// Pass --batch-max (with --batch-ramp / --batch-linger-us) to let each
+// worker wakeup drain several same-priority jobs as one dispatch unit;
+// the exit tally then reports dispatches and the realized jobs-per-
+// dispatch amortization. --warm-block=false serves immediately while the
+// warm-load fills the cache in the background.
+//
 //   ./sim_server                          # 8 clients x 6 distinct jobs
 //   ./sim_server --clients=32 --requests=64 --queue-capacity=16
 //   ./sim_server --fault-rate=0.3 --retries=3 --timeout-ms=50
+//   ./sim_server --batch-max=32 --batch-linger-us=300 --batch-ramp=false
 //   ./sim_server --listen --port=7450     # serve RPC until Ctrl-C
 //   ./sim_server --listen --cache-dir=/tmp/simcache   # warm restarts
 #include <atomic>
@@ -107,8 +114,20 @@ int run_listen_mode(gpawfd::svc::SimService& service,
              std::to_string(service.metrics().executed.load())});
   t.add_row({"cache hit ratio",
              fmt_fixed(100 * service.metrics().hit_ratio(), 1) + "%"});
+  if (cli.get_int("batch-max") > 1) {
+    const auto& sm = service.metrics();
+    const std::int64_t dispatches = sm.batches.load();
+    t.add_row({"batch dispatches", std::to_string(dispatches)});
+    t.add_row({"jobs per dispatch",
+               fmt_fixed(dispatches > 0
+                             ? static_cast<double>(sm.batched_jobs.load()) /
+                                   static_cast<double>(dispatches)
+                             : 0.0,
+                         2)});
+  }
   if (svc::Persister* p = service.persister()) {
     p->flush();  // settle the write-behind queue before reading counters
+    service.wait_warm_loaded();
     t.add_row({"results persisted", std::to_string(p->written())});
     t.add_row({"persist drops", std::to_string(p->dropped())});
     t.add_row({"warm-loaded at start",
@@ -157,7 +176,16 @@ int main(int argc, char** argv) {
       .flag("cache-dir", "", "persistent result store directory "
             "(empty = in-memory cache only)")
       .flag("cache-ttl-s", "0", "cached result TTL in seconds (0 = never "
-            "expires; enforced across restarts)");
+            "expires; enforced across restarts)")
+      .flag("batch-max", "1", "jobs a worker wakeup drains as one unit "
+            "(1 = classic one-job dispatch)")
+      .flag("batch-ramp", "true", "grow the batch cap with queue depth "
+            "instead of always forming full batches")
+      .flag("batch-linger-us", "0", "microseconds a short batch waits to "
+            "fill before dispatching (0 = immediately)")
+      .flag("warm-block", "true", "wait for the --cache-dir warm-load to "
+            "finish before serving (false = serve immediately, warm-load "
+            "fills the cache in the background)");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -176,6 +204,10 @@ int main(int argc, char** argv) {
     std::cerr << "--clients, --jobs and --requests must be positive\n";
     return 2;
   }
+  if (cli.get_int("batch-max") < 1) {
+    std::cerr << "--batch-max must be >= 1\n";
+    return 2;
+  }
 
   svc::ServiceConfig cfg;
   cfg.workers = static_cast<int>(cli.get_int("workers"));
@@ -189,6 +221,9 @@ int main(int argc, char** argv) {
   cfg.retry.attempt_timeout_seconds = cli.get_double("timeout-ms") / 1e3;
   cfg.cache_dir = cli.get("cache-dir");
   cfg.cache_ttl_seconds = cli.get_double("cache-ttl-s");
+  cfg.batch_max = static_cast<std::size_t>(cli.get_int("batch-max"));
+  cfg.batch_ramp = cli.get_bool("batch-ramp");
+  cfg.batch_linger_us = static_cast<long>(cli.get_int("batch-linger-us"));
 
   // With any fault probability set, stand a seeded FaultyExecutor between
   // the service and the simulator: same seed, same failure schedule.
@@ -209,10 +244,21 @@ int main(int argc, char** argv) {
     cfg.executor = [faulty](const core::SimJobSpec& s) { return (*faulty)(s); };
   }
   svc::SimService service(cfg);
-  if (!cfg.cache_dir.empty())
-    std::cout << "cache store: " << cfg.cache_dir << " (warm-loaded "
-              << service.metrics().warm_loaded.load() << " results, skipped "
-              << service.metrics().warm_skipped.load() << ")\n";
+  // The warm-load runs on background threads (double-buffered reader +
+  // decoder); by default block until it finishes so repeat requests are
+  // guaranteed to hit the warmed cache from the first submit on.
+  if (!cfg.cache_dir.empty()) {
+    if (cli.get_bool("warm-block")) {
+      service.wait_warm_loaded();
+      std::cout << "cache store: " << cfg.cache_dir << " (warm-loaded "
+                << service.metrics().warm_loaded.load()
+                << " results, skipped "
+                << service.metrics().warm_skipped.load() << ")\n";
+    } else {
+      std::cout << "cache store: " << cfg.cache_dir
+                << " (warm-loading in background)\n";
+    }
+  }
 
   if (cli.get_bool("listen")) return run_listen_mode(service, cli);
 
@@ -300,8 +346,20 @@ int main(int argc, char** argv) {
              std::to_string(service.metrics().executed.load())});
   t.add_row({"cache hit ratio",
              fmt_fixed(100 * service.metrics().hit_ratio(), 1) + "%"});
+  if (cfg.batch_max > 1) {
+    const auto& sm = service.metrics();
+    const std::int64_t dispatches = sm.batches.load();
+    t.add_row({"batch dispatches", std::to_string(dispatches)});
+    t.add_row({"jobs per dispatch",
+               fmt_fixed(dispatches > 0
+                             ? static_cast<double>(sm.batched_jobs.load()) /
+                                   static_cast<double>(dispatches)
+                             : 0.0,
+                         2)});
+  }
   if (svc::Persister* p = service.persister()) {
     p->flush();
+    service.wait_warm_loaded();
     t.add_row({"results persisted", std::to_string(p->written())});
     t.add_row({"warm-loaded at start",
                std::to_string(service.metrics().warm_loaded.load())});

@@ -16,6 +16,11 @@
 #   scripts/tier1.sh --native   # host-tuned build (-march=native) in
 #                               # build-native/: the SIMD kernels compile
 #                               # to AVX2/FMA and the same suite must pass
+#   scripts/tier1.sh --bench-smoke  # abbreviated service + wire benches
+#                               # (--smoke: completeness gates only, perf
+#                               # frontier gates reported but not
+#                               # enforced), emitting BENCH_svc.json and
+#                               # BENCH_net.json for CI artifact upload
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +57,16 @@ elif [[ "${1:-}" == "--stress" ]]; then
     --target svc_stress_test mp_stress_test cache_store_test
   GPAWFD_CHAOS_ROUNDS="${GPAWFD_CHAOS_ROUNDS:-20}" \
     ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
+elif [[ "${1:-}" == "--bench-smoke" ]]; then
+  # Abbreviated bench lane: small request counts, every phase exercised,
+  # JSON emitted for artifact upload. --smoke keeps the completeness
+  # gates (all requests answered, faults absorbed, warm restart free)
+  # but does not enforce the perf-frontier gates — a loaded CI box must
+  # not fail tier-1 on a noisy throughput ratio.
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target svc_service net_rpc
+  ./build/bench/svc_service --smoke --json BENCH_svc.json
+  ./build/bench/net_rpc --smoke --json BENCH_net.json
 elif [[ "${1:-}" == "--persist" ]]; then
   # Persistence round-trip: fill a store over TCP, SIGKILL the server,
   # restart it on the same directory, and require the replayed sweep to

@@ -68,7 +68,15 @@ std::future<core::SimResult> Client::start_request(
   std::uint64_t id;
   int fd;
   {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
+    if (config_.pipeline_window > 0) {
+      // Self-throttle: wait for a reply to free a slot. A dropped
+      // connection also releases the wait — the write below then fails
+      // with kConnectionLost, the honest outcome.
+      window_cv_.wait(lock, [&] {
+        return pending_.size() < config_.pipeline_window || !connected_;
+      });
+    }
     id = next_id_++;
     fd = sock_.fd();
     pending_.emplace(id, pending);
@@ -88,6 +96,7 @@ std::future<core::SimResult> Client::start_request(
       ours = pending_.erase(id) > 0;  // the reader may have failed it first
       connected_ = false;
     }
+    window_cv_.notify_all();
     sock_.shutdown_both();  // wake the reader; join happens on reconnect
     if (ours)
       throw RpcError("write failed: connection lost",
@@ -152,6 +161,7 @@ void Client::reader_loop(int fd) {
         }
       }
       if (!pending) continue;  // late reply for an abandoned request
+      window_cv_.notify_one();  // a pipeline-window slot just freed
       switch (res.frame.header.type) {
         case FrameType::kResult:
           try {
@@ -193,6 +203,7 @@ void Client::fail_all_pending(const std::string& why) {
   for (auto& [id, pending] : orphans)
     pending->promise.set_exception(
         std::make_exception_ptr(RpcError(why, WireStatus::kConnectionLost)));
+  window_cv_.notify_all();
 }
 
 void Client::close() {
@@ -201,6 +212,7 @@ void Client::close() {
     std::lock_guard lock(mu_);
     connected_ = false;
   }
+  window_cv_.notify_all();
   sock_.shutdown_both();
   if (reader_.joinable()) reader_.join();
   sock_.close();

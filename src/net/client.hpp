@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -31,6 +32,12 @@ struct ClientConfig {
   /// backs off a little longer so a restarting server gets to rebind.
   int max_reconnect_attempts = 3;
   double reconnect_backoff_seconds = 0.05;
+  /// Cap on requests outstanding on the connection at once (the
+  /// pipelining window). When full, start_request blocks the submitter
+  /// until a reply frees a slot — self-throttling, so an unbounded
+  /// submit_async loop cannot run the server into its per-connection
+  /// in-flight ceiling (which replies kOverloaded). 0 = unbounded.
+  std::size_t pipeline_window = 0;
 };
 
 class Client {
@@ -94,6 +101,9 @@ class Client {
   std::mutex connect_mu_;
   /// Guards sock identity, pending_, next_id_, connected_.
   mutable std::mutex mu_;
+  /// Signalled whenever pending_ shrinks or the connection drops; what
+  /// a full pipeline window waits on.
+  std::condition_variable window_cv_;
   /// Serializes frame writes so pipelined submits never interleave bytes.
   std::mutex write_mu_;
   Socket sock_;

@@ -2,8 +2,11 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <fcntl.h>
 #include <sstream>
@@ -38,6 +41,7 @@ std::map<std::string, std::int64_t> ServerMetrics::counter_map() const {
   out["net.frame_errors"] = get(frame_errors);
   out["net.requests"] = get(requests);
   out["net.pings"] = get(pings);
+  out["net.flushes"] = get(flushes);
   for (int s = 0; s < kWireStatusCount; ++s)
     out[std::string("net.replies.") +
         to_string(static_cast<WireStatus>(s))] =
@@ -226,6 +230,11 @@ void Server::handle_readable(Conn& conn) {
       handle_frame(conn, std::move(res.frame));
     }
   }
+  // One flush for the whole read burst: every reply the burst produced
+  // directly (pongs, protocol errors) leaves in one writev instead of
+  // one write(2) per frame. Submit replies travel via the completion
+  // queue and coalesce in drain_completions.
+  if (!conn.dead) flush_conn(conn);
   // Reaping (dead, or closing with the outq flushed) happens in the
   // poll loop, never here: handle_frame callers still hold the Conn.
 }
@@ -318,7 +327,12 @@ void Server::drain_completions() {
     std::lock_guard lock(completions_->mu);
     replies.swap(completions_->replies);
   }
-  for (const Reply& reply : replies) {
+  // Build every reply frame first, then flush each touched connection
+  // exactly once: a pipelining client's N replies leave in one writev
+  // instead of N write(2)s (the message-aggregation move, applied to
+  // the response path).
+  std::vector<std::uint64_t> touched;
+  for (Reply& reply : replies) {
     auto it = conns_.find(reply.conn_id);
     if (it == conns_.end()) continue;  // connection died before the reply
     Conn& conn = *it->second;
@@ -334,34 +348,60 @@ void Server::drain_completions() {
     h.request_id = reply.request_id;
     enqueue_frame(conn,
                   encode_frame(h, reply.payload.data(), reply.payload.size()));
-    reap(reply.conn_id);
+    touched.push_back(reply.conn_id);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const std::uint64_t id : touched) {
+    if (auto it = conns_.find(id); it != conns_.end())
+      flush_conn(*it->second);
+    reap(id);
   }
 }
 
 void Server::enqueue_frame(Conn& conn, std::vector<std::uint8_t> bytes) {
   conn.outq.push_back(std::move(bytes));
-  // Opportunistic flush: most replies fit the socket buffer, so they
-  // leave now instead of waiting one poll round-trip.
-  handle_writable(conn);
 }
 
-void Server::handle_writable(Conn& conn) {
+void Server::handle_writable(Conn& conn) { flush_conn(conn); }
+
+void Server::flush_conn(Conn& conn) {
+  // Vectored flush: up to kFlushIovecs queued frames per writev(2).
+  // The kernel sees one contiguous byte stream either way; what changes
+  // is syscalls per reply burst (counted in metrics_.flushes).
+  constexpr std::size_t kFlushIovecs = 64;
   while (!conn.outq.empty()) {
-    const std::vector<std::uint8_t>& front = conn.outq.front();
-    const IoResult r =
-        write_some(conn.sock.fd(), front.data() + conn.out_offset,
-                   front.size() - conn.out_offset);
-    if (r.status == IoStatus::kWouldBlock) return;  // backpressure: POLLOUT
-    if (r.status != IoStatus::kOk) {
+    std::array<iovec, kFlushIovecs> iov;
+    std::size_t n = 0;
+    for (auto it = conn.outq.begin();
+         it != conn.outq.end() && n < iov.size(); ++it, ++n) {
+      const std::size_t off = n == 0 ? conn.out_offset : 0;
+      iov[n].iov_base = it->data() + off;
+      iov[n].iov_len = it->size() - off;
+    }
+    const ssize_t w =
+        ::writev(conn.sock.fd(), iov.data(), static_cast<int>(n));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;  // backpressure: POLLOUT re-arms while outq is non-empty
       // Only flag it: callers may still hold the Conn reference, so the
       // poll loop (via reap) is the single place a Conn dies.
       conn.dead = true;
       return;
     }
-    metrics_.bytes_out.fetch_add(static_cast<std::int64_t>(r.n),
+    metrics_.flushes.fetch_add(1, std::memory_order_relaxed);
+    metrics_.bytes_out.fetch_add(static_cast<std::int64_t>(w),
                                  std::memory_order_relaxed);
-    conn.out_offset += r.n;
-    if (conn.out_offset == front.size()) {
+    // Retire fully written buffers; remember progress into a partial one.
+    std::size_t left = static_cast<std::size_t>(w);
+    while (left > 0) {
+      const std::size_t avail = conn.outq.front().size() - conn.out_offset;
+      if (left < avail) {
+        conn.out_offset += left;
+        break;
+      }
+      left -= avail;
       conn.outq.pop_front();
       conn.out_offset = 0;
     }

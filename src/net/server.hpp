@@ -62,6 +62,11 @@ class ServerMetrics {
   std::atomic<std::int64_t> frame_errors{0};  // protocol violations
   std::atomic<std::int64_t> requests{0};      // submit frames admitted
   std::atomic<std::int64_t> pings{0};
+  /// writev(2) calls that moved bytes: queued frames coalesce into one
+  /// vectored write per flush cycle, so frames_out / flushes is the
+  /// realized reply-coalescing factor (≈1 for strict request-reply
+  /// traffic, >1 under pipelining; partial writes can push it below 1).
+  std::atomic<std::int64_t> flushes{0};
   /// Replies by wire status, indexed by WireStatus.
   std::atomic<std::int64_t> replies_by_status[kWireStatusCount] = {};
 
@@ -128,7 +133,13 @@ class Server {
   void handle_readable(Conn& conn);
   void handle_writable(Conn& conn);
   void handle_frame(Conn& conn, Frame frame);
+  /// Queue a frame; bytes leave in the next flush_conn (end of the read
+  /// burst, end of the completion drain, or POLLOUT), coalesced with
+  /// every other queued frame into one vectored write.
   void enqueue_frame(Conn& conn, std::vector<std::uint8_t> bytes);
+  /// Write as much of the outq as the socket accepts, many frames per
+  /// writev(2). Stops on EAGAIN (POLLOUT re-arms) or socket death.
+  void flush_conn(Conn& conn);
   void send_error(Conn& conn, std::uint64_t request_id, WireStatus status,
                   const std::string& message);
   void drain_completions();

@@ -126,6 +126,33 @@ std::uint64_t CacheStore::append_tombstone(const std::string& key,
                        write_time);
 }
 
+std::uint64_t CacheStore::append_puts(const std::vector<StorePut>& puts) {
+  GPAWFD_CHECK_MSG(recovered_,
+                   "CacheStore::recover() must run before appends");
+  if (puts.empty()) return end_offset_;
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(puts.size());
+  for (const StorePut& p : puts) {
+    GPAWFD_CHECK_MSG(!p.key.empty() && p.key.size() <= kStoreMaxKeyBytes,
+                     "cache store key size " << p.key.size()
+                                             << " out of range");
+    seqs.push_back(next_sequence_);
+    const std::vector<std::uint8_t> rec = encode_record(
+        RecordType::kPut, next_sequence_, p.write_time, p.cost_seconds,
+        p.key, p.value.data(), p.value.size());
+    buf.insert(buf.end(), rec.begin(), rec.end());
+    ++next_sequence_;
+  }
+  write_all(fd_, buf.data(), buf.size(), end_offset_);
+  end_offset_ += buf.size();
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    ++total_records_;
+    note_applied(RecordType::kPut, puts[i].key, seqs[i]);
+  }
+  return end_offset_;
+}
+
 void CacheStore::sync() {
   GPAWFD_CHECK_MSG(::fsync(fd_) == 0,
                    "cache store fsync failed: " << std::strerror(errno));
@@ -139,33 +166,71 @@ void CacheStore::note_applied(RecordType type, const std::string& key,
     live_.erase(key);
 }
 
-std::vector<StoreRecord> CacheStore::recover(RecoveryStats* stats,
-                                             bool repair) {
+std::uint64_t CacheStore::recover_stream(
+    const std::function<void(RawStoreRecord&&)>& emit, RecoveryStats* stats,
+    bool repair) {
   struct stat st;
   GPAWFD_CHECK_MSG(::fstat(fd_, &st) == 0,
                    "cache store fstat failed: " << std::strerror(errno));
   const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
 
-  std::vector<std::uint8_t> data(file_size);
-  std::uint64_t got = 0;
-  while (got < file_size) {
-    ssize_t r = ::pread(fd_, data.data() + got, file_size - got,
-                        static_cast<off_t>(got));
-    if (r < 0 && errno == EINTR) continue;
-    GPAWFD_CHECK_MSG(r >= 0,
-                     "cache store read failed: " << std::strerror(errno));
-    if (r == 0) break;  // concurrently truncated; treat the rest as torn
-    got += static_cast<std::uint64_t>(r);
-  }
+  // Chunked forward scan: a bounded window streams through the file so
+  // records reach `emit` while later chunks are still unread (the
+  // producer half of the startup double buffer). Accept records until
+  // the first one that fails any structural or integrity check, then
+  // stop — nothing past a bad record can be trusted (its length fields
+  // might be the corruption).
+  constexpr std::size_t kChunkBytes = 256 * 1024;
+  std::vector<std::uint8_t> buf;
+  std::size_t start = 0;        // parse cursor within buf
+  std::uint64_t file_pos = 0;   // next byte to pread
+  std::uint64_t valid_end = 0;  // offset just past the last good record
+  bool eof = false;
+  bool short_read = false;  // concurrently truncated under us
 
-  // Forward scan: accept records until the first one that fails any
-  // structural or integrity check, then stop — nothing past a bad
-  // record can be trusted (its length fields might be the corruption).
-  std::vector<StoreRecord> accepted;
-  std::uint64_t pos = 0;
+  // Ensure `need` unparsed bytes are buffered; false on (effective) EOF.
+  auto refill = [&](std::size_t need) {
+    while (!eof && buf.size() - start < need) {
+      if (start > 0) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(start));
+        start = 0;
+      }
+      if (file_pos >= file_size) {
+        eof = true;
+        break;
+      }
+      const std::size_t want = std::max(kChunkBytes, need);
+      const std::size_t to_read = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, file_size - file_pos));
+      const std::size_t old = buf.size();
+      buf.resize(old + to_read);
+      std::size_t got = 0;
+      while (got < to_read) {
+        ssize_t r = ::pread(fd_, buf.data() + old + got, to_read - got,
+                            static_cast<off_t>(file_pos + got));
+        if (r < 0 && errno == EINTR) continue;
+        GPAWFD_CHECK_MSG(r >= 0,
+                         "cache store read failed: " << std::strerror(errno));
+        if (r == 0) {  // concurrently truncated; treat the rest as torn
+          eof = short_read = true;
+          break;
+        }
+        got += static_cast<std::size_t>(r);
+      }
+      buf.resize(old + got);
+      file_pos += got;
+      if (file_pos >= file_size) eof = true;
+    }
+    return buf.size() - start >= need;
+  };
+
+  std::int64_t scanned = 0, puts = 0, tombstones = 0;
   std::uint64_t last_seq = 0;
-  while (pos + kStoreHeaderBytes <= got) {
-    const std::uint8_t* h = data.data() + pos;
+  std::unordered_map<std::string, std::uint64_t> live;
+  for (;;) {
+    if (!refill(kStoreHeaderBytes)) break;
+    const std::uint8_t* h = buf.data() + start;
     if (core::read_u32(h) != kStoreMagic) break;
     if (h[4] != kStoreVersion) break;
     const std::uint8_t type_byte = h[5];
@@ -182,68 +247,93 @@ std::vector<StoreRecord> CacheStore::recover(RecoveryStats* stats,
     const std::size_t want_value =
         type == RecordType::kPut ? core::kSimResultCodecBytes : 0;
     if (value_len != want_value) break;
-    const std::uint64_t total = kStoreHeaderBytes + key_len + value_len;
-    if (pos + total > got) break;  // torn tail: record extends past EOF
+    const std::size_t total = kStoreHeaderBytes + key_len + value_len;
+    if (!refill(total)) break;  // torn tail: record extends past EOF
+    h = buf.data() + start;     // refill may have compacted/reallocated
     std::uint32_t crc = crc32(h, kCrcOffset);
     crc = crc32(h + kStoreHeaderBytes, key_len + value_len, crc);
     if (crc != core::read_u32(h + kCrcOffset)) break;
     if (seq <= last_seq) break;  // sequences are strictly increasing
 
-    StoreRecord rec;
+    RawStoreRecord rec;
     rec.key.assign(reinterpret_cast<const char*>(h + kStoreHeaderBytes),
                    key_len);
-    if (type == RecordType::kPut)
-      rec.result = core::decode_sim_result(h + kStoreHeaderBytes + key_len,
-                                           value_len);
+    if (type == RecordType::kPut) {
+      rec.value.assign(h + kStoreHeaderBytes + key_len,
+                       h + kStoreHeaderBytes + key_len + value_len);
+      live[rec.key] = seq;
+      ++puts;
+    } else {
+      live.erase(rec.key);
+      ++tombstones;
+    }
     rec.cost_seconds = cost_seconds;
     rec.write_time = write_time;
     rec.sequence = seq;
     rec.type = type;
-    accepted.push_back(std::move(rec));
+    emit(std::move(rec));
+    ++scanned;
     last_seq = seq;
-    pos += total;
+    start += total;
+    valid_end += total;
   }
+
+  const std::uint64_t avail = short_read ? file_pos : file_size;
+  if (stats) {
+    stats->records_scanned = scanned;
+    stats->puts = puts;
+    stats->tombstones = tombstones;
+    stats->live = static_cast<std::int64_t>(live.size());
+    stats->truncated_bytes = static_cast<std::int64_t>(avail - valid_end);
+    stats->truncated = avail != valid_end;
+  }
+
+  // Establish (or re-establish) the writer state from the valid prefix.
+  live_ = std::move(live);
+  total_records_ = scanned;
+  next_sequence_ = last_seq + 1;
+  end_offset_ = valid_end;
+  recovered_ = true;
+
+  if (repair && valid_end < file_size) {
+    GPAWFD_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(valid_end)) == 0,
+                     "cache store truncate failed: " << std::strerror(errno));
+    sync();
+  }
+  return valid_end;
+}
+
+std::vector<StoreRecord> CacheStore::recover(RecoveryStats* stats,
+                                             bool repair) {
+  std::vector<StoreRecord> accepted;
+  recover_stream(
+      [&](RawStoreRecord&& raw) {
+        StoreRecord rec;
+        rec.key = std::move(raw.key);
+        if (raw.type == RecordType::kPut)
+          rec.result =
+              core::decode_sim_result(raw.value.data(), raw.value.size());
+        rec.cost_seconds = raw.cost_seconds;
+        rec.write_time = raw.write_time;
+        rec.sequence = raw.sequence;
+        rec.type = raw.type;
+        accepted.push_back(std::move(rec));
+      },
+      stats, repair);
 
   // Replay in sequence order: a later put supersedes an earlier one, a
   // tombstone deletes. The survivors are the live set.
   std::unordered_map<std::string, std::size_t> live_idx;
-  std::int64_t puts = 0, tombstones = 0;
   for (std::size_t i = 0; i < accepted.size(); ++i) {
-    if (accepted[i].type == RecordType::kPut) {
-      ++puts;
+    if (accepted[i].type == RecordType::kPut)
       live_idx[accepted[i].key] = i;
-    } else {
-      ++tombstones;
+    else
       live_idx.erase(accepted[i].key);
-    }
   }
   std::vector<std::size_t> order;
   order.reserve(live_idx.size());
   for (const auto& [key, idx] : live_idx) order.push_back(idx);
   std::sort(order.begin(), order.end());
-
-  if (stats) {
-    stats->records_scanned = static_cast<std::int64_t>(accepted.size());
-    stats->puts = puts;
-    stats->tombstones = tombstones;
-    stats->live = static_cast<std::int64_t>(live_idx.size());
-    stats->truncated_bytes = static_cast<std::int64_t>(got - pos);
-    stats->truncated = got != pos;
-  }
-
-  // Establish (or re-establish) the writer state from the valid prefix.
-  live_.clear();
-  for (const auto& [key, idx] : live_idx) live_[key] = accepted[idx].sequence;
-  total_records_ = static_cast<std::int64_t>(accepted.size());
-  next_sequence_ = last_seq + 1;
-  end_offset_ = pos;
-  recovered_ = true;
-
-  if (repair && pos < file_size) {
-    GPAWFD_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(pos)) == 0,
-                     "cache store truncate failed: " << std::strerror(errno));
-    sync();
-  }
 
   std::vector<StoreRecord> live;
   live.reserve(order.size());
@@ -311,13 +401,23 @@ bool CacheStore::compact() {
 // ---- Persister ----------------------------------------------------------
 
 Persister::Persister(std::unique_ptr<CacheStore> store,
-                     PersisterConfig config, Metrics* metrics)
+                     PersisterConfig config, Metrics* metrics,
+                     bool store_ready)
     : store_(std::move(store)),
       config_(std::move(config)),
-      metrics_(metrics) {
+      metrics_(metrics),
+      ready_(store_ready) {
   GPAWFD_CHECK(store_ != nullptr);
   GPAWFD_CHECK(config_.queue_capacity >= 1);
   thread_ = std::thread(&Persister::loop, this);
+}
+
+void Persister::mark_ready() {
+  {
+    std::lock_guard lock(mu_);
+    ready_ = true;
+  }
+  cv_.notify_all();
 }
 
 Persister::~Persister() { shutdown(); }
@@ -337,26 +437,75 @@ void Persister::enqueue(std::string key, const core::SimResult& result,
       metrics_->persist_dropped.fetch_add(1, std::memory_order_relaxed);
     if (closed_) return;
   }
-  queue_.push_back(Item{std::move(key), result, cost_seconds, write_time});
+  queue_.push_back(Write{std::move(key), result, cost_seconds, write_time});
   cv_.notify_one();
+}
+
+void Persister::enqueue_batch(std::vector<Write> writes) {
+  if (writes.empty()) return;
+  bool accepted_any = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto n = static_cast<std::int64_t>(writes.size());
+    enqueued_.fetch_add(n, std::memory_order_relaxed);
+    if (metrics_)
+      metrics_->persist_enqueued.fetch_add(n, std::memory_order_relaxed);
+    for (Write& w : writes) {
+      if (closed_ || queue_.size() >= config_.queue_capacity) {
+        if (!closed_) queue_.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_)
+          metrics_->persist_dropped.fetch_add(1, std::memory_order_relaxed);
+        if (closed_) continue;
+      }
+      queue_.push_back(std::move(w));
+      accepted_any = true;
+    }
+  }
+  // One wake for the whole batch: the drain loop empties the queue
+  // anyway, so per-entry notifies would only buy futex traffic.
+  if (accepted_any) cv_.notify_one();
 }
 
 void Persister::loop() {
   std::unique_lock lk(mu_);
   for (;;) {
-    cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+    cv_.wait(lk, [&] { return closed_ || (ready_ && !queue_.empty()); });
+    if (closed_ && !ready_) {
+      // Shut down before recovery finished: the store was never legal
+      // to append to. Account whatever queued as dropped and leave.
+      const auto n = static_cast<std::int64_t>(queue_.size());
+      queue_.clear();
+      dropped_.fetch_add(n, std::memory_order_relaxed);
+      if (metrics_)
+        metrics_->persist_dropped.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
     if (queue_.empty()) return;  // closed and fully drained (and synced)
     draining_ = true;
     while (!queue_.empty()) {
-      Item item = std::move(queue_.front());
-      queue_.pop_front();
+      // Swap the whole backlog out and land it as ONE contiguous append:
+      // per-record write(2) syscalls and lock round-trips collapse into
+      // one of each per drain swap. Items enqueued while we write go out
+      // on the next swap; the fsync below still waits for a fully empty
+      // queue.
+      std::vector<Write> batch;
+      batch.reserve(queue_.size());
+      for (auto& w : queue_) batch.push_back(std::move(w));
+      queue_.clear();
       lk.unlock();
-      if (config_.on_write) config_.on_write(item.key);
-      store_->append_put(item.key, item.result, item.cost_seconds,
-                         item.write_time);
-      written_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<CacheStore::StorePut> puts;
+      puts.reserve(batch.size());
+      for (Write& w : batch) {
+        if (config_.on_write) config_.on_write(w.key);
+        puts.push_back({std::move(w.key), core::encode_sim_result(w.result),
+                        w.cost_seconds, w.write_time});
+      }
+      store_->append_puts(puts);
+      const auto n = static_cast<std::int64_t>(puts.size());
+      written_.fetch_add(n, std::memory_order_relaxed);
       if (metrics_)
-        metrics_->persist_written.fetch_add(1, std::memory_order_relaxed);
+        metrics_->persist_written.fetch_add(n, std::memory_order_relaxed);
       lk.lock();
     }
     // Queue drained: this is the durability point — one fsync per

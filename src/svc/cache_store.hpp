@@ -81,6 +81,21 @@ struct StoreRecord {
   RecordType type = RecordType::kPut;
 };
 
+/// A validated-but-undecoded record as recover_stream() emits it: the
+/// value stays raw bytes so the consumer side of the startup double
+/// buffer (decode + cache insert) overlaps the producer side (read +
+/// CRC). Records arrive in log order, including superseded ones — the
+/// consumer applies newest-wins (ResultCache::insert_warm/erase_warm).
+struct RawStoreRecord {
+  std::string key;
+  std::vector<std::uint8_t> value;  // kSimResultCodecBytes for a put; empty
+                                    // for a tombstone
+  double cost_seconds = 0;
+  double write_time = 0;
+  std::uint64_t sequence = 0;
+  RecordType type = RecordType::kPut;
+};
+
 struct RecoveryStats {
   std::int64_t records_scanned = 0;  // records that passed every check
   std::int64_t puts = 0;
@@ -113,6 +128,19 @@ class CacheStore {
   std::vector<StoreRecord> recover(RecoveryStats* stats = nullptr,
                                    bool repair = true);
 
+  /// Streaming flavour of recover(): reads the log in bounded chunks and
+  /// invokes `emit` for every valid record *in log order* (no
+  /// supersede/tombstone collapse — that is the consumer's job), with
+  /// exactly the same validity checks and stop-at-first-bad-record
+  /// contract. Establishes the writer state (live index, next sequence,
+  /// end offset) and, with repair=true, truncates the torn tail — so
+  /// appends may follow. Returns the offset just past the last valid
+  /// record. recover() is implemented on top of this, so the recovery
+  /// torture tests exercise this parser.
+  std::uint64_t recover_stream(
+      const std::function<void(RawStoreRecord&&)>& emit,
+      RecoveryStats* stats = nullptr, bool repair = true);
+
   /// Append one record; returns the file offset just past it (a record
   /// boundary — the torture tests truncate at these and everywhere
   /// else). Durable only after sync().
@@ -120,6 +148,21 @@ class CacheStore {
                            const core::SimResult& result,
                            double cost_seconds, double write_time);
   std::uint64_t append_tombstone(const std::string& key, double write_time);
+
+  /// One pre-encoded put for append_puts (value = encode_sim_result
+  /// bytes).
+  struct StorePut {
+    std::string key;
+    std::vector<std::uint8_t> value;
+    double cost_seconds = 0;
+    double write_time = 0;
+  };
+  /// Append every put as ONE contiguous write(2) — the write-behind
+  /// drain's coalescing half (Persister::enqueue_batch's single notify
+  /// is the other). Byte-identical on disk to calling append_put in a
+  /// loop. Returns the offset just past the last record.
+  std::uint64_t append_puts(const std::vector<StorePut>& puts);
+
   void sync();  // fsync the log
 
   // ---- compaction -----------------------------------------------------
@@ -194,9 +237,20 @@ struct PersisterConfig {
 /// reconcile at quiescence: enqueued == written + dropped.
 class Persister {
  public:
-  /// `store` must already be recovered (the warm-load pass does that).
+  /// One pending write-behind entry (the enqueue_batch unit).
+  struct Write {
+    std::string key;
+    core::SimResult result;
+    double cost_seconds = 0;
+    double write_time = 0;
+  };
+
+  /// `store` must already be recovered — unless store_ready=false, in
+  /// which case the owner recovers it concurrently (the overlapped warm
+  /// load) and calls mark_ready(); until then the thread parks and
+  /// enqueued entries wait in the bounded queue.
   Persister(std::unique_ptr<CacheStore> store, PersisterConfig config = {},
-            Metrics* metrics = nullptr);
+            Metrics* metrics = nullptr, bool store_ready = true);
   ~Persister();  // shutdown()
   Persister(const Persister&) = delete;
   Persister& operator=(const Persister&) = delete;
@@ -206,6 +260,15 @@ class Persister {
   /// from any thread; a no-op (counted as dropped) after shutdown().
   void enqueue(std::string key, const core::SimResult& result,
                double cost_seconds, double write_time);
+
+  /// Batched enqueue: one lock acquisition and one thread wake for the
+  /// whole vector (the service's per-batch amortization), with the same
+  /// per-entry drop-oldest policy as enqueue().
+  void enqueue_batch(std::vector<Write> writes);
+
+  /// Store recovery (running on another thread) finished: start
+  /// draining. No-op when constructed store_ready=true.
+  void mark_ready();
 
   /// Block until everything enqueued so far is written and fsynced.
   void flush();
@@ -221,13 +284,6 @@ class Persister {
   std::int64_t compactions() const { return compactions_.load(); }
 
  private:
-  struct Item {
-    std::string key;
-    core::SimResult result;
-    double cost_seconds;
-    double write_time;
-  };
-
   void loop();
 
   std::unique_ptr<CacheStore> store_;
@@ -237,7 +293,8 @@ class Persister {
   std::mutex mu_;
   std::condition_variable cv_;       // wakes the persister thread
   std::condition_variable idle_cv_;  // wakes flush() waiters
-  std::deque<Item> queue_;
+  std::deque<Write> queue_;
+  bool ready_ = true;      // store recovered; appends are legal
   bool closed_ = false;
   bool draining_ = false;  // thread is between pop and post-drain sync
 

@@ -24,6 +24,8 @@ void for_each_counter(const Metrics& m, Fn&& fn) {
   fn("svc.exec_failures", get(m.exec_failures));
   fn("svc.timeouts", get(m.timeouts));
   fn("svc.retries", get(m.retries));
+  fn("svc.batches", get(m.batches));
+  fn("svc.batched_jobs", get(m.batched_jobs));
   fn("svc.gave_up", get(m.gave_up));
   fn("svc.cancelled", get(m.cancelled));
   fn("svc.warm_loaded", get(m.warm_loaded));
@@ -78,6 +80,11 @@ std::string Metrics::snapshot(std::int64_t cache_size,
   hist("svc.exec_time", exec_time);
   hist("svc.attempt_time", attempt_time);
   hist("svc.hit_time", hit_time);
+  os << "svc.batch_size: count=" << batch_size.count()
+     << " mean=" << fmt_fixed(batch_size.mean(), 2)
+     << " p50=" << batch_size.quantile(0.50)
+     << " p99=" << batch_size.quantile(0.99)
+     << " max=" << batch_size.max_value() << "\n";
   return os.str();
 }
 

@@ -40,6 +40,14 @@ class Metrics {
   std::atomic<std::int64_t> exec_failures{0};  // attempt threw in budget
   std::atomic<std::int64_t> timeouts{0};       // attempt exceeded deadline
   std::atomic<std::int64_t> retries{0};        // re-executions started
+  // Dispatch-level: every job leaves the queue inside exactly one
+  // dispatch unit — a pop_batch() batch, or a single pop()/lane pop
+  // (counted as a batch of 1) — so
+  //   batched_jobs == accepted
+  // once a drained service is quiescent, and batched_jobs / batches is
+  // the realized amortization factor (batch_size holds its histogram).
+  std::atomic<std::int64_t> batches{0};       // dispatch units
+  std::atomic<std::int64_t> batched_jobs{0};  // jobs across all units
 
   // ---- persistent cache store -----------------------------------------
   // Warm load (startup): every recovered live record is either loaded or
@@ -62,6 +70,7 @@ class Metrics {
   trace::LatencyHistogram exec_time;     // successful executor run (cold)
   trace::LatencyHistogram attempt_time;  // every attempt, incl. failed ones
   trace::LatencyHistogram hit_time;      // submit() latency for cache hits
+  trace::SizeHistogram batch_size;       // jobs per dispatch unit
 
   // ---- gauges ---------------------------------------------------------
   void note_queue_depth(std::int64_t depth) {

@@ -120,8 +120,28 @@ bool ResultCache::insert_warm(const JobKey& key,
     return false;  // expired on load
   Shard& sh = shard_of(key);
   std::lock_guard lock(sh.mu);
-  if (sh.map.count(key) || sh.flights.count(key)) return false;
+  if (sh.flights.count(key)) return false;  // a live run will settle it
+  if (auto it = sh.map.find(key); it != sh.map.end()) {
+    if (it->second->write_time >= write_time) return false;
+    // Newest wins: refresh the entry in place (and its LRU position).
+    it->second->result = result;
+    it->second->cost_seconds = cost_seconds;
+    it->second->write_time = write_time;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return true;
+  }
   insert_locked(sh, key, result, cost_seconds, write_time);
+  return true;
+}
+
+bool ResultCache::erase_warm(const JobKey& key, double write_time) {
+  Shard& sh = shard_of(key);
+  std::lock_guard lock(sh.mu);
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) return false;
+  if (it->second->write_time > write_time) return false;  // entry is newer
+  sh.lru.erase(it->second);
+  sh.map.erase(it);
   return true;
 }
 

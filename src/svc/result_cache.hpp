@@ -94,10 +94,19 @@ class ResultCache {
   /// original `write_time` so the TTL keeps counting from when the
   /// result was actually computed, not from when it was reloaded.
   /// Never starts or settles a flight and touches no hit/miss counters.
+  /// Newest wins: a strictly newer write_time replaces an existing
+  /// entry, so store records streamed in log order converge on the live
+  /// value without the loader having to pre-collapse supersedes.
   /// Returns false (and inserts nothing) when the entry is already
-  /// expired, or when the key is cached or in flight.
+  /// expired, the key is in flight, or a same-or-newer entry is cached.
   bool insert_warm(const JobKey& key, const core::SimResult& result,
                    double cost_seconds, double write_time);
+
+  /// Tombstone counterpart for the streamed warm load: erase the key's
+  /// entry unless it is strictly newer than `write_time` (a result the
+  /// running service computed after the tombstone was logged must
+  /// survive). Returns true when an entry was erased.
+  bool erase_warm(const JobKey& key, double write_time);
 
   /// Attach a continuation to the key's in-flight computation (the
   /// ticket continuation hook the RPC front-end rides on). Returns false

@@ -1,9 +1,12 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "svc/exec_context.hpp"
 #include "trace/stats.hpp"
@@ -81,28 +84,89 @@ SimService::SimService(ServiceConfig config)
   if (config_.workers <= 0) config_.workers = default_workers();
   if (!config_.executor) config_.executor = core::simulate_job;
   if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
+  if (config_.batch_max < 1) config_.batch_max = 1;
   if (!config_.cache_dir.empty()) {
-    // Warm start: recover the persistent store and pre-fill the cache
-    // with every live record that is still current-version and within
-    // TTL, before any worker can race a submit against the load.
+    // Warm start, double-buffered (the paper's overlap trick applied to
+    // startup): a reader thread scans/CRCs the log while a decoder
+    // thread decodes records and inserts them into the cache, and this
+    // constructor returns immediately — submits race the load safely
+    // (a miss on a still-loading key just executes; insert_warm is
+    // newest-wins, so a streamed record never clobbers a fresher live
+    // result). The persister starts parked and is released by the
+    // reader once recovery establishes the writer state.
     std::filesystem::create_directories(config_.cache_dir);
     auto store =
         std::make_unique<CacheStore>(CacheStore::path_in(config_.cache_dir));
-    for (const StoreRecord& rec : store->recover()) {
-      const bool loaded =
-          JobKey::current_version(rec.key) &&
-          cache_.insert_warm(JobKey::from_canonical(rec.key), rec.result,
-                             rec.cost_seconds, rec.write_time);
-      (loaded ? metrics_.warm_loaded : metrics_.warm_skipped)
-          .fetch_add(1, std::memory_order_relaxed);
-    }
+    CacheStore* store_raw = store.get();
     PersisterConfig pc;
     pc.queue_capacity = config_.persist_queue_capacity;
-    persister_ = std::make_unique<Persister>(std::move(store), pc, &metrics_);
+    persister_ = std::make_unique<Persister>(std::move(store), pc, &metrics_,
+                                             /*store_ready=*/false);
+    warm_done_ = false;
+    warm_channel_ = std::make_unique<JobQueue<RawStoreRecord>>(
+        /*capacity=*/128);
+    warm_decoder_ = std::thread([this] { warm_decoder_loop(); });
+    warm_reader_ = std::thread([this, store_raw] {
+      warm_reader_loop(store_raw);
+    });
   }
+  has_lane_ = config_.batch_max > 1 && config_.reserve_interactive_lane &&
+              config_.workers >= 2;
   threads_.reserve(static_cast<std::size_t>(config_.workers));
-  for (int w = 0; w < config_.workers; ++w)
+  if (has_lane_) threads_.emplace_back([this] { lane_loop(); });
+  for (int w = has_lane_ ? 1 : 0; w < config_.workers; ++w)
     threads_.emplace_back([this] { worker_loop(); });
+}
+
+void SimService::warm_reader_loop(CacheStore* store) {
+  // The persister owns the store but its thread is parked until
+  // mark_ready(), so this thread has exclusive use during the scan.
+  store->recover_stream(
+      [this](RawStoreRecord&& rec) {
+        warm_channel_->push_wait(std::move(rec));
+      },
+      nullptr, /*repair=*/true);
+  warm_channel_->close();  // decoder drains the tail, then finishes
+  persister_->mark_ready();
+}
+
+void SimService::warm_decoder_loop() {
+  // Per-key fate of the *newest* streamed put: true = in the cache,
+  // false = skipped (stale version / expired / lost to a fresher live
+  // entry or flight). Tombstoned keys leave the map, so at the end
+  //   live store records == warm_loaded + warm_skipped
+  // exactly as the old collapse-then-load path counted.
+  std::unordered_map<std::string, bool> fate;
+  while (auto rec = warm_channel_->pop()) {
+    if (rec->type == RecordType::kTombstone) {
+      if (JobKey::current_version(rec->key))
+        cache_.erase_warm(JobKey::from_canonical(rec->key), rec->write_time);
+      fate.erase(rec->key);
+      continue;
+    }
+    bool loaded = false;
+    if (JobKey::current_version(rec->key)) {
+      const core::SimResult result =
+          core::decode_sim_result(rec->value.data(), rec->value.size());
+      loaded = cache_.insert_warm(JobKey::from_canonical(rec->key), result,
+                                  rec->cost_seconds, rec->write_time);
+    }
+    fate[rec->key] = loaded;
+  }
+  std::int64_t loaded_n = 0, skipped_n = 0;
+  for (const auto& [key, ok] : fate) (ok ? loaded_n : skipped_n) += 1;
+  metrics_.warm_loaded.store(loaded_n, std::memory_order_relaxed);
+  metrics_.warm_skipped.store(skipped_n, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(warm_mu_);
+    warm_done_ = true;
+  }
+  warm_cv_.notify_all();
+}
+
+void SimService::wait_warm_loaded() const {
+  std::unique_lock lock(warm_mu_);
+  warm_cv_.wait(lock, [&] { return warm_done_; });
 }
 
 SimService::~SimService() { shutdown(/*drain=*/true); }
@@ -210,8 +274,40 @@ core::SimResult SimService::run(const core::SimJobSpec& spec,
   return t.result.get();
 }
 
+void SimService::note_dispatch(std::size_t n) {
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batched_jobs.fetch_add(static_cast<std::int64_t>(n),
+                                  std::memory_order_relaxed);
+  metrics_.batch_size.record(static_cast<std::int64_t>(n));
+}
+
 void SimService::worker_loop() {
-  while (auto job = queue_.pop()) execute(std::move(*job));
+  if (config_.batch_max <= 1) {
+    while (auto job = queue_.pop()) {
+      note_dispatch(1);
+      execute(std::move(*job));
+    }
+    return;
+  }
+  const auto linger =
+      std::chrono::microseconds(std::max(0L, config_.batch_linger_us));
+  for (;;) {
+    std::vector<QueuedJob> batch =
+        queue_.pop_batch(config_.batch_max, config_.batch_ramp, linger);
+    if (batch.empty()) return;  // closed and drained
+    execute_batch(std::move(batch));
+  }
+}
+
+void SimService::lane_loop() {
+  // The interactive affinity lane: this worker only ever takes
+  // kInteractive jobs, one at a time, so none of them waits behind a
+  // batch forming (or executing) on a general worker. General workers
+  // still pick interactive work up first when the lane is busy.
+  while (auto job = queue_.pop_class(Priority::kInteractive)) {
+    note_dispatch(1);
+    execute(std::move(*job));
+  }
 }
 
 void SimService::fail(const JobKey& key, ErrorReason reason,
@@ -219,13 +315,38 @@ void SimService::fail(const JobKey& key, ErrorReason reason,
   cache_.abort(key, std::make_exception_ptr(ServiceError(what, reason)));
 }
 
+void SimService::execute(QueuedJob job) {
+  metrics_.queue_wait.record(trace::now_seconds() - job.enqueue_time);
+  execute_attempts(std::move(job), nullptr);
+}
+
+// One dispatch unit (DESIGN.md §13): the per-dispatch bookkeeping —
+// queue-wait flush (one clock read: every member left the queue at the
+// same wakeup), executed-counter update, persister hand-off — happens
+// once per batch instead of once per job. Jobs still execute serially
+// on this worker, each through the full attempt lifecycle; a retrying
+// job's backoff delays its batch-mates (retries are rare, and
+// re-queueing would reorder within a priority class).
+void SimService::execute_batch(std::vector<QueuedJob> batch) {
+  note_dispatch(batch.size());
+  const double now = trace::now_seconds();
+  for (const QueuedJob& job : batch)
+    metrics_.queue_wait.record(now - job.enqueue_time);
+  std::vector<Persister::Write> writes;
+  if (persister_) writes.reserve(batch.size());
+  for (QueuedJob& job : batch)
+    execute_attempts(std::move(job), persister_ ? &writes : nullptr);
+  if (persister_ && !writes.empty())
+    persister_->enqueue_batch(std::move(writes));
+}
+
 // The attempt lifecycle (see DESIGN.md §10 for the state diagram). Each
 // loop iteration is one attempt and classifies itself exactly one way —
 // success / exec_failure (threw within budget) / timeout (exceeded the
 // per-attempt deadline, whether it threw or returned) — so the metrics
 // reconcile: accepted == executed + gave_up + cancelled at quiescence.
-void SimService::execute(QueuedJob job) {
-  metrics_.queue_wait.record(trace::now_seconds() - job.enqueue_time);
+void SimService::execute_attempts(QueuedJob job,
+                                  std::vector<Persister::Write>* sink) {
   const RetryPolicy& rp = config_.retry;
   for (int attempt = 0;; ++attempt) {
     const double t0 = trace::now_seconds();
@@ -256,7 +377,12 @@ void SimService::execute(QueuedJob job) {
       // Write-behind, off this worker's critical path: the persister's
       // thread does the file I/O. Cache hits (including warm-loaded
       // entries) never reach here, so the log only grows on real work.
-      if (persister_)
+      // Batched dispatch collects the writes in `sink` and hands the
+      // whole batch over in one enqueue_batch (one lock, one wake).
+      if (sink)
+        sink->push_back(Persister::Write{job.key.canonical(), result,
+                                         elapsed, trace::unix_seconds()});
+      else if (persister_)
         persister_->enqueue(job.key.canonical(), result, elapsed,
                             trace::unix_seconds());
       return;
@@ -315,6 +441,11 @@ void SimService::shutdown(bool drain) {
       }
     }
     for (std::thread& t : threads_) t.join();
+    // The warm load is bounded by the log size; let it finish rather
+    // than tearing down structures it reads (it also releases the
+    // persister, which must happen before the persister can drain).
+    if (warm_reader_.joinable()) warm_reader_.join();
+    if (warm_decoder_.joinable()) warm_decoder_.join();
     // Workers are gone, so nothing can enqueue anymore: drain what the
     // persister still holds, fsync, and stop its thread.
     if (persister_) persister_->shutdown();

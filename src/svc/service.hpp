@@ -6,15 +6,23 @@
 // served from memory (or join an in-flight run) instead of re-simulating.
 // Every stage is metered (svc::Metrics).
 //
+// Dispatch can be batched (ServiceConfig::batch_max): a worker wakeup
+// drains up to batch_max same-priority jobs as one unit — one queue
+// lock, one wake, one persister hand-off — with a depth-following ramp
+// and an optional interactive affinity lane (DESIGN.md §13).
+//
 // Lifecycle: construct -> submit()* -> shutdown() (or destructor, which
 // drains). After shutdown() begins, submits are rejected with
 // kRejectedShutdown; in-flight and (when draining) queued work still
 // completes, so no accepted future is ever abandoned.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,10 +115,14 @@ struct ServiceConfig {
   RetryPolicy retry;
   /// Directory for the persistent result store (created if missing;
   /// empty = no persistence). At startup the store is recovered and its
-  /// live, current-version, unexpired records warm-load the cache; at
-  /// runtime every executed result is written behind by a dedicated
-  /// persister thread, so a second process pointed at the same directory
-  /// starts with this process's results already cached.
+  /// live, current-version, unexpired records warm-load the cache — in
+  /// the background, double-buffered (a reader thread scans/CRCs while a
+  /// decoder thread inserts), so the constructor returns and the service
+  /// accepts submits immediately; a submit that misses a still-loading
+  /// key simply executes (wait_warm_loaded() blocks until the load is
+  /// done). At runtime every executed result is written behind by a
+  /// dedicated persister thread, so a second process pointed at the same
+  /// directory starts with this process's results already cached.
   std::string cache_dir;
   /// TTL on cached results, in seconds (0 = never expire). Applies to
   /// in-memory entries (expired on the lookup that observes them) and to
@@ -120,6 +132,30 @@ struct ServiceConfig {
   /// Bounded queue between workers and the persister thread; when full,
   /// the oldest pending entry is dropped (persist_dropped counts them).
   std::size_t persist_queue_capacity = 256;
+  /// Batched dispatch: each worker wakeup drains up to this many
+  /// same-priority jobs from the queue in one unit (one lock, one wake,
+  /// one persister hand-off for all of them). 1 = classic one-job
+  /// dispatch. Interactive jobs are never batched regardless.
+  std::size_t batch_max = 1;
+  /// With batch_max > 1, grow the effective batch cap with observed
+  /// queue depth (ceil(depth/2), bounded by batch_max) instead of
+  /// always forming full batches — low load keeps single-job latency,
+  /// only a real backlog amortizes. See JobQueue::pop_batch.
+  bool batch_ramp = true;
+  /// Microseconds a batching worker that woke to fewer than batch_max
+  /// queued jobs waits for the batch to fill before dispatching what it
+  /// has (NIC-style interrupt coalescing; see JobQueue::pop_batch).
+  /// While a worker lingers, producers push without waking anyone, so
+  /// the amortization survives single-core wakeup preemption. 0 (the
+  /// default) dispatches immediately; interactive arrivals always abort
+  /// a linger. Only meaningful with batch_max > 1.
+  long batch_linger_us = 0;
+  /// With batch_max > 1 and workers >= 2, dedicate worker 0 to the
+  /// kInteractive class so an interactive job never waits behind a
+  /// forming batch on a busy worker. Costs one general worker; disable
+  /// to keep every worker draining batches (e.g. pure-throughput
+  /// deployments with no interactive traffic).
+  bool reserve_interactive_lane = true;
 };
 
 enum class SubmitStatus {
@@ -180,6 +216,14 @@ class SimService {
   Persister* persister() { return persister_.get(); }
   std::size_t queue_depth() const { return queue_.size(); }
   int workers() const { return static_cast<int>(threads_.size()); }
+  /// True when worker 0 only serves kInteractive jobs (see
+  /// ServiceConfig::reserve_interactive_lane).
+  bool has_interactive_lane() const { return has_lane_; }
+
+  /// Block until the background warm load (if any) has finished and the
+  /// warm_loaded/warm_skipped counters are final. Returns immediately
+  /// when no cache_dir is configured. Safe from any thread, any time.
+  void wait_warm_loaded() const;
 
   /// Metrics + cache counters as one text block (the exporter).
   std::string metrics_snapshot() const;
@@ -192,9 +236,21 @@ class SimService {
   };
 
   void worker_loop();
+  void lane_loop();  // worker 0 when has_lane_: kInteractive only
   void execute(QueuedJob job);
+  /// One dispatch unit: per-batch metrics flush, per-job execution, one
+  /// persister hand-off for every success in the batch.
+  void execute_batch(std::vector<QueuedJob> batch);
+  /// The attempt lifecycle for one job. Successful results go to `sink`
+  /// when given (batched persistence), else straight to the persister.
+  void execute_attempts(QueuedJob job, std::vector<Persister::Write>* sink);
+  /// Record one dispatch unit of `n` jobs leaving the queue.
+  void note_dispatch(std::size_t n);
   /// Terminal failure: abort the flight with a reasoned ServiceError.
   void fail(const JobKey& key, ErrorReason reason, const std::string& what);
+
+  void warm_reader_loop(CacheStore* store);
+  void warm_decoder_loop();
 
   ServiceConfig config_;
   ResultCache cache_;
@@ -202,6 +258,19 @@ class SimService {
   Metrics metrics_;
   std::unique_ptr<Persister> persister_;
   std::vector<std::thread> threads_;
+  bool has_lane_ = false;
+
+  // Startup double buffer: the reader thread scans/CRCs store records
+  // into this bounded channel (push_wait = backpressure) while the
+  // decoder thread decodes and inserts them into the cache. Both exit
+  // on their own once the log is exhausted; shutdown() joins them.
+  std::unique_ptr<JobQueue<RawStoreRecord>> warm_channel_;
+  std::thread warm_reader_;
+  std::thread warm_decoder_;
+  mutable std::mutex warm_mu_;
+  mutable std::condition_variable warm_cv_;
+  bool warm_done_ = true;  // false only while a background load runs
+
   std::atomic<bool> shutting_down_{false};
   /// shutdown(drain=false) was requested: retry loops stop retrying and
   /// cancel instead; published to executors via ExecContext::cancel.

@@ -224,6 +224,70 @@ class LatencyHistogram {
   std::atomic<std::int64_t> max_ns_{0};
 };
 
+/// Fixed-bucket histogram for small non-negative integer sizes (batch
+/// sizes, fan-out counts): exact buckets for 0..kMaxExact plus one
+/// overflow bucket. Lock-free recording like LatencyHistogram, and the
+/// same quantile contract (bucket upper bound — exact for values within
+/// the exact range, kMaxExact+1 for the overflow bucket).
+class SizeHistogram {
+ public:
+  static constexpr std::int64_t kMaxExact = 64;
+
+  void record(std::int64_t n) {
+    if (n < 0) n = 0;
+    const std::size_t idx =
+        n <= kMaxExact ? static_cast<std::size_t>(n)
+                       : static_cast<std::size_t>(kMaxExact) + 1;
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(n, std::memory_order_relaxed);
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (n > seen &&
+           !max_.compare_exchange_weak(seen, n, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t count() const {
+    std::int64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  std::int64_t total() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    const std::int64_t n = count();
+    return n > 0 ? static_cast<double>(total()) / static_cast<double>(n)
+                 : 0.0;
+  }
+
+  /// Size at the q-quantile (q in [0, 1]); kMaxExact + 1 stands in for
+  /// anything in the overflow bucket. Returns 0 when empty.
+  std::int64_t quantile(double q) const {
+    const std::int64_t n = count();
+    if (n == 0) return 0;
+    std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    std::int64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b].load(std::memory_order_relaxed);
+      if (seen > rank) return static_cast<std::int64_t>(b);
+    }
+    return kMaxExact + 1;
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::int64_t>, kMaxExact + 2> buckets_{};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
 /// Communication accounting (per rank or per node, caller's choice).
 struct CommStats {
   std::atomic<std::int64_t> bytes_sent{0};

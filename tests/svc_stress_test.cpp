@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "svc/fault.hpp"
+#include "svc/job_queue.hpp"
 #include "svc/service.hpp"
 #include "trace/stats.hpp"
 
@@ -450,6 +451,82 @@ TEST(SvcStress, EvictionChurnStaysCoherentUnderConcurrency) {
   EXPECT_EQ(bad.load(), 0) << "a key must never yield another key's result";
   EXPECT_LE(service.cache().size(), 8u);
   EXPECT_GT(service.cache().evictions(), 0);
+}
+
+// The gated-notify machinery (plain / linger / lane waiter bookkeeping,
+// pushes that deliberately wake nobody) under genuine contention: every
+// queued item must come out exactly once across batch consumers of
+// mixed linger settings plus an interactive affinity lane, with no
+// consumer left parked when close() lands. Run under TSAN this is the
+// race check for the waiter counters.
+TEST(SvcStress, PopBatchConcurrentConsumersConserveItems) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 400;
+  constexpr int kLaneItems = 100;
+  svc::JobQueue<int> q(256);
+
+  std::atomic<std::int64_t> batch_sum{0};
+  std::atomic<int> batch_count{0};
+  std::atomic<std::int64_t> lane_sum{0};
+  std::atomic<int> lane_count{0};
+  std::vector<std::thread> consumers;
+  // Two batch consumers with a linger, one without: mixed waiter kinds
+  // force the broadcast paths of wake_after_push.
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&, c] {
+      const auto linger = std::chrono::microseconds(c < 2 ? 200 : 0);
+      for (;;) {
+        const auto batch = q.pop_batch(8, /*ramp=*/(c == 0), linger);
+        if (batch.empty()) return;  // closed and drained
+        batch_count.fetch_add(static_cast<int>(batch.size()));
+        for (int v : batch) batch_sum.fetch_add(v);
+      }
+    });
+  }
+  consumers.emplace_back([&] {  // the interactive affinity lane
+    while (auto item = q.pop_class(svc::Priority::kInteractive)) {
+      lane_count.fetch_add(1);
+      lane_sum.fetch_add(*item);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i + 1;
+        const auto prio = (i % 3 == 0) ? svc::Priority::kBatch
+                                       : svc::Priority::kNormal;
+        while (q.push_wait(v, prio) != svc::PushResult::kAccepted) {
+        }
+      }
+    });
+  }
+  producers.emplace_back([&] {
+    for (int i = 0; i < kLaneItems; ++i) {
+      while (q.push_wait(-(i + 1), svc::Priority::kInteractive) !=
+             svc::PushResult::kAccepted) {
+      }
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  // Conservation: every item left the queue exactly once. The lane only
+  // ever sees interactive items (negative markers); general consumers
+  // may pick up interactive items the lane did not get to first, but
+  // never the reverse.
+  constexpr int kTotal = kProducers * kPerProducer;
+  std::int64_t expected_sum = 0;
+  for (int v = 1; v <= kTotal; ++v) expected_sum += v;
+  std::int64_t lane_expected = 0;
+  for (int i = 1; i <= kLaneItems; ++i) lane_expected -= i;
+  EXPECT_EQ(batch_count.load() + lane_count.load(), kTotal + kLaneItems);
+  EXPECT_EQ(batch_sum.load() + lane_sum.load(),
+            expected_sum + lane_expected);
+  EXPECT_LE(lane_sum.load(), 0) << "the lane saw a non-interactive item";
+  EXPECT_EQ(q.size(), 0u);
 }
 
 }  // namespace

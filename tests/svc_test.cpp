@@ -182,6 +182,124 @@ TEST(JobQueue, DrainRemainingEmptiesEverything) {
   EXPECT_EQ(q.pop(), std::nullopt);
 }
 
+TEST(JobQueue, PopBatchDrainsOneClassFifoNeverMixing) {
+  svc::JobQueue<int> q(16);
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(q.try_push(i, svc::Priority::kNormal),
+              svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(100, svc::Priority::kBatch),
+            svc::PushResult::kAccepted);
+  // Capped at max_n, FIFO within the class.
+  const auto first = q.pop_batch(4);
+  ASSERT_EQ(first.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(first[static_cast<size_t>(i)], i);
+  // A batch never crosses into a lower class, even with room left.
+  const auto second = q.pop_batch(4);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 4);
+  const auto third = q.pop_batch(4);
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0], 100);
+}
+
+TEST(JobQueue, PopBatchNeverBatchesInteractive) {
+  svc::JobQueue<int> q(16);
+  ASSERT_EQ(q.try_push(1, svc::Priority::kInteractive),
+            svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(2, svc::Priority::kInteractive),
+            svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(10, svc::Priority::kNormal),
+            svc::PushResult::kAccepted);
+  // Interactive items leave one per wakeup regardless of max_n: their
+  // latency must not pay for their neighbours.
+  const auto a = q.pop_batch(8);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 1);
+  const auto b = q.pop_batch(8);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 2);
+  const auto c = q.pop_batch(8);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 10);
+}
+
+TEST(JobQueue, PopBatchRampFollowsClassDepth) {
+  svc::JobQueue<int> q(16);
+  for (int i = 0; i < 8; ++i)
+    ASSERT_EQ(q.try_push(i), svc::PushResult::kAccepted);
+  // ceil(depth/2) bounded by max_n: 8 -> 4, 4 -> 2, 2 -> 1, 1 -> 1.
+  EXPECT_EQ(q.pop_batch(8, /*ramp=*/true).size(), 4u);
+  EXPECT_EQ(q.pop_batch(8, /*ramp=*/true).size(), 2u);
+  EXPECT_EQ(q.pop_batch(8, /*ramp=*/true).size(), 1u);
+  EXPECT_EQ(q.pop_batch(8, /*ramp=*/true).size(), 1u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, PopBatchCloseMidStreamDrainsCleanly) {
+  svc::JobQueue<int> q(8);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(q.try_push(i), svc::PushResult::kAccepted);
+  q.close();
+  // What was admitted still leaves in one batch...
+  const auto batch = q.pop_batch(8);
+  ASSERT_EQ(batch.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
+  // ...then the empty vector signals closed-and-drained.
+  EXPECT_TRUE(q.pop_batch(8).empty());
+  EXPECT_EQ(q.try_push(9), svc::PushResult::kClosed);
+}
+
+TEST(JobQueue, PopBatchLingerFillsTheBatch) {
+  svc::JobQueue<int> q(16);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    got = q.pop_batch(4, /*ramp=*/false, std::chrono::microseconds(500000));
+  });
+  // First push arms the consumer; it wakes, sees depth 1 < 4 and lingers.
+  ASSERT_EQ(q.try_push(0), svc::PushResult::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // These pushes wake nobody (the linger target is unmet)...
+  ASSERT_EQ(q.try_push(1), svc::PushResult::kAccepted);
+  ASSERT_EQ(q.try_push(2), svc::PushResult::kAccepted);
+  // ...until the batch fills, which releases the whole unit at once.
+  ASSERT_EQ(q.try_push(3), svc::PushResult::kAccepted);
+  consumer.join();
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(JobQueue, PopBatchLingerTimeoutDispatchesWhatItHas) {
+  svc::JobQueue<int> q(16);
+  ASSERT_EQ(q.try_push(7), svc::PushResult::kAccepted);
+  // A lone item is not held hostage: the linger timer bounds its wait.
+  const auto batch =
+      q.pop_batch(4, /*ramp=*/false, std::chrono::microseconds(2000));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 7);
+}
+
+TEST(JobQueue, PopBatchInteractiveArrivalAbortsLinger) {
+  svc::JobQueue<int> q(16);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    // Linger far longer than the test: only the interactive abort can
+    // release the consumer this fast.
+    got = q.pop_batch(8, /*ramp=*/false, std::chrono::microseconds(5000000));
+  });
+  ASSERT_EQ(q.try_push(10, svc::Priority::kNormal),
+            svc::PushResult::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(q.try_push(1, svc::Priority::kInteractive),
+            svc::PushResult::kAccepted);
+  consumer.join();
+  // The woken consumer takes the interactive item (highest class, cap 1);
+  // the normal item stays queued behind it.
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop(), 10);
+}
+
 // ---- ResultCache ------------------------------------------------------
 
 TEST(ResultCache, LeaderCompletesAndSubsequentLookupsHit) {
@@ -591,6 +709,7 @@ TEST(SimServicePersist, SecondServiceWarmStartsFromTheFirstOnesStore) {
   EXPECT_EQ(runs.load(), 3);
 
   svc::SimService second(persist_config(store.dir(), &runs));
+  second.wait_warm_loaded();  // load runs in the background now
   EXPECT_EQ(second.metrics().warm_loaded.load(), 3);
   EXPECT_EQ(second.metrics().warm_skipped.load(), 0);
   for (int n : {8, 9, 10}) {
@@ -622,6 +741,7 @@ TEST(SimServicePersist, ExpiredStoreRecordsAreSkippedOnWarmLoad) {
   std::atomic<int> runs{0};
   svc::SimService service(
       persist_config(dir.dir(), &runs, /*ttl_seconds=*/3600));
+  service.wait_warm_loaded();
   EXPECT_EQ(service.metrics().warm_loaded.load(), 1);
   EXPECT_EQ(service.metrics().warm_skipped.load(), 1);
   EXPECT_EQ(service.submit(small_spec(9)).status,
@@ -646,6 +766,7 @@ TEST(SimServicePersist, VersionBumpInvalidatesTheWarmStore) {
     store.sync();
   }
   svc::SimService service(persist_config(dir.dir(), nullptr));
+  service.wait_warm_loaded();
   EXPECT_EQ(service.metrics().warm_loaded.load(), 1);
   EXPECT_EQ(service.metrics().warm_skipped.load(), 1);
   EXPECT_EQ(service.submit(small_spec(8)).status,
@@ -662,6 +783,7 @@ TEST(SimServicePersist, SubmitThenFiresSynchronouslyOnWarmLoadHit) {
     store.sync();
   }
   svc::SimService service(persist_config(dir.dir(), nullptr));
+  service.wait_warm_loaded();  // the hit below needs the entry in place
   bool fired = false;
   const auto status = service.submit_then(
       small_spec(8), svc::Priority::kNormal,
@@ -698,6 +820,116 @@ TEST(SimServicePersist, PersistCountersReconcileInTheCounterMap) {
   const std::string snap = service.metrics_snapshot();
   EXPECT_NE(snap.find("svc.persist_written: 6"), std::string::npos) << snap;
   EXPECT_NE(snap.find("svc.cache_expired: 0"), std::string::npos) << snap;
+}
+
+// ---- batched dispatch (SimService over pop_batch) ---------------------
+
+TEST(SvcBatch, BatchedJobsReconcileWithAccepted) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 128;
+  cfg.batch_max = 8;
+  cfg.batch_ramp = true;
+  cfg.batch_linger_us = 200;
+  cfg.reserve_interactive_lane = false;
+  std::atomic<int> runs{0};
+  cfg.executor = [&runs](const core::SimJobSpec& s) {
+    runs.fetch_add(1);
+    core::SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    return r;
+  };
+  svc::SimService service(cfg);
+  std::vector<svc::Ticket> tickets;
+  for (int n = 8; n < 40; ++n)
+    tickets.push_back(service.submit(small_spec(n)));
+  for (auto& t : tickets) {
+    ASSERT_FALSE(t.rejected());
+    t.result.get();
+  }
+  service.shutdown();
+
+  const auto counters = service.metrics().counter_map();
+  // Every accepted job left the queue inside exactly one dispatch unit.
+  EXPECT_EQ(counters.at("svc.batched_jobs"), counters.at("svc.accepted"));
+  EXPECT_GE(counters.at("svc.batches"), 1);
+  EXPECT_LE(counters.at("svc.batches"), counters.at("svc.batched_jobs"));
+  EXPECT_EQ(runs.load(), 32);
+  // The batch_size histogram saw every dispatch unit.
+  EXPECT_EQ(service.metrics().batch_size.count(),
+            counters.at("svc.batches"));
+}
+
+TEST(SvcBatch, InteractiveLaneIsReservedWhenConfigured) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_max = 4;
+  cfg.reserve_interactive_lane = true;
+  cfg.executor = [](const core::SimJobSpec& s) {
+    core::SimResult r;
+    r.seconds = static_cast<double>(s.job.ngrids);
+    return r;
+  };
+  svc::SimService service(cfg);
+  EXPECT_TRUE(service.has_interactive_lane());
+  // Both classes complete even with one worker pinned to the lane.
+  EXPECT_DOUBLE_EQ(
+      service.run(small_spec(8), svc::Priority::kInteractive).seconds, 8.0);
+  EXPECT_DOUBLE_EQ(
+      service.run(small_spec(9), svc::Priority::kBatch).seconds, 9.0);
+
+  // The lane needs batching and >= 2 workers; otherwise it is not taken.
+  svc::ServiceConfig solo = cfg;
+  solo.workers = 1;
+  EXPECT_FALSE(svc::SimService(solo).has_interactive_lane());
+  svc::ServiceConfig unbatched = cfg;
+  unbatched.batch_max = 1;
+  EXPECT_FALSE(svc::SimService(unbatched).has_interactive_lane());
+}
+
+TEST(SimServicePersist, WarmLoadOverlapsConcurrentSubmits) {
+  // The startup double buffer: the constructor returns while the
+  // reader/decoder threads still stream the store into the cache.
+  // Submits racing that load must stay correct — a miss on a
+  // still-loading key executes, insert_warm never clobbers a fresher
+  // live result — and the warm counters must still reconcile. (This is
+  // the TSAN lane's target: lookups vs. the background load.)
+  constexpr int kWarm = 64;
+  StoreDir dir;
+  {
+    svc::CacheStore store(svc::CacheStore::path_in(dir.dir()));
+    store.recover();
+    for (int i = 0; i < kWarm; ++i)
+      store.append_put(svc::JobKey::of(small_spec(100 + i)).canonical(),
+                       result_with_seconds(100.0 + i), 0.1,
+                       trace::unix_seconds());
+    store.sync();
+  }
+  std::atomic<int> runs{0};
+  svc::SimService service(persist_config(dir.dir(), &runs));
+  std::vector<std::thread> lookups;
+  for (int t = 0; t < 4; ++t) {
+    lookups.emplace_back([&, t] {
+      for (int i = t; i < kWarm; i += 4) {
+        // Warm key: either hits the already-loaded entry or executes.
+        EXPECT_DOUBLE_EQ(service.run(small_spec(100 + i)).seconds,
+                         100.0 + i);
+        // Fresh key: never in the store, always executes.
+        EXPECT_DOUBLE_EQ(service.run(small_spec(1000 + i)).seconds,
+                         1000.0 + i);
+      }
+    });
+  }
+  for (auto& t : lookups) t.join();
+  service.wait_warm_loaded();
+  // Every live store record was either loaded or deliberately skipped
+  // (e.g. lost to a fresher result a racing lookup produced first).
+  EXPECT_EQ(service.metrics().warm_loaded.load() +
+                service.metrics().warm_skipped.load(),
+            kWarm);
+  // All fresh keys ran; warm keys ran only if they beat the load.
+  EXPECT_GE(runs.load(), kWarm);
+  EXPECT_LE(runs.load(), 2 * kWarm);
 }
 
 }  // namespace

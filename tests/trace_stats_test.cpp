@@ -64,6 +64,35 @@ TEST(PhaseTimers, ThreadSafeAccumulation) {
   EXPECT_NEAR(t.get("x"), 8.0, 1e-9);
 }
 
+TEST(SizeHistogram, ExactBucketsQuantilesAndOverflow) {
+  trace::SizeHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  h.record(1);
+  h.record(1);
+  h.record(4);
+  h.record(8);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.total(), 14);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+  EXPECT_EQ(h.max_value(), 8);
+  // Quantiles are exact within the exact range (batch sizes are small
+  // integers, so the common case has no bucketing error at all).
+  EXPECT_EQ(h.quantile(0.0), 1);
+  EXPECT_EQ(h.quantile(0.5), 4);
+  EXPECT_EQ(h.quantile(1.0), 8);
+  // Negative clamps to 0; past-the-range lands in the overflow bucket
+  // and reports as kMaxExact + 1.
+  h.record(-3);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  h.record(trace::SizeHistogram::kMaxExact + 1000);
+  EXPECT_EQ(h.quantile(1.0), trace::SizeHistogram::kMaxExact + 1);
+  EXPECT_EQ(h.max_value(), trace::SizeHistogram::kMaxExact + 1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.total(), 0);
+}
+
 TEST(CommStats, CountersAccumulate) {
   trace::CommStats s;
   s.count_send(100);
