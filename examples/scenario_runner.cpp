@@ -1,0 +1,119 @@
+// scenario_runner: run one declarative workload scenario end to end and
+// grade its SLOs. The scenario JSON names everything — job catalog, key
+// skew, arrival process per phase, fault schedule, service knobs,
+// transport, assertions (DESIGN.md §14 is the schema reference); this
+// binary just loads it, replays the deterministic plan, prints the
+// per-phase stats and the assertion verdicts, and exits 0 iff every SLO
+// held — which is how CI gates on a scenario.
+//
+//   ./scenario_runner --scenario=scenarios/smoke.json
+//   ./scenario_runner --scenario=scenarios/zipf_flagship.json
+//       --report=SCENARIO_flagship.json
+//   ./scenario_runner --scenario=scenarios/fault_storm.json --print-plan
+//   ./scenario_runner --scenario=scenarios/smoke.json --seed=7  # override
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "scenario/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpawfd;
+
+  CliParser cli;
+  cli.flag("scenario", "", "path to the scenario JSON file (required)")
+      .flag("report", "", "write the machine-readable run report (JSON) "
+            "to this path")
+      .flag("seed", "-1", "override the scenario's seed (-1 = keep)")
+      .flag("print-plan", "false", "print the deterministic request plan "
+            "and exit without running");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+  if (cli.get("scenario").empty()) {
+    std::cerr << "--scenario is required\n" << cli.usage(argv[0]);
+    return 2;
+  }
+
+  scenario::Scenario sc;
+  try {
+    sc = scenario::load_scenario(cli.get("scenario"));
+    const std::int64_t seed = cli.get_int_in("seed", -1, std::int64_t{1} << 40);
+    if (seed >= 0) sc.seed = static_cast<std::uint64_t>(seed);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  scenario::Generator generator(sc);
+  std::cout << "scenario \"" << sc.name << "\": seed " << sc.seed << ", "
+            << generator.catalog().size() << " distinct jobs, "
+            << sc.phases.size() << " phase(s), plan fingerprint " << std::hex
+            << generator.fingerprint() << std::dec << "\n";
+
+  if (cli.get_bool("print-plan")) {
+    const auto catalog = generator.catalog();
+    const auto fault_points = generator.fault_points();
+    for (const scenario::PlannedRequest& r : generator.plan())
+      std::cout << "phase " << r.phase << " client " << r.client << " job "
+                << r.job << " prio " << static_cast<int>(r.priority)
+                << " at +" << fmt_seconds(r.arrival_offset_seconds)
+                << (fault_points[static_cast<std::size_t>(r.job)] !=
+                            svc::FaultKind::kNone
+                        ? std::string(" fault=") +
+                              svc::to_string(fault_points[
+                                  static_cast<std::size_t>(r.job)])
+                        : "")
+                << "\n";
+    return 0;
+  }
+
+  scenario::ScenarioReport report;
+  try {
+    scenario::Runner runner(sc);
+    report = runner.run();
+  } catch (const Error& e) {
+    std::cerr << "scenario run failed: " << e.what() << "\n";
+    return 2;
+  }
+
+  Table t({"phase", "issued", "ok", "rejected", "failed", "p50", "p99",
+           "rps"});
+  for (const scenario::PhaseStats& p : report.phases)
+    t.add_row({p.name, std::to_string(p.issued), std::to_string(p.ok),
+               std::to_string(p.rejected), std::to_string(p.failed),
+               fmt_seconds(p.p50_seconds), fmt_seconds(p.p99_seconds),
+               fmt_fixed(p.throughput_rps, 0)});
+  t.add_row({"overall", std::to_string(report.overall.issued),
+             std::to_string(report.overall.ok),
+             std::to_string(report.overall.rejected),
+             std::to_string(report.overall.failed),
+             fmt_seconds(report.overall.p50_seconds),
+             fmt_seconds(report.overall.p99_seconds),
+             fmt_fixed(report.overall.throughput_rps, 0)});
+  t.print(std::cout);
+
+  std::cout << "\n" << report.assertion_summary();
+  std::cout << "scenario \"" << sc.name << "\": "
+            << (report.passed ? "PASS" : "FAIL") << "\n";
+
+  const std::string report_path = cli.get("report");
+  if (!report_path.empty()) {
+    std::ofstream os(report_path);
+    if (!os.good()) {
+      std::cerr << "cannot write report to " << report_path << "\n";
+      return 2;
+    }
+    os << report.to_json();
+    std::cout << "report written to " << report_path << "\n";
+  }
+  return report.passed ? 0 : 1;
+}

@@ -69,14 +69,15 @@ int main(int argc, char** argv) {
   }
 
   net::ClientConfig ccfg;
-  ccfg.host = cli.get("host");
-  ccfg.port = static_cast<std::uint16_t>(cli.get_int("port"));
-  if (cli.get_int("pipeline-window") < 0) {
-    std::cerr << "--pipeline-window must be >= 0\n";
+  try {
+    ccfg.host = cli.get("host");
+    ccfg.port = static_cast<std::uint16_t>(cli.get_int_in("port", 1, 65535));
+    ccfg.pipeline_window =
+        static_cast<std::size_t>(cli.get_int_in("pipeline-window", 0, 1 << 20));
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
     return 2;
   }
-  ccfg.pipeline_window =
-      static_cast<std::size_t>(cli.get_int("pipeline-window"));
 
   if (cli.get_bool("ping")) {
     try {
@@ -92,13 +93,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int clients = static_cast<int>(cli.get_int("clients"));
-  const int njobs = static_cast<int>(cli.get_int("jobs"));
-  const int requests = static_cast<int>(cli.get_int("requests"));
-  const int pipeline = static_cast<int>(cli.get_int("pipeline"));
-  if (clients < 1 || njobs < 1 || requests < 1 || pipeline < 1) {
-    std::cerr << "--clients, --jobs, --requests and --pipeline must be "
-                 "positive\n";
+  int clients, njobs, requests, pipeline, edge, cores;
+  try {
+    clients = static_cast<int>(cli.get_int_in("clients", 1, 4096));
+    njobs = static_cast<int>(cli.get_int_in("jobs", 1, 1 << 20));
+    requests = static_cast<int>(cli.get_int_in("requests", 1, 1 << 30));
+    pipeline = static_cast<int>(cli.get_int_in("pipeline", 1, 1 << 20));
+    edge = static_cast<int>(cli.get_int_in("edge", 1, 4096));
+    cores = static_cast<int>(cli.get_int_in("cores", 1, 1 << 24));
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
     return 2;
   }
 
@@ -110,13 +114,12 @@ int main(int argc, char** argv) {
   auto spec_of = [&](int job_id) {
     core::SimJobSpec spec;
     spec.approach = approaches[static_cast<std::size_t>(job_id) % 4];
-    spec.job.grid_shape = Vec3::cube(cli.get_int("edge"));
+    spec.job.grid_shape = Vec3::cube(edge);
     spec.job.ngrids = 32;
     spec.opt = spec.approach == sched::Approach::kFlatOriginal
                    ? sched::Optimizations::original()
                    : sched::Optimizations::all_on(4);
-    spec.total_cores =
-        static_cast<int>(cli.get_int("cores")) << (job_id / 4);
+    spec.total_cores = cores << (job_id / 4);
     return spec;
   };
 

@@ -197,43 +197,58 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const int clients = static_cast<int>(cli.get_int("clients"));
-  const int njobs = static_cast<int>(cli.get_int("jobs"));
-  const int requests = static_cast<int>(cli.get_int("requests"));
-  if (clients < 1 || njobs < 1 || requests < 1) {
-    std::cerr << "--clients, --jobs and --requests must be positive\n";
-    return 2;
-  }
-  if (cli.get_int("batch-max") < 1) {
-    std::cerr << "--batch-max must be >= 1\n";
-    return 2;
-  }
-
+  int clients, njobs, requests;
   svc::ServiceConfig cfg;
-  cfg.workers = static_cast<int>(cli.get_int("workers"));
-  cfg.queue_capacity =
-      static_cast<std::size_t>(cli.get_int("queue-capacity"));
-  cfg.cache_capacity =
-      static_cast<std::size_t>(cli.get_int("cache-capacity"));
-  cfg.block_when_full = cli.get_bool("block");
-  cfg.retry.max_attempts = static_cast<int>(cli.get_int("retries"));
-  cfg.retry.initial_backoff_seconds = cli.get_double("backoff-ms") / 1e3;
-  cfg.retry.attempt_timeout_seconds = cli.get_double("timeout-ms") / 1e3;
-  cfg.cache_dir = cli.get("cache-dir");
-  cfg.cache_ttl_seconds = cli.get_double("cache-ttl-s");
-  cfg.batch_max = static_cast<std::size_t>(cli.get_int("batch-max"));
-  cfg.batch_ramp = cli.get_bool("batch-ramp");
-  cfg.batch_linger_us = static_cast<long>(cli.get_int("batch-linger-us"));
-
-  // With any fault probability set, stand a seeded FaultyExecutor between
-  // the service and the simulator: same seed, same failure schedule.
   svc::FaultConfig fault_cfg;
-  fault_cfg.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
-  fault_cfg.throw_probability = cli.get_double("fault-rate");
-  fault_cfg.delay_probability = cli.get_double("fault-delay-rate");
-  fault_cfg.hang_probability = cli.get_double("fault-hang-rate");
-  fault_cfg.delay_seconds = cli.get_double("fault-delay-ms") / 1e3;
-  fault_cfg.fail_attempts = static_cast<int>(cli.get_int("fault-fail-attempts"));
+  try {
+    clients = static_cast<int>(cli.get_int_in("clients", 1, 4096));
+    njobs = static_cast<int>(cli.get_int_in("jobs", 1, 1 << 20));
+    requests = static_cast<int>(cli.get_int_in("requests", 1, 1 << 30));
+    (void)cli.get_int_in("edge", 1, 4096);
+    (void)cli.get_int_in("cores", 1, 1 << 24);
+
+    cfg.workers = static_cast<int>(cli.get_int_in("workers", 0, 4096));
+    cfg.queue_capacity =
+        static_cast<std::size_t>(cli.get_int_in("queue-capacity", 1, 1 << 24));
+    cfg.cache_capacity =
+        static_cast<std::size_t>(cli.get_int_in("cache-capacity", 1, 1 << 24));
+    cfg.block_when_full = cli.get_bool("block");
+    cfg.retry.max_attempts =
+        static_cast<int>(cli.get_int_in("retries", 1, 1000));
+    cfg.retry.initial_backoff_seconds =
+        cli.get_double_in("backoff-ms", 0, 1e7) / 1e3;
+    cfg.retry.attempt_timeout_seconds =
+        cli.get_double_in("timeout-ms", 0, 1e9) / 1e3;
+    cfg.cache_dir = cli.get("cache-dir");
+    cfg.cache_ttl_seconds = cli.get_double_in("cache-ttl-s", 0, 1e12);
+    cfg.batch_max =
+        static_cast<std::size_t>(cli.get_int_in("batch-max", 1, 1 << 20));
+    cfg.batch_ramp = cli.get_bool("batch-ramp");
+    cfg.batch_linger_us =
+        static_cast<long>(cli.get_int_in("batch-linger-us", 0, 10'000'000));
+
+    // With any fault probability set, stand a seeded FaultyExecutor
+    // between the service and the simulator: same seed, same failure
+    // schedule.
+    fault_cfg.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+    fault_cfg.throw_probability = cli.get_double_in("fault-rate", 0, 1);
+    fault_cfg.delay_probability = cli.get_double_in("fault-delay-rate", 0, 1);
+    fault_cfg.hang_probability = cli.get_double_in("fault-hang-rate", 0, 1);
+    fault_cfg.delay_seconds =
+        cli.get_double_in("fault-delay-ms", 0, 1e7) / 1e3;
+    fault_cfg.fail_attempts = static_cast<int>(
+        cli.get_int_in("fault-fail-attempts", -1, 1 << 20));
+    if (cli.get_bool("listen")) {
+      (void)cli.get_int_in("port", 0, 65535);
+      (void)cli.get_int_in("max-inflight", 1, 1 << 20);
+      (void)cli.get_int_in("max-connections", 1, 1 << 20);
+      (void)cli.get_double_in("duration-s", 0, 1e9);
+      (void)cli.get_double_in("idle-timeout-s", 0, 1e9);
+    }
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
   const bool inject_faults = fault_cfg.throw_probability > 0 ||
                              fault_cfg.delay_probability > 0 ||
                              fault_cfg.hang_probability > 0;

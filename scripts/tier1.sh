@@ -21,6 +21,11 @@
 #                               # frontier gates reported but not
 #                               # enforced), emitting BENCH_svc.json and
 #                               # BENCH_net.json for CI artifact upload
+#   scripts/tier1.sh --scenario-smoke  # declarative workload scenarios:
+#                               # run the checked-in smoke and fault-storm
+#                               # scenarios through scenario_runner, SLO
+#                               # assertions enforced, emitting
+#                               # SCENARIO_*.json for CI artifact upload
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +72,16 @@ elif [[ "${1:-}" == "--bench-smoke" ]]; then
   cmake --build build -j "$JOBS" --target svc_service net_rpc
   ./build/bench/svc_service --smoke --json BENCH_svc.json
   ./build/bench/net_rpc --smoke --json BENCH_net.json
+elif [[ "${1:-}" == "--scenario-smoke" ]]; then
+  # Scenario lane: the checked-in declarative workloads, SLO-gated.
+  # scenario_runner exits nonzero when any assertion fails, so this lane
+  # IS the gate; the JSON reports are uploaded as CI artifacts.
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target scenario_runner
+  ./build/examples/scenario_runner --scenario=scenarios/smoke.json \
+    --report=SCENARIO_smoke.json
+  ./build/examples/scenario_runner --scenario=scenarios/fault_storm.json \
+    --report=SCENARIO_fault_storm.json
 elif [[ "${1:-}" == "--persist" ]]; then
   # Persistence round-trip: fill a store over TCP, SIGKILL the server,
   # restart it on the same directory, and require the replayed sweep to

@@ -87,6 +87,22 @@ double CliParser::get_double(const std::string& name) const {
   return 0;
 }
 
+std::int64_t CliParser::get_int_in(const std::string& name, std::int64_t lo,
+                                   std::int64_t hi) const {
+  const std::int64_t v = get_int(name);
+  GPAWFD_CHECK_MSG(v >= lo && v <= hi, "--" << name << " must be in [" << lo
+                                            << ", " << hi << "], got " << v);
+  return v;
+}
+
+double CliParser::get_double_in(const std::string& name, double lo,
+                                double hi) const {
+  const double v = get_double(name);
+  GPAWFD_CHECK_MSG(v >= lo && v <= hi, "--" << name << " must be in [" << lo
+                                            << ", " << hi << "], got " << v);
+  return v;
+}
+
 bool CliParser::get_bool(const std::string& name) const {
   const std::string v = get(name);
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;

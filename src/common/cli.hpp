@@ -30,6 +30,12 @@ class CliParser {
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+  /// get_int with an inclusive range check; the error names the flag and
+  /// the accepted range ("--batch-max must be in [1, 4096], got 0").
+  std::int64_t get_int_in(const std::string& name, std::int64_t lo,
+                          std::int64_t hi) const;
+  /// get_double with an inclusive range check (e.g. fault rates in [0, 1]).
+  double get_double_in(const std::string& name, double lo, double hi) const;
   bool is_set(const std::string& name) const;  // explicitly on the command line
 
  private:

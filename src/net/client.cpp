@@ -71,12 +71,22 @@ std::future<core::SimResult> Client::start_request(
     std::unique_lock lock(mu_);
     if (config_.pipeline_window > 0) {
       // Self-throttle: wait for a reply to free a slot. A dropped
-      // connection also releases the wait — the write below then fails
-      // with kConnectionLost, the honest outcome.
+      // connection also releases the wait.
       window_cv_.wait(lock, [&] {
         return pending_.size() < config_.pipeline_window || !connected_;
       });
     }
+    // Fail fast if the connection died (it can drop during the window
+    // wait, or between ensure_connected and here). Registering now
+    // would be a leak: the reader has already swept pending_ and
+    // exited, and the first write to a freshly dead socket usually
+    // lands in the TCP buffer — nothing would ever fail the future.
+    // Observing connected_ under mu_ makes this airtight: the reader
+    // clears connected_ before it sweeps, so a pending registered
+    // while connected_ is still true is always swept.
+    if (!connected_)
+      throw RpcError("connection lost before send",
+                     WireStatus::kConnectionLost);
     id = next_id_++;
     fd = sock_.fd();
     pending_.emplace(id, pending);

@@ -1,0 +1,137 @@
+#include "scenario/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "svc/fault.hpp"
+#include "svc/job_key.hpp"
+
+namespace gpawfd::scenario {
+
+namespace {
+
+core::SimJobSpec spec_of(const JobCatalogParams& p, std::int64_t edge,
+                         std::int64_t radius, std::int64_t cores) {
+  core::SimJobSpec spec;
+  spec.approach = sched::Approach::kHybridMultiple;
+  spec.job.grid_shape = Vec3::cube(static_cast<int>(edge));
+  spec.job.ghost = static_cast<int>(radius);
+  spec.job.ngrids = static_cast<int>(p.ngrids);
+  spec.opt = sched::Optimizations::all_on(4);
+  spec.total_cores = static_cast<int>(cores);
+  return spec;
+}
+
+void mix64(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+Generator::Generator(const Scenario& scenario) : scenario_(scenario) {
+  const JobCatalogParams& c = scenario_.catalog;
+  for (const std::int64_t edge : c.grid_edges)
+    for (const std::int64_t radius : c.radii)
+      for (const std::int64_t cores : c.cores) {
+        if (c.distinct > 0 &&
+            static_cast<std::int64_t>(catalog_.size()) >= c.distinct)
+          break;
+        catalog_.push_back(spec_of(c, edge, radius, cores));
+      }
+  GPAWFD_CHECK_MSG(!catalog_.empty(), "scenario \"" << scenario_.name
+                                                    << "\" has an empty job "
+                                                       "catalog");
+  if (scenario_.mix.kind == KeyMixParams::Kind::kZipf) {
+    double total = 0;
+    zipf_cdf_.reserve(catalog_.size());
+    for (std::size_t k = 0; k < catalog_.size(); ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), scenario_.mix.zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+    for (double& v : zipf_cdf_) v /= total;
+  }
+}
+
+int Generator::sample_job(Rng& rng) const {
+  const double u = rng.next_double();
+  if (zipf_cdf_.empty())
+    return static_cast<int>(rng.next_below(catalog_.size()));
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<int>(it - zipf_cdf_.begin());
+}
+
+std::vector<PlannedRequest> Generator::plan() const {
+  std::vector<PlannedRequest> out;
+  for (std::size_t pi = 0; pi < scenario_.phases.size(); ++pi) {
+    const PhaseParams& phase = scenario_.phases[pi];
+    // One stream per phase, derived from (seed, phase index) so adding a
+    // phase never perturbs the ones before it.
+    Rng rng(scenario_.seed * 0x9e3779b97f4a7c15ULL + pi + 1);
+    double clock = 0;
+    for (std::int64_t r = 0; r < phase.requests; ++r) {
+      PlannedRequest req;
+      req.phase = static_cast<int>(pi);
+      req.job = sample_job(rng);
+      req.priority = rng.next_double() < phase.interactive_fraction
+                         ? svc::Priority::kInteractive
+                         : svc::Priority::kNormal;
+      if (phase.mode == PhaseParams::Mode::kClosed) {
+        req.client = static_cast<int>(r % phase.clients);
+      } else {
+        // Open loop: arrivals on a clock. Poisson gaps are exponential
+        // with mean 1/rate; uniform gaps are exactly 1/rate.
+        const double mean_gap = 1.0 / phase.rate_hz;
+        const double gap =
+            phase.process == PhaseParams::Process::kPoisson
+                ? -std::log(1.0 - rng.next_double()) * mean_gap
+                : mean_gap;
+        clock += gap;
+        req.arrival_offset_seconds = clock;
+      }
+      out.push_back(req);
+    }
+  }
+  return out;
+}
+
+std::vector<svc::FaultKind> Generator::fault_points() const {
+  std::vector<svc::FaultKind> out(catalog_.size(), svc::FaultKind::kNone);
+  if (!scenario_.faults.enabled()) return out;
+  // The real partition, not a reimplementation: build the executor the
+  // runner would and ask it. The inner function is never called.
+  svc::FaultyExecutor exec([](const core::SimJobSpec&) {
+    return core::SimResult{};
+  }, scenario_.faults.to_fault_config());
+  for (std::size_t i = 0; i < catalog_.size(); ++i)
+    out[i] = exec.rule_for(svc::JobKey::of(catalog_[i])).kind;
+  return out;
+}
+
+std::uint64_t Generator::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  // The catalog first: a plan is indices into it, so two scenarios whose
+  // request streams match but whose jobs differ must not collide.
+  for (const core::SimJobSpec& spec : catalog_)
+    mix64(h, svc::JobKey::of(spec).hash());
+  for (const PlannedRequest& r : plan()) {
+    mix64(h, static_cast<std::uint64_t>(r.phase));
+    mix64(h, static_cast<std::uint64_t>(r.client));
+    mix64(h, static_cast<std::uint64_t>(r.job));
+    mix64(h, static_cast<std::uint64_t>(r.priority));
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof r.arrival_offset_seconds);
+    std::memcpy(&bits, &r.arrival_offset_seconds, sizeof bits);
+    mix64(h, bits);
+  }
+  for (const svc::FaultKind k : fault_points())
+    mix64(h, static_cast<std::uint64_t>(k));
+  return h;
+}
+
+}  // namespace gpawfd::scenario

@@ -1,0 +1,69 @@
+// Seeded deterministic load generation: expand a Scenario into (a) the
+// job catalog — the distinct SimJobSpecs the key mix draws from — and
+// (b) the full request plan, every request of every phase in issue
+// order with its catalog index, priority, issuing client, and (open
+// loop) arrival offset. The plan is a pure function of the scenario:
+// same JSON + same seed produce a bit-identical sequence (key order,
+// arrival times, fault points), which is what makes SLO assertions
+// meaningful across machines and what the determinism property test
+// pins. All randomness flows through common/rng.hpp (SplitMix64), never
+// std:: distributions, so the sequence is stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scenario/scenario.hpp"
+#include "svc/job_queue.hpp"
+
+namespace gpawfd::scenario {
+
+/// One planned request. Closed loop: `client` issues it in plan order,
+/// arrival_offset_seconds is 0 (the loop itself paces). Open loop:
+/// client is the dispatcher (0) and arrival_offset_seconds is the
+/// scheduled send time relative to phase start.
+struct PlannedRequest {
+  int phase = 0;
+  int client = 0;
+  int job = 0;  // catalog index
+  svc::Priority priority = svc::Priority::kNormal;
+  double arrival_offset_seconds = 0;
+
+  friend bool operator==(const PlannedRequest&,
+                         const PlannedRequest&) = default;
+};
+
+class Generator {
+ public:
+  explicit Generator(const Scenario& scenario);
+
+  /// The distinct jobs, catalog order = grid_edges × radii × cores
+  /// nesting (truncated to `distinct` when set). Zipf rank 0 is
+  /// catalog[0].
+  const std::vector<core::SimJobSpec>& catalog() const { return catalog_; }
+
+  /// The full deterministic plan (see PlannedRequest).
+  std::vector<PlannedRequest> plan() const;
+
+  /// The deterministic fault kind each catalog entry is subject to under
+  /// the scenario's fault plan (svc::FaultyExecutor's seeded partition)
+  /// — the "fault points" half of the reproducibility contract. All
+  /// kNone when fault injection is disabled.
+  std::vector<svc::FaultKind> fault_points() const;
+
+  /// FNV-1a over every plan field plus the fault points: two scenarios
+  /// generate the same traffic iff their fingerprints match (modulo
+  /// hash collisions). Recorded in the scenario report.
+  std::uint64_t fingerprint() const;
+
+ private:
+  int sample_job(Rng& rng) const;
+
+  Scenario scenario_;
+  std::vector<core::SimJobSpec> catalog_;
+  /// Zipf CDF over catalog ranks (empty for the uniform mix).
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace gpawfd::scenario

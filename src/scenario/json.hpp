@@ -1,0 +1,78 @@
+// Minimal strict JSON reader for declarative scenario configs. The repo
+// already *writes* JSON (bench::JsonReport, the runner's report); this is
+// the other direction: parse a scenario file into a JsonValue tree with
+// position-carrying errors, and typed accessors that name the offending
+// key path — a typo in a scenario must fail loudly, never silently run
+// the wrong experiment (same philosophy as common/cli.hpp).
+//
+// Scope: standard JSON (RFC 8259) — objects, arrays, strings with
+// escapes (\uXXXX limited to the BMP), numbers, true/false/null. No
+// comments, no trailing commas: scenario files are checked in and CI-run,
+// so strictness is a feature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpawfd::scenario {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse one complete JSON document; throws Error("json parse error at
+  /// line L, column C: ...") on any violation, including trailing bytes.
+  static JsonValue parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads; throw Error naming `where` (a key path like
+  /// "workload.skew.s") when the value has the wrong type.
+  bool as_bool(const std::string& where) const;
+  double as_number(const std::string& where) const;
+  std::int64_t as_int(const std::string& where) const;  // rejects fractions
+  const std::string& as_string(const std::string& where) const;
+  const std::vector<JsonValue>& as_array(const std::string& where) const;
+
+  /// Object member lookup; nullptr when absent (absence means "use the
+  /// default" throughout the scenario schema).
+  const JsonValue* get(const std::string& key) const;
+  /// Members in file order — what schema validators walk to reject
+  /// unknown keys.
+  const std::vector<std::pair<std::string, JsonValue>>& members(
+      const std::string& where) const;
+
+  // Construction (used by the parser and by tests building fixtures).
+  static JsonValue make_null() { return JsonValue(Type::kNull); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  explicit JsonValue(Type t) : type_(t) {}
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Read a whole file; throws Error when unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace gpawfd::scenario

@@ -1,0 +1,528 @@
+#include "scenario/runner.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "svc/fault.hpp"
+#include "trace/stats.hpp"
+
+namespace gpawfd::scenario {
+
+namespace {
+
+/// Shared mutable tallies one phase's generators record into. The
+/// latency histograms are lock-free; the counters are relaxed atomics —
+/// same contract as svc::Metrics.
+struct PhaseTally {
+  std::atomic<std::int64_t> issued{0};
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> rejected{0};
+  std::atomic<std::int64_t> failed{0};
+  trace::LatencyHistogram latency;
+};
+
+void summarize(const PhaseTally& t, double wall, PhaseStats* out) {
+  out->wall_seconds = wall;
+  out->issued = t.issued.load();
+  out->ok = t.ok.load();
+  out->rejected = t.rejected.load();
+  out->failed = t.failed.load();
+  out->throughput_rps =
+      wall > 0 ? static_cast<double>(out->ok) / wall : 0.0;
+  out->p50_seconds = t.latency.quantile(0.50);
+  out->p90_seconds = t.latency.quantile(0.90);
+  out->p99_seconds = t.latency.quantile(0.99);
+  out->max_seconds = t.latency.max_seconds();
+  out->mean_seconds = t.latency.mean_seconds();
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20)
+      out.push_back(c);
+    else
+      out.push_back(' ');
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+void render_phase(std::ostream& os, const PhaseStats& p,
+                  const std::string& indent) {
+  os << indent << "{\n"
+     << indent << "  \"name\": \"" << json_escaped(p.name) << "\",\n"
+     << indent << "  \"wall_seconds\": " << json_number(p.wall_seconds)
+     << ",\n"
+     << indent << "  \"issued\": " << p.issued << ",\n"
+     << indent << "  \"ok\": " << p.ok << ",\n"
+     << indent << "  \"rejected\": " << p.rejected << ",\n"
+     << indent << "  \"failed\": " << p.failed << ",\n"
+     << indent << "  \"throughput_rps\": " << json_number(p.throughput_rps)
+     << ",\n"
+     << indent << "  \"p50_seconds\": " << json_number(p.p50_seconds) << ",\n"
+     << indent << "  \"p90_seconds\": " << json_number(p.p90_seconds) << ",\n"
+     << indent << "  \"p99_seconds\": " << json_number(p.p99_seconds) << ",\n"
+     << indent << "  \"max_seconds\": " << json_number(p.max_seconds) << ",\n"
+     << indent << "  \"mean_seconds\": " << json_number(p.mean_seconds)
+     << ",\n"
+     << indent << "  \"service_delta\": {";
+  bool first = true;
+  for (const auto& [k, v] : p.service_delta) {
+    os << (first ? "\n" : ",\n") << indent << "    \"" << json_escaped(k)
+       << "\": " << v;
+    first = false;
+  }
+  if (!first) os << "\n" << indent << "  ";
+  os << "}\n" << indent << "}";
+}
+
+/// Everything one run instantiates: the service, optionally the wire in
+/// front of it, and the per-client connections. Rebuilt on a
+/// restart_service phase boundary.
+struct Stack {
+  std::unique_ptr<svc::SimService> service;
+  std::shared_ptr<svc::FaultyExecutor> faulty;  // owned by the executor fn
+  std::unique_ptr<net::Server> server;
+  std::vector<std::unique_ptr<net::Client>> clients;
+  std::int64_t reconnects_retired = 0;  // from clients of torn-down stacks
+};
+
+}  // namespace
+
+Runner::Runner(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+double ScenarioReport::metric(const std::string& name,
+                              const std::string& phase) const {
+  const PhaseStats* stats = &overall;
+  if (!phase.empty()) {
+    stats = nullptr;
+    for (const PhaseStats& p : phases)
+      if (p.name == phase) stats = &p;
+    GPAWFD_CHECK_MSG(stats, "slo references unknown phase \"" << phase
+                                                              << "\"");
+  }
+  if (name == "wall_seconds") return stats->wall_seconds;
+  if (name == "issued") return static_cast<double>(stats->issued);
+  if (name == "ok") return static_cast<double>(stats->ok);
+  if (name == "rejected") return static_cast<double>(stats->rejected);
+  if (name == "failed") return static_cast<double>(stats->failed);
+  if (name == "throughput_rps") return stats->throughput_rps;
+  if (name == "p50_seconds") return stats->p50_seconds;
+  if (name == "p90_seconds") return stats->p90_seconds;
+  if (name == "p99_seconds") return stats->p99_seconds;
+  if (name == "max_seconds") return stats->max_seconds;
+  if (name == "mean_seconds") return stats->mean_seconds;
+  if (name == "reconnects") return static_cast<double>(reconnects);
+
+  // Service counters: run scope reads the final counters, phase scope
+  // the phase delta. Accept both "gave_up" and "svc.gave_up".
+  const std::map<std::string, std::int64_t>& counters =
+      phase.empty() ? service_counters : stats->service_delta;
+  auto lookup = [&](const std::string& key) -> const std::int64_t* {
+    auto it = counters.find(key);
+    if (it == counters.end()) it = counters.find("svc." + key);
+    return it == counters.end() ? nullptr : &it->second;
+  };
+  auto counter = [&](const char* key) -> double {
+    const std::int64_t* v = lookup(key);
+    return v ? static_cast<double>(*v) : 0.0;
+  };
+  if (name == "hit_ratio") {
+    const double hits = counter("cache_hits");
+    const double total =
+        hits + counter("dedup_joined") + counter("accepted");
+    return total > 0 ? hits / total : 0.0;
+  }
+  if (name == "batched_jobs_reconcile")
+    return std::abs(counter("batched_jobs") - counter("accepted"));
+  if (const std::int64_t* v = lookup(name)) return static_cast<double>(*v);
+  GPAWFD_CHECK_MSG(false, "unknown slo metric \"" << name << "\"");
+  return 0;
+}
+
+std::vector<AssertionResult> evaluate_slos(const std::vector<SloParams>& slos,
+                                           const ScenarioReport& report) {
+  std::vector<AssertionResult> out;
+  for (const SloParams& slo : slos) {
+    AssertionResult r;
+    r.slo = slo;
+    try {
+      r.observed = report.metric(slo.metric, slo.phase);
+      r.passed = slo_holds(slo.op, r.observed, slo.value);
+    } catch (const Error& e) {
+      r.passed = false;
+      r.detail = e.what();
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string ScenarioReport::assertion_summary() const {
+  std::ostringstream os;
+  for (const AssertionResult& a : assertions) {
+    os << (a.passed ? "PASS " : "FAIL ") << a.slo.metric;
+    if (!a.slo.phase.empty()) os << "[" << a.slo.phase << "]";
+    os << " " << to_string(a.slo.op) << " " << json_number(a.slo.value)
+       << " (observed " << json_number(a.observed) << ")";
+    if (!a.detail.empty()) os << " — " << a.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ScenarioReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"scenario\": \"" << json_escaped(scenario) << "\",\n"
+     << "  \"seed\": " << seed << ",\n"
+     << "  \"plan_fingerprint\": \"" << std::hex << plan_fingerprint
+     << std::dec << "\",\n"
+     << "  \"passed\": " << (passed ? "true" : "false") << ",\n"
+     << "  \"reconnects\": " << reconnects << ",\n"
+     << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    render_phase(os, phases[i], "    ");
+    os << (i + 1 < phases.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n"
+     << "  \"overall\":\n";
+  render_phase(os, overall, "    ");
+  os << ",\n  \"service_counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : service_counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escaped(k) << "\": " << v;
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "},\n  \"assertions\": [\n";
+  for (std::size_t i = 0; i < assertions.size(); ++i) {
+    const AssertionResult& a = assertions[i];
+    os << "    {\"metric\": \"" << json_escaped(a.slo.metric) << "\", \"op\": \""
+       << to_string(a.slo.op) << "\", \"value\": " << json_number(a.slo.value)
+       << ", \"phase\": \"" << json_escaped(a.slo.phase)
+       << "\", \"observed\": " << json_number(a.observed) << ", \"passed\": "
+       << (a.passed ? "true" : "false") << "}"
+       << (i + 1 < assertions.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+ScenarioReport Runner::run() {
+  Generator generator(scenario_);
+  const std::vector<core::SimJobSpec>& catalog = generator.catalog();
+  const std::vector<PlannedRequest> plan = generator.plan();
+
+  ScenarioReport report;
+  report.scenario = scenario_.name;
+  report.seed = scenario_.seed;
+  report.plan_fingerprint = generator.fingerprint();
+
+  // "auto" cache_dir: a fresh temp directory, removed after the run.
+  std::string cache_dir = scenario_.service.cache_dir;
+  bool auto_dir = false;
+  if (cache_dir == "auto") {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        ("gpawfd_scenario_" + scenario_.name + "_XXXXXX"))
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* made = ::mkdtemp(buf.data());
+    GPAWFD_CHECK_MSG(made, "mkdtemp failed for " << tmpl);
+    cache_dir = made;
+    auto_dir = true;
+  }
+
+  const bool tcp = scenario_.transport.mode == TransportParams::Mode::kTcp;
+
+  Stack stack;
+  auto build_stack = [&](std::int64_t closed_clients) {
+    svc::ServiceConfig cfg = scenario_.service.to_service_config();
+    cfg.cache_dir = cache_dir;
+    // Over the wire the poll thread calls submit_then; a blocking
+    // admission there would stall every connection, so the wire always
+    // sheds (the client-side pipeline window is the throttle).
+    if (tcp) cfg.block_when_full = false;
+    if (scenario_.faults.enabled()) {
+      stack.faulty = std::make_shared<svc::FaultyExecutor>(
+          core::simulate_job, scenario_.faults.to_fault_config());
+      auto faulty = stack.faulty;
+      cfg.executor = [faulty](const core::SimJobSpec& s) {
+        return (*faulty)(s);
+      };
+    }
+    stack.service = std::make_unique<svc::SimService>(cfg);
+    stack.service->wait_warm_loaded();
+    if (tcp) {
+      stack.server = std::make_unique<net::Server>(*stack.service);
+      const std::int64_t n = std::max<std::int64_t>(1, closed_clients);
+      for (std::int64_t i = 0; i < n; ++i) {
+        net::ClientConfig ccfg;
+        ccfg.port = stack.server->port();
+        ccfg.pipeline_window =
+            static_cast<std::size_t>(scenario_.transport.pipeline_window);
+        stack.clients.push_back(std::make_unique<net::Client>(ccfg));
+      }
+    }
+  };
+  auto teardown_stack = [&] {
+    for (auto& c : stack.clients) {
+      stack.reconnects_retired += c->reconnects();
+      c->close();
+    }
+    stack.clients.clear();
+    if (stack.server) stack.server->stop();
+    stack.server.reset();
+    if (stack.service) stack.service->shutdown();
+    stack.service.reset();
+    stack.faulty.reset();
+  };
+
+  const std::int64_t max_clients = [&] {
+    std::int64_t n = 1;
+    for (const PhaseParams& p : scenario_.phases)
+      if (p.mode == PhaseParams::Mode::kClosed) n = std::max(n, p.clients);
+    return n;
+  }();
+  build_stack(max_clients);
+
+  PhaseTally overall_tally;
+  for (std::size_t pi = 0; pi < scenario_.phases.size(); ++pi) {
+    const PhaseParams& phase = scenario_.phases[pi];
+    if (phase.restart_service) {
+      teardown_stack();
+      build_stack(max_clients);
+    }
+    // The phase's slice of the plan, in issue order.
+    std::vector<PlannedRequest> mine;
+    for (const PlannedRequest& r : plan)
+      if (r.phase == static_cast<int>(pi)) mine.push_back(r);
+
+    const std::map<std::string, std::int64_t> before =
+        stack.service->metrics().counter_map();
+    PhaseTally tally;
+
+    // One settle path for every transport/loop combination.
+    auto record_ok = [&](double rtt) {
+      tally.ok.fetch_add(1, std::memory_order_relaxed);
+      overall_tally.ok.fetch_add(1, std::memory_order_relaxed);
+      tally.latency.record(rtt);
+      overall_tally.latency.record(rtt);
+    };
+    auto record_rejected = [&] {
+      tally.rejected.fetch_add(1, std::memory_order_relaxed);
+      overall_tally.rejected.fetch_add(1, std::memory_order_relaxed);
+    };
+    auto record_failed = [&] {
+      tally.failed.fetch_add(1, std::memory_order_relaxed);
+      overall_tally.failed.fetch_add(1, std::memory_order_relaxed);
+    };
+    auto record_error = [&](std::exception_ptr err) {
+      try {
+        std::rethrow_exception(err);
+      } catch (const svc::ServiceError& e) {
+        if (e.reason() == svc::ErrorReason::kRejectedQueueFull ||
+            e.reason() == svc::ErrorReason::kRejectedShutdown)
+          record_rejected();
+        else
+          record_failed();
+      } catch (const net::RpcError& e) {
+        if (e.status() == net::WireStatus::kRejectedQueueFull ||
+            e.status() == net::WireStatus::kRejectedShutdown)
+          record_rejected();
+        else
+          record_failed();
+      } catch (...) {
+        record_failed();
+      }
+    };
+
+    const double t0 = trace::now_seconds();
+    if (phase.mode == PhaseParams::Mode::kClosed) {
+      std::vector<std::thread> generators;
+      for (std::int64_t c = 0; c < phase.clients; ++c) {
+        generators.emplace_back([&, c] {
+          net::Client* client =
+              tcp ? stack.clients[static_cast<std::size_t>(c)].get() : nullptr;
+          for (const PlannedRequest& r : mine) {
+            if (r.client != static_cast<int>(c)) continue;
+            tally.issued.fetch_add(1, std::memory_order_relaxed);
+            overall_tally.issued.fetch_add(1, std::memory_order_relaxed);
+            const core::SimJobSpec& spec =
+                catalog[static_cast<std::size_t>(r.job)];
+            const double r0 = trace::now_seconds();
+            try {
+              if (client) {
+                client->submit(spec, r.priority);
+                record_ok(trace::now_seconds() - r0);
+              } else {
+                svc::Ticket t = stack.service->submit(spec, r.priority);
+                if (t.rejected()) {
+                  record_rejected();
+                  continue;
+                }
+                t.result.get();
+                record_ok(trace::now_seconds() - r0);
+              }
+            } catch (...) {
+              record_error(std::current_exception());
+            }
+          }
+        });
+      }
+      for (auto& g : generators) g.join();
+    } else {
+      // Open loop: pace arrivals on the clock; completions settle on
+      // worker threads (in-proc continuations) or a harvest thread
+      // (wire futures). The dispatcher never waits for a reply.
+      std::mutex mu;
+      std::condition_variable cv;
+      std::int64_t outstanding = 0;
+      auto settled = [&] {
+        std::lock_guard lock(mu);
+        --outstanding;
+        cv.notify_all();
+      };
+
+      std::deque<std::pair<std::future<core::SimResult>, double>> inflight;
+      std::mutex inflight_mu;
+      std::condition_variable inflight_cv;
+      bool dispatch_done = false;
+      std::thread harvester;
+      if (tcp) {
+        harvester = std::thread([&] {
+          for (;;) {
+            std::pair<std::future<core::SimResult>, double> item;
+            {
+              std::unique_lock lock(inflight_mu);
+              inflight_cv.wait(
+                  lock, [&] { return !inflight.empty() || dispatch_done; });
+              if (inflight.empty()) return;
+              item = std::move(inflight.front());
+              inflight.pop_front();
+            }
+            try {
+              item.first.get();
+              record_ok(trace::now_seconds() - item.second);
+            } catch (...) {
+              record_error(std::current_exception());
+            }
+            settled();
+          }
+        });
+      }
+
+      net::Client* client = tcp ? stack.clients.front().get() : nullptr;
+      for (const PlannedRequest& r : mine) {
+        const double due = t0 + r.arrival_offset_seconds;
+        const double now = trace::now_seconds();
+        if (due > now)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(due - now));
+        tally.issued.fetch_add(1, std::memory_order_relaxed);
+        overall_tally.issued.fetch_add(1, std::memory_order_relaxed);
+        const core::SimJobSpec& spec = catalog[static_cast<std::size_t>(r.job)];
+        const double r0 = trace::now_seconds();
+        {
+          std::lock_guard lock(mu);
+          ++outstanding;
+        }
+        if (client) {
+          try {
+            std::future<core::SimResult> f = client->submit_async(spec,
+                                                                  r.priority);
+            std::lock_guard lock(inflight_mu);
+            inflight.emplace_back(std::move(f), r0);
+            inflight_cv.notify_one();
+          } catch (...) {
+            record_error(std::current_exception());
+            settled();
+          }
+        } else {
+          stack.service->submit_then(
+              spec, r.priority,
+              [&, r0](const core::SimResult* result, std::exception_ptr err) {
+                if (result)
+                  record_ok(trace::now_seconds() - r0);
+                else
+                  record_error(err);
+                settled();
+              });
+        }
+      }
+      if (tcp) {
+        {
+          std::lock_guard lock(inflight_mu);
+          dispatch_done = true;
+        }
+        inflight_cv.notify_all();
+      }
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return outstanding == 0; });
+      }
+      if (harvester.joinable()) harvester.join();
+    }
+    const double wall = trace::now_seconds() - t0;
+
+    PhaseStats stats;
+    stats.name = phase.name;
+    summarize(tally, wall, &stats);
+    const std::map<std::string, std::int64_t> after =
+        stack.service->metrics().counter_map();
+    for (const auto& [k, v] : after) {
+      auto it = before.find(k);
+      stats.service_delta[k] = v - (it == before.end() ? 0 : it->second);
+    }
+    report.phases.push_back(std::move(stats));
+  }
+
+  // Settle the write-behind queue so persist counters reconcile, then
+  // take the final counter snapshot.
+  if (svc::Persister* p = stack.service->persister()) p->flush();
+  report.service_counters = stack.service->metrics().counter_map();
+  report.overall.name = "overall";
+  {
+    double wall = 0;
+    for (const PhaseStats& p : report.phases) wall += p.wall_seconds;
+    summarize(overall_tally, wall, &report.overall);
+    report.overall.service_delta = report.service_counters;
+  }
+  report.reconnects = stack.reconnects_retired;
+  for (const auto& c : stack.clients) report.reconnects += c->reconnects();
+
+  teardown_stack();
+  if (auto_dir) {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+  }
+
+  report.assertions = evaluate_slos(scenario_.slos, report);
+  report.passed = true;
+  for (const AssertionResult& a : report.assertions)
+    report.passed = report.passed && a.passed;
+  return report;
+}
+
+}  // namespace gpawfd::scenario

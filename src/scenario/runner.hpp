@@ -1,0 +1,88 @@
+// The scenario runner: build the service a Scenario declares (optionally
+// fronted by a net::Server and driven through net::Client connections),
+// replay the Generator's deterministic plan phase by phase — closed-loop
+// client threads or an open-loop paced dispatcher — collect per-phase
+// client-side latency stats and service counter deltas, evaluate the
+// declarative SLO assertions, and return a pass/fail ScenarioReport
+// (with a JSON rendering for CI artifacts). This is the reusable,
+// assertion-gated traffic harness every perf PR drives instead of
+// bespoke bench code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/generator.hpp"
+#include "scenario/scenario.hpp"
+
+namespace gpawfd::scenario {
+
+/// Client-side view of one phase, summarized (histograms reduced to
+/// quantiles so the report is a plain value type).
+struct PhaseStats {
+  std::string name;
+  double wall_seconds = 0;
+  std::int64_t issued = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;  // shed by admission control (in-proc)
+  std::int64_t failed = 0;    // terminal ServiceError / RpcError
+  double throughput_rps = 0;
+  double p50_seconds = 0;
+  double p90_seconds = 0;
+  double p99_seconds = 0;
+  double max_seconds = 0;
+  double mean_seconds = 0;
+  /// Service counter_map() delta over the phase (empty after a remote
+  /// run where the service is not in this process).
+  std::map<std::string, std::int64_t> service_delta;
+};
+
+struct AssertionResult {
+  SloParams slo;
+  double observed = 0;
+  bool passed = false;
+  std::string detail;  // set when the metric could not be evaluated
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::uint64_t plan_fingerprint = 0;
+  std::vector<PhaseStats> phases;
+  /// Whole-run client-side stats (all phases merged) — what run-scoped
+  /// latency/count SLOs read.
+  PhaseStats overall;
+  /// Final service counters (last service instance when phases restart).
+  std::map<std::string, std::int64_t> service_counters;
+  std::int64_t reconnects = 0;  // TCP transport only
+  std::vector<AssertionResult> assertions;
+  bool passed = false;
+
+  /// Metric lookup the SLO evaluator uses; `phase` empty = run scope.
+  /// Throws Error naming the metric when it does not exist.
+  double metric(const std::string& name, const std::string& phase) const;
+
+  std::string to_json() const;
+  /// Human-readable assertion table ("PASS p99_seconds <= 0.5 ...").
+  std::string assertion_summary() const;
+};
+
+class Runner {
+ public:
+  explicit Runner(Scenario scenario);
+
+  /// Execute every phase and grade the SLOs. Runs to completion even
+  /// when assertions fail — the report carries the verdict.
+  ScenarioReport run();
+
+ private:
+  Scenario scenario_;
+};
+
+/// Evaluate `slos` against a filled-in report (exposed for tests).
+std::vector<AssertionResult> evaluate_slos(const std::vector<SloParams>& slos,
+                                           const ScenarioReport& report);
+
+}  // namespace gpawfd::scenario

@@ -1,0 +1,390 @@
+#include "scenario/scenario.hpp"
+
+#include <set>
+#include <utility>
+
+#include "scenario/json.hpp"
+
+namespace gpawfd::scenario {
+
+namespace {
+
+/// Reject members outside `allowed` — the schema's typo guard.
+void check_keys(const JsonValue& obj, const std::string& where,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, unused] : obj.members(where)) {
+    bool known = false;
+    for (const char* a : allowed)
+      if (key == a) {
+        known = true;
+        break;
+      }
+    GPAWFD_CHECK_MSG(known, "unknown key \"" << key << "\" in " << where);
+  }
+}
+
+std::int64_t int_in(const JsonValue& v, const std::string& where,
+                    std::int64_t lo, std::int64_t hi) {
+  const std::int64_t out = v.as_int(where);
+  GPAWFD_CHECK_MSG(out >= lo && out <= hi, where << " must be in [" << lo
+                                                 << ", " << hi << "], got "
+                                                 << out);
+  return out;
+}
+
+double number_in(const JsonValue& v, const std::string& where, double lo,
+                 double hi) {
+  const double out = v.as_number(where);
+  GPAWFD_CHECK_MSG(out >= lo && out <= hi, where << " must be in [" << lo
+                                                 << ", " << hi << "], got "
+                                                 << out);
+  return out;
+}
+
+std::vector<std::int64_t> int_list(const JsonValue& v, const std::string& where,
+                                   std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> out;
+  for (const JsonValue& item : v.as_array(where))
+    out.push_back(int_in(item, where + "[]", lo, hi));
+  GPAWFD_CHECK_MSG(!out.empty(), where << " must not be empty");
+  return out;
+}
+
+constexpr std::int64_t kMaxI64 = std::int64_t{1} << 40;
+
+ServiceParams parse_service(const JsonValue& v) {
+  ServiceParams p;
+  check_keys(v, "service",
+             {"workers", "queue_capacity", "cache_capacity", "cache_shards",
+              "block_when_full", "max_attempts", "backoff_ms", "timeout_ms",
+              "cache_dir", "cache_ttl_seconds", "persist_queue_capacity",
+              "batch_max", "batch_ramp", "batch_linger_us",
+              "reserve_interactive_lane"});
+  if (const auto* j = v.get("workers"))
+    p.workers = static_cast<int>(int_in(*j, "service.workers", 0, 1024));
+  if (const auto* j = v.get("queue_capacity"))
+    p.queue_capacity = int_in(*j, "service.queue_capacity", 1, kMaxI64);
+  if (const auto* j = v.get("cache_capacity"))
+    p.cache_capacity = int_in(*j, "service.cache_capacity", 1, kMaxI64);
+  if (const auto* j = v.get("cache_shards"))
+    p.cache_shards =
+        static_cast<int>(int_in(*j, "service.cache_shards", 1, 1024));
+  if (const auto* j = v.get("block_when_full"))
+    p.block_when_full = j->as_bool("service.block_when_full");
+  if (const auto* j = v.get("max_attempts"))
+    p.max_attempts =
+        static_cast<int>(int_in(*j, "service.max_attempts", 1, 1000));
+  if (const auto* j = v.get("backoff_ms"))
+    p.backoff_ms = number_in(*j, "service.backoff_ms", 0, 1e9);
+  if (const auto* j = v.get("timeout_ms"))
+    p.timeout_ms = number_in(*j, "service.timeout_ms", 0, 1e9);
+  if (const auto* j = v.get("cache_dir"))
+    p.cache_dir = j->as_string("service.cache_dir");
+  if (const auto* j = v.get("cache_ttl_seconds"))
+    p.cache_ttl_seconds = number_in(*j, "service.cache_ttl_seconds", 0, 1e12);
+  if (const auto* j = v.get("persist_queue_capacity"))
+    p.persist_queue_capacity =
+        int_in(*j, "service.persist_queue_capacity", 1, kMaxI64);
+  if (const auto* j = v.get("batch_max"))
+    p.batch_max = int_in(*j, "service.batch_max", 1, kMaxI64);
+  if (const auto* j = v.get("batch_ramp"))
+    p.batch_ramp = j->as_bool("service.batch_ramp");
+  if (const auto* j = v.get("batch_linger_us"))
+    p.batch_linger_us = int_in(*j, "service.batch_linger_us", 0, kMaxI64);
+  if (const auto* j = v.get("reserve_interactive_lane"))
+    p.reserve_interactive_lane = j->as_bool("service.reserve_interactive_lane");
+  return p;
+}
+
+FaultParams parse_faults(const JsonValue& v) {
+  FaultParams p;
+  check_keys(v, "faults",
+             {"seed", "throw_probability", "delay_probability",
+              "hang_probability", "fail_attempts", "delay_ms", "jitter_ms"});
+  if (const auto* j = v.get("seed"))
+    p.seed = static_cast<std::uint64_t>(int_in(*j, "faults.seed", 0, kMaxI64));
+  if (const auto* j = v.get("throw_probability"))
+    p.throw_probability = number_in(*j, "faults.throw_probability", 0, 1);
+  if (const auto* j = v.get("delay_probability"))
+    p.delay_probability = number_in(*j, "faults.delay_probability", 0, 1);
+  if (const auto* j = v.get("hang_probability"))
+    p.hang_probability = number_in(*j, "faults.hang_probability", 0, 1);
+  if (const auto* j = v.get("fail_attempts"))
+    p.fail_attempts =
+        static_cast<int>(int_in(*j, "faults.fail_attempts", -1, 1000));
+  if (const auto* j = v.get("delay_ms"))
+    p.delay_ms = number_in(*j, "faults.delay_ms", 0, 1e9);
+  if (const auto* j = v.get("jitter_ms"))
+    p.jitter_ms = number_in(*j, "faults.jitter_ms", 0, 1e9);
+  return p;
+}
+
+JobCatalogParams parse_jobs(const JsonValue& v) {
+  JobCatalogParams p;
+  check_keys(v, "workload.jobs",
+             {"grid_edges", "radii", "cores", "ngrids", "distinct"});
+  if (const auto* j = v.get("grid_edges"))
+    p.grid_edges = int_list(*j, "workload.jobs.grid_edges", 4, 4096);
+  if (const auto* j = v.get("radii"))
+    p.radii = int_list(*j, "workload.jobs.radii", 1, 4);
+  if (const auto* j = v.get("cores"))
+    p.cores = int_list(*j, "workload.jobs.cores", 1, 1 << 24);
+  if (const auto* j = v.get("ngrids"))
+    p.ngrids = int_in(*j, "workload.jobs.ngrids", 1, 1 << 20);
+  if (const auto* j = v.get("distinct"))
+    p.distinct = int_in(*j, "workload.jobs.distinct", 0, kMaxI64);
+  return p;
+}
+
+KeyMixParams parse_skew(const JsonValue& v) {
+  KeyMixParams p;
+  check_keys(v, "workload.skew", {"kind", "s"});
+  if (const auto* j = v.get("kind")) {
+    const std::string& kind = j->as_string("workload.skew.kind");
+    if (kind == "uniform")
+      p.kind = KeyMixParams::Kind::kUniform;
+    else if (kind == "zipf")
+      p.kind = KeyMixParams::Kind::kZipf;
+    else
+      GPAWFD_CHECK_MSG(false, "workload.skew.kind must be \"uniform\" or "
+                              "\"zipf\", got \""
+                                  << kind << "\"");
+  }
+  if (const auto* j = v.get("s"))
+    p.zipf_s = number_in(*j, "workload.skew.s", 0, 16);
+  return p;
+}
+
+TransportParams parse_transport(const JsonValue& v) {
+  TransportParams p;
+  check_keys(v, "transport", {"mode", "pipeline_window"});
+  if (const auto* j = v.get("mode")) {
+    const std::string& mode = j->as_string("transport.mode");
+    if (mode == "inproc")
+      p.mode = TransportParams::Mode::kInProc;
+    else if (mode == "tcp")
+      p.mode = TransportParams::Mode::kTcp;
+    else
+      GPAWFD_CHECK_MSG(false, "transport.mode must be \"inproc\" or "
+                              "\"tcp\", got \""
+                                  << mode << "\"");
+  }
+  if (const auto* j = v.get("pipeline_window"))
+    p.pipeline_window = int_in(*j, "transport.pipeline_window", 0, 1 << 20);
+  return p;
+}
+
+PhaseParams parse_phase(const JsonValue& v, std::size_t index) {
+  PhaseParams p;
+  const std::string where = "phases[" + std::to_string(index) + "]";
+  check_keys(v, where,
+             {"name", "mode", "clients", "requests", "rate_hz", "process",
+              "interactive_fraction", "restart_service"});
+  const auto* name = v.get("name");
+  GPAWFD_CHECK_MSG(name, where << " requires a \"name\"");
+  p.name = name->as_string(where + ".name");
+  GPAWFD_CHECK_MSG(!p.name.empty(), where << ".name must not be empty");
+  if (const auto* j = v.get("mode")) {
+    const std::string& mode = j->as_string(where + ".mode");
+    if (mode == "closed")
+      p.mode = PhaseParams::Mode::kClosed;
+    else if (mode == "open")
+      p.mode = PhaseParams::Mode::kOpen;
+    else
+      GPAWFD_CHECK_MSG(false, where << ".mode must be \"closed\" or "
+                                       "\"open\", got \""
+                                    << mode << "\"");
+  }
+  if (const auto* j = v.get("clients"))
+    p.clients = int_in(*j, where + ".clients", 1, 4096);
+  if (const auto* j = v.get("requests"))
+    p.requests = int_in(*j, where + ".requests", 1, kMaxI64);
+  if (const auto* j = v.get("rate_hz"))
+    p.rate_hz = number_in(*j, where + ".rate_hz", 0, 1e9);
+  if (const auto* j = v.get("process")) {
+    const std::string& process = j->as_string(where + ".process");
+    if (process == "poisson")
+      p.process = PhaseParams::Process::kPoisson;
+    else if (process == "uniform")
+      p.process = PhaseParams::Process::kUniform;
+    else
+      GPAWFD_CHECK_MSG(false, where << ".process must be \"poisson\" or "
+                                       "\"uniform\", got \""
+                                    << process << "\"");
+  }
+  if (const auto* j = v.get("interactive_fraction"))
+    p.interactive_fraction =
+        number_in(*j, where + ".interactive_fraction", 0, 1);
+  if (const auto* j = v.get("restart_service"))
+    p.restart_service = j->as_bool(where + ".restart_service");
+  GPAWFD_CHECK_MSG(p.mode != PhaseParams::Mode::kOpen || p.rate_hz > 0,
+                   where << ": open-loop phases require rate_hz > 0");
+  return p;
+}
+
+SloParams parse_slo(const JsonValue& v, std::size_t index) {
+  SloParams p;
+  const std::string where = "slo[" + std::to_string(index) + "]";
+  check_keys(v, where, {"metric", "op", "value", "phase"});
+  const auto* metric = v.get("metric");
+  GPAWFD_CHECK_MSG(metric, where << " requires a \"metric\"");
+  p.metric = metric->as_string(where + ".metric");
+  GPAWFD_CHECK_MSG(!p.metric.empty(), where << ".metric must not be empty");
+  const auto* op = v.get("op");
+  GPAWFD_CHECK_MSG(op, where << " requires an \"op\"");
+  const std::string& o = op->as_string(where + ".op");
+  if (o == "<=")
+    p.op = SloParams::Op::kLe;
+  else if (o == ">=")
+    p.op = SloParams::Op::kGe;
+  else if (o == "<")
+    p.op = SloParams::Op::kLt;
+  else if (o == ">")
+    p.op = SloParams::Op::kGt;
+  else if (o == "==")
+    p.op = SloParams::Op::kEq;
+  else if (o == "!=")
+    p.op = SloParams::Op::kNe;
+  else
+    GPAWFD_CHECK_MSG(false, where << ".op must be one of <=, >=, <, >, ==, "
+                                     "!=, got \""
+                                  << o << "\"");
+  const auto* value = v.get("value");
+  GPAWFD_CHECK_MSG(value, where << " requires a \"value\"");
+  p.value = value->as_number(where + ".value");
+  if (const auto* j = v.get("phase")) p.phase = j->as_string(where + ".phase");
+  return p;
+}
+
+}  // namespace
+
+svc::ServiceConfig ServiceParams::to_service_config() const {
+  svc::ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  cfg.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  cfg.cache_shards = cache_shards;
+  cfg.block_when_full = block_when_full;
+  cfg.retry.max_attempts = max_attempts;
+  cfg.retry.initial_backoff_seconds = backoff_ms / 1e3;
+  cfg.retry.attempt_timeout_seconds = timeout_ms / 1e3;
+  cfg.cache_ttl_seconds = cache_ttl_seconds;
+  cfg.persist_queue_capacity = static_cast<std::size_t>(persist_queue_capacity);
+  cfg.batch_max = static_cast<std::size_t>(batch_max);
+  cfg.batch_ramp = batch_ramp;
+  cfg.batch_linger_us = static_cast<long>(batch_linger_us);
+  cfg.reserve_interactive_lane = reserve_interactive_lane;
+  // cache_dir is resolved by the runner ("auto" -> fresh temp dir).
+  return cfg;
+}
+
+svc::FaultConfig FaultParams::to_fault_config() const {
+  svc::FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.throw_probability = throw_probability;
+  cfg.delay_probability = delay_probability;
+  cfg.hang_probability = hang_probability;
+  cfg.fail_attempts = fail_attempts;
+  cfg.delay_seconds = delay_ms / 1e3;
+  cfg.jitter_seconds = jitter_ms / 1e3;
+  return cfg;
+}
+
+const char* to_string(SloParams::Op op) {
+  switch (op) {
+    case SloParams::Op::kLe:
+      return "<=";
+    case SloParams::Op::kGe:
+      return ">=";
+    case SloParams::Op::kLt:
+      return "<";
+    case SloParams::Op::kGt:
+      return ">";
+    case SloParams::Op::kEq:
+      return "==";
+    case SloParams::Op::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool slo_holds(SloParams::Op op, double observed, double bound) {
+  switch (op) {
+    case SloParams::Op::kLe:
+      return observed <= bound;
+    case SloParams::Op::kGe:
+      return observed >= bound;
+    case SloParams::Op::kLt:
+      return observed < bound;
+    case SloParams::Op::kGt:
+      return observed > bound;
+    case SloParams::Op::kEq:
+      return observed == bound;
+    case SloParams::Op::kNe:
+      return observed != bound;
+  }
+  return false;
+}
+
+Scenario parse_scenario(const std::string& json_text) {
+  const JsonValue doc = JsonValue::parse(json_text);
+  Scenario s;
+  check_keys(doc, "scenario",
+             {"name", "seed", "service", "faults", "workload", "transport",
+              "phases", "slo"});
+  const auto* name = doc.get("name");
+  GPAWFD_CHECK_MSG(name, "scenario requires a \"name\"");
+  s.name = name->as_string("name");
+  GPAWFD_CHECK_MSG(!s.name.empty(), "scenario name must not be empty");
+  if (const auto* j = doc.get("seed"))
+    s.seed = static_cast<std::uint64_t>(int_in(*j, "seed", 0, kMaxI64));
+  if (const auto* j = doc.get("service")) s.service = parse_service(*j);
+  if (const auto* j = doc.get("faults")) s.faults = parse_faults(*j);
+  if (const auto* j = doc.get("workload")) {
+    check_keys(*j, "workload", {"jobs", "skew"});
+    if (const auto* jobs = j->get("jobs")) s.catalog = parse_jobs(*jobs);
+    if (const auto* skew = j->get("skew")) s.mix = parse_skew(*skew);
+  }
+  if (const auto* j = doc.get("transport")) s.transport = parse_transport(*j);
+
+  const auto* phases = doc.get("phases");
+  GPAWFD_CHECK_MSG(phases, "scenario requires a \"phases\" array");
+  const auto& phase_items = phases->as_array("phases");
+  GPAWFD_CHECK_MSG(!phase_items.empty(), "phases must not be empty");
+  std::set<std::string> phase_names;
+  for (std::size_t i = 0; i < phase_items.size(); ++i) {
+    PhaseParams p = parse_phase(phase_items[i], i);
+    GPAWFD_CHECK_MSG(phase_names.insert(p.name).second,
+                     "duplicate phase name \"" << p.name << "\"");
+    s.phases.push_back(std::move(p));
+  }
+  GPAWFD_CHECK_MSG(!s.phases.front().restart_service,
+                   "phases[0] cannot set restart_service (nothing to "
+                   "restart yet)");
+  for (const PhaseParams& p : s.phases)
+    GPAWFD_CHECK_MSG(!p.restart_service || !s.service.cache_dir.empty(),
+                     "restart_service requires service.cache_dir (a warm "
+                     "restart without a store proves nothing)");
+
+  if (const auto* j = doc.get("slo")) {
+    const auto& slo_items = j->as_array("slo");
+    for (std::size_t i = 0; i < slo_items.size(); ++i) {
+      SloParams p = parse_slo(slo_items[i], i);
+      GPAWFD_CHECK_MSG(p.phase.empty() || phase_names.count(p.phase),
+                       "slo[" << i << "] references unknown phase \""
+                              << p.phase << "\"");
+      s.slos.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+Scenario load_scenario(const std::string& path) {
+  try {
+    return parse_scenario(read_file(path));
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+}  // namespace gpawfd::scenario

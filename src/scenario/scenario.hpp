@@ -1,0 +1,150 @@
+// Declarative workload scenarios: a JSON file names the experiment — the
+// job catalog (grid sizes, radii, core counts), the key mix and skew
+// (uniform or Zipf, the "millions of users" shape), the arrival process
+// per phase (open- vs closed-loop), the fault schedule, the service
+// knobs (cache TTL, batching, retry budget), the transport (in-process
+// or over the wire), and the SLOs the run must meet — and the engine
+// runs it deterministically (scenario/generator.hpp) and grades it
+// (scenario/runner.hpp). DESIGN.md §14 is the schema reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/fault.hpp"
+#include "svc/service.hpp"
+
+namespace gpawfd::scenario {
+
+/// "service": the svc::ServiceConfig knobs a scenario may set. Defaults
+/// mirror ServiceConfig except block_when_full: a load generator is an
+/// in-process batch producer, so throttling (not shedding) is the
+/// scenario default — shed-mode scenarios opt in explicitly.
+struct ServiceParams {
+  int workers = 0;
+  std::int64_t queue_capacity = 64;
+  std::int64_t cache_capacity = 512;
+  int cache_shards = 8;
+  bool block_when_full = true;
+  int max_attempts = 1;
+  double backoff_ms = 1.0;
+  double timeout_ms = 0;
+  /// "auto" = the runner creates (and removes) a fresh temp directory —
+  /// how checked-in scenarios use persistence without hardcoding paths.
+  std::string cache_dir;
+  double cache_ttl_seconds = 0;
+  std::int64_t persist_queue_capacity = 256;
+  std::int64_t batch_max = 1;
+  bool batch_ramp = true;
+  std::int64_t batch_linger_us = 0;
+  bool reserve_interactive_lane = true;
+
+  /// The corresponding ServiceConfig (executor and cache_dir resolution
+  /// are the runner's job).
+  svc::ServiceConfig to_service_config() const;
+};
+
+/// "faults": the svc::FaultConfig a scenario stands between the service
+/// and the simulator. All-zero probabilities = no injection.
+struct FaultParams {
+  std::uint64_t seed = 0x5eedfa11ULL;
+  double throw_probability = 0;
+  double delay_probability = 0;
+  double hang_probability = 0;
+  int fail_attempts = -1;  // fail-N-then-succeed; -1 = permanent
+  double delay_ms = 0;
+  double jitter_ms = 0;
+
+  bool enabled() const {
+    return throw_probability > 0 || delay_probability > 0 ||
+           hang_probability > 0;
+  }
+  svc::FaultConfig to_fault_config() const;
+};
+
+/// "workload.jobs": the distinct-key catalog, the cross product of the
+/// listed grid edges × stencil radii × core counts (in that nesting
+/// order), optionally truncated to the first `distinct` entries.
+struct JobCatalogParams {
+  std::vector<std::int64_t> grid_edges{48};
+  std::vector<std::int64_t> radii{2};
+  std::vector<std::int64_t> cores{256};
+  std::int64_t ngrids = 32;
+  std::int64_t distinct = 0;  // 0 = the full cross product
+};
+
+/// "workload.skew": how requests distribute over the catalog. Zipf rank
+/// k (0-based, job 0 hottest) draws with weight 1/(k+1)^s — s ≈ 1 is
+/// the classic web-traffic shape of a "millions of users" key mix.
+struct KeyMixParams {
+  enum class Kind { kUniform, kZipf };
+  Kind kind = Kind::kUniform;
+  double zipf_s = 1.0;
+};
+
+/// One traffic phase. Closed loop: `clients` generators each issue their
+/// share of `requests`, next request only after the previous reply (the
+/// classic saturation-free shape; pipelining widens it). Open loop:
+/// arrivals are scheduled on a clock at `rate_hz` regardless of
+/// completions — the shape that actually stresses queues.
+struct PhaseParams {
+  std::string name;
+  enum class Mode { kClosed, kOpen };
+  Mode mode = Mode::kClosed;
+  std::int64_t clients = 4;    // closed-loop generator threads
+  std::int64_t requests = 64;  // total requests this phase issues
+  double rate_hz = 0;          // open-loop arrival rate
+  enum class Process { kPoisson, kUniform };
+  Process process = Process::kPoisson;  // open-loop gap distribution
+  double interactive_fraction = 0;      // Priority::kInteractive share
+  /// Tear the service down and rebuild it (warm-loading cache_dir)
+  /// before this phase — the declarative warm-restart scenario.
+  bool restart_service = false;
+};
+
+/// "transport": drive the service in-process, or stand a net::Server in
+/// front of it and drive it through net::Client connections (one per
+/// closed-loop client) — the full wire path, self-hosted on loopback.
+struct TransportParams {
+  enum class Mode { kInProc, kTcp };
+  Mode mode = Mode::kInProc;
+  std::int64_t pipeline_window = 0;  // net::ClientConfig::pipeline_window
+};
+
+/// One declarative SLO: compare a named metric against a bound. Metrics
+/// are client-side phase stats ("p99_seconds", "ok", "throughput_rps",
+/// ...), service counters ("gave_up", "retries", any counter_map key),
+/// or derived values ("hit_ratio", "batched_jobs_reconcile"). An empty
+/// phase scopes the metric to the whole run (final service counters);
+/// a phase name scopes it to that phase (counter deltas).
+struct SloParams {
+  std::string metric;
+  enum class Op { kLe, kGe, kLt, kGt, kEq, kNe };
+  Op op = Op::kLe;
+  double value = 0;
+  std::string phase;
+};
+
+const char* to_string(SloParams::Op op);
+bool slo_holds(SloParams::Op op, double observed, double bound);
+
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 1;
+  ServiceParams service;
+  FaultParams faults;
+  JobCatalogParams catalog;
+  KeyMixParams mix;
+  TransportParams transport;
+  std::vector<PhaseParams> phases;
+  std::vector<SloParams> slos;
+};
+
+/// Parse + validate a scenario document. Unknown keys anywhere are
+/// errors (typos must not silently run the wrong experiment); every
+/// range violation names the offending key path.
+Scenario parse_scenario(const std::string& json_text);
+Scenario load_scenario(const std::string& path);
+
+}  // namespace gpawfd::scenario

@@ -11,8 +11,10 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -603,6 +605,91 @@ TEST(Persister, DropOldestBackpressureIsCountedAndDeterministic) {
   EXPECT_TRUE(persister.store().contains("v1|key-3"));
   EXPECT_TRUE(persister.store().contains("v1|key-4"));
   EXPECT_EQ(metrics.persist_dropped.load(), 1);
+}
+
+TEST(Persister, CompactionRacesConcurrentBatchProducers) {
+  // Aggressive compaction thresholds so the persister thread compacts
+  // *while* producer threads are still landing enqueue_batch rounds —
+  // the compact-vs-append interleaving this test (and the TSAN lane)
+  // exists to race. Producers own disjoint key subsets and supersede
+  // their own keys every round, so the expected final live set is exact
+  // regardless of interleaving: the last round per key.
+  TempDir tmp;
+  auto store = std::make_unique<svc::CacheStore>(tmp.store_path());
+  store->recover();
+
+  constexpr int kProducers = 4;
+  constexpr int kKeysPerProducer = 8;
+  constexpr int kRounds = 20;
+  constexpr int kTotal = kProducers * kKeysPerProducer * kRounds;
+
+  svc::PersisterConfig config;
+  // Capacity covers everything in flight: no drop-oldest, so the final
+  // round of every key is guaranteed durable and the live set is exact.
+  config.queue_capacity = kTotal;
+  config.compact_garbage_threshold = 0.05;
+  config.compact_min_records = 8;
+  // Slow each append slightly so drains (and the compactions after
+  // them) genuinely overlap the producers instead of running after.
+  config.on_write = [](const std::string&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  };
+
+  svc::Metrics metrics;
+  svc::Persister persister(std::move(store), config, &metrics);
+
+  const auto key_of = [](int producer, int k) {
+    return "v1|p" + std::to_string(producer) + "-k" + std::to_string(k);
+  };
+  const auto tag_of = [](int producer, int k, int round) {
+    return 1000.0 * producer + 10.0 * k + round;
+  };
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<svc::Persister::Write> batch;
+        for (int k = 0; k < kKeysPerProducer; ++k)
+          batch.push_back({key_of(p, k), make_result(tag_of(p, k, round)),
+                           0.05, 600.0 + round});
+        persister.enqueue_batch(std::move(batch));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  persister.flush();
+
+  // Nothing dropped (capacity covered the run), everything written, and
+  // the mirrored counters reconcile.
+  EXPECT_EQ(persister.enqueued(), kTotal);
+  EXPECT_EQ(persister.written(), kTotal);
+  EXPECT_EQ(persister.dropped(), 0);
+  EXPECT_GE(persister.compactions(), 1);
+  const auto counters = metrics.counter_map();
+  EXPECT_EQ(counters.at("svc.persist_enqueued"),
+            counters.at("svc.persist_written") +
+                counters.at("svc.persist_dropped"));
+  EXPECT_GE(counters.at("svc.persist_compactions"), 1);
+  // Compaction kept only the live set on disk, so the log is far
+  // smaller than the kTotal appended records.
+  EXPECT_LT(persister.store().total_records(), kTotal);
+  persister.shutdown();
+
+  // A second process recovers exactly the last round of every key —
+  // compaction under fire lost nothing and resurrected nothing.
+  svc::CacheStore reopened(tmp.store_path());
+  svc::RecoveryStats stats;
+  const auto live = reopened.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  ASSERT_EQ(static_cast<int>(live.size()), kProducers * kKeysPerProducer);
+  for (const auto& rec : live) {
+    int p = 0, k = 0;
+    ASSERT_EQ(std::sscanf(rec.key.c_str(), "v1|p%d-k%d", &p, &k), 2)
+        << rec.key;
+    expect_result_eq(rec.result, make_result(tag_of(p, k, kRounds - 1)));
+  }
 }
 
 TEST(Persister, EnqueueAfterShutdownCountsAsDropped) {

@@ -84,6 +84,48 @@ TEST(Cli, DuplicateDeclarationThrows) {
   EXPECT_THROW(p.flag("x", "2", "h"), Error);
 }
 
+TEST(Cli, RangeCheckedGettersAcceptTheBounds) {
+  CliParser p = make();
+  parse(p, {"--cores=1", "--ratio=1.0"});
+  EXPECT_EQ(p.get_int_in("cores", 1, 8192), 1);
+  EXPECT_DOUBLE_EQ(p.get_double_in("ratio", 0.0, 1.0), 1.0);
+  CliParser q = make();
+  parse(q, {});
+  EXPECT_EQ(q.get_int_in("cores", 1, 4096), 4096);  // default in range
+}
+
+TEST(Cli, RangeCheckedGettersRejectOutOfRange) {
+  CliParser p = make();
+  parse(p, {"--cores=0", "--ratio=1.5"});
+  EXPECT_THROW(p.get_int_in("cores", 1, 8192), Error);
+  EXPECT_THROW(p.get_double_in("ratio", 0.0, 1.0), Error);
+  // Negative values against a non-negative range (the --batch-max=-1
+  // / --pipeline-window=-3 class of typo).
+  CliParser q = make();
+  parse(q, {"--cores=-3"});
+  EXPECT_THROW(q.get_int_in("cores", 0, 8192), Error);
+}
+
+TEST(Cli, RangeErrorNamesFlagAndBounds) {
+  CliParser p = make();
+  parse(p, {"--cores=0"});
+  try {
+    p.get_int_in("cores", 1, 4096);
+    FAIL() << "expected a range error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--cores"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[1, 4096]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, RangeCheckedGetterStillRejectsMalformedValues) {
+  CliParser p = make();
+  parse(p, {"--cores=twelve"});
+  EXPECT_THROW(p.get_int_in("cores", 1, 8192), Error);
+}
+
 TEST(Cli, BooleanSpellings) {
   CliParser p = make();
   parse(p, {"--verbose=on"});

@@ -632,6 +632,79 @@ TEST(Loopback, ClientReconnectsAfterServerRestart) {
   EXPECT_EQ(second.metrics().replies(net::WireStatus::kOk), 1);
 }
 
+TEST(Loopback, ReconnectWhileSaturatedPipelineWindowDoesNotDeadlock) {
+  // A submit_async blocked in the pipeline-window wait must be released
+  // by a dropped connection, not sleep forever: the wait predicate
+  // includes !connected_ and the reader notifies the window CV when it
+  // fails the pending map. This pins that contract across a full server
+  // restart.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.executor = [opened](const core::SimJobSpec&) {
+    opened.wait();
+    return core::SimResult{};
+  };
+  svc::SimService service(cfg);
+
+  auto server = std::make_unique<net::Server>(service);
+  const std::uint16_t port = server->port();
+  net::ClientConfig ccfg;
+  ccfg.port = port;
+  ccfg.pipeline_window = 2;
+  ccfg.max_reconnect_attempts = 10;
+  ccfg.reconnect_backoff_seconds = 0.02;
+  net::Client client(ccfg);
+
+  // Saturate the window with two distinct jobs parked on the gated
+  // executor: both unanswered, so the window is full.
+  auto first = client.submit_async(small_spec(8));
+  auto second = client.submit_async(small_spec(9));
+
+  // A third submit must block in the window wait — run it on its own
+  // thread and prove it is still parked before the restart.
+  auto third = std::async(std::launch::async, [&] {
+    try {
+      return client.submit_async(small_spec(10)).get();
+    } catch (const net::RpcError&) {
+      // Losing the connection mid-submit is an acceptable outcome for
+      // the blocked call; deadlocking is not.
+      return core::SimResult{};
+    }
+  });
+  EXPECT_EQ(third.wait_for(std::chrono::milliseconds(100)),
+            std::future_status::timeout);
+
+  // Kill the server out from under the saturated window.
+  server->stop();
+  server.reset();
+
+  // The blocked submit unblocks promptly — this is the deadlock check.
+  ASSERT_EQ(third.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_NO_THROW(third.get());
+
+  // The two in-flight requests fail honestly, not silently.
+  for (auto* f : {&first, &second}) {
+    try {
+      f->get();
+      FAIL() << "expected RpcError";
+    } catch (const net::RpcError& e) {
+      EXPECT_EQ(e.status(), net::WireStatus::kConnectionLost);
+    }
+  }
+
+  // Same port, fresh server: the client reconnects and the window
+  // machinery still works (submits complete once the gate opens).
+  net::ServerConfig scfg;
+  scfg.port = port;
+  net::Server restarted(service, scfg);
+  gate.set_value();
+  EXPECT_NO_THROW(client.submit(small_spec(11)));
+  EXPECT_GE(client.reconnects(), 1);
+}
+
 TEST(Loopback, ServerStopFailsOutstandingClientRequests) {
   std::promise<void> gate;
   std::shared_future<void> opened = gate.get_future().share();

@@ -1,0 +1,467 @@
+// Unit tests for the scenario engine: the strict JSON reader, the schema
+// validator (typos and range violations must fail loudly), the seeded
+// deterministic generator (the reproducibility contract the acceptance
+// suite leans on), the SLO algebra, and small end-to-end runner passes
+// over both transports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/generator.hpp"
+#include "scenario/json.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace gpawfd::scenario {
+namespace {
+
+// ---- JSON reader ----------------------------------------------------
+
+TEST(scenario_json, ParsesScalarsAndNesting) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": 1, "b": -2.5e2, "c": "hi\n\"x\"", "d": [true, false, null],
+          "e": {"nested": 3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get("a")->as_int("a"), 1);
+  EXPECT_DOUBLE_EQ(v.get("b")->as_number("b"), -250.0);
+  EXPECT_EQ(v.get("c")->as_string("c"), "hi\n\"x\"");
+  const auto& d = v.get("d")->as_array("d");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d[0].as_bool("d[0]"));
+  EXPECT_FALSE(d[1].as_bool("d[1]"));
+  EXPECT_TRUE(d[2].is_null());
+  EXPECT_EQ(v.get("e")->get("nested")->as_int("e.nested"), 3);
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(scenario_json, ParsesUnicodeEscapes) {
+  const JsonValue v = JsonValue::parse(R"({"s": "Aé€"})");
+  EXPECT_EQ(v.get("s")->as_string("s"), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(scenario_json, ErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  \"b\": tru\n}");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(scenario_json, RejectsTrailingCommasCommentsAndGarbage) {
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1,})"), Error);
+  EXPECT_THROW(JsonValue::parse(R"([1, 2,])"), Error);
+  EXPECT_THROW(JsonValue::parse("{} // comment"), Error);
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1} x)"), Error);
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse(R"({"a": 01})"), Error);
+}
+
+TEST(scenario_json, RejectsDuplicateKeys) {
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1, "a": 2})"), Error);
+}
+
+TEST(scenario_json, TypedAccessorsNameTheKeyPath) {
+  const JsonValue v = JsonValue::parse(R"({"a": "text", "f": 1.5})");
+  try {
+    v.get("a")->as_number("workload.skew.s");
+    FAIL() << "expected a type error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("workload.skew.s"),
+              std::string::npos)
+        << e.what();
+  }
+  // as_int rejects fractional values rather than truncating.
+  EXPECT_THROW(v.get("f")->as_int("f"), Error);
+}
+
+// ---- Schema validation ----------------------------------------------
+
+std::string minimal_scenario(const std::string& extra = "") {
+  return R"({"name": "t", "phases": [{"name": "p"}])" + extra + "}";
+}
+
+TEST(scenario_schema, MinimalDocumentGetsDefaults) {
+  const Scenario s = parse_scenario(minimal_scenario());
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.seed, 1u);
+  EXPECT_TRUE(s.service.block_when_full);  // scenario default: throttle
+  EXPECT_EQ(s.catalog.grid_edges, std::vector<std::int64_t>{48});
+  EXPECT_EQ(s.mix.kind, KeyMixParams::Kind::kUniform);
+  EXPECT_EQ(s.transport.mode, TransportParams::Mode::kInProc);
+  ASSERT_EQ(s.phases.size(), 1u);
+  EXPECT_EQ(s.phases[0].mode, PhaseParams::Mode::kClosed);
+  EXPECT_FALSE(s.faults.enabled());
+}
+
+TEST(scenario_schema, UnknownKeysAreErrors) {
+  EXPECT_THROW(parse_scenario(R"({"name": "t", "phasez": []})"), Error);
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t", "service": {"workerz": 2},
+                       "phases": [{"name": "p"}]})"),
+               Error);
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t",
+                       "phases": [{"name": "p", "clientz": 2}]})"),
+               Error);
+}
+
+TEST(scenario_schema, RequiredFieldsAndRanges) {
+  EXPECT_THROW(parse_scenario(R"({"phases": [{"name": "p"}]})"), Error);
+  EXPECT_THROW(parse_scenario(R"({"name": "t"})"), Error);
+  EXPECT_THROW(parse_scenario(R"({"name": "t", "phases": []})"), Error);
+  // Out-of-range: a probability above 1.
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t", "faults": {"throw_probability": 1.5},
+                       "phases": [{"name": "p"}]})"),
+               Error);
+  // Out-of-range: zero queue capacity.
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t", "service": {"queue_capacity": 0},
+                       "phases": [{"name": "p"}]})"),
+               Error);
+}
+
+TEST(scenario_schema, PhaseValidation) {
+  // Open loop without a rate.
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t",
+                       "phases": [{"name": "p", "mode": "open"}]})"),
+               Error);
+  // Duplicate phase names.
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t",
+                       "phases": [{"name": "p"}, {"name": "p"}]})"),
+               Error);
+  // restart_service in the first phase.
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t", "service": {"cache_dir": "auto"},
+                       "phases": [{"name": "p", "restart_service": true}]})"),
+               Error);
+  // restart_service without a persistent store.
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t",
+                       "phases": [{"name": "a"},
+                                  {"name": "b", "restart_service": true}]})"),
+               Error);
+}
+
+TEST(scenario_schema, SloValidation) {
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t", "phases": [{"name": "p"}],
+                       "slo": [{"metric": "ok", "op": "=<", "value": 1}]})"),
+               Error);
+  EXPECT_THROW(parse_scenario(
+                   R"({"name": "t", "phases": [{"name": "p"}],
+                       "slo": [{"metric": "ok", "op": "==", "value": 1,
+                                "phase": "nope"}]})"),
+               Error);
+  const Scenario s = parse_scenario(
+      R"({"name": "t", "phases": [{"name": "p"}],
+          "slo": [{"metric": "p99_seconds", "op": "<=", "value": 0.5,
+                   "phase": "p"}]})");
+  ASSERT_EQ(s.slos.size(), 1u);
+  EXPECT_EQ(s.slos[0].op, SloParams::Op::kLe);
+  EXPECT_EQ(s.slos[0].phase, "p");
+}
+
+TEST(scenario_schema, ParsesTheFullVocabulary) {
+  const Scenario s = parse_scenario(R"({
+    "name": "full", "seed": 9,
+    "service": {"workers": 2, "queue_capacity": 8, "cache_capacity": 16,
+                "block_when_full": false, "max_attempts": 3,
+                "backoff_ms": 0.5, "timeout_ms": 100, "cache_dir": "auto",
+                "cache_ttl_seconds": 60, "batch_max": 4,
+                "batch_linger_us": 50},
+    "faults": {"seed": 3, "throw_probability": 0.25, "fail_attempts": 2},
+    "workload": {
+      "jobs": {"grid_edges": [16, 24], "radii": [1, 2], "cores": [64],
+               "ngrids": 8, "distinct": 3},
+      "skew": {"kind": "zipf", "s": 1.1}},
+    "transport": {"mode": "tcp", "pipeline_window": 8},
+    "phases": [
+      {"name": "fill", "mode": "closed", "clients": 2, "requests": 10},
+      {"name": "peak", "mode": "open", "rate_hz": 100, "requests": 20,
+       "process": "uniform", "interactive_fraction": 0.5,
+       "restart_service": true}]})");
+  EXPECT_FALSE(s.service.block_when_full);
+  EXPECT_EQ(s.service.max_attempts, 3);
+  EXPECT_EQ(s.service.cache_dir, "auto");
+  EXPECT_EQ(s.faults.fail_attempts, 2);
+  EXPECT_TRUE(s.faults.enabled());
+  EXPECT_EQ(s.catalog.distinct, 3);
+  EXPECT_EQ(s.mix.kind, KeyMixParams::Kind::kZipf);
+  EXPECT_EQ(s.transport.mode, TransportParams::Mode::kTcp);
+  EXPECT_EQ(s.transport.pipeline_window, 8);
+  ASSERT_EQ(s.phases.size(), 2u);
+  EXPECT_EQ(s.phases[1].process, PhaseParams::Process::kUniform);
+  EXPECT_TRUE(s.phases[1].restart_service);
+  const svc::ServiceConfig cfg = s.service.to_service_config();
+  EXPECT_EQ(cfg.retry.max_attempts, 3);
+  EXPECT_DOUBLE_EQ(cfg.retry.attempt_timeout_seconds, 0.1);
+  EXPECT_EQ(cfg.batch_max, 4u);
+}
+
+// ---- Generator determinism ------------------------------------------
+
+Scenario small_scenario() {
+  return parse_scenario(R"({
+    "name": "gen", "seed": 77,
+    "workload": {
+      "jobs": {"grid_edges": [16, 24], "radii": [1, 2], "cores": [64, 128],
+               "ngrids": 8},
+      "skew": {"kind": "zipf", "s": 1.0}},
+    "faults": {"seed": 5, "throw_probability": 0.4, "fail_attempts": 1},
+    "phases": [
+      {"name": "closed", "clients": 3, "requests": 40,
+       "interactive_fraction": 0.3},
+      {"name": "open", "mode": "open", "rate_hz": 1000, "requests": 40}]})");
+}
+
+TEST(scenario_generator, CatalogIsTheCrossProduct) {
+  const Scenario s = small_scenario();
+  Generator g(s);
+  ASSERT_EQ(g.catalog().size(), 8u);  // 2 edges x 2 radii x 2 core counts
+  // Nesting order: edges outermost, cores innermost.
+  EXPECT_EQ(g.catalog()[0].job.grid_shape.x, 16);
+  EXPECT_EQ(g.catalog()[0].job.ghost, 1);
+  EXPECT_EQ(g.catalog()[0].total_cores, 64);
+  EXPECT_EQ(g.catalog()[1].total_cores, 128);
+  EXPECT_EQ(g.catalog()[2].job.ghost, 2);
+  EXPECT_EQ(g.catalog()[4].job.grid_shape.x, 24);
+
+  Scenario truncated = s;
+  truncated.catalog.distinct = 3;
+  EXPECT_EQ(Generator(truncated).catalog().size(), 3u);
+}
+
+TEST(scenario_generator, SameSeedSameJsonIdenticalPlan) {
+  const Scenario s = small_scenario();
+  Generator a(s), b(s);
+  const std::vector<PlannedRequest> pa = a.plan(), pb = b.plan();
+  ASSERT_EQ(pa.size(), 80u);
+  EXPECT_EQ(pa, pb);  // key order, clients, priorities, arrival times
+  EXPECT_EQ(a.fault_points(), b.fault_points());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(scenario_generator, DifferentSeedDifferentTraffic) {
+  const Scenario s = small_scenario();
+  Scenario other = s;
+  other.seed = s.seed + 1;
+  Generator a(s), b(other);
+  EXPECT_NE(a.plan(), b.plan());
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(scenario_generator, FingerprintCoversTheCatalog) {
+  const Scenario s = small_scenario();
+  Scenario other = s;
+  other.catalog.grid_edges = {20, 32};  // same plan indices, other jobs
+  EXPECT_NE(Generator(s).fingerprint(), Generator(other).fingerprint());
+}
+
+TEST(scenario_generator, ClosedLoopDealsClientsRoundRobin) {
+  const Scenario s = small_scenario();
+  const std::vector<PlannedRequest> plan = Generator(s).plan();
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(plan[i].phase, 0);
+    EXPECT_EQ(plan[i].client, static_cast<int>(i % 3));
+    EXPECT_EQ(plan[i].arrival_offset_seconds, 0.0);
+  }
+}
+
+TEST(scenario_generator, OpenLoopArrivalsAreStrictlyIncreasing) {
+  const Scenario s = small_scenario();
+  const std::vector<PlannedRequest> plan = Generator(s).plan();
+  double last = 0;
+  for (std::size_t i = 40; i < 80; ++i) {
+    EXPECT_EQ(plan[i].phase, 1);
+    EXPECT_GT(plan[i].arrival_offset_seconds, last);
+    last = plan[i].arrival_offset_seconds;
+  }
+  // Poisson arrivals at 1 kHz: 40 requests land in the right decade.
+  EXPECT_LT(last, 1.0);
+}
+
+TEST(scenario_generator, ZipfMakesJobZeroHottest) {
+  Scenario s = small_scenario();
+  s.mix.zipf_s = 1.2;
+  s.phases[0].requests = 2000;
+  s.phases.pop_back();
+  std::vector<int> counts(Generator(s).catalog().size(), 0);
+  for (const PlannedRequest& r : Generator(s).plan())
+    counts[static_cast<std::size_t>(r.job)]++;
+  EXPECT_EQ(*std::max_element(counts.begin(), counts.end()), counts[0]);
+  // Rank 0 beats the tail decisively at s = 1.2.
+  EXPECT_GT(counts[0], 3 * counts.back());
+}
+
+TEST(scenario_generator, UniformMixTouchesTheWholeCatalog) {
+  Scenario s = small_scenario();
+  s.mix.kind = KeyMixParams::Kind::kUniform;
+  s.phases[0].requests = 500;
+  s.phases.pop_back();
+  std::vector<int> counts(Generator(s).catalog().size(), 0);
+  for (const PlannedRequest& r : Generator(s).plan())
+    counts[static_cast<std::size_t>(r.job)]++;
+  for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(scenario_generator, FaultPointsMatchTheRealPartition) {
+  const Scenario s = small_scenario();
+  const std::vector<svc::FaultKind> points = Generator(s).fault_points();
+  ASSERT_EQ(points.size(), 8u);
+  // P(throw) = 0.4 over 8 keys: the partition must mark some keys and
+  // spare some — and be bit-stable across calls.
+  EXPECT_TRUE(std::any_of(points.begin(), points.end(), [](svc::FaultKind k) {
+    return k == svc::FaultKind::kThrow;
+  }));
+  Scenario quiet = s;
+  quiet.faults = FaultParams{};
+  for (const svc::FaultKind k : Generator(quiet).fault_points())
+    EXPECT_EQ(k, svc::FaultKind::kNone);
+}
+
+TEST(scenario_generator, InteractiveFractionProducesBothPriorities) {
+  const Scenario s = small_scenario();
+  const std::vector<PlannedRequest> plan = Generator(s).plan();
+  int interactive = 0;
+  for (std::size_t i = 0; i < 40; ++i)
+    if (plan[i].priority == svc::Priority::kInteractive) ++interactive;
+  EXPECT_GT(interactive, 0);
+  EXPECT_LT(interactive, 40);
+}
+
+// ---- SLO algebra ----------------------------------------------------
+
+TEST(scenario_slo, OperatorTable) {
+  using Op = SloParams::Op;
+  EXPECT_TRUE(slo_holds(Op::kLe, 1.0, 1.0));
+  EXPECT_FALSE(slo_holds(Op::kLt, 1.0, 1.0));
+  EXPECT_TRUE(slo_holds(Op::kGe, 2.0, 1.0));
+  EXPECT_FALSE(slo_holds(Op::kGt, 1.0, 2.0));
+  EXPECT_TRUE(slo_holds(Op::kEq, 3.0, 3.0));
+  EXPECT_TRUE(slo_holds(Op::kNe, 3.0, 4.0));
+  EXPECT_STREQ(to_string(Op::kLe), "<=");
+  EXPECT_STREQ(to_string(Op::kNe), "!=");
+}
+
+ScenarioReport fixture_report() {
+  ScenarioReport r;
+  r.overall.ok = 10;
+  r.overall.p99_seconds = 0.25;
+  PhaseStats p;
+  p.name = "peak";
+  p.ok = 4;
+  p.service_delta["svc.executed"] = 2;
+  r.phases.push_back(p);
+  r.service_counters["svc.gave_up"] = 0;
+  r.service_counters["svc.cache_hits"] = 6;
+  r.service_counters["svc.dedup_joined"] = 0;
+  r.service_counters["svc.accepted"] = 4;
+  r.service_counters["svc.batched_jobs"] = 4;
+  return r;
+}
+
+TEST(scenario_slo, MetricResolutionAndScoping) {
+  const ScenarioReport r = fixture_report();
+  EXPECT_DOUBLE_EQ(r.metric("ok", ""), 10);          // run = overall stats
+  EXPECT_DOUBLE_EQ(r.metric("ok", "peak"), 4);       // phase-scoped stats
+  EXPECT_DOUBLE_EQ(r.metric("gave_up", ""), 0);      // bare counter name
+  EXPECT_DOUBLE_EQ(r.metric("svc.gave_up", ""), 0);  // prefixed too
+  EXPECT_DOUBLE_EQ(r.metric("executed", "peak"), 2);  // phase counter delta
+  EXPECT_DOUBLE_EQ(r.metric("hit_ratio", ""), 0.6);
+  EXPECT_DOUBLE_EQ(r.metric("batched_jobs_reconcile", ""), 0);
+  EXPECT_THROW(r.metric("no_such_metric", ""), Error);
+  EXPECT_THROW(r.metric("ok", "no_such_phase"), Error);
+}
+
+TEST(scenario_slo, EvaluateGradesAndSurvivesUnknownMetrics) {
+  std::vector<SloParams> slos(3);
+  slos[0].metric = "ok";
+  slos[0].op = SloParams::Op::kEq;
+  slos[0].value = 10;
+  slos[1].metric = "p99_seconds";
+  slos[1].op = SloParams::Op::kLe;
+  slos[1].value = 0.1;  // observed 0.25: must fail
+  slos[2].metric = "bogus";
+  slos[2].op = SloParams::Op::kEq;
+  slos[2].value = 0;
+  const auto results = evaluate_slos(slos, fixture_report());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].passed);
+  EXPECT_FALSE(results[1].passed);
+  EXPECT_FALSE(results[2].passed);  // unevaluable = failed, not skipped
+  EXPECT_FALSE(results[2].detail.empty());
+}
+
+// ---- End-to-end runner (small, fast) --------------------------------
+
+const char* kTinyRun = R"({
+  "name": "tiny", "seed": 3,
+  "service": {"workers": 2, "queue_capacity": 32},
+  "workload": {"jobs": {"grid_edges": [12, 16], "radii": [1], "cores": [64],
+                        "ngrids": 8}},
+  "phases": [{"name": "only", "clients": 2, "requests": 24}],
+  "slo": [{"metric": "ok", "op": "==", "value": 24},
+          {"metric": "failed", "op": "==", "value": 0},
+          {"metric": "gave_up", "op": "==", "value": 0}]})";
+
+TEST(scenario_runner_inproc, TinyClosedLoopMeetsItsSlos) {
+  const Scenario s = parse_scenario(kTinyRun);
+  ScenarioReport report = Runner(s).run();
+  EXPECT_TRUE(report.passed) << report.assertion_summary();
+  ASSERT_EQ(report.phases.size(), 1u);
+  EXPECT_EQ(report.phases[0].issued, 24);
+  EXPECT_EQ(report.overall.ok, 24);
+  EXPECT_EQ(report.plan_fingerprint, Generator(s).fingerprint());
+  EXPECT_EQ(report.service_counters.at("svc.submitted"), 24);
+  // The report renders to JSON that the reader round-trips.
+  const JsonValue parsed = JsonValue::parse(report.to_json());
+  EXPECT_EQ(parsed.get("scenario")->as_string("scenario"), "tiny");
+  EXPECT_TRUE(parsed.get("passed")->as_bool("passed"));
+  EXPECT_EQ(parsed.get("phases")->as_array("phases").size(), 1u);
+}
+
+TEST(scenario_runner_inproc, FailingSloIsReportedNotThrown) {
+  Scenario s = parse_scenario(kTinyRun);
+  s.slos[0].value = 9999;  // ok == 9999 cannot hold
+  ScenarioReport report = Runner(s).run();
+  EXPECT_FALSE(report.passed);
+  EXPECT_FALSE(report.assertions[0].passed);
+  EXPECT_TRUE(report.assertions[1].passed);
+}
+
+TEST(scenario_runner_tcp, TinyRunOverLoopback) {
+  Scenario s = parse_scenario(kTinyRun);
+  s.transport.mode = TransportParams::Mode::kTcp;
+  s.transport.pipeline_window = 4;
+  ScenarioReport report = Runner(s).run();
+  EXPECT_TRUE(report.passed) << report.assertion_summary();
+  EXPECT_EQ(report.overall.ok, 24);
+}
+
+TEST(scenario_runner_tcp, OpenLoopPacedDispatch) {
+  Scenario s = parse_scenario(R"({
+    "name": "paced", "seed": 5,
+    "service": {"workers": 2, "queue_capacity": 64},
+    "workload": {"jobs": {"grid_edges": [12], "radii": [1], "cores": [64],
+                          "ngrids": 8}},
+    "transport": {"mode": "tcp", "pipeline_window": 8},
+    "phases": [{"name": "open", "mode": "open", "rate_hz": 2000,
+                "requests": 40, "interactive_fraction": 0.2}],
+    "slo": [{"metric": "ok", "op": "==", "value": 40},
+            {"metric": "failed", "op": "==", "value": 0}]})");
+  ScenarioReport report = Runner(s).run();
+  EXPECT_TRUE(report.passed) << report.assertion_summary();
+  // ~40 arrivals at 2 kHz: the phase wall clock must reflect the pacing.
+  EXPECT_GE(report.phases[0].wall_seconds, 0.005);
+}
+
+}  // namespace
+}  // namespace gpawfd::scenario
