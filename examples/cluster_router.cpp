@@ -1,0 +1,191 @@
+// cluster_router: the sharded-cluster front door as a standalone
+// process. It speaks the exact sim_server wire protocol on --port, so
+// any sim_client points at it unchanged; behind it, every submit is
+// consistent-hashed across the --backends list of sim_server processes
+// and forwarded over pooled connections. Retryable backend failures
+// fail over to the next replica on the key's preference list under the
+// --retries/--backoff-ms budget; successful results are pushed to the
+// next replica as peer cache-fills; a health prober marks backends down
+// after --fail-threshold consecutive failed pings and resurrects them
+// on the first success.
+//
+//   ./sim_server --listen --port=7511 &   # three backends
+//   ./sim_server --listen --port=7512 &
+//   ./sim_server --listen --port=7513 &
+//   ./cluster_router --port=7500 --backends=7511,7512,7513 --duration-s=30
+//   ./sim_client --port=7500 ...          # clients talk to the router
+//
+// Backends are "host:port" or bare "port" (= 127.0.0.1). On exit the
+// router prints its wire totals and the cluster metrics snapshot
+// (per-backend routed/retried/hedged rows included); --metrics-out
+// additionally writes the snapshot to a file for harnesses to parse.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "net/server.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+std::vector<gpawfd::cluster::BackendAddress> parse_backends(
+    const std::string& list) {
+  using gpawfd::cluster::BackendAddress;
+  std::vector<BackendAddress> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    BackendAddress addr;
+    const std::size_t colon = item.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? item : item.substr(colon + 1);
+    if (colon != std::string::npos && colon > 0)
+      addr.host = item.substr(0, colon);
+    try {
+      const int port = std::stoi(port_str);
+      if (port < 1 || port > 65535) throw std::out_of_range(port_str);
+      addr.port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      throw gpawfd::Error("bad backend address: \"" + item +
+                          "\" (want host:port or port)");
+    }
+    out.push_back(addr);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpawfd;
+
+  CliParser cli;
+  cli.flag("port", "0", "front TCP port (0 = ephemeral, printed)")
+      .flag("backends", "", "comma-separated backend list, host:port or "
+            "bare port (= 127.0.0.1)")
+      .flag("vnodes", "64", "ring points per backend")
+      .flag("replicas", "2", "failover + replication span per key")
+      .flag("retries", "3", "forward attempts per job across replicas")
+      .flag("backoff-ms", "5", "initial failover backoff in milliseconds")
+      .flag("forwarders", "4", "forwarder threads")
+      .flag("queue-capacity", "1024", "bounded forward queue")
+      .flag("connections", "2", "pooled connections per backend")
+      .flag("health-period-ms", "200", "backend ping period (0 = no prober)")
+      .flag("fail-threshold", "3", "consecutive failures before down")
+      .flag("hedge-ms", "0", "hedge a slow primary after this many "
+            "milliseconds (0 = no hedging)")
+      .flag("replicate", "true", "push results to the next replica "
+            "(peer cache-fill)")
+      .flag("stable-ring", "false", "ring identity = backend list index "
+            "instead of host:port, so key ownership is identical across "
+            "runs even on ephemeral ports (harnesses)")
+      .flag("duration-s", "0", "serving time (0 = until SIGINT/SIGTERM)")
+      .flag("max-inflight", "64", "per-connection request limit")
+      .flag("max-connections", "256", "front connection limit")
+      .flag("idle-timeout-s", "60", "idle front connection timeout")
+      .flag("metrics-out", "", "also write the exit metrics snapshot "
+            "to this file");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  cluster::RouterConfig rcfg;
+  net::ServerConfig scfg;
+  try {
+    rcfg.backends = parse_backends(cli.get("backends"));
+    if (rcfg.backends.empty())
+      throw Error("--backends is required (e.g. --backends=7511,7512,7513)");
+    rcfg.vnodes = static_cast<int>(cli.get_int_in("vnodes", 1, 1 << 16));
+    rcfg.replicas = static_cast<int>(cli.get_int_in("replicas", 1, 64));
+    rcfg.retry.max_attempts =
+        static_cast<int>(cli.get_int_in("retries", 1, 1000));
+    rcfg.retry.initial_backoff_seconds =
+        cli.get_double_in("backoff-ms", 0, 1e7) / 1e3;
+    rcfg.forwarders =
+        static_cast<int>(cli.get_int_in("forwarders", 1, 1024));
+    rcfg.queue_capacity = static_cast<std::size_t>(
+        cli.get_int_in("queue-capacity", 1, 1 << 24));
+    rcfg.connections_per_backend =
+        static_cast<int>(cli.get_int_in("connections", 1, 64));
+    rcfg.health_period_seconds =
+        cli.get_double_in("health-period-ms", 0, 1e7) / 1e3;
+    rcfg.health_fail_threshold =
+        static_cast<int>(cli.get_int_in("fail-threshold", 1, 1000));
+    rcfg.hedge_after_seconds = cli.get_double_in("hedge-ms", 0, 1e7) / 1e3;
+    rcfg.replicate = cli.get_bool("replicate");
+    if (cli.get_bool("stable-ring"))
+      for (std::size_t b = 0; b < rcfg.backends.size(); ++b)
+        rcfg.backends[b].ring_id = "node-" + std::to_string(b);
+
+    scfg.port = static_cast<std::uint16_t>(cli.get_int_in("port", 0, 65535));
+    scfg.max_inflight_per_conn =
+        static_cast<int>(cli.get_int_in("max-inflight", 1, 1 << 20));
+    scfg.max_connections =
+        static_cast<int>(cli.get_int_in("max-connections", 1, 1 << 20));
+    scfg.idle_timeout_seconds = cli.get_double_in("idle-timeout-s", 0, 1e9);
+    (void)cli.get_double_in("duration-s", 0, 1e9);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  cluster::Router router(rcfg);
+  net::Server server(router, scfg);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  const double duration = cli.get_double("duration-s");
+  std::cout << "cluster_router: listening on port " << server.port() << ", "
+            << rcfg.backends.size() << " backends x " << rcfg.vnodes
+            << " vnodes, replicas " << rcfg.replicas << ", "
+            << rcfg.forwarders << " forwarders\n"
+            << std::flush;
+
+  const double t0 = trace::now_seconds();
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    if (duration > 0 && trace::now_seconds() - t0 >= duration) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  router.shutdown();
+  const double wall = trace::now_seconds() - t0;
+
+  std::cout << "\nwall time: " << fmt_seconds(wall) << "\n";
+  std::cout << "\nwire metrics snapshot:\n" << server.metrics().snapshot();
+  std::cout << "\ncluster metrics snapshot:\n" << router.metrics_snapshot();
+
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write --metrics-out file: " << metrics_out << "\n";
+      return 1;
+    }
+    out << server.metrics().snapshot() << router.metrics_snapshot();
+  }
+  return 0;
+}

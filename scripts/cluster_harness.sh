@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Kill-one-of-three cluster failover harness (the --cluster lane of
+# scripts/tier1.sh): boot three sim_server backends and a cluster_router
+# in front of them, drive a sustained pipelined sim_client load through
+# the router, SIGKILL one backend mid-load (a real node death: no
+# shutdown hook, in-flight replies drop on the floor), and require a
+# perfect ledger at the end — every request answered kOk, zero give-ups,
+# and the router metrics proving at least one job actually failed over
+# onto a replica (cluster.retried >= 1, cluster.marked_down >= 1).
+#
+#   scripts/cluster_harness.sh                 # uses build/
+#   BUILD_DIR=build-native scripts/cluster_harness.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+SERVER="$BUILD/examples/sim_server"
+ROUTER="$BUILD/examples/cluster_router"
+CLIENT="$BUILD/examples/sim_client"
+[[ -x "$SERVER" && -x "$ROUTER" && -x "$CLIENT" ]] || {
+  echo "cluster_harness: build $SERVER, $ROUTER and $CLIENT first" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/gpawfd_cluster.XXXXXX")"
+PIDS=()
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_port() {  # $1 = log file, $2 = process name -> echoes the port
+  local i port
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on port \([0-9]*\),.*/\1/p' "$1")"
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  echo "cluster_harness: no port from $2 in $1" >&2
+  cat "$1" >&2
+  exit 1
+}
+
+metric() {  # $1 = metrics file, $2 = counter name -> its value
+  sed -n "s/^$2: \([0-9-]*\)$/\1/p" "$1"
+}
+
+echo "== boot: 3 backends + router =="
+BACKEND_PIDS=()
+BACKEND_PORTS=()
+for i in 0 1 2; do
+  "$SERVER" --listen --port=0 --workers=2 >"$WORK/backend$i.log" 2>&1 &
+  BACKEND_PIDS+=($!)
+  PIDS+=($!)
+  disown $!  # no job-control obituary when the SIGKILL lands
+done
+for i in 0 1 2; do
+  BACKEND_PORTS+=("$(wait_port "$WORK/backend$i.log" "backend $i")")
+done
+
+METRICS="$WORK/router_metrics.txt"
+"$ROUTER" --port=0 \
+  --backends="$(IFS=,; echo "${BACKEND_PORTS[*]}")" \
+  --retries=4 --backoff-ms=2 --health-period-ms=50 --fail-threshold=2 \
+  --stable-ring \
+  --metrics-out="$METRICS" >"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+ROUTER_PORT="$(wait_port "$WORK/router.log" "router")"
+echo "backends on ${BACKEND_PORTS[*]}, router on $ROUTER_PORT"
+
+echo "== load: 4 clients x 2000 requests, SIGKILL backend 1 mid-flight =="
+CLIENTS=4
+REQUESTS=2000
+"$CLIENT" --port="$ROUTER_PORT" --clients="$CLIENTS" --jobs=8 \
+  --requests="$REQUESTS" --pipeline=8 --edge=32 --cores=64 \
+  >"$WORK/client.log" 2>&1 &
+CLIENT_PID=$!
+PIDS+=("$CLIENT_PID")
+
+# Kill while the load is provably in flight: shortly after the client
+# starts, not after fixed setup sleeps (the whole run takes under two
+# seconds on a fast box — a late kill tests nothing).
+sleep 0.25
+kill -9 "${BACKEND_PIDS[1]}"
+echo "backend 1 (port ${BACKEND_PORTS[1]}) SIGKILLed"
+
+CLIENT_RC=0
+wait "$CLIENT_PID" || CLIENT_RC=$?
+
+# Graceful router stop writes the metrics snapshot file.
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" 2>/dev/null || true
+
+EXPECTED=$((CLIENTS * REQUESTS))
+COMPLETED="$(grep -F "completed" "$WORK/client.log" | grep -o '[0-9]\+' \
+  | tail -1)"
+RETRIED="$(metric "$METRICS" "cluster.retried")"
+MARKED_DOWN="$(metric "$METRICS" "cluster.marked_down")"
+GAVE_UP="$(metric "$METRICS" "cluster.gave_up")"
+ROUTER_OK="$(metric "$METRICS" "cluster.ok")"
+FILLS="$(metric "$METRICS" "cluster.fills_sent")"
+
+echo "client completed:        ${COMPLETED:-?} / $EXPECTED"
+echo "router ok:               ${ROUTER_OK:-?}"
+echo "router retried:          ${RETRIED:-?}"
+echo "router marked_down:      ${MARKED_DOWN:-?}"
+echo "router gave_up:          ${GAVE_UP:-?}"
+echo "router fills_sent:       ${FILLS:-?}"
+
+FAIL=0
+[[ "$CLIENT_RC" == 0 ]] || {
+  echo "FAIL: sim_client exited $CLIENT_RC" >&2; FAIL=1; }
+[[ "${COMPLETED:-0}" == "$EXPECTED" ]] || {
+  echo "FAIL: lost jobs — completed ${COMPLETED:-0} of $EXPECTED" >&2
+  FAIL=1; }
+! grep -q "failed:" "$WORK/client.log" || {
+  echo "FAIL: client saw failed requests:" >&2
+  grep "failed:" "$WORK/client.log" >&2
+  FAIL=1; }
+[[ -n "$GAVE_UP" && "$GAVE_UP" == 0 ]] || {
+  echo "FAIL: router gave up on ${GAVE_UP:-?} jobs" >&2; FAIL=1; }
+[[ -n "$RETRIED" && "$RETRIED" -ge 1 ]] || {
+  echo "FAIL: no job retried onto a replica — the kill missed the load" >&2
+  FAIL=1; }
+[[ -n "$MARKED_DOWN" && "$MARKED_DOWN" -ge 1 ]] || {
+  echo "FAIL: the dead backend was never marked down" >&2; FAIL=1; }
+[[ -n "$FILLS" && "$FILLS" -ge 1 ]] || {
+  echo "FAIL: no peer cache-fill was pushed" >&2; FAIL=1; }
+if [[ "$FAIL" != 0 ]]; then
+  echo "---- router.log ----" >&2; cat "$WORK/router.log" >&2
+  echo "---- client.log ----" >&2; cat "$WORK/client.log" >&2
+  exit 1
+fi
+echo "OK: one of three backends died mid-load and every job still landed"

@@ -13,6 +13,12 @@
 #   scripts/tier1.sh --persist  # crash + restart round-trip over the
 #                               # persistent result store (SIGKILL the
 #                               # server, restart, require 0 re-runs)
+#   scripts/tier1.sh --cluster  # sharded-cluster failover: router + 3
+#                               # backends, SIGKILL one mid-load, require
+#                               # zero lost jobs and >= 1 failover retry
+#                               # (scripts/cluster_harness.sh), then the
+#                               # node-kill scenario SLO-gated through
+#                               # scenario_runner
 #   scripts/tier1.sh --native   # host-tuned build (-march=native) in
 #                               # build-native/: the SIMD kernels compile
 #                               # to AVX2/FMA and the same suite must pass
@@ -48,10 +54,11 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   # refcount false positive (see the comment in that file).
   cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
   cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \
-    svc_fault_test worker_pool_test mp_stress_test net_test cache_store_test
+    svc_fault_test worker_pool_test mp_stress_test net_test \
+    cache_store_test cluster_test
   TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus|CacheStore|Persister|SimServicePersist'
+    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus|CacheStore|Persister|SimServicePersist|HashRing|Router'
 elif [[ "${1:-}" == "--stress" ]]; then
   # Nightly soak lane: only the `stress`-labelled suites, run much longer
   # (GPAWFD_CHAOS_ROUNDS multiplies the chaos soak's fault schedules).
@@ -82,6 +89,17 @@ elif [[ "${1:-}" == "--scenario-smoke" ]]; then
     --report=SCENARIO_smoke.json
   ./build/examples/scenario_runner --scenario=scenarios/fault_storm.json \
     --report=SCENARIO_fault_storm.json
+elif [[ "${1:-}" == "--cluster" ]]; then
+  # Cluster failover lane: the kill-one-of-three shell harness over real
+  # processes, then the declarative node-kill scenario (in-process
+  # cluster stack, SLO assertions enforced; the JSON report is a CI
+  # artifact).
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" \
+    --target sim_server sim_client cluster_router scenario_runner
+  scripts/cluster_harness.sh
+  ./build/examples/scenario_runner --scenario=scenarios/node_kill.json \
+    --report=SCENARIO_node_kill.json
 elif [[ "${1:-}" == "--persist" ]]; then
   # Persistence round-trip: fill a store over TCP, SIGKILL the server,
   # restart it on the same directory, and require the replayed sweep to

@@ -1,0 +1,89 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace gpawfd::cluster {
+
+namespace {
+std::uint64_t point_hash(const std::string& node_id, int vnode) {
+  // Per-vnode placement: fold the vnode index into the node id's hash
+  // with the full mixer so consecutive vnodes land far apart (raw FNV of
+  // "id#0", "id#1"... would correlate low bits).
+  return hash_combine(fnv1a(node_id), static_cast<std::uint64_t>(vnode));
+}
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> node_ids, int vnodes)
+    : node_ids_(std::move(node_ids)), vnodes_(vnodes) {
+  GPAWFD_CHECK_MSG(!node_ids_.empty(), "hash ring needs at least one node");
+  GPAWFD_CHECK_MSG(vnodes_ >= 1, "hash ring needs at least one vnode");
+  points_.reserve(node_ids_.size() * static_cast<std::size_t>(vnodes_));
+  for (int n = 0; n < static_cast<int>(node_ids_.size()); ++n)
+    for (int v = 0; v < vnodes_; ++v)
+      points_.push_back({point_hash(node_ids_[n], v), n});
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+std::uint64_t HashRing::key_hash(std::string_view key) {
+  // mix64 on top of FNV-1a: the canonical strings share long prefixes
+  // ("v1|approach=..."), and the finalizer turns their small FNV deltas
+  // into full-width avalanche before the ring walk.
+  return mix64(fnv1a(key));
+}
+
+int HashRing::owner(std::string_view key) const {
+  const std::uint64_t h = key_hash(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, std::uint64_t value) {
+                               return p.hash < value;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap past 2^64
+  return it->node;
+}
+
+std::vector<int> HashRing::preference(std::string_view key,
+                                      std::size_t n) const {
+  n = std::min(n, node_ids_.size());
+  std::vector<int> order;
+  order.reserve(n);
+  if (n == 0) return order;
+  const std::uint64_t h = key_hash(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, std::uint64_t value) {
+                               return p.hash < value;
+                             });
+  std::vector<bool> seen(node_ids_.size(), false);
+  for (std::size_t walked = 0; walked < points_.size() && order.size() < n;
+       ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (!seen[static_cast<std::size_t>(it->node)]) {
+      seen[static_cast<std::size_t>(it->node)] = true;
+      order.push_back(it->node);
+    }
+    ++it;
+  }
+  return order;
+}
+
+std::vector<double> HashRing::ownership_fractions(
+    std::size_t sample_keys) const {
+  std::vector<std::int64_t> counts(node_ids_.size(), 0);
+  for (std::size_t k = 0; k < sample_keys; ++k)
+    ++counts[static_cast<std::size_t>(
+        owner("sample-key-" + std::to_string(k)))];
+  std::vector<double> fractions(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    fractions[i] = sample_keys > 0
+                       ? static_cast<double>(counts[i]) /
+                             static_cast<double>(sample_keys)
+                       : 0.0;
+  return fractions;
+}
+
+}  // namespace gpawfd::cluster

@@ -1,0 +1,65 @@
+// Consistent-hash ring over backend nodes — the cluster layer's answer
+// to the paper's domain decomposition: instead of partitioning the grid
+// across Blue Gene racks, partition the JobKey space across sim_server
+// backends. Each node is hashed onto a 64-bit circle at `vnodes` points
+// (virtual nodes smooth the arc lengths, bounding max/mean load), a key
+// is owned by the first node point clockwise from its hash, and the
+// walk order past the owner defines the replica preference list. The
+// construction gives remapping minimality for free: removing a node
+// reassigns only the keys that node owned (its arcs fall to their
+// clockwise successors); every other key keeps its owner.
+//
+// The ring is immutable after construction. Liveness is deliberately
+// NOT a ring property: the router skips down nodes while *walking* the
+// preference list, so a node flapping up and down never reshuffles
+// ownership — exactly the stability consistent hashing is for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpawfd::cluster {
+
+class HashRing {
+ public:
+  /// `node_ids` are stable identity strings (the router uses
+  /// "host:port"); the vector index is the node index everything else
+  /// speaks. `vnodes` points are placed per node. Deterministic: the
+  /// same ids in the same order give the same ring in every process.
+  explicit HashRing(std::vector<std::string> node_ids, int vnodes = 64);
+
+  /// The node owning `key`: first ring point clockwise from hash(key).
+  int owner(std::string_view key) const;
+
+  /// Up to `n` distinct nodes in clockwise walk order from hash(key) —
+  /// preference[0] is the owner, preference[1] the first replica, and
+  /// so on. n beyond the node count returns every node once.
+  std::vector<int> preference(std::string_view key, std::size_t n) const;
+
+  /// The position-independent key hash the ring walks from (exposed so
+  /// tests and the fill dedup set agree on it).
+  static std::uint64_t key_hash(std::string_view key);
+
+  std::size_t nodes() const { return node_ids_.size(); }
+  int vnodes() const { return vnodes_; }
+  std::size_t points() const { return points_.size(); }
+  const std::string& node_id(int index) const { return node_ids_[index]; }
+
+  /// Ownership share per node over `sample_keys` synthetic keys — the
+  /// balance diagnostic the distribution tests bound (max/mean).
+  std::vector<double> ownership_fractions(std::size_t sample_keys) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int node;
+  };
+
+  std::vector<std::string> node_ids_;
+  int vnodes_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace gpawfd::cluster

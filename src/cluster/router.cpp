@@ -1,0 +1,527 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/stats.hpp"
+
+namespace gpawfd::cluster {
+
+namespace {
+
+std::vector<std::uint8_t> message_bytes(const std::string& what) {
+  return std::vector<std::uint8_t>(what.begin(), what.end());
+}
+
+std::vector<std::string> backend_ids(
+    const std::vector<BackendAddress>& backends) {
+  std::vector<std::string> ids;
+  ids.reserve(backends.size());
+  for (const BackendAddress& addr : backends) ids.push_back(addr.id());
+  return ids;
+}
+
+RouterConfig normalized(RouterConfig config) {
+  GPAWFD_CHECK_MSG(!config.backends.empty(),
+                   "router needs at least one backend");
+  const int n = static_cast<int>(config.backends.size());
+  config.replicas = std::clamp(config.replicas, 1, n);
+  if (config.vnodes < 1) config.vnodes = 1;
+  if (config.forwarders < 1) config.forwarders = 1;
+  if (config.connections_per_backend < 1) config.connections_per_backend = 1;
+  if (config.retry.max_attempts < 1) config.retry.max_attempts = 1;
+  if (config.health_fail_threshold < 1) config.health_fail_threshold = 1;
+  if (config.queue_capacity < 1) config.queue_capacity = 1;
+  if (config.fill_dedup_capacity < 1) config.fill_dedup_capacity = 1;
+  return config;
+}
+
+}  // namespace
+
+// ---- metrics -----------------------------------------------------------
+
+RouterMetrics::RouterMetrics(std::size_t backends, std::int64_t ring_nodes,
+                             std::int64_t ring_vnodes)
+    : ring_nodes_(ring_nodes), ring_vnodes_(ring_vnodes) {
+  per_backend_.reserve(backends);
+  for (std::size_t i = 0; i < backends; ++i)
+    per_backend_.push_back(std::make_unique<PerBackend>());
+}
+
+std::map<std::string, std::int64_t> RouterMetrics::counter_map() const {
+  auto get = [](const std::atomic<std::int64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  std::map<std::string, std::int64_t> out;
+  out["cluster.jobs"] = get(jobs);
+  out["cluster.ok"] = get(ok);
+  out["cluster.failed"] = get(failed);
+  out["cluster.gave_up"] = get(gave_up);
+  out["cluster.rejected_overload"] = get(rejected_overload);
+  out["cluster.rejected_shutdown"] = get(rejected_shutdown);
+  out["cluster.attempts"] = get(attempts);
+  out["cluster.retried"] = get(retried);
+  out["cluster.hedged"] = get(hedged);
+  out["cluster.fills_sent"] = get(fills_sent);
+  out["cluster.fills_suppressed"] = get(fills_suppressed);
+  out["cluster.fills_failed"] = get(fills_failed);
+  out["cluster.fills_forwarded"] = get(fills_forwarded);
+  out["cluster.probes"] = get(probes);
+  out["cluster.probe_failures"] = get(probe_failures);
+  out["cluster.marked_down"] = get(marked_down);
+  out["cluster.recovered"] = get(recovered);
+  out["cluster.ring.nodes"] = ring_nodes_;
+  out["cluster.ring.vnodes"] = ring_vnodes_;
+  for (std::size_t i = 0; i < per_backend_.size(); ++i) {
+    const PerBackend& b = *per_backend_[i];
+    const std::string prefix = "cluster.b" + std::to_string(i) + ".";
+    out[prefix + "routed"] = get(b.routed);
+    out[prefix + "ok"] = get(b.ok);
+    out[prefix + "failed"] = get(b.failed);
+    out[prefix + "retried"] = get(b.retried);
+    out[prefix + "hedged"] = get(b.hedged);
+    out[prefix + "fills"] = get(b.fills);
+  }
+  return out;
+}
+
+std::string RouterMetrics::snapshot() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : counter_map())
+    os << key << ": " << value << "\n";
+  return os.str();
+}
+
+// ---- lifecycle ---------------------------------------------------------
+
+Router::Router(RouterConfig config)
+    : config_(normalized(std::move(config))),
+      ring_(backend_ids(config_.backends), config_.vnodes),
+      metrics_(config_.backends.size(),
+               static_cast<std::int64_t>(config_.backends.size()),
+               config_.vnodes) {
+  for (const BackendAddress& addr : config_.backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->addr = addr;
+    net::ClientConfig cc;
+    cc.host = addr.host;
+    cc.port = addr.port;
+    cc.max_frame_bytes = config_.max_frame_bytes;
+    // Failover — not TCP-level redial — is the router's retry story, and
+    // the holddown keeps a forwarder herd off a dead backend: one SYN
+    // per window, everyone else fails fast onto the next replica.
+    cc.max_reconnect_attempts = 0;
+    cc.reconnect_holddown_seconds =
+        std::max(0.01, config_.health_period_seconds * 0.5);
+    for (int c = 0; c < config_.connections_per_backend; ++c)
+      backend->pool.push_back(std::make_unique<net::Client>(cc));
+    net::ClientConfig pc = cc;
+    pc.reconnect_holddown_seconds = 0;  // probes pace their own dials
+    backend->prober = std::make_unique<net::Client>(pc);
+    backends_.push_back(std::move(backend));
+  }
+  forwarders_.reserve(static_cast<std::size_t>(config_.forwarders));
+  for (int f = 0; f < config_.forwarders; ++f)
+    forwarders_.emplace_back([this] { forwarder_loop(); });
+  if (config_.health_period_seconds > 0)
+    health_ = std::thread([this] { health_loop(); });
+}
+
+Router::~Router() { shutdown(); }
+
+void Router::shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    running_.store(false, std::memory_order_release);
+    {
+      std::lock_guard lock(queue_mu_);
+      closed_ = true;
+    }
+    queue_cv_.notify_all();
+    health_cv_.notify_all();
+    if (health_.joinable()) health_.join();
+    // Forwarders drain what is already queued (tasks fail fast onto dead
+    // backends thanks to the holddown, and backoff parks are skipped
+    // once closed_), so an accepted job is never silently dropped.
+    for (std::thread& t : forwarders_) t.join();
+    for (auto& backend : backends_) {
+      for (auto& client : backend->pool) client->close();
+      backend->prober->close();
+    }
+  });
+}
+
+int Router::alive_backends() const {
+  int n = 0;
+  for (const auto& backend : backends_)
+    if (backend->alive.load(std::memory_order_relaxed)) ++n;
+  return n;
+}
+
+// ---- request intake (poll-loop thread) ---------------------------------
+
+void Router::handle_submit(std::string canonical, svc::Priority priority,
+                           Done done) {
+  metrics_.jobs.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock lock(queue_mu_);
+    if (closed_) {
+      lock.unlock();
+      metrics_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      done(net::WireStatus::kRejectedShutdown,
+           message_bytes("router shutting down"));
+      return;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      lock.unlock();
+      metrics_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      done(net::WireStatus::kOverloaded,
+           message_bytes("router forward queue full"));
+      return;
+    }
+    Task task;
+    task.is_fill = false;
+    task.canonical = std::move(canonical);
+    task.priority = priority;
+    task.done = std::move(done);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void Router::handle_fill(net::FillRecord record, Done done) {
+  {
+    std::unique_lock lock(queue_mu_);
+    if (closed_) {
+      lock.unlock();
+      done(net::WireStatus::kRejectedShutdown,
+           message_bytes("router shutting down"));
+      return;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      lock.unlock();
+      done(net::WireStatus::kOverloaded,
+           message_bytes("router forward queue full"));
+      return;
+    }
+    Task task;
+    task.is_fill = true;
+    task.fill = std::move(record);
+    task.done = std::move(done);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+// ---- forwarding (forwarder threads) ------------------------------------
+
+void Router::forwarder_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task.is_fill)
+      forward_fill(std::move(task));
+    else
+      forward_submit(std::move(task));
+  }
+}
+
+net::Client& Router::client_for(Backend& backend) {
+  const std::uint64_t turn =
+      backend.next_client.fetch_add(1, std::memory_order_relaxed);
+  return *backend.pool[turn % backend.pool.size()];
+}
+
+int Router::pick_alive(const std::vector<int>& prefs,
+                       std::size_t cursor) const {
+  for (std::size_t i = 0; i < prefs.size(); ++i) {
+    const std::size_t pos = (cursor + i) % prefs.size();
+    if (backends_[static_cast<std::size_t>(prefs[pos])]->alive.load(
+            std::memory_order_relaxed))
+      return static_cast<int>(pos);
+  }
+  return -1;
+}
+
+bool Router::retryable(net::WireStatus status) {
+  switch (status) {
+    // The job never completed anywhere and another node can serve it —
+    // safe because a submit is idempotent (the request IS the JobKey;
+    // a resend joins or refills, never recomputes a different answer).
+    case net::WireStatus::kConnectionLost:
+    case net::WireStatus::kRejectedShutdown:
+    case net::WireStatus::kRejectedQueueFull:
+    case net::WireStatus::kOverloaded:
+    case net::WireStatus::kCancelled:
+    case net::WireStatus::kInternal:
+      return true;
+    // Deterministic outcomes: identical on every node. Forward verbatim.
+    case net::WireStatus::kOk:
+    case net::WireStatus::kExecutorFailed:
+    case net::WireStatus::kTimedOut:
+    case net::WireStatus::kGaveUp:
+    case net::WireStatus::kBadRequest:
+    case net::WireStatus::kFrameTooLarge:
+      return false;
+  }
+  return false;
+}
+
+void Router::forward_submit(Task task) {
+  const std::vector<int> prefs = ring_.preference(
+      task.canonical, static_cast<std::size_t>(config_.replicas));
+  const svc::RetryPolicy& rp = config_.retry;
+  std::string last_error = "no backend reachable";
+  std::size_t cursor = 0;
+  for (int attempt = 0; attempt < rp.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Backoff parked on the queue lifecycle: shutdown skips the wait.
+      const double pause = rp.backoff_after(attempt - 1);
+      if (pause > 0) {
+        std::unique_lock lock(queue_mu_);
+        queue_cv_.wait_for(lock,
+                           std::chrono::duration<double>(pause),
+                           [&] { return closed_; });
+      }
+    }
+    // Next alive node on the preference list; when every replica is
+    // down, try the preferred node anyway — it may have just come back
+    // (the probe period lags) and a failed dial is cheap under holddown.
+    const int pos = pick_alive(prefs, cursor);
+    const int target =
+        prefs[pos >= 0 ? static_cast<std::size_t>(pos)
+                       : cursor % prefs.size()];
+    cursor = (pos >= 0 ? static_cast<std::size_t>(pos) : cursor) + 1;
+
+    metrics_.attempts.fetch_add(1, std::memory_order_relaxed);
+    RouterMetrics::PerBackend& pb = metrics_.backend(target);
+    pb.routed.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0) {
+      metrics_.retried.fetch_add(1, std::memory_order_relaxed);
+      pb.retried.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const double t0 = trace::now_seconds();
+    int served = target;
+    try {
+      std::future<core::SimResult> fut =
+          client_for(*backends_[static_cast<std::size_t>(target)])
+              .submit_canonical_async(task.canonical, task.priority);
+      core::SimResult result = config_.hedge_after_seconds > 0
+                                   ? await_hedged(fut, task, prefs, cursor,
+                                                  target, &served)
+                                   : fut.get();
+      const double elapsed = trace::now_seconds() - t0;
+      note_success(served);
+      metrics_.ok.fetch_add(1, std::memory_order_relaxed);
+      metrics_.backend(served).ok.fetch_add(1, std::memory_order_relaxed);
+      if (config_.replicate)
+        replicate_result(served, task.canonical, result, elapsed);
+      task.done(net::WireStatus::kOk, net::encode_sim_result(result));
+      return;
+    } catch (const net::RpcError& e) {
+      pb.failed.fetch_add(1, std::memory_order_relaxed);
+      if (e.status() == net::WireStatus::kConnectionLost ||
+          e.status() == net::WireStatus::kRejectedShutdown)
+        note_failure(target);
+      if (!retryable(e.status())) {
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+        task.done(e.status(), message_bytes(e.what()));
+        return;
+      }
+      last_error = e.what();
+    } catch (const std::exception& e) {
+      pb.failed.fetch_add(1, std::memory_order_relaxed);
+      last_error = e.what();
+    }
+  }
+  metrics_.gave_up.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream what;
+  what << "cluster: gave up after " << rp.max_attempts
+       << " forward attempts; last: " << last_error;
+  task.done(net::WireStatus::kGaveUp, message_bytes(what.str()));
+}
+
+core::SimResult Router::await_hedged(std::future<core::SimResult>& primary,
+                                     const Task& task,
+                                     const std::vector<int>& prefs,
+                                     std::size_t cursor, int target,
+                                     int* served) {
+  const auto budget =
+      std::chrono::duration<double>(config_.hedge_after_seconds);
+  if (primary.wait_for(budget) == std::future_status::ready) {
+    *served = target;
+    return primary.get();
+  }
+  // The primary is slow: launch a backup on the next alive replica and
+  // let the first reply win. The loser's future is abandoned safely —
+  // its pending slot retires when the late reply (or the connection
+  // drop) lands.
+  const int hpos = pick_alive(prefs, cursor);
+  const int hedge_target =
+      hpos >= 0 ? prefs[static_cast<std::size_t>(hpos)] : -1;
+  if (hedge_target < 0 || hedge_target == target) {
+    *served = target;
+    return primary.get();
+  }
+  metrics_.hedged.fetch_add(1, std::memory_order_relaxed);
+  RouterMetrics::PerBackend& hb = metrics_.backend(hedge_target);
+  hb.hedged.fetch_add(1, std::memory_order_relaxed);
+  hb.routed.fetch_add(1, std::memory_order_relaxed);
+  std::future<core::SimResult> backup;
+  try {
+    backup = client_for(*backends_[static_cast<std::size_t>(hedge_target)])
+                 .submit_canonical_async(task.canonical, task.priority);
+  } catch (const net::RpcError&) {
+    hb.failed.fetch_add(1, std::memory_order_relaxed);
+    *served = target;
+    return primary.get();  // hedge could not even launch
+  }
+  const auto tick = std::chrono::milliseconds(1);
+  for (;;) {
+    if (primary.wait_for(tick) == std::future_status::ready) {
+      try {
+        *served = target;
+        return primary.get();
+      } catch (...) {
+        *served = hedge_target;
+        return backup.get();  // primary lost the race by failing
+      }
+    }
+    if (backup.wait_for(tick) == std::future_status::ready) {
+      try {
+        *served = hedge_target;
+        return backup.get();
+      } catch (...) {
+        hb.failed.fetch_add(1, std::memory_order_relaxed);
+        *served = target;
+        return primary.get();  // backup failed; fall back to the primary
+      }
+    }
+  }
+}
+
+void Router::forward_fill(Task task) {
+  const std::vector<int> prefs = ring_.preference(
+      task.fill.key, static_cast<std::size_t>(config_.replicas));
+  const int pos = pick_alive(prefs, 0);
+  const int target = prefs[pos >= 0 ? static_cast<std::size_t>(pos) : 0];
+  try {
+    client_for(*backends_[static_cast<std::size_t>(target)])
+        .fill_async(task.fill)
+        .get();
+    metrics_.fills_forwarded.fetch_add(1, std::memory_order_relaxed);
+    metrics_.backend(target).fills.fetch_add(1, std::memory_order_relaxed);
+    task.done(net::WireStatus::kOk, {});
+  } catch (const net::RpcError& e) {
+    metrics_.fills_failed.fetch_add(1, std::memory_order_relaxed);
+    if (e.status() == net::WireStatus::kConnectionLost) note_failure(target);
+    task.done(e.status(), message_bytes(e.what()));
+  }
+}
+
+bool Router::fill_is_fresh(const std::string& canonical) {
+  const std::uint64_t h = HashRing::key_hash(canonical);
+  std::lock_guard lock(fill_mu_);
+  // A full set resets wholesale: crude, but bounded — the cost of a
+  // false "fresh" is one redundant push the peer dedups anyway
+  // (insert_warm refuses same-or-older entries).
+  if (filled_keys_.size() >= config_.fill_dedup_capacity)
+    filled_keys_.clear();
+  return filled_keys_.insert(h).second;
+}
+
+void Router::replicate_result(int served_by, const std::string& canonical,
+                              const core::SimResult& result,
+                              double cost_seconds) {
+  // The next distinct alive node on the key's preference order. When the
+  // owner served, this is replica #1; when a failover replica served,
+  // it is the next one over — either way the hot result now lives on
+  // two nodes.
+  int peer = -1;
+  for (const int node : ring_.preference(
+           canonical, static_cast<std::size_t>(config_.replicas))) {
+    if (node == served_by) continue;
+    if (!backends_[static_cast<std::size_t>(node)]->alive.load(
+            std::memory_order_relaxed))
+      continue;
+    peer = node;
+    break;
+  }
+  if (peer < 0) return;  // nobody alive to replicate to
+  if (!fill_is_fresh(canonical)) {
+    metrics_.fills_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  net::FillRecord record;
+  record.key = canonical;
+  record.result = result;
+  // The router never saw the backend's measured executor cost; the
+  // forward round-trip is the closest observable proxy and only weights
+  // eviction on the peer.
+  record.cost_seconds = cost_seconds;
+  record.write_time = trace::unix_seconds();
+  try {
+    // Fire and forget: the ack retires the pending slot whenever it
+    // lands; replication is best-effort by design.
+    (void)client_for(*backends_[static_cast<std::size_t>(peer)])
+        .fill_async(record);
+    metrics_.fills_sent.fetch_add(1, std::memory_order_relaxed);
+    metrics_.backend(peer).fills.fetch_add(1, std::memory_order_relaxed);
+  } catch (const net::RpcError&) {
+    metrics_.fills_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---- health ------------------------------------------------------------
+
+void Router::note_success(int index) {
+  Backend& b = *backends_[static_cast<std::size_t>(index)];
+  b.consecutive_failures.store(0, std::memory_order_relaxed);
+  if (!b.alive.exchange(true, std::memory_order_relaxed))
+    metrics_.recovered.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Router::note_failure(int index) {
+  Backend& b = *backends_[static_cast<std::size_t>(index)];
+  const int failures =
+      b.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= config_.health_fail_threshold &&
+      b.alive.exchange(false, std::memory_order_relaxed))
+    metrics_.marked_down.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Router::probe_all() {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (!running_.load(std::memory_order_acquire)) return;
+    metrics_.probes.fetch_add(1, std::memory_order_relaxed);
+    if (backends_[i]->prober->try_ping()) {
+      note_success(static_cast<int>(i));
+    } else {
+      metrics_.probe_failures.fetch_add(1, std::memory_order_relaxed);
+      note_failure(static_cast<int>(i));
+    }
+  }
+}
+
+void Router::health_loop() {
+  const auto period =
+      std::chrono::duration<double>(config_.health_period_seconds);
+  while (running_.load(std::memory_order_acquire)) {
+    probe_all();
+    std::unique_lock lock(health_mu_);
+    health_cv_.wait_for(lock, period, [&] {
+      return !running_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+}  // namespace gpawfd::cluster

@@ -1,0 +1,259 @@
+// cluster::Router: the sharded-cluster front door. It implements
+// net::RequestHandler, so a plain net::Server in front of it speaks the
+// exact wire protocol sim_client already speaks — clients cannot tell a
+// router from a single backend. Inside, every submit is consistent-
+// hashed (HashRing over the JobKey canonical string) onto a backend
+// preference list and forwarded over pooled pipelined net::Clients by a
+// small pool of forwarder threads.
+//
+// Failure handling (the paper's "lose a rack, keep the run" analogue):
+//   - Retryable wire failures (connection lost, backend shutting down,
+//     queue full, overloaded, cancelled, internal) advance to the next
+//     alive node on the preference list under the svc::RetryPolicy
+//     backoff schedule — a SIGKILLed backend's in-flight jobs land on
+//     its replica, so a node kill mid-run loses zero jobs. Safe because
+//     submits are idempotent: the request *is* the JobKey.
+//   - Deterministic job failures (executor failed, timed out, gave up,
+//     bad request, frame too large) are forwarded to the client
+//     verbatim — they would fail identically on every node.
+//   - A health thread pings every backend each period; after
+//     `health_fail_threshold` consecutive failures the node is marked
+//     down and skipped by the preference walk (forward failures feed
+//     the same counter, so a dead primary is shunned before the prober
+//     notices). Any later successful probe or forward marks it up — the
+//     ring itself never changes, so recovery reshuffles nothing.
+//
+// Replication (peer cache-fill): after a successful forward the result
+// is pushed as a kFill frame to the next distinct alive node on the
+// key's preference list, which ingests it via SimService::ingest_fill
+// (ResultCache::insert_warm semantics + durable write-behind). When the
+// owner dies, the replica serves the hot set from its cache instead of
+// re-simulating. A bounded dedup set keeps a hot key from being
+// re-pushed on every hit.
+//
+// Optional hedging: with hedge_after_seconds > 0, a primary that has
+// not replied within the budget gets a backup request on the next alive
+// replica and the first reply wins (tail-latency insurance, counted in
+// metrics, off by default).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "svc/service.hpp"
+
+namespace gpawfd::cluster {
+
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Stable ring identity override. Leave empty to use "host:port" (the
+  /// deployment default). Harnesses that bind ephemeral ports set this
+  /// ("node-0", "node-1", ...) so key ownership is identical across
+  /// runs — which backend a scenario kills then provably owns the same
+  /// keys every time.
+  std::string ring_id;
+  std::string id() const {
+    return ring_id.empty() ? host + ":" + std::to_string(port) : ring_id;
+  }
+};
+
+struct RouterConfig {
+  std::vector<BackendAddress> backends;
+  /// Ring points per backend (see HashRing).
+  int vnodes = 64;
+  /// Distinct nodes a job may be tried on (primary + failover targets),
+  /// and the span replication considers. Clamped to the backend count.
+  int replicas = 2;
+  /// Attempt budget + backoff across failover retries. max_attempts
+  /// counts total forwards per job (like SimService attempts).
+  svc::RetryPolicy retry;
+  /// Forwarder threads draining the submit queue. Each blocks on one
+  /// in-flight forward at a time (pipelining across jobs comes from the
+  /// thread pool, not per-thread pipelining).
+  int forwarders = 4;
+  /// Bounded task queue between the poll loop and the forwarders;
+  /// overflow is answered kOverloaded without queuing.
+  std::size_t queue_capacity = 1024;
+  /// Pooled connections per backend, round-robined by the forwarders.
+  int connections_per_backend = 2;
+  /// Probe period of the health thread (<= 0 disables probing; forward
+  /// failures still mark nodes down).
+  double health_period_seconds = 0.2;
+  /// Consecutive failures (probes and forwards) before a node is down.
+  int health_fail_threshold = 3;
+  /// Backup-request budget: > 0 hedges a slow primary onto the next
+  /// alive replica after this many seconds. 0 disables hedging.
+  double hedge_after_seconds = 0;
+  /// Push results to the next replica (peer cache-fill).
+  bool replicate = true;
+  /// Keys remembered by the fill dedup set before it resets.
+  std::size_t fill_dedup_capacity = 4096;
+  std::size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+};
+
+/// Router-wide counters in the svc::Metrics style: relaxed atomics, a
+/// reconciling counter_map(), a text snapshot(). At quiescence
+///   jobs == ok + failed + gave_up + rejected_overload + rejected_shutdown
+/// and attempts == ok + failed + gave_up-terminal attempts; per-backend
+/// rows carry where traffic actually landed (the rebalance view).
+class RouterMetrics {
+ public:
+  struct PerBackend {
+    std::atomic<std::int64_t> routed{0};   // forward attempts sent here
+    std::atomic<std::int64_t> ok{0};       // ... that returned a result
+    std::atomic<std::int64_t> failed{0};   // ... that failed (any cause)
+    std::atomic<std::int64_t> retried{0};  // retries that landed here
+    std::atomic<std::int64_t> hedged{0};   // hedge backups sent here
+    std::atomic<std::int64_t> fills{0};    // cache-fill pushes sent here
+  };
+
+  RouterMetrics(std::size_t backends, std::int64_t ring_nodes,
+                std::int64_t ring_vnodes);
+
+  // ---- job outcomes (one per handle_submit) ---------------------------
+  std::atomic<std::int64_t> jobs{0};
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> failed{0};   // terminal backend error forwarded
+  std::atomic<std::int64_t> gave_up{0};  // retry budget exhausted here
+  std::atomic<std::int64_t> rejected_overload{0};  // router queue full
+  std::atomic<std::int64_t> rejected_shutdown{0};
+  // ---- attempt-level --------------------------------------------------
+  std::atomic<std::int64_t> attempts{0};
+  std::atomic<std::int64_t> retried{0};  // attempts after the first
+  std::atomic<std::int64_t> hedged{0};   // backup requests launched
+  // ---- replication ----------------------------------------------------
+  std::atomic<std::int64_t> fills_sent{0};
+  std::atomic<std::int64_t> fills_suppressed{0};  // dedup hit
+  std::atomic<std::int64_t> fills_failed{0};      // push could not be sent
+  std::atomic<std::int64_t> fills_forwarded{0};   // client fills relayed
+  // ---- health ---------------------------------------------------------
+  std::atomic<std::int64_t> probes{0};
+  std::atomic<std::int64_t> probe_failures{0};
+  std::atomic<std::int64_t> marked_down{0};
+  std::atomic<std::int64_t> recovered{0};
+
+  PerBackend& backend(int index) { return *per_backend_[index]; }
+  const PerBackend& backend(int index) const { return *per_backend_[index]; }
+  std::size_t backends() const { return per_backend_.size(); }
+
+  /// Every counter by snapshot name ("cluster." prefix; per-backend rows
+  /// as "cluster.b<i>.<name>"), plus the static ring shape.
+  std::map<std::string, std::int64_t> counter_map() const;
+  std::string snapshot() const;
+
+ private:
+  std::int64_t ring_nodes_;
+  std::int64_t ring_vnodes_;
+  std::vector<std::unique_ptr<PerBackend>> per_backend_;
+};
+
+class Router : public net::RequestHandler {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();  // shutdown()
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void handle_submit(std::string canonical, svc::Priority priority,
+                     Done done) override;
+  /// A client-pushed fill is relayed to the key's owner (first alive
+  /// node on its preference list) — the router is fill-transparent, so
+  /// sim_client --cache-dir harvesting works through it unchanged.
+  void handle_fill(net::FillRecord record, Done done) override;
+
+  /// Stop accepting, fail queued jobs kRejectedShutdown, join the
+  /// forwarder + health threads, close every connection. Idempotent.
+  void shutdown();
+
+  const HashRing& ring() const { return ring_; }
+  bool backend_alive(int index) const {
+    return backends_[static_cast<std::size_t>(index)]->alive.load(
+        std::memory_order_relaxed);
+  }
+  int alive_backends() const;
+  /// Run one synchronous probe sweep over all backends (tests and the
+  /// binary's startup use this to settle liveness deterministically).
+  void probe_all();
+
+  const RouterMetrics& metrics() const { return metrics_; }
+  std::string metrics_snapshot() const { return metrics_.snapshot(); }
+
+ private:
+  struct Task {
+    bool is_fill = false;
+    std::string canonical;  // submit payload
+    svc::Priority priority = svc::Priority::kNormal;
+    net::FillRecord fill;  // fill payload
+    Done done;
+  };
+
+  struct Backend {
+    BackendAddress addr;
+    std::vector<std::unique_ptr<net::Client>> pool;
+    std::atomic<std::uint64_t> next_client{0};
+    std::unique_ptr<net::Client> prober;
+    std::atomic<bool> alive{true};
+    std::atomic<int> consecutive_failures{0};
+  };
+
+  void forwarder_loop();
+  void health_loop();
+  void forward_submit(Task task);
+  void forward_fill(Task task);
+  /// Wait on `primary` with the hedge budget; on timeout launch a backup
+  /// on the next alive replica and return the first reply, recording the
+  /// node that actually served in *served.
+  core::SimResult await_hedged(std::future<core::SimResult>& primary,
+                               const Task& task,
+                               const std::vector<int>& prefs,
+                               std::size_t cursor, int target, int* served);
+  /// The pooled client the next forward on `backend` should use.
+  net::Client& client_for(Backend& backend);
+  /// First alive node on `prefs` at or after `cursor` (wrapping, one
+  /// lap); -1 when every preferred node is down.
+  int pick_alive(const std::vector<int>& prefs, std::size_t cursor) const;
+  void note_success(int index);
+  void note_failure(int index);
+  /// True when this key has not been pushed recently (and records it).
+  bool fill_is_fresh(const std::string& canonical);
+  void replicate_result(int served_by, const std::string& canonical,
+                        const core::SimResult& result, double cost_seconds);
+  static bool retryable(net::WireStatus status);
+
+  RouterConfig config_;
+  HashRing ring_;
+  RouterMetrics metrics_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool closed_ = false;
+
+  std::mutex fill_mu_;
+  std::unordered_set<std::uint64_t> filled_keys_;
+
+  std::mutex health_mu_;  // pairs with health_cv_ for the period sleep
+  std::condition_variable health_cv_;
+
+  std::vector<std::thread> forwarders_;
+  std::thread health_;
+  std::atomic<bool> running_{true};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace gpawfd::cluster

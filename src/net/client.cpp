@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "svc/job_key.hpp"
+#include "trace/stats.hpp"
 
 namespace gpawfd::net {
 
@@ -35,12 +36,35 @@ std::future<core::SimResult> Client::submit_async(const core::SimJobSpec& spec,
   });
 }
 
+std::future<core::SimResult> Client::submit_canonical_async(
+    const std::string& canonical, svc::Priority priority) {
+  return start_request([&](std::uint64_t id) {
+    return make_submit_frame(id, canonical, priority);
+  });
+}
+
+std::future<core::SimResult> Client::fill_async(const FillRecord& record) {
+  return start_request(
+      [&](std::uint64_t id) { return make_fill_frame(id, record); });
+}
+
 void Client::ping() {
   with_retries([&] {
     return start_request([&](std::uint64_t id) {
       return make_control_frame(FrameType::kPing, id);
     });
   });
+}
+
+bool Client::try_ping() noexcept {
+  try {
+    start_request([&](std::uint64_t id) {
+      return make_control_frame(FrameType::kPing, id);
+    }).get();
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 core::SimResult Client::with_retries(
@@ -126,13 +150,26 @@ void Client::ensure_connected() {
   // join it before the socket it reads from is replaced.
   if (reader_.joinable()) reader_.join();
 
+  // Holddown: while the last dial's failure is fresh, fail fast without
+  // touching the network. Serialized under connect_mu_, so exactly one
+  // caller per window pays the SYN; everyone else gets the cached
+  // verdict (and the first caller past the window re-dials lazily).
+  if (config_.reconnect_holddown_seconds > 0 && last_dial_failure_ > 0 &&
+      trace::now_seconds() - last_dial_failure_ <
+          config_.reconnect_holddown_seconds)
+    throw RpcError("connect suppressed: holddown after failed dial",
+                   WireStatus::kConnectionLost);
+
   Socket sock;
+  connect_attempts_.fetch_add(1, std::memory_order_relaxed);
   try {
     sock = Socket::connect_to(config_.host, config_.port);
   } catch (const Error& e) {
+    last_dial_failure_ = trace::now_seconds();
     throw RpcError(std::string("connect failed: ") + e.what(),
                    WireStatus::kConnectionLost);
   }
+  last_dial_failure_ = 0;
   sock.set_nodelay(true);
   int fd;
   {

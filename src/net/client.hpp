@@ -38,6 +38,13 @@ struct ClientConfig {
   /// submit_async loop cannot run the server into its per-connection
   /// in-flight ceiling (which replies kOverloaded). 0 = unbounded.
   std::size_t pipeline_window = 0;
+  /// After a failed dial, further requests within this window fail
+  /// kConnectionLost immediately instead of re-dialing — so N threads
+  /// hammering a down backend produce one TCP SYN per window, not a
+  /// reconnect storm, and a backend marked down then recovered is
+  /// re-dialed lazily by the first request past the holddown. 0 (the
+  /// default) dials on every request, the original behaviour.
+  double reconnect_holddown_seconds = 0;
 };
 
 class Client {
@@ -62,9 +69,26 @@ class Client {
       const core::SimJobSpec& spec,
       svc::Priority priority = svc::Priority::kNormal);
 
+  /// submit_async for a caller that already holds the canonical JobKey
+  /// string (the router's forward path: no spec parse, no re-encode —
+  /// the payload travels through opaque).
+  std::future<core::SimResult> submit_canonical_async(
+      const std::string& canonical,
+      svc::Priority priority = svc::Priority::kNormal);
+
+  /// Push one cache entry to the peer (kFill). The future resolves on
+  /// the peer's ack (an empty SimResult) and may be dropped by callers
+  /// that fire and forget — an unobserved ack just retires the pending
+  /// slot when it lands.
+  std::future<core::SimResult> fill_async(const FillRecord& record);
+
   /// Liveness round-trip (kPing/kPong), with the same reconnect policy
   /// as submit().
   void ping();
+
+  /// Single-attempt ping that reports instead of throwing — the health
+  /// checker's probe (no retries, no backoff sleep on the caller).
+  bool try_ping() noexcept;
 
   /// Shut the connection down and join the reader. Outstanding futures
   /// fail with kConnectionLost. Idempotent; the next request reconnects.
@@ -76,6 +100,11 @@ class Client {
   }
   std::int64_t requests_sent() const {
     return requests_sent_.load(std::memory_order_relaxed);
+  }
+  /// TCP dials actually attempted (successful or not) — what the
+  /// reconnect-storm test bounds under a holddown.
+  std::int64_t connect_attempts() const {
+    return connect_attempts_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -112,8 +141,12 @@ class Client {
   std::map<std::uint64_t, std::shared_ptr<Pending>> pending_;
   std::uint64_t next_id_ = 1;
   std::thread reader_;
+  /// Monotonic time of the last failed dial; only touched under
+  /// connect_mu_. 0 = no failure on record (holddown inactive).
+  double last_dial_failure_ = 0;
   std::atomic<std::int64_t> reconnects_{0};
   std::atomic<std::int64_t> requests_sent_{0};
+  std::atomic<std::int64_t> connect_attempts_{0};
 };
 
 }  // namespace gpawfd::net

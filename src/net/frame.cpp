@@ -70,6 +70,39 @@ std::vector<std::uint8_t> make_control_frame(FrameType type,
   return encode_frame(h, nullptr, 0);
 }
 
+std::vector<std::uint8_t> make_fill_frame(std::uint64_t request_id,
+                                          const FillRecord& record) {
+  FrameHeader h;
+  h.type = FrameType::kFill;
+  h.request_id = request_id;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + record.key.size() + 16 + kSimResultWireBytes);
+  append_u32(payload, static_cast<std::uint32_t>(record.key.size()));
+  payload.insert(payload.end(), record.key.begin(), record.key.end());
+  append_double(payload, record.cost_seconds);
+  append_double(payload, record.write_time);
+  const std::vector<std::uint8_t> value = encode_sim_result(record.result);
+  payload.insert(payload.end(), value.begin(), value.end());
+  return encode_frame(h, payload.data(), payload.size());
+}
+
+FillRecord decode_fill_payload(const std::uint8_t* data, std::size_t len) {
+  GPAWFD_CHECK_MSG(len >= 4, "fill payload truncated before key length");
+  const std::uint32_t key_len = read_u32(data);
+  GPAWFD_CHECK_MSG(key_len > 0, "fill payload with empty key");
+  const std::size_t want = 4 + std::size_t{key_len} + 16 + kSimResultWireBytes;
+  GPAWFD_CHECK_MSG(len == want, "fill payload is " << len << " bytes, key of "
+                                                  << key_len << " needs "
+                                                  << want);
+  FillRecord record;
+  record.key.assign(reinterpret_cast<const char*>(data + 4), key_len);
+  record.cost_seconds = read_double(data + 4 + key_len);
+  record.write_time = read_double(data + 4 + key_len + 8);
+  record.result =
+      decode_sim_result(data + 4 + key_len + 16, kSimResultWireBytes);
+  return record;
+}
+
 svc::Priority priority_of_flags(std::uint8_t flags) {
   return flags < svc::kPriorityClasses ? static_cast<svc::Priority>(flags)
                                        : svc::Priority::kNormal;

@@ -33,7 +33,8 @@ enum class FrameType : std::uint8_t {
   kResult = 2,  // payload: binary SimResult; status: kOk
   kError = 3,   // payload: message; status: the WireStatus
   kPing = 4,    // payload: empty
-  kPong = 5,    // payload: empty
+  kPong = 5,    // payload: empty; also acks a kFill
+  kFill = 6,    // payload: FillRecord (peer cache-fill push)
 };
 
 struct FrameHeader {
@@ -79,6 +80,29 @@ std::vector<std::uint8_t> make_error_frame(std::uint64_t request_id,
                                            const std::string& message);
 std::vector<std::uint8_t> make_control_frame(FrameType type,
                                              std::uint64_t request_id);
+
+// ---- peer cache-fill ----------------------------------------------------
+
+/// One pushed cache entry: the receiving node ingests it exactly as it
+/// would a warm-loaded store record (ResultCache::insert_warm semantics,
+/// newest-wins by write_time). The value bytes are the shared
+/// core/result_codec encoding, so a fill payload *is* a CacheStore
+/// record body — the replication path reuses the persistence codec.
+struct FillRecord {
+  std::string key;  // JobKey canonical string
+  core::SimResult result{};
+  double cost_seconds = 0;  // measured cold cost (weights eviction)
+  double write_time = 0;    // trace::unix_seconds() at production time
+};
+
+/// Fill payload: key_len(4) | key | cost(8,f64) | write_time(8,f64) |
+/// value (kSimResultWireBytes), all little-endian.
+std::vector<std::uint8_t> make_fill_frame(std::uint64_t request_id,
+                                          const FillRecord& record);
+/// Strict inverse of make_fill_frame's payload: lengths must account
+/// for every byte (no trailing garbage) and the key must be non-empty
+/// and bounded. Throws Error on any violation.
+FillRecord decode_fill_payload(const std::uint8_t* data, std::size_t len);
 
 /// Priority class carried in a submit frame's flags byte; out-of-range
 /// values clamp to kNormal (a forward-compatibility valve, not an error).

@@ -16,6 +16,59 @@
 
 namespace gpawfd::net {
 
+// ---- request handlers --------------------------------------------------
+
+void RequestHandler::handle_fill(FillRecord record, Done done) {
+  (void)record;
+  const std::string what = "this endpoint does not accept cache fills";
+  done(WireStatus::kBadRequest,
+       std::vector<std::uint8_t>(what.begin(), what.end()));
+}
+
+void ServiceHandler::handle_submit(std::string canonical,
+                                   svc::Priority priority, Done done) {
+  core::SimJobSpec spec;
+  try {
+    spec = parse_job_spec(canonical);
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    done(WireStatus::kBadRequest,
+         std::vector<std::uint8_t>(what.begin(), what.end()));
+    return;
+  }
+  service_.submit_then(
+      spec, priority,
+      [done = std::move(done)](const core::SimResult* result,
+                               std::exception_ptr error) {
+        if (result != nullptr) {
+          done(WireStatus::kOk, encode_sim_result(*result));
+          return;
+        }
+        std::string what = "unknown failure";
+        WireStatus status = WireStatus::kInternal;
+        try {
+          std::rethrow_exception(error);
+        } catch (const svc::ServiceError& e) {
+          status = wire_status_of(e.reason());
+          what = e.what();
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        done(status, std::vector<std::uint8_t>(what.begin(), what.end()));
+      });
+}
+
+void ServiceHandler::handle_fill(FillRecord record, Done done) {
+  // Best-effort by design: a fill the cache refuses (stale version,
+  // expired, lost to a fresher entry) still acks kOk — the pusher has
+  // nothing useful to do with the distinction, and the counters on this
+  // side (svc.fills_*) carry the observability.
+  service_.ingest_fill(record.key, record.result, record.cost_seconds,
+                       record.write_time);
+  done(WireStatus::kOk, {});
+}
+
 // ---- metrics -----------------------------------------------------------
 
 std::int64_t ServerMetrics::replies_total() const {
@@ -41,6 +94,7 @@ std::map<std::string, std::int64_t> ServerMetrics::counter_map() const {
   out["net.frame_errors"] = get(frame_errors);
   out["net.requests"] = get(requests);
   out["net.pings"] = get(pings);
+  out["net.fills"] = get(fills);
   out["net.flushes"] = get(flushes);
   for (int s = 0; s < kWireStatusCount; ++s)
     out[std::string("net.replies.") +
@@ -86,8 +140,8 @@ void Server::Completions::push(Reply reply) {
 
 // ---- lifecycle ---------------------------------------------------------
 
-Server::Server(svc::SimService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {
+Server::Server(RequestHandler& handler, ServerConfig config)
+    : handler_(handler), config_(std::move(config)) {
   listener_ = Socket::listen_on(config_.port);
   port_ = listener_.local_port();
   listener_.set_nonblocking(true);
@@ -101,6 +155,14 @@ Server::Server(svc::SimService& service, ServerConfig config)
 
   thread_ = std::thread([this] { loop(); });
 }
+
+Server::Server(std::unique_ptr<ServiceHandler> owned, ServerConfig config)
+    : Server(*owned, std::move(config)) {
+  owned_handler_ = std::move(owned);
+}
+
+Server::Server(svc::SimService& service, ServerConfig config)
+    : Server(std::make_unique<ServiceHandler>(service), std::move(config)) {}
 
 Server::~Server() { stop(); }
 
@@ -239,6 +301,27 @@ void Server::handle_readable(Conn& conn) {
   // poll loop, never here: handle_frame callers still hold the Conn.
 }
 
+void Server::dispatch(
+    Conn& conn, std::uint64_t request_id, bool is_ack,
+    const std::function<void(RequestHandler::Done)>& invoke) {
+  ++conn.inflight;
+  // The Done callback runs on whichever thread settles the request; it
+  // owns only the detached completion queue, so it stays safe past conn
+  // teardown and even past server teardown.
+  auto completions = completions_;
+  const std::uint64_t conn_id = conn.id;
+  invoke([completions, conn_id, request_id, is_ack](
+             WireStatus status, std::vector<std::uint8_t> payload) {
+    Reply reply;
+    reply.conn_id = conn_id;
+    reply.request_id = request_id;
+    reply.status = status;
+    reply.payload = std::move(payload);
+    reply.is_ack = is_ack;
+    completions->push(std::move(reply));
+  });
+}
+
 void Server::handle_frame(Conn& conn, Frame frame) {
   switch (frame.header.type) {
     case FrameType::kSubmit: {
@@ -250,48 +333,37 @@ void Server::handle_frame(Conn& conn, Frame frame) {
                        " requests in flight");
         return;
       }
-      const std::string canonical(frame.payload.begin(), frame.payload.end());
-      core::SimJobSpec spec;
+      std::string canonical(frame.payload.begin(), frame.payload.end());
+      const svc::Priority priority = priority_of_flags(frame.header.flags);
+      dispatch(conn, frame.header.request_id, /*is_ack=*/false,
+               [&](RequestHandler::Done done) {
+                 handler_.handle_submit(std::move(canonical), priority,
+                                        std::move(done));
+               });
+      return;
+    }
+    case FrameType::kFill: {
+      metrics_.fills.fetch_add(1, std::memory_order_relaxed);
+      if (conn.inflight >= config_.max_inflight_per_conn) {
+        send_error(conn, frame.header.request_id, WireStatus::kOverloaded,
+                   "connection already has " +
+                       std::to_string(conn.inflight) +
+                       " requests in flight");
+        return;
+      }
+      FillRecord record;
       try {
-        spec = parse_job_spec(canonical);
+        record =
+            decode_fill_payload(frame.payload.data(), frame.payload.size());
       } catch (const Error& e) {
         send_error(conn, frame.header.request_id, WireStatus::kBadRequest,
                    e.what());
         return;
       }
-      ++conn.inflight;
-      // The continuation runs on whichever thread settles the flight; it
-      // owns only the detached completion queue, so it stays safe past
-      // conn teardown and even past server teardown.
-      auto completions = completions_;
-      const std::uint64_t conn_id = conn.id;
-      const std::uint64_t request_id = frame.header.request_id;
-      service_.submit_then(
-          spec, priority_of_flags(frame.header.flags),
-          [completions, conn_id, request_id](const core::SimResult* result,
-                                             std::exception_ptr error) {
-            Reply reply;
-            reply.conn_id = conn_id;
-            reply.request_id = request_id;
-            if (result != nullptr) {
-              reply.status = WireStatus::kOk;
-              reply.payload = encode_sim_result(*result);
-            } else {
-              std::string what = "unknown failure";
-              reply.status = WireStatus::kInternal;
-              try {
-                std::rethrow_exception(error);
-              } catch (const svc::ServiceError& e) {
-                reply.status = wire_status_of(e.reason());
-                what = e.what();
-              } catch (const std::exception& e) {
-                what = e.what();
-              } catch (...) {
-              }
-              reply.payload.assign(what.begin(), what.end());
-            }
-            completions->push(std::move(reply));
-          });
+      dispatch(conn, frame.header.request_id, /*is_ack=*/true,
+               [&](RequestHandler::Done done) {
+                 handler_.handle_fill(std::move(record), std::move(done));
+               });
       return;
     }
     case FrameType::kPing:
@@ -342,8 +414,9 @@ void Server::drain_completions() {
         1, std::memory_order_relaxed);
     metrics_.frames_out.fetch_add(1, std::memory_order_relaxed);
     FrameHeader h;
-    h.type = reply.status == WireStatus::kOk ? FrameType::kResult
-                                             : FrameType::kError;
+    h.type = reply.status != WireStatus::kOk ? FrameType::kError
+             : reply.is_ack                  ? FrameType::kPong
+                                             : FrameType::kResult;
     h.status = reply.status;
     h.request_id = reply.request_id;
     enqueue_frame(conn,

@@ -1,22 +1,25 @@
-// net::Server: the RPC front-end over svc::SimService. A single
-// poll(2)-driven thread owns an acceptor plus one state machine per
-// connection — non-blocking reads feeding a FrameDecoder (partial-frame
-// reassembly), a write queue with backpressure (POLLOUT only while
-// bytes are pending), idle timeouts, and admission limits (max frame
-// size, max in-flight requests per connection, max connections).
+// net::Server: the RPC front-end. A single poll(2)-driven thread owns
+// an acceptor plus one state machine per connection — non-blocking
+// reads feeding a FrameDecoder (partial-frame reassembly), a write
+// queue with backpressure (POLLOUT only while bytes are pending), idle
+// timeouts, and admission limits (max frame size, max in-flight
+// requests per connection, max connections).
 //
-// The bridge to the service is SimService::submit_then: a submit frame
-// parses its JobKey canonical string back into a SimJobSpec and the
-// reply frame is built from the ticket continuation — on the worker
-// thread that settles the flight — then handed back to the poll loop
-// through a completion queue and a wake pipe. Terminal
-// ServiceError::reason()s map onto distinct wire status codes
-// (net::wire_status_of), so remote clients see exactly the failure
-// taxonomy in-process callers get.
+// What a decoded request *means* is delegated to a RequestHandler: the
+// default ServiceHandler bridges onto svc::SimService::submit_then (a
+// submit frame parses its JobKey canonical string back into a
+// SimJobSpec; the reply is built from the ticket continuation on the
+// worker thread that settles the flight), while the cluster router
+// implements the same interface by forwarding to backends. Either way
+// the reply travels back to the poll loop through a completion queue
+// and a wake pipe. Terminal ServiceError::reason()s map onto distinct
+// wire status codes (net::wire_status_of), so remote clients see
+// exactly the failure taxonomy in-process callers get.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +30,41 @@
 #include "svc/service.hpp"
 
 namespace gpawfd::net {
+
+/// What the poll loop delegates decoded requests to. Implementations
+/// must invoke `done` exactly once per request — synchronously on the
+/// poll thread or later from any other thread; the completion is
+/// marshalled back to the loop either way. On kOk the payload is the
+/// reply body (an encoded SimResult for submits, empty for fill acks);
+/// on any other status it is a human-readable message.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  using Done = std::function<void(WireStatus, std::vector<std::uint8_t>)>;
+
+  /// A kSubmit frame: `canonical` is the JobKey canonical string as it
+  /// came off the wire (unparsed — a forwarding handler never needs
+  /// the spec), `priority` the decoded flags byte.
+  virtual void handle_submit(std::string canonical, svc::Priority priority,
+                             Done done) = 0;
+  /// A kFill frame (peer cache-fill push). Default: refuse politely —
+  /// only handlers that opt into replication accept fills.
+  virtual void handle_fill(FillRecord record, Done done);
+};
+
+/// The single-node handler: parse the canonical spec (decisively — see
+/// parse_job_spec), submit through SimService::submit_then, ingest
+/// fills into the service's warm cache. `service` must outlive it.
+class ServiceHandler : public RequestHandler {
+ public:
+  explicit ServiceHandler(svc::SimService& service) : service_(service) {}
+  void handle_submit(std::string canonical, svc::Priority priority,
+                     Done done) override;
+  void handle_fill(FillRecord record, Done done) override;
+
+ private:
+  svc::SimService& service_;
+};
 
 struct ServerConfig {
   /// TCP port; 0 binds an ephemeral port (read back via Server::port()).
@@ -47,8 +85,9 @@ struct ServerConfig {
 
 /// Server-wide wire counters, svc::Metrics-style: relaxed atomics,
 /// a text snapshot(), and a reconciling counter_map() — at quiescence
-/// requests == replies (summed over every status), frames_in ==
-/// requests + pings, and accepted == closed + active connections.
+/// requests + fills == replies (summed over every status, acked fills
+/// reply kOk), frames_in == requests + pings + fills, and accepted ==
+/// closed + active connections.
 class ServerMetrics {
  public:
   std::atomic<std::int64_t> connections_accepted{0};
@@ -62,6 +101,7 @@ class ServerMetrics {
   std::atomic<std::int64_t> frame_errors{0};  // protocol violations
   std::atomic<std::int64_t> requests{0};      // submit frames admitted
   std::atomic<std::int64_t> pings{0};
+  std::atomic<std::int64_t> fills{0};  // peer cache-fill frames admitted
   /// writev(2) calls that moved bytes: queued frames coalesce into one
   /// vectored write per flush cycle, so frames_out / flushes is the
   /// realized reply-coalescing factor (≈1 for strict request-reply
@@ -87,8 +127,11 @@ class ServerMetrics {
 class Server {
  public:
   /// Binds, then serves on a background thread until stop()/destruction.
-  /// `service` must outlive the server. Throws Error when the port
+  /// `handler` must outlive the server. Throws Error when the port
   /// cannot be bound.
+  explicit Server(RequestHandler& handler, ServerConfig config = {});
+  /// Convenience: serve `service` through an owned ServiceHandler (the
+  /// single-node sim_server shape). `service` must outlive the server.
   explicit Server(svc::SimService& service, ServerConfig config = {});
   ~Server();
   Server(const Server&) = delete;
@@ -110,6 +153,8 @@ class Server {
   }
 
  private:
+  Server(std::unique_ptr<ServiceHandler> owned, ServerConfig config);
+
   struct Conn;
   /// A settled request on its way back to the poll loop. Built on the
   /// worker thread, drained by the loop on a wake-pipe byte.
@@ -118,6 +163,7 @@ class Server {
     std::uint64_t request_id = 0;
     WireStatus status = WireStatus::kOk;
     std::vector<std::uint8_t> payload;  // result bytes or error message
+    bool is_ack = false;  // kOk reply leaves as kPong (fill ack), not kResult
   };
   /// Shared with in-flight continuations so a continuation that fires
   /// after stop() writes into a detached queue instead of freed memory.
@@ -128,6 +174,10 @@ class Server {
     void push(Reply reply);
   };
 
+  /// Hand a request to the handler with a Done that marshals the reply
+  /// into the completion queue (safe past conn and server teardown).
+  void dispatch(Conn& conn, std::uint64_t request_id, bool is_ack,
+                const std::function<void(RequestHandler::Done)>& invoke);
   void loop();
   void accept_new();
   void handle_readable(Conn& conn);
@@ -150,7 +200,10 @@ class Server {
   void close_conn(std::uint64_t id);
   void sweep_idle(double now);
 
-  svc::SimService& service_;
+  /// Set only by the SimService convenience constructor; handler_ then
+  /// points at it.
+  std::unique_ptr<ServiceHandler> owned_handler_;
+  RequestHandler& handler_;
   ServerConfig config_;
   ServerMetrics metrics_;
   Socket listener_;

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "cluster/router.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "svc/fault.hpp"
@@ -96,13 +97,17 @@ void render_phase(std::ostream& os, const PhaseStats& p,
   os << "}\n" << indent << "}";
 }
 
-/// Everything one run instantiates: the service, optionally the wire in
-/// front of it, and the per-client connections. Rebuilt on a
-/// restart_service phase boundary.
+/// Everything one run instantiates: the service (or, in cluster mode,
+/// N backend services + servers + the router), optionally the wire in
+/// front, and the per-client connections. Rebuilt on a restart_service
+/// phase boundary.
 struct Stack {
   std::unique_ptr<svc::SimService> service;
   std::shared_ptr<svc::FaultyExecutor> faulty;  // owned by the executor fn
-  std::unique_ptr<net::Server> server;
+  std::unique_ptr<net::Server> server;  // tcp: over service; cluster: front
+  std::vector<std::unique_ptr<svc::SimService>> backend_services;
+  std::vector<std::unique_ptr<net::Server>> backend_servers;
+  std::unique_ptr<cluster::Router> router;
   std::vector<std::unique_ptr<net::Client>> clients;
   std::int64_t reconnects_retired = 0;  // from clients of torn-down stacks
 };
@@ -133,6 +138,12 @@ double ScenarioReport::metric(const std::string& name,
   if (name == "max_seconds") return stats->max_seconds;
   if (name == "mean_seconds") return stats->mean_seconds;
   if (name == "reconnects") return static_cast<double>(reconnects);
+  // Every issued request must reach exactly one of ok / rejected /
+  // failed; anything left over vanished without an answer — the number
+  // the node-kill scenario pins to zero.
+  if (name == "lost_jobs")
+    return static_cast<double>(stats->issued - stats->ok - stats->rejected -
+                               stats->failed);
 
   // Service counters: run scope reads the final counters, phase scope
   // the phase delta. Accept both "gave_up" and "svc.gave_up".
@@ -255,15 +266,28 @@ ScenarioReport Runner::run() {
   }
 
   const bool tcp = scenario_.transport.mode == TransportParams::Mode::kTcp;
+  const bool clustered =
+      scenario_.transport.mode == TransportParams::Mode::kCluster;
+  const bool wire = tcp || clustered;
 
   Stack stack;
+  auto make_clients = [&](std::uint16_t port, std::int64_t closed_clients) {
+    const std::int64_t n = std::max<std::int64_t>(1, closed_clients);
+    for (std::int64_t i = 0; i < n; ++i) {
+      net::ClientConfig ccfg;
+      ccfg.port = port;
+      ccfg.pipeline_window =
+          static_cast<std::size_t>(scenario_.transport.pipeline_window);
+      stack.clients.push_back(std::make_unique<net::Client>(ccfg));
+    }
+  };
   auto build_stack = [&](std::int64_t closed_clients) {
     svc::ServiceConfig cfg = scenario_.service.to_service_config();
     cfg.cache_dir = cache_dir;
     // Over the wire the poll thread calls submit_then; a blocking
     // admission there would stall every connection, so the wire always
     // sheds (the client-side pipeline window is the throttle).
-    if (tcp) cfg.block_when_full = false;
+    if (wire) cfg.block_when_full = false;
     if (scenario_.faults.enabled()) {
       stack.faulty = std::make_shared<svc::FaultyExecutor>(
           core::simulate_job, scenario_.faults.to_fault_config());
@@ -272,18 +296,50 @@ ScenarioReport Runner::run() {
         return (*faulty)(s);
       };
     }
+    if (clustered) {
+      // N backend services, each its own server (and its own slice of
+      // the store when persistence is on), a router hashing across
+      // them, and a front server speaking the wire to the generators.
+      const TransportParams& t = scenario_.transport;
+      cluster::RouterConfig rcfg;
+      for (std::int64_t b = 0; b < t.backends; ++b) {
+        svc::ServiceConfig bcfg = cfg;
+        if (!cache_dir.empty()) {
+          bcfg.cache_dir = cache_dir + "/b" + std::to_string(b);
+          std::filesystem::create_directories(bcfg.cache_dir);
+        }
+        auto service = std::make_unique<svc::SimService>(bcfg);
+        service->wait_warm_loaded();
+        stack.backend_servers.push_back(
+            std::make_unique<net::Server>(*service));
+        // Ring identity is the backend *index*, not the ephemeral port:
+        // key ownership (and therefore what a kill_backend phase hits)
+        // is identical on every run of the same scenario.
+        rcfg.backends.push_back({"127.0.0.1",
+                                 stack.backend_servers.back()->port(),
+                                 "node-" + std::to_string(b)});
+        stack.backend_services.push_back(std::move(service));
+      }
+      rcfg.vnodes = static_cast<int>(t.vnodes);
+      rcfg.replicas = static_cast<int>(t.replicas);
+      rcfg.retry.max_attempts = static_cast<int>(t.retries);
+      rcfg.retry.initial_backoff_seconds = t.backoff_ms / 1e3;
+      rcfg.health_period_seconds = t.health_period_ms / 1e3;
+      rcfg.health_fail_threshold = static_cast<int>(t.fail_threshold);
+      stack.router = std::make_unique<cluster::Router>(rcfg);
+      net::ServerConfig fcfg;
+      // The kill window spikes latency; a deep front window keeps the
+      // open-loop dispatcher's backlog from tripping kOverloaded.
+      fcfg.max_inflight_per_conn = 1 << 16;
+      stack.server = std::make_unique<net::Server>(*stack.router, fcfg);
+      make_clients(stack.server->port(), closed_clients);
+      return;
+    }
     stack.service = std::make_unique<svc::SimService>(cfg);
     stack.service->wait_warm_loaded();
     if (tcp) {
       stack.server = std::make_unique<net::Server>(*stack.service);
-      const std::int64_t n = std::max<std::int64_t>(1, closed_clients);
-      for (std::int64_t i = 0; i < n; ++i) {
-        net::ClientConfig ccfg;
-        ccfg.port = stack.server->port();
-        ccfg.pipeline_window =
-            static_cast<std::size_t>(scenario_.transport.pipeline_window);
-        stack.clients.push_back(std::make_unique<net::Client>(ccfg));
-      }
+      make_clients(stack.server->port(), closed_clients);
     }
   };
   auto teardown_stack = [&] {
@@ -294,9 +350,27 @@ ScenarioReport Runner::run() {
     stack.clients.clear();
     if (stack.server) stack.server->stop();
     stack.server.reset();
+    if (stack.router) stack.router->shutdown();
+    stack.router.reset();
+    for (auto& s : stack.backend_servers) s->stop();
+    stack.backend_servers.clear();
+    for (auto& s : stack.backend_services) s->shutdown();
+    stack.backend_services.clear();
     if (stack.service) stack.service->shutdown();
     stack.service.reset();
     stack.faulty.reset();
+  };
+  // The mode-independent counter view: one service's counters, or (in
+  // cluster mode) every backend's summed plus the router's "cluster.*"
+  // rows — so SLOs read "gave_up" and "cluster.retried" the same way.
+  auto counters_now = [&] {
+    if (!clustered) return stack.service->metrics().counter_map();
+    std::map<std::string, std::int64_t> out;
+    for (const auto& s : stack.backend_services)
+      for (const auto& [k, v] : s->metrics().counter_map()) out[k] += v;
+    for (const auto& [k, v] : stack.router->metrics().counter_map())
+      out[k] += v;
+    return out;
   };
 
   const std::int64_t max_clients = [&] {
@@ -319,9 +393,25 @@ ScenarioReport Runner::run() {
     for (const PlannedRequest& r : plan)
       if (r.phase == static_cast<int>(pi)) mine.push_back(r);
 
-    const std::map<std::string, std::int64_t> before =
-        stack.service->metrics().counter_map();
+    const std::map<std::string, std::int64_t> before = counters_now();
     PhaseTally tally;
+
+    // The declarative node kill: once this phase has issued its
+    // kill_after_fraction share, stop the victim backend's server —
+    // connections sever mid-reply, exactly what a SIGKILL looks like
+    // from the router's side. The service object stays (its counters
+    // still merge); only the wire presence dies.
+    std::atomic<bool> kill_armed{clustered && phase.kill_backend >= 0};
+    const std::int64_t kill_at = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(phase.kill_after_fraction *
+                                     static_cast<double>(phase.requests)));
+    auto maybe_kill = [&](std::int64_t issued_so_far) {
+      if (!kill_armed.load(std::memory_order_relaxed)) return;
+      if (issued_so_far < kill_at) return;
+      if (!kill_armed.exchange(false, std::memory_order_relaxed)) return;
+      stack.backend_servers[static_cast<std::size_t>(phase.kill_backend)]
+          ->stop();
+    };
 
     // One settle path for every transport/loop combination.
     auto record_ok = [&](double rtt) {
@@ -364,10 +454,11 @@ ScenarioReport Runner::run() {
       for (std::int64_t c = 0; c < phase.clients; ++c) {
         generators.emplace_back([&, c] {
           net::Client* client =
-              tcp ? stack.clients[static_cast<std::size_t>(c)].get() : nullptr;
+              wire ? stack.clients[static_cast<std::size_t>(c)].get() : nullptr;
           for (const PlannedRequest& r : mine) {
             if (r.client != static_cast<int>(c)) continue;
-            tally.issued.fetch_add(1, std::memory_order_relaxed);
+            maybe_kill(tally.issued.fetch_add(1, std::memory_order_relaxed) +
+                       1);
             overall_tally.issued.fetch_add(1, std::memory_order_relaxed);
             const core::SimJobSpec& spec =
                 catalog[static_cast<std::size_t>(r.job)];
@@ -410,7 +501,7 @@ ScenarioReport Runner::run() {
       std::condition_variable inflight_cv;
       bool dispatch_done = false;
       std::thread harvester;
-      if (tcp) {
+      if (wire) {
         harvester = std::thread([&] {
           for (;;) {
             std::pair<std::future<core::SimResult>, double> item;
@@ -433,14 +524,14 @@ ScenarioReport Runner::run() {
         });
       }
 
-      net::Client* client = tcp ? stack.clients.front().get() : nullptr;
+      net::Client* client = wire ? stack.clients.front().get() : nullptr;
       for (const PlannedRequest& r : mine) {
         const double due = t0 + r.arrival_offset_seconds;
         const double now = trace::now_seconds();
         if (due > now)
           std::this_thread::sleep_for(
               std::chrono::duration<double>(due - now));
-        tally.issued.fetch_add(1, std::memory_order_relaxed);
+        maybe_kill(tally.issued.fetch_add(1, std::memory_order_relaxed) + 1);
         overall_tally.issued.fetch_add(1, std::memory_order_relaxed);
         const core::SimJobSpec& spec = catalog[static_cast<std::size_t>(r.job)];
         const double r0 = trace::now_seconds();
@@ -471,7 +562,7 @@ ScenarioReport Runner::run() {
               });
         }
       }
-      if (tcp) {
+      if (wire) {
         {
           std::lock_guard lock(inflight_mu);
           dispatch_done = true;
@@ -489,8 +580,7 @@ ScenarioReport Runner::run() {
     PhaseStats stats;
     stats.name = phase.name;
     summarize(tally, wall, &stats);
-    const std::map<std::string, std::int64_t> after =
-        stack.service->metrics().counter_map();
+    const std::map<std::string, std::int64_t> after = counters_now();
     for (const auto& [k, v] : after) {
       auto it = before.find(k);
       stats.service_delta[k] = v - (it == before.end() ? 0 : it->second);
@@ -500,8 +590,11 @@ ScenarioReport Runner::run() {
 
   // Settle the write-behind queue so persist counters reconcile, then
   // take the final counter snapshot.
-  if (svc::Persister* p = stack.service->persister()) p->flush();
-  report.service_counters = stack.service->metrics().counter_map();
+  if (stack.service)
+    if (svc::Persister* p = stack.service->persister()) p->flush();
+  for (const auto& s : stack.backend_services)
+    if (svc::Persister* p = s->persister()) p->flush();
+  report.service_counters = counters_now();
   report.overall.name = "overall";
   {
     double wall = 0;

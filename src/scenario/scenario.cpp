@@ -157,20 +157,45 @@ KeyMixParams parse_skew(const JsonValue& v) {
 
 TransportParams parse_transport(const JsonValue& v) {
   TransportParams p;
-  check_keys(v, "transport", {"mode", "pipeline_window"});
+  check_keys(v, "transport",
+             {"mode", "pipeline_window", "backends", "replicas", "vnodes",
+              "retries", "backoff_ms", "health_period_ms", "fail_threshold"});
   if (const auto* j = v.get("mode")) {
     const std::string& mode = j->as_string("transport.mode");
     if (mode == "inproc")
       p.mode = TransportParams::Mode::kInProc;
     else if (mode == "tcp")
       p.mode = TransportParams::Mode::kTcp;
+    else if (mode == "cluster")
+      p.mode = TransportParams::Mode::kCluster;
     else
-      GPAWFD_CHECK_MSG(false, "transport.mode must be \"inproc\" or "
-                              "\"tcp\", got \""
+      GPAWFD_CHECK_MSG(false, "transport.mode must be \"inproc\", \"tcp\" "
+                              "or \"cluster\", got \""
                                   << mode << "\"");
   }
   if (const auto* j = v.get("pipeline_window"))
     p.pipeline_window = int_in(*j, "transport.pipeline_window", 0, 1 << 20);
+  // The cluster shape keys only mean something under mode "cluster";
+  // anywhere else they are almost certainly a mis-filed experiment.
+  for (const char* key : {"backends", "replicas", "vnodes", "retries",
+                          "backoff_ms", "health_period_ms", "fail_threshold"})
+    GPAWFD_CHECK_MSG(p.mode == TransportParams::Mode::kCluster || !v.get(key),
+                     "transport." << key
+                                  << " requires transport.mode \"cluster\"");
+  if (const auto* j = v.get("backends"))
+    p.backends = int_in(*j, "transport.backends", 1, 64);
+  if (const auto* j = v.get("replicas"))
+    p.replicas = int_in(*j, "transport.replicas", 1, 64);
+  if (const auto* j = v.get("vnodes"))
+    p.vnodes = int_in(*j, "transport.vnodes", 1, 1 << 16);
+  if (const auto* j = v.get("retries"))
+    p.retries = int_in(*j, "transport.retries", 1, 1000);
+  if (const auto* j = v.get("backoff_ms"))
+    p.backoff_ms = number_in(*j, "transport.backoff_ms", 0, 1e9);
+  if (const auto* j = v.get("health_period_ms"))
+    p.health_period_ms = number_in(*j, "transport.health_period_ms", 0, 1e9);
+  if (const auto* j = v.get("fail_threshold"))
+    p.fail_threshold = int_in(*j, "transport.fail_threshold", 1, 1000);
   return p;
 }
 
@@ -179,7 +204,8 @@ PhaseParams parse_phase(const JsonValue& v, std::size_t index) {
   const std::string where = "phases[" + std::to_string(index) + "]";
   check_keys(v, where,
              {"name", "mode", "clients", "requests", "rate_hz", "process",
-              "interactive_fraction", "restart_service"});
+              "interactive_fraction", "restart_service", "kill_backend",
+              "kill_after_fraction"});
   const auto* name = v.get("name");
   GPAWFD_CHECK_MSG(name, where << " requires a \"name\"");
   p.name = name->as_string(where + ".name");
@@ -217,6 +243,10 @@ PhaseParams parse_phase(const JsonValue& v, std::size_t index) {
         number_in(*j, where + ".interactive_fraction", 0, 1);
   if (const auto* j = v.get("restart_service"))
     p.restart_service = j->as_bool(where + ".restart_service");
+  if (const auto* j = v.get("kill_backend"))
+    p.kill_backend = int_in(*j, where + ".kill_backend", -1, 63);
+  if (const auto* j = v.get("kill_after_fraction"))
+    p.kill_after_fraction = number_in(*j, where + ".kill_after_fraction", 0, 1);
   GPAWFD_CHECK_MSG(p.mode != PhaseParams::Mode::kOpen || p.rate_hz > 0,
                    where << ": open-loop phases require rate_hz > 0");
   return p;
@@ -365,6 +395,16 @@ Scenario parse_scenario(const std::string& json_text) {
     GPAWFD_CHECK_MSG(!p.restart_service || !s.service.cache_dir.empty(),
                      "restart_service requires service.cache_dir (a warm "
                      "restart without a store proves nothing)");
+  for (const PhaseParams& p : s.phases) {
+    if (p.kill_backend < 0) continue;
+    GPAWFD_CHECK_MSG(s.transport.mode == TransportParams::Mode::kCluster,
+                     "phase \"" << p.name << "\": kill_backend requires "
+                                             "transport.mode \"cluster\"");
+    GPAWFD_CHECK_MSG(p.kill_backend < s.transport.backends,
+                     "phase \"" << p.name << "\": kill_backend "
+                                << p.kill_backend << " out of range (only "
+                                << s.transport.backends << " backends)");
+  }
 
   if (const auto* j = doc.get("slo")) {
     const auto& slo_items = j->as_array("slo");

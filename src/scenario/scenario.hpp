@@ -101,15 +101,32 @@ struct PhaseParams {
   /// Tear the service down and rebuild it (warm-loading cache_dir)
   /// before this phase — the declarative warm-restart scenario.
   bool restart_service = false;
+  /// Cluster transport only: SIGKILL-equivalent a backend (its server
+  /// stops mid-connection, in-flight replies dropped) once this phase
+  /// has issued kill_after_fraction of its requests. -1 = no kill.
+  std::int64_t kill_backend = -1;
+  double kill_after_fraction = 0.5;
 };
 
-/// "transport": drive the service in-process, or stand a net::Server in
+/// "transport": drive the service in-process, stand a net::Server in
 /// front of it and drive it through net::Client connections (one per
-/// closed-loop client) — the full wire path, self-hosted on loopback.
+/// closed-loop client) — the full wire path, self-hosted on loopback —
+/// or build a whole sharded cluster: N backend services behind N
+/// servers, a cluster::Router consistent-hashing across them, and a
+/// front server speaking the same wire protocol to the generators.
 struct TransportParams {
-  enum class Mode { kInProc, kTcp };
+  enum class Mode { kInProc, kTcp, kCluster };
   Mode mode = Mode::kInProc;
   std::int64_t pipeline_window = 0;  // net::ClientConfig::pipeline_window
+  // Cluster-mode shape (rejected for other modes): see
+  // cluster::RouterConfig for semantics.
+  std::int64_t backends = 3;
+  std::int64_t replicas = 2;
+  std::int64_t vnodes = 64;
+  std::int64_t retries = 4;
+  double backoff_ms = 5;
+  double health_period_ms = 100;
+  std::int64_t fail_threshold = 2;
 };
 
 /// One declarative SLO: compare a named metric against a bound. Metrics

@@ -30,6 +30,9 @@ void for_each_counter(const Metrics& m, Fn&& fn) {
   fn("svc.cancelled", get(m.cancelled));
   fn("svc.warm_loaded", get(m.warm_loaded));
   fn("svc.warm_skipped", get(m.warm_skipped));
+  fn("svc.fills_received", get(m.fills_received));
+  fn("svc.fills_accepted", get(m.fills_accepted));
+  fn("svc.fills_rejected", get(m.fills_rejected));
   fn("svc.persist_enqueued", get(m.persist_enqueued));
   fn("svc.persist_written", get(m.persist_written));
   fn("svc.persist_dropped", get(m.persist_dropped));

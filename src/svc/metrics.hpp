@@ -59,6 +59,13 @@ class Metrics {
   // once the service is quiescent (after shutdown or flush).
   std::atomic<std::int64_t> warm_loaded{0};
   std::atomic<std::int64_t> warm_skipped{0};
+  // Peer cache-fill ingest (cluster replication): every received fill is
+  // either accepted into the cache or rejected (stale version / expired /
+  // in flight / equal-or-newer entry cached), so
+  //   fills_received == fills_accepted + fills_rejected.
+  std::atomic<std::int64_t> fills_received{0};
+  std::atomic<std::int64_t> fills_accepted{0};
+  std::atomic<std::int64_t> fills_rejected{0};
   std::atomic<std::int64_t> persist_enqueued{0};
   std::atomic<std::int64_t> persist_written{0};
   std::atomic<std::int64_t> persist_dropped{0};  // drop-oldest backpressure

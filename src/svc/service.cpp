@@ -263,6 +263,24 @@ SubmitStatus SimService::submit_then(const core::SimJobSpec& spec,
   return t.status;
 }
 
+bool SimService::ingest_fill(const std::string& canonical,
+                             const core::SimResult& result,
+                             double cost_seconds, double write_time) {
+  metrics_.fills_received.fetch_add(1, std::memory_order_relaxed);
+  bool accepted = false;
+  if (JobKey::current_version(canonical)) {
+    const JobKey key = JobKey::from_canonical(canonical);
+    accepted = cache_.insert_warm(key, result, cost_seconds, write_time);
+  }
+  (accepted ? metrics_.fills_accepted : metrics_.fills_rejected)
+      .fetch_add(1, std::memory_order_relaxed);
+  // Durable replication: the accepted fill goes to this node's own store
+  // too, so a restart of the replica still holds the peer's results.
+  if (accepted && persister_)
+    persister_->enqueue(canonical, result, cost_seconds, write_time);
+  return accepted;
+}
+
 core::SimResult SimService::run(const core::SimJobSpec& spec,
                                 Priority priority) {
   Ticket t = submit(spec, priority);

@@ -205,6 +205,19 @@ class SimService {
   core::SimResult run(const core::SimJobSpec& spec,
                       Priority priority = Priority::kNormal);
 
+  /// Peer cache-fill ingest (the cluster replication path): insert a
+  /// result some *other* node produced, exactly as the warm loader
+  /// inserts a store record — newest-wins by write_time, never touching
+  /// hit/miss accounting or starting a flight. The canonical key is
+  /// taken lexically (JobKey::from_canonical) after a version-prefix
+  /// gate; accepted fills are also written behind to this node's store,
+  /// so replication is durable. Returns true when the cache took the
+  /// entry (false: stale version, expired, in flight, or an equal-or-
+  /// newer entry already cached — all counted in fills_rejected).
+  bool ingest_fill(const std::string& canonical,
+                   const core::SimResult& result, double cost_seconds,
+                   double write_time);
+
   /// Stop the service. drain=true (default) finishes everything already
   /// accepted; drain=false fails queued-but-unstarted jobs with
   /// ServiceError ("cancelled"). Idempotent; later submits are rejected.

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <future>
 #include <set>
@@ -229,6 +230,61 @@ TEST(Codec, ParseJobSpecEnforcesAdmissionBounds) {
   spec = small_spec();
   spec.job.grid_shape = Vec3::cube(1 << 20);
   EXPECT_THROW(net::parse_job_spec(svc::JobKey::of(spec).canonical()), Error);
+}
+
+TEST(Codec, FillFrameRoundTripsRecordBitExact) {
+  net::FillRecord record;
+  record.key = svc::JobKey::of(small_spec()).canonical();
+  record.result = sample_result();
+  record.cost_seconds = 0.0625;
+  record.write_time = 1.7e9;
+
+  const auto bytes = net::make_fill_frame(7, record);
+  net::FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto res = dec.next();
+  ASSERT_EQ(res.status, net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(res.frame.header.type, net::FrameType::kFill);
+  EXPECT_EQ(res.frame.header.request_id, 7u);
+
+  const net::FillRecord back = net::decode_fill_payload(
+      res.frame.payload.data(), res.frame.payload.size());
+  EXPECT_EQ(back.key, record.key);
+  EXPECT_DOUBLE_EQ(back.cost_seconds, record.cost_seconds);
+  EXPECT_DOUBLE_EQ(back.write_time, record.write_time);
+  // The value travels through the shared result codec: bit-exact,
+  // signed zeros and near-subnormals included.
+  EXPECT_DOUBLE_EQ(back.result.seconds, record.result.seconds);
+  EXPECT_DOUBLE_EQ(back.result.bytes_sent_per_node,
+                   record.result.bytes_sent_per_node);
+  EXPECT_TRUE(std::signbit(back.result.phases.mpi_overhead));
+  EXPECT_DOUBLE_EQ(back.result.phases.wait, record.result.phases.wait);
+  EXPECT_EQ(back.result.messages_total, record.result.messages_total);
+}
+
+TEST(Codec, FillPayloadRejectsTruncationAndTrailingGarbage) {
+  net::FillRecord record;
+  record.key = svc::JobKey::of(small_spec()).canonical();
+  record.result = sample_result();
+  const auto frame = net::make_fill_frame(1, record);
+  std::vector<std::uint8_t> payload(frame.begin() + net::kHeaderBytes,
+                                    frame.end());
+
+  // Every strict prefix must be refused — no silent zero-fill.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{3},
+                                payload.size() / 2, payload.size() - 1})
+    EXPECT_THROW(net::decode_fill_payload(payload.data(), len), Error) << len;
+  // Trailing garbage is a framing bug upstream, not ignorable slack.
+  auto padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW(net::decode_fill_payload(padded.data(), padded.size()), Error);
+  // An empty key can never name a cache entry.
+  net::FillRecord empty_key = record;
+  empty_key.key.clear();
+  const auto bad = net::make_fill_frame(2, empty_key);
+  EXPECT_THROW(net::decode_fill_payload(bad.data() + net::kHeaderBytes,
+                                        bad.size() - net::kHeaderBytes),
+               Error);
 }
 
 TEST(Codec, FuzzedBytesNeverCrashTheDecoder) {
@@ -729,6 +785,108 @@ TEST(Loopback, ServerStopFailsOutstandingClientRequests) {
     EXPECT_EQ(e.status(), net::WireStatus::kConnectionLost);
   }
   gate.set_value();  // unblock the worker so the service can drain
+}
+
+TEST(Loopback, FillPushIngestsIntoTheWarmCache) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+
+  const auto spec = small_spec();
+  net::FillRecord record;
+  record.key = svc::JobKey::of(spec).canonical();
+  record.result.seconds = 123.5;
+  record.cost_seconds = 2.0;
+  record.write_time = 1.8e9;
+  EXPECT_NO_THROW(client.fill_async(record).get());  // resolves on the ack
+
+  EXPECT_EQ(service.metrics().fills_received.load(), 1);
+  EXPECT_EQ(service.metrics().fills_accepted.load(), 1);
+  // A submit of the filled key is a warm hit: nothing executes and the
+  // pushed value comes back verbatim.
+  const core::SimResult warm = client.submit(spec);
+  EXPECT_DOUBLE_EQ(warm.seconds, 123.5);
+  EXPECT_EQ(service.metrics().executed.load(), 0);
+  EXPECT_GE(service.metrics().cache_hits.load(), 1);
+  // Wire accounting: the fill is its own frame class and the
+  // reconciliation identity now includes it.
+  const auto counters = server.metrics().counter_map();
+  EXPECT_EQ(counters.at("net.fills"), 1);
+  EXPECT_EQ(counters.at("net.frames_in"),
+            counters.at("net.requests") + counters.at("net.pings") +
+                counters.at("net.fills"));
+}
+
+TEST(Loopback, SubmitCanonicalAsyncMatchesTheSpecPath) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  net::Server server(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server.port();
+  net::Client client(ccfg);
+
+  const auto spec = small_spec();
+  const core::SimResult via_canonical =
+      client.submit_canonical_async(svc::JobKey::of(spec).canonical()).get();
+  EXPECT_DOUBLE_EQ(via_canonical.seconds, core::simulate_job(spec).seconds);
+  EXPECT_EQ(service.metrics().executed.load(), 1);
+}
+
+TEST(Loopback, TryPingReportsLivenessWithoutThrowing) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  auto server = std::make_unique<net::Server>(service);
+  net::ClientConfig ccfg;
+  ccfg.port = server->port();
+  ccfg.max_reconnect_attempts = 0;
+  net::Client client(ccfg);
+
+  EXPECT_TRUE(client.try_ping());
+  server->stop();
+  server.reset();
+  EXPECT_FALSE(client.try_ping());  // reports, never throws
+}
+
+TEST(Loopback, HolddownBoundsTheReconnectStorm) {
+  // A dead backend must cost one SYN per holddown window, not one per
+  // request — the router's pooled clients depend on this to keep a
+  // down node cheap while still re-dialing lazily once it returns.
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  auto server = std::make_unique<net::Server>(service);
+  const std::uint16_t port = server->port();
+  net::ClientConfig ccfg;
+  ccfg.port = port;
+  ccfg.max_reconnect_attempts = 0;
+  ccfg.reconnect_holddown_seconds = 0.3;
+  net::Client client(ccfg);
+  EXPECT_NO_THROW(client.submit(small_spec()));
+  const std::int64_t dials_alive = client.connect_attempts();
+
+  server->stop();
+  server.reset();
+
+  // Hammer the dead address: every call fails fast, and at most two
+  // dials happen (the one that discovers the death plus at most one
+  // more if a window boundary slips by mid-loop).
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(client.try_ping());
+  EXPECT_LE(client.connect_attempts(), dials_alive + 2);
+
+  // Same port, fresh server: after the holddown window expires the next
+  // request lazily re-dials and succeeds — no background reconnector.
+  net::ServerConfig scfg;
+  scfg.port = port;
+  net::Server revived(service, scfg);
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  EXPECT_NO_THROW(client.submit(small_spec(9)));
+  EXPECT_EQ(revived.metrics().replies(net::WireStatus::kOk), 1);
 }
 
 }  // namespace

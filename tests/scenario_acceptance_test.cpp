@@ -51,6 +51,18 @@ TEST(scenario_acceptance, WarmRestartServesFromTheStore) {
   EXPECT_GE(report.service_counters.at("svc.warm_loaded"), 1);
 }
 
+TEST(scenario_acceptance, NodeKillLosesZeroJobs) {
+  const ScenarioReport report = run_file("node_kill.json");
+  EXPECT_TRUE(report.passed) << report.assertion_summary();
+  // A backend died mid-phase: the router noticed, failed the in-flight
+  // jobs over to replicas, and the client-visible ledger still balances
+  // to the last request.
+  EXPECT_EQ(report.overall.issued, report.overall.ok);
+  EXPECT_GE(report.service_counters.at("cluster.retried"), 1);
+  EXPECT_GE(report.service_counters.at("cluster.marked_down"), 1);
+  EXPECT_EQ(report.service_counters.at("cluster.gave_up"), 0);
+}
+
 TEST(scenario_acceptance, FlagshipPlanReplaysBitIdentically) {
   const Scenario s = load_scenario(scenario_path("zipf_flagship.json"));
   Generator first(s), second(s);
@@ -66,7 +78,8 @@ TEST(scenario_acceptance, FlagshipPlanReplaysBitIdentically) {
 
 TEST(scenario_acceptance, EveryCheckedInScenarioParses) {
   for (const char* file : {"smoke.json", "fault_storm.json",
-                           "warm_restart.json", "zipf_flagship.json"}) {
+                           "warm_restart.json", "zipf_flagship.json",
+                           "node_kill.json"}) {
     const Scenario s = load_scenario(scenario_path(file));
     EXPECT_FALSE(s.name.empty()) << file;
     EXPECT_FALSE(s.phases.empty()) << file;

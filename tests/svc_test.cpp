@@ -932,5 +932,82 @@ TEST(SimServicePersist, WarmLoadOverlapsConcurrentSubmits) {
   EXPECT_LE(runs.load(), 2 * kWarm);
 }
 
+// ---- peer cache-fill ingest (the cluster replication path) -------------
+
+TEST(SimServiceFill, AcceptedFillServesAsAWarmHit) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  std::atomic<int> runs{0};
+  cfg.executor = [&](const core::SimJobSpec&) {
+    runs.fetch_add(1);
+    return core::SimResult{};
+  };
+  svc::SimService service(cfg);
+
+  const auto spec = small_spec();
+  EXPECT_TRUE(service.ingest_fill(svc::JobKey::of(spec).canonical(),
+                                  result_with_seconds(77.0), 0.5,
+                                  trace::unix_seconds()));
+  // The peer's result serves locally without a flight: a cache hit, not
+  // an execution — exactly the warm-load contract.
+  auto t = service.submit(spec);
+  EXPECT_EQ(t.status, svc::SubmitStatus::kCacheHit);
+  EXPECT_DOUBLE_EQ(t.result.get().seconds, 77.0);
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_EQ(service.metrics().fills_received.load(), 1);
+  EXPECT_EQ(service.metrics().fills_accepted.load(), 1);
+  EXPECT_EQ(service.metrics().fills_rejected.load(), 0);
+}
+
+TEST(SimServiceFill, VersionGateAndStalenessAreRejectedNotIngested) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  svc::SimService service(cfg);
+  const std::string canonical = svc::JobKey::of(small_spec()).canonical();
+  const double now = trace::unix_seconds();
+
+  // A canonical string from a different codec version must never be
+  // parsed, let alone cached.
+  EXPECT_FALSE(
+      service.ingest_fill("v999|garbage", result_with_seconds(1.0), 0.1, now));
+  // Newest-wins: an older write never displaces a newer one...
+  EXPECT_TRUE(
+      service.ingest_fill(canonical, result_with_seconds(2.0), 0.1, now));
+  EXPECT_FALSE(service.ingest_fill(canonical, result_with_seconds(3.0), 0.1,
+                                   now - 10));
+  // ...and an equal-time replay is a no-op too (idempotent replication).
+  EXPECT_FALSE(
+      service.ingest_fill(canonical, result_with_seconds(4.0), 0.1, now));
+  EXPECT_DOUBLE_EQ(service.submit(small_spec()).result.get().seconds, 2.0);
+
+  // The ledger balances: received == accepted + rejected.
+  EXPECT_EQ(service.metrics().fills_received.load(), 4);
+  EXPECT_EQ(service.metrics().fills_accepted.load(), 1);
+  EXPECT_EQ(service.metrics().fills_rejected.load(), 3);
+}
+
+TEST(SimServiceFill, AcceptedFillIsWrittenBehindToTheStore) {
+  StoreDir store;
+  const std::string canonical = svc::JobKey::of(small_spec()).canonical();
+  {
+    svc::SimService service(persist_config(store.dir(), nullptr));
+    service.wait_warm_loaded();
+    EXPECT_TRUE(service.ingest_fill(canonical, result_with_seconds(55.0), 0.5,
+                                    trace::unix_seconds()));
+    service.shutdown();  // drain the write-behind queue
+    EXPECT_EQ(service.persister()->written(), 1);
+  }
+  // A restart of this replica still holds the peer's result: replication
+  // is durable, not just resident.
+  std::atomic<int> runs{0};
+  svc::SimService revived(persist_config(store.dir(), &runs));
+  revived.wait_warm_loaded();
+  EXPECT_EQ(revived.metrics().warm_loaded.load(), 1);
+  auto t = revived.submit(small_spec());
+  EXPECT_EQ(t.status, svc::SubmitStatus::kCacheHit);
+  EXPECT_DOUBLE_EQ(t.result.get().seconds, 55.0);
+  EXPECT_EQ(runs.load(), 0);
+}
+
 }  // namespace
 }  // namespace gpawfd
