@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -11,6 +14,7 @@
 
 #include "common/table.hpp"
 #include "core/figures.hpp"
+#include "telemetry/sink.hpp"
 
 namespace gpawfd::bench {
 
@@ -56,15 +60,27 @@ class JsonReport {
     os.precision(12);
     os << value;
     entries_.emplace_back(key, os.str());
+    mirror(key, value);
   }
   void set(const std::string& key, std::int64_t value) {
     entries_.emplace_back(key, std::to_string(value));
+    mirror(key, static_cast<double>(value));
   }
   void set(const std::string& key, int value) {
     set(key, static_cast<std::int64_t>(value));
   }
   void set(const std::string& key, const std::string& value) {
     entries_.emplace_back(key, '"' + escaped(value) + '"');
+    // Strings carry no trajectory value; not mirrored.
+  }
+
+  /// Mirror every numeric key set() from here on into `sink` as rows
+  /// with the given `source` — one table accumulates the series that
+  /// each BENCH_*.json only holds one point of. Null sink is a no-op.
+  void mirror_to(std::shared_ptr<telemetry::TelemetrySink> sink,
+                 std::string source) {
+    sink_ = std::move(sink);
+    source_ = std::move(source);
   }
 
   void render(std::ostream& os) const {
@@ -98,7 +114,13 @@ class JsonReport {
     return out;
   }
 
+  void mirror(const std::string& key, double value) {
+    if (sink_) sink_->record(source_, key, value, "report");
+  }
+
   std::vector<std::pair<std::string, std::string>> entries_;
+  std::shared_ptr<telemetry::TelemetrySink> sink_;
+  std::string source_;
 };
 
 /// Boolean flag support (`--smoke` and friends) for the bench drivers.
@@ -118,6 +140,40 @@ inline std::string json_path_from_args(int argc, const char* const* argv) {
     if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
   }
   return {};
+}
+
+/// Generic `--name <value>` / `--name=<value>` lookup for the bench
+/// drivers. Empty string when absent.
+inline std::string value_from_args(int argc, const char* const* argv,
+                                   const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == name && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(name + "=", 0) == 0) return arg.substr(name.size() + 1);
+  }
+  return {};
+}
+
+/// The trajectory point this process's rows belong to: --run-id if the
+/// caller passed one, else $GPAWFD_RUN_ID (what CI sets to the PR/SHA),
+/// else "local".
+inline std::string run_id_from_args(int argc, const char* const* argv) {
+  std::string id = value_from_args(argc, argv, "--run-id");
+  if (id.empty())
+    if (const char* env = std::getenv("GPAWFD_RUN_ID")) id = env;
+  return id.empty() ? "local" : id;
+}
+
+/// `--telemetry-dir <dir>` support: an open sink on <dir>/telemetry.gptt
+/// tagged with run_id_from_args, or null when the flag is absent (every
+/// telemetry call site takes null as "off"). The benches hand this to
+/// JsonReport::mirror_to and ServiceConfig::telemetry.
+inline std::shared_ptr<telemetry::TelemetrySink> sink_from_args(
+    int argc, const char* const* argv) {
+  const std::string dir = value_from_args(argc, argv, "--telemetry-dir");
+  if (dir.empty()) return nullptr;
+  std::filesystem::create_directories(dir);
+  return telemetry::TelemetrySink::open_in(dir, run_id_from_args(argc, argv));
 }
 
 }  // namespace gpawfd::bench

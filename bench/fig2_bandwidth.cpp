@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   std::cout << '\n';
 
   bench::JsonReport rep;
+  rep.mirror_to(bench::sink_from_args(argc, argv), "bench.fig2_bandwidth");
   rep.set("bench", std::string("fig2_bandwidth"));
   Table t({"message size [B]", "bandwidth [MB/s]", "fraction of peak"});
   const double peak = m.effective_link_bandwidth();

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   JsonReport rep;
+  rep.mirror_to(sink_from_args(argc, argv), "bench.fig5_speedup");
   rep.set("bench", std::string("fig5_speedup"));
   rep.set("sequential_seconds", t_seq);
 

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
          "Flat comm/node ~1.7x Hybrid comm/node");
 
   JsonReport rep;
+  rep.mirror_to(sink_from_args(argc, argv), "bench.fig6_gustafson");
   rep.set("bench", std::string("fig6_gustafson"));
 
   Table t({"cores=grids", "Flat original [s]", "Flat optimized [s]",

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   const double seq = core::simulate_sequential_seconds(job, m);
 
   JsonReport rep;
+  rep.mirror_to(sink_from_args(argc, argv), "bench.fig7_speedup_large");
   rep.set("bench", std::string("fig7_speedup_large"));
   rep.set("sequential_seconds", seq);
 

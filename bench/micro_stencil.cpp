@@ -214,7 +214,8 @@ Pair measure_jacobi(std::int64_t edge) {
   return {pts / tu / 1e6, pts / tf / 1e6};
 }
 
-int run_manual(const std::string& json_path) {
+int run_manual(const std::string& json_path,
+               std::shared_ptr<gpawfd::telemetry::TelemetrySink> telemetry) {
   using gpawfd::Table;
   using gpawfd::fmt_fixed;
   constexpr std::int64_t kEdge = 96;
@@ -248,6 +249,7 @@ int run_manual(const std::string& json_path) {
             << fmt_fixed(r2_gbs, 2) << " GB/s (1 read + 1 write per point)\n";
 
   gpawfd::bench::JsonReport rep;
+  rep.mirror_to(telemetry, "bench.micro_stencil");
   rep.set("bench", std::string("micro_stencil"));
   rep.set("isa", std::string(gpawfd::stencil::kernel_isa()));
   rep.set("simd_width_doubles", gpawfd::simd::kWidth);
@@ -267,6 +269,7 @@ int run_manual(const std::string& json_path) {
   rep.set("jacobi_fused_speedup", jac.speedup());
   rep.write(json_path);
   std::cout << "JSON written to " << json_path << "\n";
+  if (telemetry) telemetry->flush();
   return 0;
 }
 
@@ -293,5 +296,5 @@ int main(int argc, char** argv) {
   }
   std::string path = gpawfd::bench::json_path_from_args(argc, argv);
   if (path.empty()) path = "BENCH_micro_stencil.json";
-  return run_manual(path);
+  return run_manual(path, gpawfd::bench::sink_from_args(argc, argv));
 }

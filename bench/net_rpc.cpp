@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
   using namespace gpawfd::bench;
 
   const bool smoke = flag_from_args(argc, argv, "--smoke");
+  auto telemetry = sink_from_args(argc, argv);
   const int kRequests = smoke ? 512 : 4096;  // per config, across conns
 
   banner("RPC front-end: loopback serving cost over the in-process path",
@@ -129,6 +130,8 @@ int main(int argc, char** argv) {
   svc::ServiceConfig cfg;
   cfg.queue_capacity = 256;
   cfg.cache_capacity = 64;
+  cfg.telemetry = telemetry;
+  cfg.telemetry_period_seconds = 0.25;  // the bench runs for seconds
   svc::SimService service(cfg);
 
   // Warm the cache: after this, every request in the measured phases is
@@ -258,6 +261,7 @@ int main(int argc, char** argv) {
   std::string json_path = json_path_from_args(argc, argv);
   if (json_path.empty()) json_path = "BENCH_net.json";
   JsonReport report;
+  report.mirror_to(telemetry, "bench.net_rpc");
   report.set("bench", std::string("net_rpc"));
   report.set("distinct_jobs", kDistinctJobs);
   report.set("requests_per_config", kRequests);
@@ -293,6 +297,11 @@ int main(int argc, char** argv) {
   report.set("failed", total_failed);
   if (report.write(json_path))
     std::cout << "JSON report -> " << json_path << "\n";
+  if (telemetry) {
+    telemetry->flush();
+    std::cout << "telemetry -> " << telemetry->table().path() << " ("
+              << telemetry->written() << " rows)\n";
+  }
 
   return all_completed && overhead_bounded && (smoke || frontier_moved)
              ? 0

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   using namespace gpawfd::bench;
 
   const bool smoke = flag_from_args(argc, argv, "--smoke");
+  auto telemetry = sink_from_args(argc, argv);
   constexpr int kDistinctJobs = 8;
   const int kClients = smoke ? 4 : 16;
   const int kRequestsPerClient = smoke ? 64 : 256;
@@ -64,6 +65,8 @@ int main(int argc, char** argv) {
   svc::ServiceConfig cfg;
   cfg.queue_capacity = 256;
   cfg.cache_capacity = 64;
+  cfg.telemetry = telemetry;
+  cfg.telemetry_period_seconds = 0.25;  // the bench runs for seconds
   svc::SimService service(cfg);
   std::cout << "workers: " << service.workers() << ", queue capacity "
             << cfg.queue_capacity << ", cache capacity "
@@ -473,6 +476,7 @@ int main(int argc, char** argv) {
   std::string json_path = json_path_from_args(argc, argv);
   if (json_path.empty()) json_path = "BENCH_svc.json";
   JsonReport report;
+  report.mirror_to(telemetry, "bench.svc_service");
   report.set("bench", std::string("svc_service"));
   report.set("distinct_jobs", kDistinctJobs);
   report.set("clients", kClients);
@@ -532,6 +536,11 @@ int main(int argc, char** argv) {
   report.set("lane_normal_completed", lane_normal_completed);
   if (report.write(json_path))
     std::cout << "JSON report -> " << json_path << "\n";
+  if (telemetry) {
+    telemetry->flush();
+    std::cout << "telemetry -> " << telemetry->table().path() << " ("
+              << telemetry->written() << " rows)\n";
+  }
 
   const bool gates = hit_fast_enough && admission_sheds && faults_absorbed &&
                      warm_restart_free &&

@@ -11,6 +11,10 @@
 //       --report=SCENARIO_flagship.json
 //   ./scenario_runner --scenario=scenarios/fault_storm.json --print-plan
 //   ./scenario_runner --scenario=scenarios/smoke.json --seed=7  # override
+//   ./scenario_runner --scenario=scenarios/long_soak.json
+//       --telemetry-dir=telemetry-out --run-id=pr10  # stream rows
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -27,7 +31,11 @@ int main(int argc, char** argv) {
             "to this path")
       .flag("seed", "-1", "override the scenario's seed (-1 = keep)")
       .flag("print-plan", "false", "print the deterministic request plan "
-            "and exit without running");
+            "and exit without running")
+      .flag("telemetry-dir", "", "stream run telemetry rows into "
+            "<dir>/telemetry.gptt (empty = off)")
+      .flag("run-id", "", "trajectory point id for telemetry rows "
+            "(default: $GPAWFD_RUN_ID, else \"local\")");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -76,14 +84,30 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::shared_ptr<telemetry::TelemetrySink> sink;
+  const std::string telemetry_dir = cli.get("telemetry-dir");
+  if (!telemetry_dir.empty()) {
+    std::string run_id = cli.get("run-id");
+    if (run_id.empty())
+      if (const char* env = std::getenv("GPAWFD_RUN_ID")) run_id = env;
+    if (run_id.empty()) run_id = "local";
+    std::filesystem::create_directories(telemetry_dir);
+    sink = telemetry::TelemetrySink::open_in(telemetry_dir, run_id);
+  }
+
   scenario::ScenarioReport report;
   try {
     scenario::Runner runner(sc);
+    runner.set_telemetry(sink);
     report = runner.run();
   } catch (const Error& e) {
     std::cerr << "scenario run failed: " << e.what() << "\n";
     return 2;
   }
+  if (sink)
+    std::cout << "telemetry -> " << sink->table().path() << " ("
+              << sink->written() << " rows, " << sink->dropped()
+              << " dropped)\n";
 
   Table t({"phase", "issued", "ok", "rejected", "failed", "p50", "p99",
            "rps"});

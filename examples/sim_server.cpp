@@ -40,6 +40,8 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -185,7 +187,13 @@ int main(int argc, char** argv) {
             "fill before dispatching (0 = immediately)")
       .flag("warm-block", "true", "wait for the --cache-dir warm-load to "
             "finish before serving (false = serve immediately, warm-load "
-            "fills the cache in the background)");
+            "fills the cache in the background)")
+      .flag("telemetry-dir", "", "stream periodic counter/gauge rows into "
+            "<dir>/telemetry.gptt (empty = off)")
+      .flag("telemetry-period-ms", "1000", "milliseconds between telemetry "
+            "flush passes")
+      .flag("run-id", "", "trajectory point id for telemetry rows "
+            "(default: $GPAWFD_RUN_ID, else \"local\")");
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -238,6 +246,17 @@ int main(int argc, char** argv) {
         cli.get_double_in("fault-delay-ms", 0, 1e7) / 1e3;
     fault_cfg.fail_attempts = static_cast<int>(
         cli.get_int_in("fault-fail-attempts", -1, 1 << 20));
+    cfg.telemetry_period_seconds =
+        cli.get_double_in("telemetry-period-ms", 1, 1e7) / 1e3;
+    const std::string telemetry_dir = cli.get("telemetry-dir");
+    if (!telemetry_dir.empty()) {
+      std::string run_id = cli.get("run-id");
+      if (run_id.empty())
+        if (const char* env = std::getenv("GPAWFD_RUN_ID")) run_id = env;
+      if (run_id.empty()) run_id = "local";
+      std::filesystem::create_directories(telemetry_dir);
+      cfg.telemetry = telemetry::TelemetrySink::open_in(telemetry_dir, run_id);
+    }
     if (cli.get_bool("listen")) {
       (void)cli.get_int_in("port", 0, 65535);
       (void)cli.get_int_in("max-inflight", 1, 1 << 20);
@@ -274,6 +293,11 @@ int main(int argc, char** argv) {
                 << " (warm-loading in background)\n";
     }
   }
+
+  if (cfg.telemetry)
+    std::cout << "telemetry: " << cfg.telemetry->table().path() << " (run "
+              << cfg.telemetry->run_id() << ", every "
+              << fmt_seconds(cfg.telemetry_period_seconds) << ")\n";
 
   if (cli.get_bool("listen")) return run_listen_mode(service, cli);
 

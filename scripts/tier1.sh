@@ -32,6 +32,15 @@
 #                               # scenarios through scenario_runner, SLO
 #                               # assertions enforced, emitting
 #                               # SCENARIO_*.json for CI artifact upload
+#   scripts/tier1.sh --trajectory  # telemetry pipeline end to end: smoke
+#                               # benches + scenario streamed into
+#                               # telemetry-out/telemetry.gptt, a SIGKILL
+#                               # mid-run must leave a decodable table,
+#                               # scripts/trajectory_report renders the
+#                               # series and gates it against the
+#                               # committed TRAJECTORY.json — and the
+#                               # gate must provably fire on an injected
+#                               # 2x p99 degradation
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,10 +64,10 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DGPAWFD_TSAN=ON
   cmake --build build-tsan -j "$JOBS" --target svc_stress_test svc_test \
     svc_fault_test worker_pool_test mp_stress_test net_test \
-    cache_store_test cluster_test
+    cache_store_test cluster_test telemetry_test
   TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus|CacheStore|Persister|SimServicePersist|HashRing|Router'
+    -R 'Svc|RetryPolicy|FaultPlan|WorkerPool|MpStress|JobQueue|ResultCache|Loopback|Frame\.|Codec|WireStatus|CacheStore|Persister|SimServicePersist|HashRing|Router|Telemetry'
 elif [[ "${1:-}" == "--stress" ]]; then
   # Nightly soak lane: only the `stress`-labelled suites, run much longer
   # (GPAWFD_CHAOS_ROUNDS multiplies the chaos soak's fault schedules).
@@ -66,7 +75,8 @@ elif [[ "${1:-}" == "--stress" ]]; then
   # bit-flip torture loops carry the stress label too.
   cmake -B build -S .
   cmake --build build -j "$JOBS" \
-    --target svc_stress_test mp_stress_test cache_store_test
+    --target svc_stress_test mp_stress_test cache_store_test \
+    telemetry_test scenario_soak_test
   GPAWFD_CHAOS_ROUNDS="${GPAWFD_CHAOS_ROUNDS:-20}" \
     ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
 elif [[ "${1:-}" == "--bench-smoke" ]]; then
@@ -89,6 +99,49 @@ elif [[ "${1:-}" == "--scenario-smoke" ]]; then
     --report=SCENARIO_smoke.json
   ./build/examples/scenario_runner --scenario=scenarios/fault_storm.json \
     --report=SCENARIO_fault_storm.json
+elif [[ "${1:-}" == "--trajectory" ]]; then
+  # Telemetry trajectory lane. Every producer layer streams into one
+  # run-scoped table, then the pure-python reader (no build needed on
+  # the read side) renders the per-PR series and gates it against the
+  # committed baseline. The committed thresholds are deliberately
+  # generous (TRAJECTORY.json carries them per metric) so a loaded
+  # runner cannot flake tier-1 on wall-clock noise; --inject proves the
+  # gate is live, not vacuously green.
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" \
+    --target svc_service net_rpc scenario_runner sim_server
+  scripts/trajectory_report selfcheck
+  RUN_ID="${GPAWFD_RUN_ID:-ci}"
+  rm -rf telemetry-out telemetry-crash
+  ./build/bench/svc_service --smoke --json BENCH_svc.json \
+    --telemetry-dir telemetry-out --run-id "$RUN_ID"
+  ./build/bench/net_rpc --smoke --json BENCH_net.json \
+    --telemetry-dir telemetry-out --run-id "$RUN_ID"
+  ./build/examples/scenario_runner --scenario=scenarios/smoke.json \
+    --telemetry-dir=telemetry-out --run-id="$RUN_ID"
+  # Crash survival: SIGKILL a serving process mid-run; the forward-scan
+  # recovery must still decode every fully-flushed row (a non-empty
+  # render — trajectory_report exits 1 on an empty series).
+  ./build/examples/sim_server --clients=8 --requests=500 \
+    --telemetry-dir=telemetry-crash --telemetry-period-ms=50 \
+    --run-id="$RUN_ID-crash" >/dev/null 2>&1 &
+  SRV=$!
+  sleep 1
+  kill -9 "$SRV" 2>/dev/null || true
+  wait "$SRV" 2>/dev/null || true
+  scripts/trajectory_report render telemetry-crash/telemetry.gptt
+  scripts/trajectory_report render telemetry-out/telemetry.gptt \
+    --json TRAJECTORY_report.json
+  scripts/trajectory_report gate telemetry-out/telemetry.gptt \
+    --baseline TRAJECTORY.json --allow-missing
+  # The gate must FAIL on a synthetic 2x p99 regression — exit 0 here
+  # would mean the lane can never catch anything.
+  if scripts/trajectory_report gate telemetry-out/telemetry.gptt \
+      --baseline TRAJECTORY.json --allow-missing --inject 'p99:2.0'; then
+    echo "trajectory gate did not fire on injected 2x p99" >&2
+    exit 1
+  fi
+  echo "trajectory lane OK (gate live, crash table decodable)"
 elif [[ "${1:-}" == "--cluster" ]]; then
   # Cluster failover lane: the kill-one-of-three shell harness over real
   # processes, then the declarative node-kill scenario (in-process

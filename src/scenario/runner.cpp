@@ -116,6 +116,31 @@ struct Stack {
 
 Runner::Runner(Scenario scenario) : scenario_(std::move(scenario)) {}
 
+void Runner::set_telemetry(std::shared_ptr<telemetry::TelemetrySink> sink) {
+  telemetry_ = std::move(sink);
+}
+
+namespace {
+/// Signed headroom to the bound; see AssertionResult::margin.
+double slo_margin(SloParams::Op op, double observed, double bound) {
+  switch (op) {
+    case SloParams::Op::kLe:
+    case SloParams::Op::kLt:
+      return bound - observed;
+    case SloParams::Op::kGe:
+    case SloParams::Op::kGt:
+      return observed - bound;
+    case SloParams::Op::kEq: {
+      const double d = std::abs(observed - bound);
+      return d == 0 ? 0.0 : -d;  // avoid printing "-0" on exact matches
+    }
+    case SloParams::Op::kNe:
+      return std::abs(observed - bound);
+  }
+  return 0;
+}
+}  // namespace
+
 double ScenarioReport::metric(const std::string& name,
                               const std::string& phase) const {
   const PhaseStats* stats = &overall;
@@ -180,6 +205,7 @@ std::vector<AssertionResult> evaluate_slos(const std::vector<SloParams>& slos,
     try {
       r.observed = report.metric(slo.metric, slo.phase);
       r.passed = slo_holds(slo.op, r.observed, slo.value);
+      r.margin = slo_margin(slo.op, r.observed, slo.value);
     } catch (const Error& e) {
       r.passed = false;
       r.detail = e.what();
@@ -195,7 +221,8 @@ std::string ScenarioReport::assertion_summary() const {
     os << (a.passed ? "PASS " : "FAIL ") << a.slo.metric;
     if (!a.slo.phase.empty()) os << "[" << a.slo.phase << "]";
     os << " " << to_string(a.slo.op) << " " << json_number(a.slo.value)
-       << " (observed " << json_number(a.observed) << ")";
+       << " (observed " << json_number(a.observed) << ", margin "
+       << json_number(a.margin) << ")";
     if (!a.detail.empty()) os << " — " << a.detail;
     os << "\n";
   }
@@ -232,7 +259,8 @@ std::string ScenarioReport::to_json() const {
     os << "    {\"metric\": \"" << json_escaped(a.slo.metric) << "\", \"op\": \""
        << to_string(a.slo.op) << "\", \"value\": " << json_number(a.slo.value)
        << ", \"phase\": \"" << json_escaped(a.slo.phase)
-       << "\", \"observed\": " << json_number(a.observed) << ", \"passed\": "
+       << "\", \"observed\": " << json_number(a.observed)
+       << ", \"margin\": " << json_number(a.margin) << ", \"passed\": "
        << (a.passed ? "true" : "false") << "}"
        << (i + 1 < assertions.size() ? ",\n" : "\n");
   }
@@ -284,6 +312,8 @@ ScenarioReport Runner::run() {
   auto build_stack = [&](std::int64_t closed_clients) {
     svc::ServiceConfig cfg = scenario_.service.to_service_config();
     cfg.cache_dir = cache_dir;
+    cfg.telemetry = telemetry_;
+    cfg.telemetry_period_seconds = 0.25;  // scenarios run for seconds
     // Over the wire the poll thread calls submit_then; a blocking
     // admission there would stall every connection, so the wire always
     // sheds (the client-side pipeline window is the throttle).
@@ -304,6 +334,7 @@ ScenarioReport Runner::run() {
       cluster::RouterConfig rcfg;
       for (std::int64_t b = 0; b < t.backends; ++b) {
         svc::ServiceConfig bcfg = cfg;
+        bcfg.telemetry_source = "svc.b" + std::to_string(b);
         if (!cache_dir.empty()) {
           bcfg.cache_dir = cache_dir + "/b" + std::to_string(b);
           std::filesystem::create_directories(bcfg.cache_dir);
@@ -585,6 +616,28 @@ ScenarioReport Runner::run() {
       auto it = before.find(k);
       stats.service_delta[k] = v - (it == before.end() ? 0 : it->second);
     }
+    if (telemetry_) {
+      // Per-phase rows: client-side stats plus the service counter
+      // deltas, all keyed under the phase name so the trajectory report
+      // can track one phase across PRs.
+      const std::string src = "scenario." + scenario_.name;
+      const std::string pfx = "phase." + stats.name + ".";
+      auto emit = [&](const std::string& key, double value) {
+        telemetry_->record(src, pfx + key, value, "phase");
+      };
+      emit("throughput_rps", stats.throughput_rps);
+      emit("p50_s", stats.p50_seconds);
+      emit("p99_s", stats.p99_seconds);
+      emit("wall_s", stats.wall_seconds);
+      emit("issued", static_cast<double>(stats.issued));
+      emit("ok", static_cast<double>(stats.ok));
+      emit("rejected", static_cast<double>(stats.rejected));
+      emit("failed", static_cast<double>(stats.failed));
+      for (const auto& [k, v] : stats.service_delta)
+        if (v != 0)
+          telemetry_->record(src, pfx + "delta." + k,
+                             static_cast<double>(v), "phase");
+    }
     report.phases.push_back(std::move(stats));
   }
 
@@ -615,6 +668,30 @@ ScenarioReport Runner::run() {
   report.passed = true;
   for (const AssertionResult& a : report.assertions)
     report.passed = report.passed && a.passed;
+
+  if (telemetry_) {
+    // Whole-run stats plus per-assertion observed value and headroom —
+    // the "SLO margin across PRs" series, not just pass/fail.
+    const std::string src = "scenario." + scenario_.name;
+    telemetry_->record(src, "overall.throughput_rps",
+                       report.overall.throughput_rps, "run");
+    telemetry_->record(src, "overall.p50_s", report.overall.p50_seconds,
+                       "run");
+    telemetry_->record(src, "overall.p99_s", report.overall.p99_seconds,
+                       "run");
+    telemetry_->record(src, "overall.ok",
+                       static_cast<double>(report.overall.ok), "run");
+    telemetry_->record(src, "overall.failed",
+                       static_cast<double>(report.overall.failed), "run");
+    telemetry_->record(src, "passed", report.passed ? 1.0 : 0.0, "run");
+    for (const AssertionResult& a : report.assertions) {
+      std::string key = "slo." + a.slo.metric;
+      if (!a.slo.phase.empty()) key += "." + a.slo.phase;
+      telemetry_->record(src, key + ".observed", a.observed, "slo");
+      telemetry_->record(src, key + ".margin", a.margin, "slo");
+    }
+    telemetry_->flush();
+  }
   return report;
 }
 

@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "scenario/generator.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/sink.hpp"
 
 namespace gpawfd::scenario {
 
@@ -42,6 +44,12 @@ struct PhaseStats {
 struct AssertionResult {
   SloParams slo;
   double observed = 0;
+  /// Signed headroom to the bound, positive while the assertion passes:
+  /// kLe/kLt: value - observed; kGe/kGt: observed - value;
+  /// kEq: -|observed - value|; kNe: |observed - value|. Tracked across
+  /// PRs (via the telemetry table) so an SLO eroding toward its bound is
+  /// visible long before it flips to FAIL.
+  double margin = 0;
   bool passed = false;
   std::string detail;  // set when the metric could not be evaluated
 };
@@ -73,12 +81,22 @@ class Runner {
  public:
   explicit Runner(Scenario scenario);
 
+  /// Stream this run into a telemetry sink (null = off, the default):
+  /// the built service(s) flush counter deltas on a period (source
+  /// "svc", or "svc.b<i>" per cluster backend), and the runner itself
+  /// emits per-phase client stats + service counter deltas
+  /// ("phase.<name>.*"), overall stats, and per-assertion observed/
+  /// margin rows ("slo.<metric>...") under source
+  /// "scenario.<scenario name>".
+  void set_telemetry(std::shared_ptr<telemetry::TelemetrySink> sink);
+
   /// Execute every phase and grade the SLOs. Runs to completion even
   /// when assertions fail — the report carries the verdict.
   ScenarioReport run();
 
  private:
   Scenario scenario_;
+  std::shared_ptr<telemetry::TelemetrySink> telemetry_;
 };
 
 /// Evaluate `slos` against a filled-in report (exposed for tests).

@@ -38,6 +38,9 @@ void for_each_counter(const Metrics& m, Fn&& fn) {
   fn("svc.persist_dropped", get(m.persist_dropped));
   fn("svc.persist_flushes", get(m.persist_flushes));
   fn("svc.persist_compactions", get(m.persist_compactions));
+  fn("svc.telemetry_rows", get(m.telemetry_rows));
+  fn("svc.telemetry_dropped", get(m.telemetry_dropped));
+  fn("svc.telemetry_flushes", get(m.telemetry_flushes));
 }
 }  // namespace
 

@@ -72,6 +72,15 @@ class Metrics {
   std::atomic<std::int64_t> persist_flushes{0};  // fsync barriers
   std::atomic<std::int64_t> persist_compactions{0};
 
+  // ---- telemetry sink -------------------------------------------------
+  // Periodic-flush accounting: every row the service hands to the
+  // telemetry sink is eventually written or dropped by backpressure, so
+  //   telemetry_rows == sink written + telemetry_dropped
+  // once the sink is flushed and the service quiescent.
+  std::atomic<std::int64_t> telemetry_rows{0};     // rows recorded
+  std::atomic<std::int64_t> telemetry_dropped{0};  // drop-oldest backpressure
+  std::atomic<std::int64_t> telemetry_flushes{0};  // periodic flush passes
+
   // ---- latency histograms --------------------------------------------
   trace::LatencyHistogram queue_wait;    // enqueue -> picked up by a worker
   trace::LatencyHistogram exec_time;     // successful executor run (cold)

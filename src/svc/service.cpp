@@ -5,6 +5,7 @@
 #include <cmath>
 #include <filesystem>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -116,6 +117,57 @@ SimService::SimService(ServiceConfig config)
   if (has_lane_) threads_.emplace_back([this] { lane_loop(); });
   for (int w = has_lane_ ? 1 : 0; w < config_.workers; ++w)
     threads_.emplace_back([this] { worker_loop(); });
+  if (config_.telemetry && config_.telemetry_period_seconds > 0)
+    telemetry_thread_ = std::thread([this] { telemetry_loop(); });
+}
+
+void SimService::telemetry_loop() {
+  const auto period =
+      std::chrono::duration<double>(config_.telemetry_period_seconds);
+  std::unique_lock lk(tel_mu_);
+  for (;;) {
+    tel_cv_.wait_for(lk, period, [&] { return tel_stop_; });
+    if (tel_stop_) return;  // shutdown() takes the final flush itself
+    lk.unlock();
+    telemetry_flush();
+    lk.lock();
+  }
+}
+
+void SimService::telemetry_flush() {
+  telemetry::TelemetrySink& sink = *config_.telemetry;
+  std::int64_t rows = 0, drops = 0;
+  auto emit = [&](const std::string& key, double value, const char* tags) {
+    if (!sink.record(config_.telemetry_source, key, value, tags)) ++drops;
+    ++rows;
+  };
+  // Counter deltas since the previous pass — the trajectory wants rates,
+  // and deltas of monotonic counters sum back to totals. The sink's own
+  // accounting counters are excluded: emitting them would change them,
+  // so an idle service would tick rows forever.
+  for (const auto& [key, value] : metrics_.counter_map()) {
+    if (std::string_view(key).substr(0, 14) == "svc.telemetry_") continue;
+    const std::int64_t delta = value - tel_last_[key];
+    if (delta != 0) emit(key, static_cast<double>(delta), "delta");
+    tel_last_[key] = value;
+  }
+  // Point-in-time gauges: ratios and latency quantiles have no delta
+  // form, so each pass samples the current value.
+  emit("svc.hit_ratio", metrics_.hit_ratio(), "gauge");
+  emit("svc.queue_depth", static_cast<double>(queue_.size()), "gauge");
+  if (metrics_.exec_time.count() > 0) {
+    emit("svc.exec_time.p50_s", metrics_.exec_time.quantile(0.50), "gauge");
+    emit("svc.exec_time.p99_s", metrics_.exec_time.quantile(0.99), "gauge");
+  }
+  if (metrics_.queue_wait.count() > 0) {
+    emit("svc.queue_wait.p50_s", metrics_.queue_wait.quantile(0.50), "gauge");
+    emit("svc.queue_wait.p99_s", metrics_.queue_wait.quantile(0.99), "gauge");
+  }
+  if (metrics_.batch_size.count() > 0)
+    emit("svc.batch_size.mean", metrics_.batch_size.mean(), "gauge");
+  metrics_.telemetry_rows.fetch_add(rows, std::memory_order_relaxed);
+  metrics_.telemetry_dropped.fetch_add(drops, std::memory_order_relaxed);
+  metrics_.telemetry_flushes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SimService::warm_reader_loop(CacheStore* store) {
@@ -467,6 +519,22 @@ void SimService::shutdown(bool drain) {
     // Workers are gone, so nothing can enqueue anymore: drain what the
     // persister still holds, fsync, and stop its thread.
     if (persister_) persister_->shutdown();
+    // Telemetry last: the flusher thread stops, then one final pass on
+    // this thread captures the now-final counters (including the
+    // persister's) so the table's last rows reconcile with
+    // metrics_snapshot(). The sink itself outlives the service (shared).
+    if (telemetry_thread_.joinable()) {
+      {
+        std::lock_guard lock(tel_mu_);
+        tel_stop_ = true;
+      }
+      tel_cv_.notify_all();
+      telemetry_thread_.join();
+    }
+    if (config_.telemetry) {
+      telemetry_flush();
+      config_.telemetry->flush();
+    }
   });
 }
 

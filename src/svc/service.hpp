@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +34,7 @@
 #include "svc/job_queue.hpp"
 #include "svc/metrics.hpp"
 #include "svc/result_cache.hpp"
+#include "telemetry/sink.hpp"
 
 namespace gpawfd::svc {
 
@@ -156,6 +158,18 @@ struct ServiceConfig {
   /// to keep every worker draining batches (e.g. pure-throughput
   /// deployments with no interactive traffic).
   bool reserve_interactive_lane = true;
+  /// Telemetry sink shared across the process (null = no telemetry). A
+  /// flusher thread streams nonzero counter deltas (tag "delta") and
+  /// histogram/gauge samples (tag "gauge") every telemetry_period_seconds
+  /// and once more at shutdown, after the persister drained, so the last
+  /// flush carries final counts. telemetry_rows / telemetry_dropped /
+  /// telemetry_flushes in Metrics account this service's share of the
+  /// sink traffic.
+  std::shared_ptr<telemetry::TelemetrySink> telemetry;
+  double telemetry_period_seconds = 1.0;
+  /// The `source` field on every row this service records (distinguishes
+  /// cluster backends sharing one sink).
+  std::string telemetry_source = "svc";
 };
 
 enum class SubmitStatus {
@@ -265,6 +279,12 @@ class SimService {
   void warm_reader_loop(CacheStore* store);
   void warm_decoder_loop();
 
+  void telemetry_loop();
+  /// One flush pass: counter deltas since the previous pass + current
+  /// gauges into the sink. Runs on the flusher thread, and once more
+  /// from shutdown() after that thread (and the persister) is gone.
+  void telemetry_flush();
+
   ServiceConfig config_;
   ResultCache cache_;
   JobQueue<QueuedJob> queue_;
@@ -283,6 +303,15 @@ class SimService {
   mutable std::mutex warm_mu_;
   mutable std::condition_variable warm_cv_;
   bool warm_done_ = true;  // false only while a background load runs
+
+  // Telemetry flusher: tel_last_ (the previous pass's counter values,
+  // for deltas) is only touched by the flusher thread and, after it is
+  // joined, by the final flush in shutdown().
+  std::thread telemetry_thread_;
+  std::mutex tel_mu_;
+  std::condition_variable tel_cv_;
+  bool tel_stop_ = false;
+  std::map<std::string, std::int64_t> tel_last_;
 
   std::atomic<bool> shutting_down_{false};
   /// shutdown(drain=false) was requested: retry loops stop retrying and

@@ -1,0 +1,103 @@
+// The async telemetry sink: producers on any thread call record() and
+// a dedicated writer thread drains the bounded queue into the
+// TelemetryTable — the gacspp COutput buffered-writer pattern with the
+// CacheStore Persister's exact backpressure contract. record() never
+// blocks on I/O; when the queue is full the *oldest* pending row is
+// dropped (counted — recorded == written + dropped reconciles at
+// quiescence), because telemetry must never add latency to the thing it
+// measures. Each drain swap lands as one contiguous append + one fsync.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/table.hpp"
+
+namespace gpawfd::telemetry {
+
+struct SinkConfig {
+  /// Bounded queue between record() and the table. When full the oldest
+  /// pending row is dropped (counted), never the newest — the freshest
+  /// sample is the one the trajectory wants — and never the caller's
+  /// time: record() does no I/O.
+  std::size_t queue_capacity = 1024;
+  /// Retention: after a flush, keep only the newest `compact_max_runs`
+  /// distinct run_ids when the table holds more than that many runs and
+  /// at least compact_min_rows rows (<= 0 disables).
+  int compact_max_runs = 0;
+  std::int64_t compact_min_rows = 4096;
+  /// Test hook: runs on the writer thread just before each append batch
+  /// (e.g. to gate writes and force the drop-oldest path determinately).
+  std::function<void(const TelemetryRow& first)> on_write;
+};
+
+/// Owns a TelemetryTable plus the dedicated thread that drains rows
+/// into it. Construction opens the table and runs recovery (repair=true)
+/// synchronously, so a sink on a SIGKILLed table starts from the valid
+/// prefix; then the writer thread starts.
+class TelemetrySink {
+ public:
+  /// Every row this sink records carries `run_id`.
+  TelemetrySink(std::string path, std::string run_id, SinkConfig config = {});
+  ~TelemetrySink();  // shutdown()
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// Convenience: sink on TelemetryTable::path_in(dir).
+  static std::shared_ptr<TelemetrySink> open_in(const std::string& dir,
+                                                std::string run_id,
+                                                SinkConfig config = {});
+
+  /// Queue one row (stamped with unix wall-clock now). Safe from any
+  /// thread; never blocks on I/O. Returns false when the enqueue caused
+  /// a drop — the oldest pending row when full, this row after
+  /// shutdown().
+  bool record(const std::string& source, const std::string& key, double value,
+              const std::string& tags = {});
+
+  /// Block until everything recorded so far is written and fsynced.
+  void flush();
+  /// Drain the queue, fsync, and stop the thread. Idempotent.
+  void shutdown();
+
+  const std::string& run_id() const { return run_id_; }
+  const TelemetryTable& table() const { return *table_; }
+
+  std::int64_t recorded() const { return recorded_.load(); }
+  std::int64_t written() const { return written_.load(); }
+  std::int64_t dropped() const { return dropped_.load(); }
+  std::int64_t flushes() const { return flushes_.load(); }
+  std::int64_t compactions() const { return compactions_.load(); }
+
+ private:
+  void loop();
+
+  std::unique_ptr<TelemetryTable> table_;
+  std::string run_id_;
+  SinkConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // wakes the writer thread
+  std::condition_variable idle_cv_;  // wakes flush() waiters
+  std::deque<TelemetryRow> queue_;
+  bool closed_ = false;
+  bool draining_ = false;  // thread is between pop and post-drain sync
+
+  std::atomic<std::int64_t> recorded_{0};
+  std::atomic<std::int64_t> written_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<std::int64_t> flushes_{0};
+  std::atomic<std::int64_t> compactions_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace gpawfd::telemetry

@@ -76,10 +76,51 @@ TEST(scenario_acceptance, FlagshipPlanReplaysBitIdentically) {
   EXPECT_EQ(s.mix.kind, KeyMixParams::Kind::kZipf);
 }
 
+TEST(scenario_acceptance, SloGradingSurfacesObservedValueAndMargin) {
+  const ScenarioReport report = run_file("smoke.json");
+  ASSERT_FALSE(report.assertions.empty());
+  for (const AssertionResult& a : report.assertions) {
+    // Every graded assertion carries the measured value and its signed
+    // headroom; a passing assertion never has negative margin.
+    EXPECT_TRUE(a.detail.empty()) << a.slo.metric << ": " << a.detail;
+    if (a.passed) EXPECT_GE(a.margin, 0.0) << a.slo.metric;
+    // margin semantics: headroom to the bound, per the operator.
+    switch (a.slo.op) {
+      case SloParams::Op::kLe:
+      case SloParams::Op::kLt:
+        EXPECT_DOUBLE_EQ(a.margin, a.slo.value - a.observed);
+        break;
+      case SloParams::Op::kGe:
+      case SloParams::Op::kGt:
+        EXPECT_DOUBLE_EQ(a.margin, a.observed - a.slo.value);
+        break;
+      default:
+        break;  // kEq/kNe: |distance| with sign by op, covered below
+    }
+  }
+  // The hit-ratio SLO (>= 0.3) passes with real headroom on this
+  // workload; its margin must be the distance above the bound.
+  bool saw_hit_ratio = false;
+  for (const AssertionResult& a : report.assertions) {
+    if (a.slo.metric != "hit_ratio") continue;
+    saw_hit_ratio = true;
+    EXPECT_GT(a.margin, 0.0);
+    EXPECT_DOUBLE_EQ(a.margin, a.observed - a.slo.value);
+  }
+  EXPECT_TRUE(saw_hit_ratio);
+
+  // The machine-readable report carries both new fields per assertion.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"margin\":"), std::string::npos);
+  EXPECT_NE(json.find("\"observed\":"), std::string::npos);
+  // And the human summary prints the margin next to each verdict.
+  EXPECT_NE(report.assertion_summary().find("margin"), std::string::npos);
+}
+
 TEST(scenario_acceptance, EveryCheckedInScenarioParses) {
   for (const char* file : {"smoke.json", "fault_storm.json",
                            "warm_restart.json", "zipf_flagship.json",
-                           "node_kill.json"}) {
+                           "node_kill.json", "long_soak.json"}) {
     const Scenario s = load_scenario(scenario_path(file));
     EXPECT_FALSE(s.name.empty()) << file;
     EXPECT_FALSE(s.phases.empty()) << file;

@@ -1,0 +1,116 @@
+// The long-soak scenario, end to end with telemetry attached: a
+// multi-phase Zipf workload (closed warmup, open-loop Poisson soak, a
+// 2x burst) over a fault-injecting service, SLO-gated, streaming every
+// layer's rows into one telemetry table. Beyond the SLO verdict, the
+// test asserts the *telemetry contract*: after the run the table holds
+// the per-phase client stats, the per-assertion observed/margin rows,
+// the run summary, and the service flusher's gauges — the rows
+// scripts/trajectory_report renders into the per-PR series. Labelled
+// stress (it runs a few seconds) but tier-1 still runs it once.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/table.hpp"
+
+namespace gpawfd::scenario {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "gpawfd_soak_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* made = ::mkdtemp(buf.data());
+    GPAWFD_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& dir() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ScenarioSoak, LongSoakMeetsSlosAndStreamsEveryLayerIntoTheTable) {
+  TempDir tmp;
+  const Scenario sc =
+      load_scenario(std::string(GPAWFD_SCENARIO_DIR) + "/long_soak.json");
+  ASSERT_EQ(sc.phases.size(), 3u);
+
+  auto sink = telemetry::TelemetrySink::open_in(tmp.dir(), "soak-test");
+  ScenarioReport report;
+  {
+    Runner runner(sc);
+    runner.set_telemetry(sink);
+    report = runner.run();
+  }
+  EXPECT_TRUE(report.passed) << report.assertion_summary();
+  // The injected faults were absorbed by retries, not surfaced.
+  EXPECT_EQ(report.overall.failed, 0);
+  EXPECT_GE(report.service_counters.at("svc.retries"), 1);
+
+  // Quiesce the sink and reconcile its ledger before reading the table.
+  sink->flush();
+  EXPECT_EQ(sink->recorded(), sink->written() + sink->dropped());
+  sink->shutdown();
+
+  telemetry::TelemetryTable table(
+      telemetry::TelemetryTable::path_in(tmp.dir()));
+  telemetry::TableRecoveryStats stats;
+  const auto rows = table.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.runs, 1);
+  ASSERT_FALSE(rows.empty());
+
+  std::set<std::string> keys_by_source;  // "source|key"
+  for (const telemetry::TelemetryRow& r : rows) {
+    EXPECT_EQ(r.run_id, "soak-test");
+    keys_by_source.insert(r.source + "|" + r.key);
+  }
+  const auto has = [&](const std::string& source, const std::string& key) {
+    return keys_by_source.count(source + "|" + key) > 0;
+  };
+
+  // Per-phase client stats for every declared phase.
+  for (const char* phase : {"warm", "soak", "burst"}) {
+    const std::string pfx = std::string("phase.") + phase + ".";
+    EXPECT_TRUE(has("scenario.long-soak", pfx + "throughput_rps")) << phase;
+    EXPECT_TRUE(has("scenario.long-soak", pfx + "p99_s")) << phase;
+    EXPECT_TRUE(has("scenario.long-soak", pfx + "ok")) << phase;
+    // The in-proc phases carry service counter deltas too.
+    EXPECT_TRUE(has("scenario.long-soak", pfx + "delta.svc.submitted"))
+        << phase;
+  }
+  // Per-assertion observed + margin rows for every SLO in the file.
+  for (const SloParams& slo : sc.slos) {
+    const std::string base = "slo." + slo.metric +
+                             (slo.phase.empty() ? "" : "." + slo.phase);
+    EXPECT_TRUE(has("scenario.long-soak", base + ".observed")) << base;
+    EXPECT_TRUE(has("scenario.long-soak", base + ".margin")) << base;
+  }
+  // Run summary + verdict.
+  EXPECT_TRUE(has("scenario.long-soak", "overall.throughput_rps"));
+  EXPECT_TRUE(has("scenario.long-soak", "passed"));
+  // The service's own periodic flusher rode along on the same table
+  // (gauges always emitted, counter deltas for a run this busy).
+  EXPECT_TRUE(has("svc", "svc.hit_ratio"));
+  EXPECT_TRUE(has("svc", "svc.submitted"));
+}
+
+}  // namespace
+}  // namespace gpawfd::scenario

@@ -11,9 +11,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "svc/fault.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/service.hpp"
+#include "telemetry/sink.hpp"
 #include "trace/stats.hpp"
 
 namespace gpawfd {
@@ -451,6 +454,77 @@ TEST(SvcStress, EvictionChurnStaysCoherentUnderConcurrency) {
   EXPECT_EQ(bad.load(), 0) << "a key must never yield another key's result";
   EXPECT_LE(service.cache().size(), 8u);
   EXPECT_GT(service.cache().evictions(), 0);
+}
+
+// Operator snapshots race the telemetry flusher: the periodic
+// telemetry_loop reads every counter and histogram to compute deltas
+// and gauges while workers are still flushing batched counter updates
+// and the main thread hammers counter_map()/snapshot(). Under TSAN this
+// is the race check for Metrics reads vs the flusher thread. At
+// quiescence the ledger must reconcile exactly: every row the service
+// recorded is either written to the table or counted dropped.
+TEST(SvcStress, CounterMapSnapshotsRaceTelemetryFlushes) {
+  std::string tmpl = ::testing::TempDir() + "gpawfd_teltmp_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+  const std::string dir(buf.data());
+
+  auto sink = telemetry::TelemetrySink::open_in(dir, "stress-run");
+  auto counting =
+      std::make_shared<CountingExecutor>(std::chrono::milliseconds(1));
+  svc::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 256;
+  cfg.executor = [counting](const SimJobSpec& s) { return (*counting)(s); };
+  cfg.telemetry = sink;
+  cfg.telemetry_period_seconds = 0.002;  // flush as hard as possible
+  {
+    svc::SimService service(cfg);
+
+    constexpr int kClients = 8;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < 40; ++i) {
+          svc::Ticket t = service.submit(spec_of_job((c * 5 + i) % 12));
+          if (!t.rejected()) t.result.get();
+        }
+      });
+    }
+    // Snapshot readers race the flusher the whole time.
+    std::int64_t last_rows = 0;
+    for (int peek = 0; peek < 200; ++peek) {
+      const auto counters = service.metrics().counter_map();
+      const std::int64_t rows = counters.at("svc.telemetry_rows");
+      EXPECT_GE(rows, last_rows);  // monotone under concurrent flushes
+      last_rows = rows;
+      EXPECT_GE(counters.at("svc.telemetry_flushes"), 0);
+      (void)service.metrics().snapshot();
+    }
+    for (auto& t : clients) t.join();
+
+    // Quiesce: destructor shutdown joins the flusher, runs one final
+    // flush, then flushes the sink — so after this scope the counters
+    // are final and the ledger must balance.
+    const auto counters = service.metrics().counter_map();
+    EXPECT_GT(counters.at("svc.telemetry_flushes"), 0);
+  }
+  // The service is gone; the sink's ledger is the other half of the
+  // reconcile identity and must balance exactly at quiescence.
+  EXPECT_EQ(sink->recorded(), sink->written() + sink->dropped());
+  sink->shutdown();
+
+  // Everything written survives a fresh recovery, attributed to the run.
+  telemetry::TelemetryTable table(telemetry::TelemetryTable::path_in(dir));
+  telemetry::TableRecoveryStats stats;
+  const auto rows = table.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(static_cast<std::int64_t>(rows.size()), sink->written());
+  for (const auto& r : rows) EXPECT_EQ(r.run_id, "stress-run");
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 // The gated-notify machinery (plain / linger / lane waiter bookkeeping,

@@ -1,0 +1,738 @@
+// Torture tests for the telemetry table + sink (src/telemetry): crash-
+// safe recovery truncated at every byte offset of a multi-row table,
+// random bit flips caught by the CRC without losing earlier rows, a
+// committed golden binary fixture pinning the on-disk row format
+// bit-for-bit (a format change MUST bump kTableVersion and regenerate
+// tests/data/telemetry_v1.gptt — scripts/trajectory_report carries an
+// independent python encoder the selfcheck subcommand verifies against
+// the same bytes), run-retention compaction, the concurrent writer +
+// read-only-reader reopen dance, and the sink's drop-oldest
+// backpressure made deterministic with a gated write hook.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "core/result_codec.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/table.hpp"
+
+namespace gpawfd {
+namespace {
+
+using telemetry::SinkConfig;
+using telemetry::TableRecoveryStats;
+using telemetry::TelemetryRow;
+using telemetry::TelemetrySink;
+using telemetry::TelemetryTable;
+
+// ---- fixtures and helpers ---------------------------------------------
+
+/// A unique scratch directory per test, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "gpawfd_telemetry_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* made = ::mkdtemp(buf.data());
+    GPAWFD_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string table_path() const { return TelemetryTable::path_in(path_); }
+  const std::string& dir() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TelemetryRow make_row(const std::string& run, const std::string& source,
+                      const std::string& key, double value,
+                      const std::string& tags = {}, double time = 0) {
+  TelemetryRow r;
+  r.run_id = run;
+  r.source = source;
+  r.key = key;
+  r.tags = tags;
+  r.value = value;
+  r.time = time;
+  return r;
+}
+
+void expect_row_eq(const TelemetryRow& got, const TelemetryRow& want,
+                   std::uint64_t sequence) {
+  EXPECT_EQ(got.run_id, want.run_id);
+  EXPECT_EQ(got.source, want.source);
+  EXPECT_EQ(got.key, want.key);
+  EXPECT_EQ(got.tags, want.tags);
+  EXPECT_EQ(got.value, want.value);
+  EXPECT_EQ(got.time, want.time);
+  EXPECT_EQ(got.sequence, sequence);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void append_to_file(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The four-row sample every torture loop uses: two runs, mixed sources
+/// and tags (including the empty-tags case the length fields must get
+/// right). Returns the row-boundary offsets the appends reported.
+const std::vector<TelemetryRow>& sample_rows() {
+  static const std::vector<TelemetryRow> rows = {
+      make_row("run-a", "bench.svc_service", "throughput_rps", 81920.5,
+               "report", 100.5),
+      make_row("run-a", "svc", "svc.jobs_executed", 48.0, "delta", 101.5),
+      make_row("run-b", "scenario.smoke", "phase.steady.p99_s", 0.032768,
+               "phase", 102.5),
+      make_row("run-b", "svc", "hit_ratio", 0.8125, "", 103.5),
+  };
+  return rows;
+}
+
+std::vector<std::uint64_t> write_sample_table(const std::string& path) {
+  TelemetryTable table(path);
+  table.recover();
+  std::vector<std::uint64_t> ends;
+  for (const TelemetryRow& r : sample_rows()) ends.push_back(table.append_row(r));
+  table.sync();
+  return ends;
+}
+
+/// Hand-rolled row encoder (independent of TelemetryTable's private one)
+/// for crafting byte-valid rows with hostile field values — a future
+/// format version, a replayed sequence, a lying length — that the
+/// table's own appenders would refuse to produce. CRC is correct by
+/// construction, so recovery must reject these on the *semantic* check,
+/// not the checksum.
+std::vector<std::uint8_t> craft_row(std::uint8_t version, std::uint8_t type,
+                                    std::uint64_t seq, double time,
+                                    double value, const std::string& run,
+                                    const std::string& source,
+                                    const std::string& key,
+                                    const std::string& tags,
+                                    int lie_tags_len = -1) {
+  std::vector<std::uint8_t> out;
+  core::append_u32(out, telemetry::kTableMagic);
+  out.push_back(version);
+  out.push_back(type);
+  out.push_back(0);
+  out.push_back(0);
+  core::append_u64(out, seq);
+  core::append_double(out, time);
+  core::append_double(out, value);
+  auto len16 = [&](std::size_t n) {
+    out.push_back(static_cast<std::uint8_t>(n & 0xff));
+    out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+  };
+  len16(run.size());
+  len16(source.size());
+  len16(key.size());
+  len16(lie_tags_len >= 0 ? static_cast<std::size_t>(lie_tags_len)
+                          : tags.size());
+  std::uint32_t crc = crc32(out.data(), out.size());
+  crc = crc32(run.data(), run.size(), crc);
+  crc = crc32(source.data(), source.size(), crc);
+  crc = crc32(key.data(), key.size(), crc);
+  crc = crc32(tags.data(), tags.size(), crc);
+  core::append_u32(out, crc);
+  out.insert(out.end(), run.begin(), run.end());
+  out.insert(out.end(), source.begin(), source.end());
+  out.insert(out.end(), key.begin(), key.end());
+  out.insert(out.end(), tags.begin(), tags.end());
+  return out;
+}
+
+// ---- basic round trip ---------------------------------------------------
+
+TEST(TelemetryTable, RoundTripRecoversEveryRowInOrder) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());
+
+  TelemetryTable reopened(tmp.table_path());
+  TableRecoveryStats stats;
+  const auto rows = reopened.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, 4);
+  EXPECT_EQ(stats.runs, 2);
+  EXPECT_FALSE(stats.truncated);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    expect_row_eq(rows[i], sample_rows()[i], i + 1);
+
+  EXPECT_EQ(reopened.total_rows(), 4);
+  EXPECT_EQ(reopened.next_sequence(), 5u);
+  ASSERT_EQ(reopened.runs().size(), 2u);
+  EXPECT_EQ(reopened.runs()[0], "run-a");  // first-appearance order
+  EXPECT_EQ(reopened.runs()[1], "run-b");
+}
+
+TEST(TelemetryTable, AppendsContinueAfterReopen) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());
+  {
+    TelemetryTable table(tmp.table_path());
+    table.recover();
+    table.append_row(make_row("run-c", "svc", "queue_depth", 3.0));
+    table.sync();
+  }
+  TelemetryTable again(tmp.table_path());
+  const auto rows = again.recover();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[4].run_id, "run-c");
+  EXPECT_EQ(rows[4].sequence, 5u);  // sequences keep climbing across opens
+}
+
+TEST(TelemetryTable, AppendBeforeRecoverIsRefused) {
+  TempDir tmp;
+  TelemetryTable table(tmp.table_path());
+  EXPECT_THROW(table.append_row(make_row("r", "s", "k", 1.0)), Error);
+}
+
+TEST(TelemetryTable, EmptyRequiredFieldsAreRefused) {
+  TempDir tmp;
+  TelemetryTable table(tmp.table_path());
+  table.recover();
+  EXPECT_THROW(table.append_row(make_row("", "s", "k", 1.0)), Error);
+  EXPECT_THROW(table.append_row(make_row("r", "", "k", 1.0)), Error);
+  EXPECT_THROW(table.append_row(make_row("r", "s", "", 1.0)), Error);
+  // Empty tags are legal — the only optional string.
+  table.append_row(make_row("r", "s", "k", 1.0, ""));
+  EXPECT_EQ(table.total_rows(), 1);
+}
+
+TEST(TelemetryTable, OversizedFieldIsRefused) {
+  TempDir tmp;
+  TelemetryTable table(tmp.table_path());
+  table.recover();
+  const std::string huge(telemetry::kMaxFieldBytes + 1, 'x');
+  EXPECT_THROW(table.append_row(make_row("r", "s", huge, 1.0)), Error);
+  EXPECT_EQ(table.total_rows(), 0);
+}
+
+TEST(TelemetryTable, BatchAppendIsByteIdenticalToSingleAppends) {
+  TempDir tmp;
+  const std::string one = tmp.dir() + "/one.gptt";
+  const std::string batch = tmp.dir() + "/batch.gptt";
+  {
+    TelemetryTable t(one);
+    t.recover();
+    for (const TelemetryRow& r : sample_rows()) t.append_row(r);
+    t.sync();
+  }
+  {
+    TelemetryTable t(batch);
+    t.recover();
+    t.append_rows(sample_rows());
+    t.sync();
+  }
+  EXPECT_TRUE(read_file(one) == read_file(batch));
+}
+
+// ---- the every-byte-offset truncation torture ---------------------------
+
+// Crash-safety acceptance test: for EVERY prefix length of a multi-row
+// table — every possible torn-write crash point — reopening must
+// neither crash nor accept a corrupt row, and must recover exactly the
+// rows whose bytes fully survived.
+TEST(TelemetryTorture, TruncationAtEveryByteOffsetRecoversThePrefix) {
+  TempDir tmp;
+  const std::string sample = tmp.dir() + "/sample.gptt";
+  const std::vector<std::uint64_t> ends = write_sample_table(sample);
+  const std::vector<std::uint8_t> full = read_file(sample);
+  ASSERT_EQ(full.size(), ends.back());
+
+  const std::string victim = tmp.dir() + "/victim.gptt";
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    write_file(victim, std::vector<std::uint8_t>(full.begin(),
+                                                 full.begin() +
+                                                     static_cast<long>(len)));
+    std::int64_t expect_rows = 0;
+    std::uint64_t valid_end = 0;
+    for (const std::uint64_t end : ends) {
+      if (end <= len) {
+        ++expect_rows;
+        valid_end = end;
+      }
+    }
+
+    TelemetryTable table(victim);
+    TableRecoveryStats stats;
+    const auto rows = table.recover(&stats);
+    ASSERT_EQ(stats.rows_scanned, expect_rows) << "prefix " << len;
+    ASSERT_EQ(stats.truncated_bytes,
+              static_cast<std::int64_t>(len - valid_end))
+        << "prefix " << len;
+    ASSERT_EQ(stats.truncated, len != valid_end) << "prefix " << len;
+    // repair=true physically truncated the file to the row boundary.
+    ASSERT_EQ(std::filesystem::file_size(victim), valid_end)
+        << "prefix " << len;
+
+    // The undamaged prefix is fully recovered, with its exact contents.
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(expect_rows));
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      expect_row_eq(rows[i], sample_rows()[i], i + 1);
+
+    // A second recovery of the repaired file is clean and identical.
+    TelemetryTable again(victim);
+    TableRecoveryStats stats2;
+    const auto rows2 = again.recover(&stats2);
+    ASSERT_FALSE(stats2.truncated) << "prefix " << len;
+    ASSERT_EQ(rows2.size(), rows.size()) << "prefix " << len;
+  }
+}
+
+// ---- random bit flips ---------------------------------------------------
+
+// Any single flipped bit invalidates exactly the row it lands in: the
+// CRC rejects that row (and, because nothing past a bad row can be
+// trusted, the scan stops there) while every earlier row survives with
+// its exact contents. Seeds are fixed: failures replay.
+TEST(TelemetryTorture, RandomBitFlipsNeverLoseEarlierRows) {
+  TempDir tmp;
+  const std::string sample = tmp.dir() + "/sample.gptt";
+  const std::vector<std::uint64_t> ends = write_sample_table(sample);
+  const std::vector<std::uint8_t> full = read_file(sample);
+
+  const std::string victim = tmp.dir() + "/victim.gptt";
+  for (std::uint32_t seed = 1; seed <= 64; ++seed) {
+    std::mt19937 rng(seed);
+    const std::size_t pos = std::uniform_int_distribution<std::size_t>(
+        0, full.size() - 1)(rng);
+    const int bit = std::uniform_int_distribution<int>(0, 7)(rng);
+
+    std::vector<std::uint8_t> damaged = full;
+    damaged[pos] ^= static_cast<std::uint8_t>(1u << bit);
+    write_file(victim, damaged);
+
+    std::int64_t damaged_row = 0;
+    while (pos >= ends[static_cast<std::size_t>(damaged_row)]) ++damaged_row;
+
+    TelemetryTable table(victim);
+    TableRecoveryStats stats;
+    const auto rows = table.recover(&stats);
+    ASSERT_EQ(stats.rows_scanned, damaged_row)
+        << "seed " << seed << " pos " << pos << " bit " << bit;
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(damaged_row));
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      expect_row_eq(rows[i], sample_rows()[i], i + 1);
+  }
+}
+
+// ---- hostile-but-checksummed rows ---------------------------------------
+
+TEST(TelemetryTable, FutureFormatVersionIsRejectedNotMisread) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());
+  const auto alien =
+      craft_row(telemetry::kTableVersion + 1, 1, /*seq=*/5, 200.0, 9.0,
+                "run-z", "svc", "alien", "");
+  append_to_file(tmp.table_path(), alien);
+
+  TelemetryTable table(tmp.table_path());
+  TableRecoveryStats stats;
+  const auto rows = table.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, 4);
+  EXPECT_TRUE(stats.truncated);
+  for (const TelemetryRow& r : rows) EXPECT_NE(r.run_id, "run-z");
+}
+
+TEST(TelemetryTable, NonMonotonicSequenceIsRejected) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());  // sequences 1..4
+  const auto replayed = craft_row(telemetry::kTableVersion, 1, /*seq=*/2,
+                                  200.0, 9.0, "run-z", "svc", "replay", "");
+  append_to_file(tmp.table_path(), replayed);
+
+  TelemetryTable table(tmp.table_path());
+  TableRecoveryStats stats;
+  table.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, 4);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(TelemetryTable, EmptyRunIdOnDiskIsRejected) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());
+  // run_id_len == 0 with a valid CRC: appenders can't produce it, the
+  // scanner must still refuse it (required fields are non-empty).
+  const auto hostile = craft_row(telemetry::kTableVersion, 1, /*seq=*/5,
+                                 200.0, 9.0, "", "svc", "k", "");
+  append_to_file(tmp.table_path(), hostile);
+
+  TelemetryTable table(tmp.table_path());
+  TableRecoveryStats stats;
+  table.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, 4);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(TelemetryTable, OversizedLengthFieldIsRejected) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());
+  // tags_len past the sanity cap, CRC valid over the real (short) tags:
+  // the scanner must refuse the length before trusting it — a lying
+  // length must never swallow the rest of the table as one "row".
+  const auto hostile = craft_row(
+      telemetry::kTableVersion, 1, /*seq=*/5, 200.0, 9.0, "run-z", "svc",
+      "k", "t", /*lie_tags_len=*/static_cast<int>(telemetry::kMaxFieldBytes)
+                + 1);
+  append_to_file(tmp.table_path(), hostile);
+
+  TelemetryTable table(tmp.table_path());
+  TableRecoveryStats stats;
+  table.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, 4);
+  EXPECT_TRUE(stats.truncated);
+}
+
+// ---- golden file: the on-disk format, pinned ---------------------------
+
+// tests/data/telemetry_v1.gptt is a committed binary fixture produced by
+// this exact row schedule (times fixed, sequences 1..4). If either
+// golden test fails, the on-disk format changed: bump
+// telemetry::kTableVersion, regenerate the fixture, and update the
+// python decoder in scripts/trajectory_report to match — old tables must
+// be cleanly rejected, never silently misread.
+constexpr const char* kGoldenPath =
+    GPAWFD_TEST_DATA_DIR "/telemetry_v1.gptt";
+
+const std::vector<TelemetryRow>& golden_rows() {
+  static const std::vector<TelemetryRow> rows = {
+      make_row("golden-run-a", "bench.svc_service", "throughput_rps",
+               81920.5, "report", 1700000000.5),
+      make_row("golden-run-a", "svc", "svc.jobs_executed", 48.0, "delta",
+               1700000001.5),
+      make_row("golden-run-b", "scenario.smoke", "phase.steady.p99_s",
+               0.032768, "phase", 1700000002.5),
+      make_row("golden-run-b", "svc", "hit_ratio", 0.8125, "",
+               1700000003.5),
+  };
+  return rows;
+}
+
+TEST(TelemetryGolden, FixtureDecodesBitExactly) {
+  TelemetryTable table(kGoldenPath);
+  TableRecoveryStats stats;
+  // repair=false: a golden fixture must never be modified by the test.
+  const auto rows = table.recover(&stats, /*repair=*/false);
+  EXPECT_EQ(stats.rows_scanned, 4);
+  EXPECT_EQ(stats.runs, 2);
+  EXPECT_FALSE(stats.truncated);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    expect_row_eq(rows[i], golden_rows()[i], i + 1);
+}
+
+TEST(TelemetryGolden, EncoderReproducesTheFixtureByteForByte) {
+  TempDir tmp;
+  {
+    TelemetryTable table(tmp.table_path());
+    table.recover();
+    for (const TelemetryRow& r : golden_rows()) table.append_row(r);
+    table.sync();
+  }
+  const auto ours = read_file(tmp.table_path());
+  const auto golden = read_file(kGoldenPath);
+  ASSERT_FALSE(golden.empty()) << "missing fixture " << kGoldenPath;
+  ASSERT_EQ(ours.size(), golden.size());
+  EXPECT_TRUE(ours == golden)
+      << "on-disk format drifted from the committed fixture — bump "
+         "telemetry::kTableVersion, regenerate tests/data/telemetry_v1."
+         "gptt, and update scripts/trajectory_report";
+}
+
+// ---- retention compaction -----------------------------------------------
+
+TEST(TelemetryTable, CompactionKeepsNewestRunsAndPreservesSequences) {
+  TempDir tmp;
+  TelemetryTable table(tmp.table_path());
+  table.recover();
+  // 4 runs x 6 rows. Retention keeps the newest 2 runs.
+  for (int run = 0; run < 4; ++run)
+    for (int i = 0; i < 6; ++i)
+      table.append_row(make_row("run-" + std::to_string(run), "svc",
+                                "k" + std::to_string(i), run * 10.0 + i));
+  table.sync();
+  const std::uint64_t before = table.size_bytes();
+  const std::uint64_t seq_before = table.next_sequence();
+
+  EXPECT_FALSE(table.maybe_compact(2, /*min_rows=*/1000));  // below min: no-op
+  EXPECT_FALSE(table.maybe_compact(4, /*min_rows=*/1));     // 4 runs fit: no-op
+  ASSERT_TRUE(table.maybe_compact(2, /*min_rows=*/1));
+  EXPECT_EQ(table.compactions(), 1);
+  EXPECT_EQ(table.total_rows(), 12);
+  EXPECT_LT(table.size_bytes(), before);
+  EXPECT_EQ(table.next_sequence(), seq_before);  // sequences never reused
+  ASSERT_EQ(table.runs().size(), 2u);
+  EXPECT_EQ(table.runs()[0], "run-2");
+  EXPECT_EQ(table.runs()[1], "run-3");
+
+  // Appends continue cleanly and a fresh process sees the compacted +
+  // appended state, sequences/times intact.
+  table.append_row(make_row("run-4", "svc", "k0", 40.0));
+  table.sync();
+  TelemetryTable reopened(tmp.table_path());
+  TableRecoveryStats stats;
+  const auto rows = reopened.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  ASSERT_EQ(rows.size(), 13u);
+  EXPECT_EQ(rows[0].run_id, "run-2");
+  EXPECT_EQ(rows[0].sequence, 13u);  // original sequence from before
+  EXPECT_EQ(rows.back().run_id, "run-4");
+  EXPECT_EQ(rows.back().sequence, seq_before);
+}
+
+// ---- concurrent writer + read-only reader -------------------------------
+
+// One thread appends; the main thread repeatedly reopens the file with
+// repair=false scans (trajectory_report peeking at a live table).
+// Readers may observe a torn tail mid-append — that must parse as a
+// clean prefix, never as an error, and the observed row count can only
+// grow. Run under TSAN in the tier-1 tsan lane.
+TEST(TelemetryTorture, ConcurrentWriterAndReaderReopen) {
+  TempDir tmp;
+  constexpr int kRows = 200;
+  {
+    TelemetryTable writer(tmp.table_path());
+    writer.recover();
+
+    std::thread producer([&writer] {
+      for (int i = 0; i < kRows; ++i) {
+        writer.append_row(make_row("run", "svc", "k" + std::to_string(i),
+                                   static_cast<double>(i)));
+        if (i % 16 == 0) writer.sync();
+      }
+      writer.sync();
+    });
+
+    std::int64_t last_seen = 0;
+    while (last_seen < kRows) {
+      TelemetryTable reader(tmp.table_path());
+      TableRecoveryStats stats;
+      const auto rows = reader.recover(&stats, /*repair=*/false);
+      ASSERT_GE(stats.rows_scanned, last_seen);
+      ASSERT_LE(stats.rows_scanned, kRows);
+      ASSERT_EQ(rows.size(), static_cast<std::size_t>(stats.rows_scanned));
+      last_seen = stats.rows_scanned;
+    }
+    producer.join();
+  }
+  TelemetryTable final_reader(tmp.table_path());
+  TableRecoveryStats stats;
+  final_reader.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, kRows);
+  EXPECT_FALSE(stats.truncated);
+}
+
+// ---- the async sink -----------------------------------------------------
+
+TEST(TelemetrySink, WritesBehindFlushesAndReconciles) {
+  TempDir tmp;
+  TelemetrySink sink(tmp.table_path(), "run-1");
+  constexpr int kItems = 64;
+  for (int i = 0; i < kItems; ++i)
+    sink.record("svc", "k" + std::to_string(i), static_cast<double>(i));
+  sink.flush();
+
+  EXPECT_EQ(sink.recorded(), kItems);
+  EXPECT_EQ(sink.written(), kItems);
+  EXPECT_EQ(sink.dropped(), 0);
+  EXPECT_GE(sink.flushes(), 1);
+  sink.shutdown();
+
+  // Everything is durable with the sink's run_id and a sane wall-clock
+  // stamp: a second process recovers all of it.
+  TelemetryTable reopened(tmp.table_path());
+  TableRecoveryStats stats;
+  const auto rows = reopened.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(kItems));
+  for (const TelemetryRow& r : rows) {
+    EXPECT_EQ(r.run_id, "run-1");
+    EXPECT_GT(r.time, 1.5e9);  // unix seconds, not a monotonic clock
+  }
+}
+
+TEST(TelemetrySink, DropOldestBackpressureIsCountedAndDeterministic) {
+  TempDir tmp;
+  // Gate the very first write so the queue (capacity 2) fills behind it
+  // deterministically: record 1 (thread takes it and blocks in the
+  // hook), then 2, 3, 4 -> the queue holds [2,3], 4 bumps 2 out.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool first_entered = false, release = false;
+  SinkConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.on_write = [&](const TelemetryRow&) {
+    std::unique_lock lk(mu);
+    if (!first_entered) {
+      first_entered = true;
+      cv.notify_all();
+      cv.wait(lk, [&] { return release; });
+    }
+  };
+
+  TelemetrySink sink(tmp.table_path(), "run-1", cfg);
+  EXPECT_TRUE(sink.record("svc", "k1", 1.0));
+  {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return first_entered; });
+  }
+  EXPECT_TRUE(sink.record("svc", "k2", 2.0));
+  EXPECT_TRUE(sink.record("svc", "k3", 3.0));
+  EXPECT_FALSE(sink.record("svc", "k4", 4.0));  // bumped k2 out
+  {
+    std::lock_guard lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  sink.flush();
+
+  EXPECT_EQ(sink.recorded(), 4);
+  EXPECT_EQ(sink.written(), 3);
+  EXPECT_EQ(sink.dropped(), 1);
+  sink.shutdown();
+
+  TelemetryTable reopened(tmp.table_path());
+  const auto rows = reopened.recover();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, "k1");
+  EXPECT_EQ(rows[1].key, "k3");  // k2 was the dropped one
+  EXPECT_EQ(rows[2].key, "k4");
+}
+
+TEST(TelemetrySink, RecordAfterShutdownCountsAsDropped) {
+  TempDir tmp;
+  TelemetrySink sink(tmp.table_path(), "run-1");
+  EXPECT_TRUE(sink.record("svc", "k1", 1.0));
+  sink.shutdown();
+  EXPECT_FALSE(sink.record("svc", "k2", 2.0));
+  EXPECT_EQ(sink.recorded(), 2);
+  EXPECT_EQ(sink.written(), 1);
+  EXPECT_EQ(sink.dropped(), 1);  // identity holds even past shutdown
+}
+
+TEST(TelemetrySink, OpensOnATornTableAndAppendsAfterTheValidPrefix) {
+  TempDir tmp;
+  write_sample_table(tmp.table_path());
+  // Simulate a SIGKILL mid-append: half a row of garbage at the tail.
+  append_to_file(tmp.table_path(),
+                 std::vector<std::uint8_t>(telemetry::kRowHeaderBytes / 2,
+                                           0xAB));
+  {
+    // Construction recovers (repair=true): the torn tail is cut, the
+    // four intact rows survive, and new rows land after them.
+    TelemetrySink sink(tmp.table_path(), "run-new");
+    sink.record("svc", "post_crash", 1.0);
+    sink.flush();
+  }
+  TelemetryTable reopened(tmp.table_path());
+  TableRecoveryStats stats;
+  const auto rows = reopened.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  ASSERT_EQ(rows.size(), 5u);
+  expect_row_eq(rows[3], sample_rows()[3], 4);
+  EXPECT_EQ(rows[4].run_id, "run-new");
+  EXPECT_EQ(rows[4].key, "post_crash");
+  EXPECT_EQ(rows[4].sequence, 5u);
+}
+
+TEST(TelemetrySink, RetentionCompactionRunsOnTheWriterThread) {
+  TempDir tmp;
+  {
+    // Three older runs already on disk.
+    TelemetryTable table(tmp.table_path());
+    table.recover();
+    for (int run = 0; run < 3; ++run)
+      for (int i = 0; i < 4; ++i)
+        table.append_row(make_row("old-" + std::to_string(run), "svc", "k",
+                                  static_cast<double>(i)));
+    table.sync();
+  }
+  SinkConfig cfg;
+  cfg.compact_max_runs = 2;
+  cfg.compact_min_rows = 1;
+  TelemetrySink sink(tmp.table_path(), "run-new", cfg);
+  sink.record("svc", "k", 99.0);
+  sink.flush();
+  EXPECT_GE(sink.compactions(), 1);
+  sink.shutdown();
+
+  TelemetryTable reopened(tmp.table_path());
+  TableRecoveryStats stats;
+  const auto rows = reopened.recover(&stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.runs, 2);  // newest two: old-2 + run-new
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].run_id, "old-2");
+  EXPECT_EQ(rows.back().run_id, "run-new");
+}
+
+// Concurrent producers hammer one sink while the main thread repeatedly
+// reopens the table read-only (repair=false) — record() vs drain vs
+// external reader is exactly the cross-thread surface the TSAN lane
+// race-checks. The reconcile identity must hold at quiescence.
+TEST(TelemetrySink, ConcurrentProducersReconcileUnderReaders) {
+  TempDir tmp;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  {
+    TelemetrySink sink(tmp.table_path(), "run-1");
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&sink, p] {
+        for (int i = 0; i < kPerProducer; ++i)
+          sink.record("svc.p" + std::to_string(p), "k", p * 1000.0 + i);
+      });
+    }
+    for (int peek = 0; peek < 20; ++peek) {
+      TelemetryTable reader(tmp.table_path());
+      TableRecoveryStats stats;
+      reader.recover(&stats, /*repair=*/false);
+      ASSERT_LE(stats.rows_scanned, kProducers * kPerProducer);
+    }
+    for (auto& t : producers) t.join();
+    sink.flush();
+    EXPECT_EQ(sink.recorded(), kProducers * kPerProducer);
+    EXPECT_EQ(sink.recorded(), sink.written() + sink.dropped());
+    EXPECT_EQ(sink.dropped(), 0);  // capacity 1024 >= 800 in flight
+  }
+  TelemetryTable final_reader(tmp.table_path());
+  TableRecoveryStats stats;
+  final_reader.recover(&stats);
+  EXPECT_EQ(stats.rows_scanned, kProducers * kPerProducer);
+  EXPECT_FALSE(stats.truncated);
+}
+
+}  // namespace
+}  // namespace gpawfd
